@@ -1,0 +1,175 @@
+//! Group ("N-way") sharing metrics over clusters of threads.
+//!
+//! Table 2 of the paper reports inter-thread sharing "for two extremes:
+//! two threads per processor and the maximum number of threads possible".
+//! The pairwise extreme is just the [`crate::SharingAnalysis`] matrix;
+//! the N-way extreme is the shared references *within a cluster* of
+//! `⌈t/2⌉` threads (two processors). Per the paper's Figure 1(d), the
+//! in-cluster sharing of a cluster is the sum of the pairwise metric over
+//! all thread pairs in the cluster.
+
+use crate::matrix::SymMatrix;
+use crate::sharing::SharingAnalysis;
+use placesim_trace::stats::MeanDev;
+
+/// Shared references within one cluster: the pairwise metric summed over
+/// all pairs of cluster members (paper Figure 1(d)).
+pub fn group_shared_refs(matrix: &SymMatrix<u64>, members: &[usize]) -> u64 {
+    matrix.group_sum(members)
+}
+
+/// Mean/deviation of the pairwise shared-reference metric over all thread
+/// pairs (Table 2's "Pairwise Sharing" column).
+pub fn pairwise_stats(sharing: &SharingAnalysis) -> MeanDev {
+    MeanDev::from_values(
+        sharing
+            .pair_refs_matrix()
+            .iter_pairs()
+            .map(|(_, _, v)| v as f64),
+    )
+}
+
+/// Mean/deviation of in-cluster sharing over sampled thread-balanced
+/// clusters of `cluster_size` threads (Table 2's "N-way Sharing" column).
+///
+/// Partitions are sampled with a deterministic xorshift generator seeded
+/// by `seed`, so results are reproducible. Each sample shuffles the thread
+/// ids and takes consecutive groups of `cluster_size` (the tail group, if
+/// smaller, is included — matching the ⌊t/p⌋/⌈t/p⌉ split of a
+/// thread-balanced placement).
+///
+/// # Panics
+///
+/// Panics if `cluster_size` is zero.
+pub fn nway_stats(
+    sharing: &SharingAnalysis,
+    cluster_size: usize,
+    samples: usize,
+    seed: u64,
+) -> MeanDev {
+    assert!(cluster_size > 0, "cluster size must be positive");
+    let n = sharing.thread_count();
+    if n == 0 {
+        return MeanDev::default();
+    }
+    let mut rng = XorShift::new(seed);
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut values = Vec::new();
+    for _ in 0..samples {
+        shuffle(&mut ids, &mut rng);
+        for chunk in ids.chunks(cluster_size) {
+            values.push(group_shared_refs(sharing.pair_refs_matrix(), chunk) as f64);
+        }
+    }
+    MeanDev::from_values(values)
+}
+
+/// Minimal xorshift64* generator for reproducible sampling without an RNG
+/// dependency in this crate.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Unbiased-enough bounded sample for shuffling small arrays.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Fisher–Yates shuffle.
+fn shuffle(ids: &mut [usize], rng: &mut XorShift) {
+    for i in (1..ids.len()).rev() {
+        let j = rng.below(i + 1);
+        ids.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placesim_trace::{Address, MemRef, ProgramTrace, ThreadTrace};
+
+    fn uniform_prog(threads: usize) -> ProgramTrace {
+        // Every thread reads the same shared address once: perfectly
+        // uniform sharing — every pair's metric is 2.
+        let traces: Vec<ThreadTrace> = (0..threads)
+            .map(|_| {
+                [MemRef::read(Address::new(0x100))]
+                    .into_iter()
+                    .collect::<ThreadTrace>()
+            })
+            .collect();
+        ProgramTrace::new("uniform", traces)
+    }
+
+    #[test]
+    fn group_sum_matches_manual() {
+        let sharing = SharingAnalysis::measure(&uniform_prog(4));
+        // Cluster of 3 threads: 3 pairs × 2 refs each = 6.
+        assert_eq!(group_shared_refs(sharing.pair_refs_matrix(), &[0, 1, 2]), 6);
+        assert_eq!(group_shared_refs(sharing.pair_refs_matrix(), &[0]), 0);
+    }
+
+    #[test]
+    fn pairwise_stats_uniform_has_zero_dev() {
+        let sharing = SharingAnalysis::measure(&uniform_prog(6));
+        let stats = pairwise_stats(&sharing);
+        assert!((stats.mean - 2.0).abs() < 1e-12);
+        assert!(stats.std_dev < 1e-12);
+    }
+
+    #[test]
+    fn nway_uniform_has_zero_dev() {
+        let sharing = SharingAnalysis::measure(&uniform_prog(8));
+        // Clusters of 4: C(4,2)=6 pairs × 2 = 12, regardless of which
+        // threads land together → deviation 0.
+        let stats = nway_stats(&sharing, 4, 16, 42);
+        assert!((stats.mean - 12.0).abs() < 1e-12);
+        assert!(stats.std_dev < 1e-12);
+    }
+
+    #[test]
+    fn nway_is_deterministic_per_seed() {
+        let t0: ThreadTrace = [MemRef::read(Address::new(1))].into_iter().collect();
+        let t1: ThreadTrace = [
+            MemRef::read(Address::new(1)),
+            MemRef::read(Address::new(2)),
+        ]
+        .into_iter()
+        .collect();
+        let t2: ThreadTrace = [MemRef::read(Address::new(2))].into_iter().collect();
+        let t3: ThreadTrace = [MemRef::read(Address::new(3))].into_iter().collect();
+        let prog = ProgramTrace::new("skew", vec![t0, t1, t2, t3]);
+        let sharing = SharingAnalysis::measure(&prog);
+        let a = nway_stats(&sharing, 2, 8, 7);
+        let b = nway_stats(&sharing, 2, 8, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nway_empty_program() {
+        let sharing = SharingAnalysis::measure(&ProgramTrace::new("empty", vec![]));
+        let stats = nway_stats(&sharing, 2, 4, 1);
+        assert_eq!(stats.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cluster_size_panics() {
+        let sharing = SharingAnalysis::measure(&uniform_prog(2));
+        let _ = nway_stats(&sharing, 0, 1, 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Pairwise and per-thread sharing metrics (the paper's §2 inputs).
+
+use crate::matrix::SymMatrix;
+use crate::profile::AddressProfile;
+use placesim_trace::{ProgramTrace, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// Per-thread sharing aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSharing {
+    /// Data references to shared addresses (addresses touched by ≥ 2 threads).
+    pub shared_refs: u64,
+    /// Data references to private addresses.
+    pub private_refs: u64,
+    /// Distinct shared addresses this thread touched.
+    pub shared_addrs: u64,
+    /// Distinct private addresses this thread touched.
+    pub private_addrs: u64,
+    /// Stores to shared addresses (potential invalidation sources).
+    pub writes_to_shared: u64,
+}
+
+impl ThreadSharing {
+    /// All data references of the thread.
+    pub fn data_refs(&self) -> u64 {
+        self.shared_refs + self.private_refs
+    }
+
+    /// The paper's "% shared refs": shared refs over data refs, 0–100.
+    pub fn shared_percent(&self) -> f64 {
+        let total = self.data_refs();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.shared_refs as f64 / total as f64
+        }
+    }
+
+    /// The paper's "references per shared address" for this thread.
+    pub fn refs_per_shared_addr(&self) -> f64 {
+        if self.shared_addrs == 0 {
+            0.0
+        } else {
+            self.shared_refs as f64 / self.shared_addrs as f64
+        }
+    }
+}
+
+/// Statically measured inter-thread sharing of one program.
+///
+/// Derived from an [`AddressProfile`] in one pass over its addresses:
+///
+/// * `pair_shared_refs(a, b)` — the paper's `shared-references(tₐ, t_b)`:
+///   references by both threads to their common data addresses
+///   (SHARE-REFS, MIN-PRIV metrics),
+/// * `pair_write_shared_refs(a, b)` — the same, restricted to
+///   *write-shared* addresses (MAX-WRITES, MIN-INVS metrics),
+/// * `pair_shared_addrs(a, b)` — the number of common addresses
+///   (SHARE-ADDR's refs-per-shared-address denominator),
+/// * per-thread aggregates ([`ThreadSharing`]) for MIN-PRIV's private
+///   footprint and Table 2's "% shared refs".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharingAnalysis {
+    pair_refs: SymMatrix<u64>,
+    pair_write_refs: SymMatrix<u64>,
+    pair_addrs: SymMatrix<u64>,
+    per_thread: Vec<ThreadSharing>,
+    shared_addresses: u64,
+    total_addresses: u64,
+}
+
+impl SharingAnalysis {
+    /// Profiles `prog` and computes all sharing metrics.
+    pub fn measure(prog: &ProgramTrace) -> Self {
+        Self::from_profile(&AddressProfile::build(prog))
+    }
+
+    /// Computes all sharing metrics from a pre-built profile.
+    pub fn from_profile(profile: &AddressProfile) -> Self {
+        let n = profile.thread_count();
+        let mut pair_refs = SymMatrix::new(n, 0u64);
+        let mut pair_write_refs = SymMatrix::new(n, 0u64);
+        let mut pair_addrs = SymMatrix::new(n, 0u64);
+        let mut per_thread = vec![ThreadSharing::default(); n];
+        let mut shared_addresses = 0u64;
+
+        for (_addr, pa) in profile.iter() {
+            let counts = pa.counts();
+            if pa.is_shared() {
+                shared_addresses += 1;
+                let write_shared = pa.is_write_shared();
+                for (k, a) in counts.iter().enumerate() {
+                    let ts = &mut per_thread[a.thread.index()];
+                    ts.shared_refs += a.total();
+                    ts.shared_addrs += 1;
+                    ts.writes_to_shared += a.writes as u64;
+                    for b in &counts[k + 1..] {
+                        let refs = a.total() + b.total();
+                        pair_refs.add(a.thread.index(), b.thread.index(), refs);
+                        pair_addrs.add(a.thread.index(), b.thread.index(), 1);
+                        if write_shared {
+                            pair_write_refs.add(a.thread.index(), b.thread.index(), refs);
+                        }
+                    }
+                }
+            } else if let Some(only) = counts.first() {
+                let ts = &mut per_thread[only.thread.index()];
+                ts.private_refs += only.total();
+                ts.private_addrs += 1;
+            }
+        }
+
+        SharingAnalysis {
+            pair_refs,
+            pair_write_refs,
+            pair_addrs,
+            per_thread,
+            shared_addresses,
+            total_addresses: profile.address_count() as u64,
+        }
+    }
+
+    /// Number of threads analyzed.
+    pub fn thread_count(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// The paper's `shared-references(tₐ, t_b)`.
+    pub fn pair_shared_refs(&self, a: ThreadId, b: ThreadId) -> u64 {
+        self.pair_refs.get(a.index(), b.index())
+    }
+
+    /// Pairwise shared references restricted to write-shared addresses.
+    pub fn pair_write_shared_refs(&self, a: ThreadId, b: ThreadId) -> u64 {
+        self.pair_write_refs.get(a.index(), b.index())
+    }
+
+    /// Number of data addresses the two threads have in common.
+    pub fn pair_shared_addrs(&self, a: ThreadId, b: ThreadId) -> u64 {
+        self.pair_addrs.get(a.index(), b.index())
+    }
+
+    /// The full pairwise shared-references matrix.
+    pub fn pair_refs_matrix(&self) -> &SymMatrix<u64> {
+        &self.pair_refs
+    }
+
+    /// The full pairwise write-shared-references matrix.
+    pub fn pair_write_refs_matrix(&self) -> &SymMatrix<u64> {
+        &self.pair_write_refs
+    }
+
+    /// The full pairwise common-address-count matrix.
+    pub fn pair_addrs_matrix(&self) -> &SymMatrix<u64> {
+        &self.pair_addrs
+    }
+
+    /// Per-thread aggregates in thread-id order.
+    pub fn per_thread(&self) -> &[ThreadSharing] {
+        &self.per_thread
+    }
+
+    /// Per-thread aggregates for one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn thread(&self, id: ThreadId) -> &ThreadSharing {
+        &self.per_thread[id.index()]
+    }
+
+    /// Number of distinct shared data addresses in the program.
+    pub fn shared_address_count(&self) -> u64 {
+        self.shared_addresses
+    }
+
+    /// Number of distinct data addresses in the program.
+    pub fn total_address_count(&self) -> u64 {
+        self.total_addresses
+    }
+
+    /// Total statically counted pairwise shared references, summed over
+    /// all thread pairs (Table 4's "static" column numerator).
+    pub fn total_pairwise_shared_refs(&self) -> u64 {
+        self.pair_refs.iter_pairs().map(|(_, _, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placesim_trace::{Address, MemRef, ThreadTrace};
+
+    /// T0 reads X(0x100) twice and writes private P(0x900).
+    /// T1 writes X once and reads Y(0x200).
+    /// T2 reads Y twice.
+    fn prog() -> ProgramTrace {
+        let t0: ThreadTrace = [
+            MemRef::read(Address::new(0x100)),
+            MemRef::read(Address::new(0x100)),
+            MemRef::write(Address::new(0x900)),
+        ]
+        .into_iter()
+        .collect();
+        let t1: ThreadTrace = [
+            MemRef::write(Address::new(0x100)),
+            MemRef::read(Address::new(0x200)),
+        ]
+        .into_iter()
+        .collect();
+        let t2: ThreadTrace = [
+            MemRef::read(Address::new(0x200)),
+            MemRef::read(Address::new(0x200)),
+        ]
+        .into_iter()
+        .collect();
+        ProgramTrace::new("p", vec![t0, t1, t2])
+    }
+
+    #[test]
+    fn pairwise_shared_refs() {
+        let s = SharingAnalysis::measure(&prog());
+        let (t0, t1, t2) = (ThreadId::new(0), ThreadId::new(1), ThreadId::new(2));
+        // X common to T0/T1: 2 + 1 = 3 refs.
+        assert_eq!(s.pair_shared_refs(t0, t1), 3);
+        // Y common to T1/T2: 1 + 2 = 3 refs.
+        assert_eq!(s.pair_shared_refs(t1, t2), 3);
+        // T0/T2 share nothing.
+        assert_eq!(s.pair_shared_refs(t0, t2), 0);
+    }
+
+    #[test]
+    fn write_shared_restriction() {
+        let s = SharingAnalysis::measure(&prog());
+        let (t0, t1, t2) = (ThreadId::new(0), ThreadId::new(1), ThreadId::new(2));
+        // X is write-shared (T1 writes it); Y is read-only shared.
+        assert_eq!(s.pair_write_shared_refs(t0, t1), 3);
+        assert_eq!(s.pair_write_shared_refs(t1, t2), 0);
+        assert_eq!(s.pair_write_shared_refs(t0, t2), 0);
+    }
+
+    #[test]
+    fn shared_address_counts() {
+        let s = SharingAnalysis::measure(&prog());
+        let (t0, t1, t2) = (ThreadId::new(0), ThreadId::new(1), ThreadId::new(2));
+        assert_eq!(s.pair_shared_addrs(t0, t1), 1);
+        assert_eq!(s.pair_shared_addrs(t1, t2), 1);
+        assert_eq!(s.pair_shared_addrs(t0, t2), 0);
+        assert_eq!(s.shared_address_count(), 2);
+        assert_eq!(s.total_address_count(), 3);
+    }
+
+    #[test]
+    fn per_thread_aggregates() {
+        let s = SharingAnalysis::measure(&prog());
+        let t0 = s.thread(ThreadId::new(0));
+        assert_eq!(t0.shared_refs, 2);
+        assert_eq!(t0.private_refs, 1);
+        assert_eq!(t0.shared_addrs, 1);
+        assert_eq!(t0.private_addrs, 1);
+        assert_eq!(t0.writes_to_shared, 0);
+        assert!((t0.shared_percent() - 200.0 / 3.0).abs() < 1e-9);
+        assert!((t0.refs_per_shared_addr() - 2.0).abs() < 1e-12);
+
+        let t1 = s.thread(ThreadId::new(1));
+        assert_eq!(t1.shared_refs, 2);
+        assert_eq!(t1.writes_to_shared, 1);
+        assert_eq!(t1.private_refs, 0);
+    }
+
+    #[test]
+    fn totals() {
+        let s = SharingAnalysis::measure(&prog());
+        assert_eq!(s.total_pairwise_shared_refs(), 6);
+        assert_eq!(s.thread_count(), 3);
+    }
+
+    #[test]
+    fn empty_thread_sharing_percentages() {
+        let ts = ThreadSharing::default();
+        assert_eq!(ts.shared_percent(), 0.0);
+        assert_eq!(ts.refs_per_shared_addr(), 0.0);
+    }
+}

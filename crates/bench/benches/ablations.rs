@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the design-choice ablations called out in
+//! DESIGN.md: how the simulator's wall-clock cost responds to the
+//! architectural knobs. (The *simulated-cycle* ablation results are
+//! produced by `cargo run -p placesim-bench --bin ablation`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use placesim::PreparedApp;
+use placesim_machine::{simulate, ArchConfig};
+use placesim_placement::PlacementAlgorithm;
+use placesim_workloads::{spec, GenOptions};
+
+fn bench_ablations(c: &mut Criterion) {
+    let opts = GenOptions {
+        scale: 0.02,
+        seed: 5,
+    };
+    let app = PreparedApp::prepare(&spec("mp3d").unwrap(), &opts);
+    let map = PlacementAlgorithm::Random
+        .place(&app.placement_inputs(), 4)
+        .expect("placement");
+    let refs = app.prog.total_refs();
+
+    let mut group = c.benchmark_group("ablation-knobs");
+    group.throughput(Throughput::Elements(refs));
+
+    for (label, config) in [
+        ("baseline", ArchConfig::paper_default()),
+        (
+            "upgrade-stalls",
+            ArchConfig::builder().upgrade_stalls(true).build().unwrap(),
+        ),
+        (
+            "line-128",
+            ArchConfig::builder().line_size(128).build().unwrap(),
+        ),
+        (
+            "latency-200",
+            ArchConfig::builder().memory_latency(200).build().unwrap(),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| simulate(&app.prog, &map, cfg).expect("simulate"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks: simulator throughput (references per second)
+//! across cache configurations and processor counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use placesim::PreparedApp;
+use placesim_machine::{simulate, ArchConfig};
+use placesim_placement::PlacementAlgorithm;
+use placesim_workloads::{spec, GenOptions};
+
+fn bench_engine(c: &mut Criterion) {
+    let opts = GenOptions {
+        scale: 0.02,
+        seed: 3,
+    };
+    let app = PreparedApp::prepare(&spec("water").unwrap(), &opts);
+    let map = PlacementAlgorithm::LoadBal
+        .place(&app.placement_inputs(), 4)
+        .expect("placement");
+    let refs = app.prog.total_refs();
+
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(refs));
+    group.bench_function("water-p4-64k", |b| {
+        b.iter(|| simulate(&app.prog, &map, &app.config).expect("simulate"));
+    });
+    group.bench_function("water-p4-infinite", |b| {
+        let infinite = ArchConfig::infinite_cache();
+        b.iter(|| simulate(&app.prog, &map, &infinite).expect("simulate"));
+    });
+    group.finish();
+
+    // Scaling with processor count (same total work, more caches).
+    let mut group = c.benchmark_group("engine-procs");
+    group.throughput(Throughput::Elements(refs));
+    for p in [2usize, 8, 16] {
+        let map = PlacementAlgorithm::LoadBal
+            .place(&app.placement_inputs(), p)
+            .expect("placement");
+        group.bench_with_input(BenchmarkId::from_parameter(p), &map, |b, map| {
+            b.iter(|| simulate(&app.prog, map, &app.config).expect("simulate"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine
+}
+criterion_main!(benches);

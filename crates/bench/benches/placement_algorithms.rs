@@ -1,0 +1,62 @@
+//! Criterion benchmarks: cost of each placement algorithm's clustering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use placesim::PreparedApp;
+use placesim_placement::PlacementAlgorithm;
+use placesim_workloads::{spec, GenOptions};
+
+fn bench_placement(c: &mut Criterion) {
+    let opts = GenOptions {
+        scale: 0.01,
+        seed: 7,
+    };
+    // 32 threads with skewed sharing: a representative clustering load.
+    let mut app = PreparedApp::prepare(&spec("grav").unwrap(), &opts);
+    app.run_probe().expect("probe");
+
+    let mut group = c.benchmark_group("placement");
+    for algo in PlacementAlgorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("grav32-p4", algo.paper_name()),
+            &algo,
+            |b, &algo| {
+                let inputs = app.placement_inputs();
+                b.iter(|| algo.place(&inputs, 4).expect("placement"));
+            },
+        );
+    }
+    group.finish();
+
+    // The paper's largest clustering problem: Gauss, 127 threads.
+    let gauss = PreparedApp::prepare(
+        &spec("gauss").unwrap(),
+        &GenOptions {
+            scale: 0.002,
+            seed: 7,
+        },
+    );
+    let mut group = c.benchmark_group("placement-127");
+    for algo in [
+        PlacementAlgorithm::ShareRefs,
+        PlacementAlgorithm::MinShare,
+        PlacementAlgorithm::LoadBal,
+        PlacementAlgorithm::Random,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("gauss127-p16", algo.paper_name()),
+            &algo,
+            |b, &algo| {
+                let inputs = gauss.placement_inputs();
+                b.iter(|| algo.place(&inputs, 16).expect("placement"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_placement
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks: synthetic trace generation and static analysis
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use placesim_analysis::SharingAnalysis;
+use placesim_workloads::{generate, spec, GenOptions};
+
+fn bench_generation(c: &mut Criterion) {
+    let opts = GenOptions {
+        scale: 0.02,
+        seed: 9,
+    };
+
+    let mut group = c.benchmark_group("generate");
+    for name in ["water", "fft", "gauss"] {
+        let s = spec(name).expect("suite app");
+        let refs = generate(&s, &opts).total_refs();
+        group.throughput(Throughput::Elements(refs));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| {
+            b.iter(|| generate(s, &opts));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("analyze");
+    for name in ["water", "gauss"] {
+        let s = spec(name).expect("suite app");
+        let prog = generate(&s, &opts);
+        group.throughput(Throughput::Elements(prog.total_refs()));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &prog, |b, prog| {
+            b.iter(|| SharingAnalysis::measure(prog));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates every table and figure of the paper in sequence.
+
+fn main() {
+    placesim_bench::print_table1();
+    placesim_bench::print_table2();
+    placesim_bench::print_table3();
+    placesim_bench::print_table4();
+    placesim_bench::print_table5();
+    placesim_bench::print_exec_time_figure("locusroute", "Figure 2");
+    placesim_bench::print_exec_time_figure("fft", "Figure 3");
+    placesim_bench::print_exec_time_figure("barnes-hut", "Figure 4");
+    placesim_bench::print_miss_components_figure("locusroute");
+}

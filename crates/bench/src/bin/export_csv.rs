@@ -1,0 +1,45 @@
+//! Exports every figure's data as CSV files for plotting pipelines.
+//!
+//! ```sh
+//! cargo run --release -p placesim-bench --bin export_csv -- /tmp/placesim-csv
+//! ```
+
+use placesim::figures::{default_processor_counts, exec_time_figure, miss_components_figure};
+use placesim_bench::{harness_opts, prepare};
+use placesim_placement::PlacementAlgorithm;
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "placesim-csv".into());
+    let out = Path::new(&out_dir);
+    fs::create_dir_all(out)?;
+    eprintln!("exporting CSVs to {out_dir} (scale {})", harness_opts().scale);
+
+    for (figure, app_name) in [("fig2", "locusroute"), ("fig3", "fft"), ("fig4", "barnes-hut")] {
+        let app = prepare(app_name);
+        let procs = default_processor_counts(app.threads());
+        let fig = exec_time_figure(&app, &procs)?;
+        let path = out.join(format!("{figure}_{app_name}_exec_time.csv"));
+        fs::write(&path, fig.to_csv())?;
+        eprintln!("  wrote {}", path.display());
+    }
+
+    let app = prepare("locusroute");
+    let procs = default_processor_counts(app.threads());
+    let algos = [
+        PlacementAlgorithm::Random,
+        PlacementAlgorithm::LoadBal,
+        PlacementAlgorithm::ShareRefs,
+        PlacementAlgorithm::MaxWrites,
+        PlacementAlgorithm::MinShare,
+    ];
+    let fig5 = miss_components_figure(&app, &procs, &algos)?;
+    let path = out.join("fig5_locusroute_miss_components.csv");
+    fs::write(&path, fig5.to_csv())?;
+    eprintln!("  wrote {}", path.display());
+
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 2: LocusRoute execution time across
+//! placement algorithms, normalized to RANDOM.
+
+fn main() {
+    placesim_bench::print_exec_time_figure("locusroute", "Figure 2");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 4: Barnes-Hut execution time across
+//! placement algorithms, normalized to RANDOM.
+
+fn main() {
+    placesim_bench::print_exec_time_figure("barnes-hut", "Figure 4");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 5: cache-miss components across
+//! placement algorithms and machine configurations.
+
+fn main() {
+    placesim_bench::print_miss_components_figure("locusroute");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 1: the application suite.
+
+fn main() {
+    placesim_bench::print_table1();
+}

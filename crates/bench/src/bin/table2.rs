@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2: measured program characteristics.
+
+fn main() {
+    placesim_bench::print_table2();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 3: architectural simulator inputs.
+
+fn main() {
+    placesim_bench::print_table3();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 4: static sharing vs. measured
+//! coherence traffic with one thread per processor.
+
+fn main() {
+    placesim_bench::print_table4();
+}

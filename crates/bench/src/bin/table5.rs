@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 5: the infinite-cache (8 MB) study,
+//! normalized to LOAD-BAL.
+
+fn main() {
+    placesim_bench::print_table5();
+}

@@ -1,0 +1,84 @@
+//! Unified error type for the experiment runner.
+
+use placesim_machine::{ConfigError, SimError};
+use placesim_placement::PlacementError;
+use std::fmt;
+
+/// Any failure while preparing or running an experiment.
+#[derive(Debug)]
+pub enum Error {
+    /// A placement algorithm failed.
+    Placement(PlacementError),
+    /// The simulator rejected its inputs.
+    Sim(SimError),
+    /// An architectural configuration was invalid.
+    Config(ConfigError),
+    /// The requested experiment needs a coherence-traffic probe that has
+    /// not been run on this [`crate::PreparedApp`].
+    ProbeMissing,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Placement(e) => write!(f, "placement failed: {e}"),
+            Error::Sim(e) => write!(f, "simulation failed: {e}"),
+            Error::Config(e) => write!(f, "bad architecture config: {e}"),
+            Error::ProbeMissing => {
+                write!(f, "coherence-traffic probe required; call PreparedApp::run_probe first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Placement(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::ProbeMissing => None,
+        }
+    }
+}
+
+impl From<PlacementError> for Error {
+    fn from(e: PlacementError) -> Self {
+        Error::Placement(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = PlacementError::ZeroProcessors.into();
+        assert!(e.to_string().contains("placement"));
+        assert!(e.source().is_some());
+
+        let e: Error = SimError::TooManyProcessors {
+            processors: 200,
+            max: 128,
+        }
+        .into();
+        assert!(e.to_string().contains("simulation"));
+
+        assert!(Error::ProbeMissing.to_string().contains("probe"));
+        assert!(Error::ProbeMissing.source().is_none());
+    }
+}

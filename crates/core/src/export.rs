@@ -1,0 +1,130 @@
+//! CSV export of figures, tables and grid sweeps.
+//!
+//! The bench binaries print paper-styled text tables; these helpers emit
+//! the same data as RFC-4180 CSV for plotting pipelines.
+
+use crate::figures::{ExecTimeFigure, MissComponentsFigure};
+use placesim_machine::MissKind;
+
+/// Escapes one CSV field (quotes when needed).
+pub fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Renders a header row plus data rows as CSV text.
+pub fn to_csv<H, R, C>(headers: H, rows: R) -> String
+where
+    H: IntoIterator,
+    H::Item: AsRef<str>,
+    R: IntoIterator<Item = C>,
+    C: IntoIterator,
+    C::Item: AsRef<str>,
+{
+    let mut out = String::new();
+    let header: Vec<String> = headers
+        .into_iter()
+        .map(|h| csv_field(h.as_ref()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.into_iter().map(|c| csv_field(c.as_ref())).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+impl ExecTimeFigure {
+    /// Long-format CSV: `app,algorithm,processors,raw_cycles,normalized`.
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (a, algo) in self.algorithms.iter().enumerate() {
+            for (p, &procs) in self.processor_counts.iter().enumerate() {
+                rows.push(vec![
+                    self.app.clone(),
+                    algo.paper_name().to_owned(),
+                    procs.to_string(),
+                    self.raw[a][p].to_string(),
+                    format!("{:.6}", self.normalized[a][p]),
+                ]);
+            }
+        }
+        to_csv(
+            ["app", "algorithm", "processors", "raw_cycles", "normalized"],
+            rows,
+        )
+    }
+}
+
+impl MissComponentsFigure {
+    /// Long-format CSV: one row per (algorithm, processors, miss kind).
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (a, algo) in self.algorithms.iter().enumerate() {
+            for (p, &procs) in self.processor_counts.iter().enumerate() {
+                for kind in MissKind::ALL {
+                    rows.push(vec![
+                        self.app.clone(),
+                        algo.paper_name().to_owned(),
+                        procs.to_string(),
+                        kind.label().to_owned(),
+                        self.breakdown[a][p].get(kind).to_string(),
+                    ]);
+                }
+            }
+        }
+        to_csv(["app", "algorithm", "processors", "miss_kind", "count"], rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PreparedApp;
+    use crate::figures::{exec_time_figure, miss_components_figure};
+    use placesim_placement::PlacementAlgorithm;
+    use placesim_workloads::{spec, GenOptions};
+
+    #[test]
+    fn field_escaping() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn generic_to_csv() {
+        let csv = to_csv(["x", "y"], vec![vec!["1", "2"], vec!["a,b", "3"]]);
+        assert_eq!(csv, "x,y\n1,2\n\"a,b\",3\n");
+    }
+
+    #[test]
+    fn figure_csv_shapes() {
+        let app = PreparedApp::prepare(
+            &spec("water").unwrap(),
+            &GenOptions {
+                scale: 0.002,
+                seed: 4,
+            },
+        );
+        let fig = exec_time_figure(&app, &[2, 4]).unwrap();
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "app,algorithm,processors,raw_cycles,normalized");
+        // 14 static algorithms x 2 processor counts.
+        assert_eq!(lines.len(), 1 + 14 * 2);
+        assert!(lines[1].starts_with("water,SHARE-REFS,2,"));
+
+        let algos = [PlacementAlgorithm::Random];
+        let mfig = miss_components_figure(&app, &[2], &algos).unwrap();
+        let mcsv = mfig.to_csv();
+        assert_eq!(mcsv.lines().count(), 1 + 4);
+        assert!(mcsv.contains("inter-thread conflict"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use placesim::report::TextTable;
+///
+/// let mut t = TextTable::new(["app", "time"]);
+/// t.row(["water", "123"]);
+/// let s = t.to_string();
+/// assert!(s.contains("water"));
+/// assert!(s.lines().count() >= 3); // header, rule, one row
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the column count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
+                    && cell.chars().all(|c| !c.is_ascii_alphabetic() || c == 'e')
+                {
+                    write!(f, "{cell:>w$}", w = w)?;
+                } else {
+                    write!(f, "{cell:<w$}", w = w)?;
+                }
+            }
+            writeln!(f)
+        };
+
+        write_row(f, &self.headers)?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a mean ± dev% pair the way the paper's Table 2 prints them.
+pub fn fmt_mean_dev(mean: f64, dev_percent: f64) -> String {
+    format!("{mean:.0} ({dev_percent:.1}%)")
+}
+
+/// Formats a count in thousands (the paper's "(in 1000s)" columns).
+pub fn fmt_thousands(x: f64) -> String {
+    format!("{:.0}", x / 1000.0)
+}
+
+/// Renders `value` as an ASCII bar where `full` maps to `width`
+/// characters (the paper's figures are bar charts; this keeps the
+/// terminal output evocative of them). Values beyond `full` are capped
+/// with a `+` marker.
+pub fn ascii_bar(value: f64, full: f64, width: usize) -> String {
+    if !(value.is_finite() && full > 0.0) || value <= 0.0 {
+        return String::new();
+    }
+    let frac = value / full;
+    if frac > 1.0 {
+        let mut bar = "#".repeat(width);
+        bar.push('+');
+        bar
+    } else {
+        "#".repeat((frac * width as f64).round().max(1.0) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "12345"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric column right-aligned: "1" ends at same column as "12345".
+        let a_end = lines[2].trim_end().len();
+        let b_end = lines[3].trim_end().len();
+        assert_eq!(a_end, b_end);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        let s = t.to_string();
+        assert!(s.contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.234, 2), "1.23");
+        assert_eq!(fmt_mean_dev(527_000.0, 14.0), "527000 (14.0%)");
+        assert_eq!(fmt_thousands(527_400.0), "527");
+    }
+
+    #[test]
+    fn bars() {
+        assert_eq!(ascii_bar(0.5, 1.0, 10), "#####");
+        assert_eq!(ascii_bar(1.0, 1.0, 10), "##########");
+        assert_eq!(ascii_bar(1.4, 1.0, 10), "##########+");
+        assert_eq!(ascii_bar(0.001, 1.0, 10), "#", "tiny values still visible");
+        assert_eq!(ascii_bar(0.0, 1.0, 10), "");
+        assert_eq!(ascii_bar(f64::NAN, 1.0, 10), "");
+    }
+}

@@ -1,0 +1,402 @@
+//! Per-processor set-associative cache with miss-provenance tracking.
+//!
+//! The paper simulates direct-mapped caches; the cache here generalizes
+//! to LRU set-associativity because the paper itself points at it
+//! ("Set associative caching would address this [thrashing] problem",
+//! §4.1) — associativity > 1 is exercised by the ablation harness.
+//!
+//! Beyond the tag arrays, the cache remembers *why* every
+//! previously-resident line is gone — evicted by which thread, or
+//! invalidated by which processor — so the engine can classify each miss
+//! into the paper's four components ([`crate::MissKind`]).
+
+use crate::stats::MissKind;
+use placesim_placement::ProcessorId;
+use placesim_trace::hash::{FastMap, FastSet};
+use placesim_trace::ThreadId;
+
+/// Local MSI state of a resident line (Invalid is "not resident").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Clean copy, possibly shared with other caches.
+    Shared,
+    /// Exclusive dirty copy.
+    Modified,
+}
+
+/// Why a previously-resident line is no longer in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoneReason {
+    /// Displaced by a conflicting fill issued by `by`.
+    EvictedBy(ThreadId),
+    /// Invalidated by a write from processor `by`.
+    InvalidatedBy(ProcessorId),
+}
+
+/// One cache way.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Resident line address (the full line id).
+    line: u64,
+    state: LineState,
+}
+
+/// Outcome of a cache access, before any fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line is resident with sufficient permission.
+    Hit,
+    /// The line is resident Shared but the access is a write: the
+    /// directory must invalidate remote sharers (a coherence *upgrade*).
+    UpgradeHit,
+    /// The line is not resident. Classification comes from
+    /// [`ProcessorCache::miss_provenance`], which needs the missing
+    /// thread's identity.
+    Miss {
+        /// The LRU line (and its state) this fill will displace, if the
+        /// set is full. The engine must send the directory a replacement
+        /// hint for it.
+        victim: Option<(u64, LineState)>,
+    },
+}
+
+/// A set-associative processor cache with LRU replacement
+/// (associativity 1 = the paper's direct-mapped configuration).
+#[derive(Debug)]
+pub struct ProcessorCache {
+    /// `sets[s]` holds up to `assoc` slots, most recently used first.
+    sets: Vec<Vec<Slot>>,
+    assoc: usize,
+    /// Lines ever resident in this cache (for compulsory classification).
+    seen: FastSet<u64>,
+    /// Departure reason of every previously-resident, non-resident line.
+    gone: FastMap<u64, GoneReason>,
+    set_mask: u64,
+}
+
+impl ProcessorCache {
+    /// Creates a direct-mapped cache with `num_sets` line slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two.
+    pub fn new(num_sets: u64) -> Self {
+        Self::with_associativity(num_sets, 1)
+    }
+
+    /// Creates a cache with `num_sets` sets of `assoc` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two or `assoc` is zero.
+    pub fn with_associativity(num_sets: u64, assoc: usize) -> Self {
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        ProcessorCache {
+            sets: vec![Vec::with_capacity(assoc); num_sets as usize],
+            assoc,
+            seen: FastSet::default(),
+            gone: FastMap::default(),
+            set_mask: num_sets - 1,
+        }
+    }
+
+    /// The cache's associativity.
+    pub fn associativity(&self) -> usize {
+        self.assoc
+    }
+
+    #[inline]
+    fn index(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Classifies an access to `line` and updates LRU order on hits.
+    ///
+    /// The engine calls this, performs the directory transaction, then
+    /// calls [`ProcessorCache::fill`] (for misses) or relies on
+    /// [`ProcessorCache::set_modified`] (for upgrades).
+    pub fn probe(&mut self, line: u64, is_write: bool) -> AccessOutcome {
+        let idx = self.index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|s| s.line == line) {
+            let slot = set.remove(pos);
+            set.insert(0, slot); // MRU
+            return if is_write && slot.state == LineState::Shared {
+                AccessOutcome::UpgradeHit
+            } else {
+                AccessOutcome::Hit
+            };
+        }
+        let victim = if set.len() == self.assoc {
+            set.last().map(|s| (s.line, s.state))
+        } else {
+            None
+        };
+        AccessOutcome::Miss { victim }
+    }
+
+    /// Refines a miss classification into the paper's four components
+    /// using the provenance recorded at departure time, and returns the
+    /// processor that caused an invalidation miss (for the coherence
+    /// probe's attribution).
+    pub fn miss_provenance(
+        &self,
+        line: u64,
+        missing_thread: ThreadId,
+    ) -> (MissKind, Option<ProcessorId>) {
+        if !self.seen.contains(&line) {
+            return (MissKind::Compulsory, None);
+        }
+        match self.gone.get(&line) {
+            Some(GoneReason::InvalidatedBy(p)) => (MissKind::Invalidation, Some(*p)),
+            Some(GoneReason::EvictedBy(t)) => {
+                if *t == missing_thread {
+                    (MissKind::IntraThreadConflict, None)
+                } else {
+                    (MissKind::InterThreadConflict, None)
+                }
+            }
+            None => unreachable!("seen but resident elsewhere is impossible"),
+        }
+    }
+
+    /// Fills `line` after a miss by `thread`, displacing the LRU way if
+    /// the set is full.
+    ///
+    /// Returns the victim line (already reported by
+    /// [`ProcessorCache::probe`]); the victim's departure is recorded as
+    /// an eviction by `thread`.
+    pub fn fill(
+        &mut self,
+        line: u64,
+        state: LineState,
+        thread: ThreadId,
+    ) -> Option<(u64, LineState)> {
+        let assoc = self.assoc;
+        let idx = self.index(line);
+        let set = &mut self.sets[idx];
+        debug_assert!(set.iter().all(|s| s.line != line), "fill of resident line");
+        let victim = if set.len() == assoc {
+            set.pop().map(|s| (s.line, s.state))
+        } else {
+            None
+        };
+        if let Some((vline, _)) = victim {
+            self.gone.insert(vline, GoneReason::EvictedBy(thread));
+        }
+        self.sets[idx].insert(0, Slot { line, state });
+        self.seen.insert(line);
+        self.gone.remove(&line);
+        victim
+    }
+
+    /// Invalidates a resident line (remote write). Records the writer for
+    /// invalidation-miss attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the line is not resident — the directory's
+    /// sharer sets are exact, so spurious invalidations indicate a bug.
+    pub fn invalidate(&mut self, line: u64, by: ProcessorId) {
+        let idx = self.index(line);
+        let set = &mut self.sets[idx];
+        match set.iter().position(|s| s.line == line) {
+            Some(pos) => {
+                set.remove(pos);
+                self.gone.insert(line, GoneReason::InvalidatedBy(by));
+            }
+            None => debug_assert!(false, "invalidation for non-resident line {line:#x}"),
+        }
+    }
+
+    /// Downgrades a resident Modified line to Shared (remote read).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the line is not resident Modified.
+    pub fn downgrade(&mut self, line: u64) {
+        let idx = self.index(line);
+        match self.sets[idx].iter_mut().find(|s| s.line == line) {
+            Some(slot) => {
+                debug_assert_eq!(slot.state, LineState::Modified);
+                slot.state = LineState::Shared;
+            }
+            None => debug_assert!(false, "downgrade for non-resident line {line:#x}"),
+        }
+    }
+
+    /// Marks a resident line Modified (after an upgrade's directory
+    /// transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the line is not resident.
+    pub fn set_modified(&mut self, line: u64) {
+        let idx = self.index(line);
+        match self.sets[idx].iter_mut().find(|s| s.line == line) {
+            Some(slot) => slot.state = LineState::Modified,
+            None => debug_assert!(false, "upgrade for non-resident line {line:#x}"),
+        }
+    }
+
+    /// State of a resident line, if present (for tests).
+    pub fn state_of(&self, line: u64) -> Option<LineState> {
+        self.sets[self.index(line)]
+            .iter()
+            .find(|s| s.line == line)
+            .map(|s| s.state)
+    }
+
+    /// Number of resident lines (for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::from_index(i)
+    }
+
+    #[test]
+    fn first_access_is_compulsory() {
+        let mut c = ProcessorCache::new(8);
+        match c.probe(100, false) {
+            AccessOutcome::Miss { victim } => assert!(victim.is_none()),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert_eq!(c.miss_provenance(100, t(0)), (MissKind::Compulsory, None));
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = ProcessorCache::new(8);
+        c.fill(100, LineState::Shared, t(0));
+        assert_eq!(c.probe(100, false), AccessOutcome::Hit);
+        assert_eq!(c.state_of(100), Some(LineState::Shared));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn write_to_shared_is_upgrade() {
+        let mut c = ProcessorCache::new(8);
+        c.fill(100, LineState::Shared, t(0));
+        assert_eq!(c.probe(100, true), AccessOutcome::UpgradeHit);
+        c.set_modified(100);
+        assert_eq!(c.probe(100, true), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn conflict_eviction_classifies_by_thread() {
+        let mut c = ProcessorCache::new(8);
+        // Lines 0 and 8 map to the same set.
+        c.fill(0, LineState::Shared, t(0));
+        let victim = c.fill(8, LineState::Shared, t(1));
+        assert_eq!(victim, Some((0, LineState::Shared)));
+
+        // Line 0 is gone, evicted by thread 1.
+        assert_eq!(c.miss_provenance(0, t(1)), (MissKind::IntraThreadConflict, None));
+        assert_eq!(c.miss_provenance(0, t(0)), (MissKind::InterThreadConflict, None));
+        match c.probe(0, false) {
+            AccessOutcome::Miss { victim } => {
+                assert_eq!(victim, Some((8, LineState::Shared)));
+            }
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidation_miss_attributed_to_writer() {
+        let mut c = ProcessorCache::new(8);
+        c.fill(5, LineState::Shared, t(0));
+        c.invalidate(5, p(3));
+        let (kind, src) = c.miss_provenance(5, t(0));
+        assert_eq!(kind, MissKind::Invalidation);
+        assert_eq!(src, Some(p(3)));
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn refill_clears_gone_reason() {
+        let mut c = ProcessorCache::new(8);
+        c.fill(5, LineState::Shared, t(0));
+        c.invalidate(5, p(1));
+        c.fill(5, LineState::Shared, t(0));
+        assert_eq!(c.probe(5, false), AccessOutcome::Hit);
+        // Evict it by conflict now; classification must be conflict, not
+        // the stale invalidation.
+        c.fill(13, LineState::Shared, t(2));
+        assert_eq!(c.miss_provenance(5, t(2)), (MissKind::IntraThreadConflict, None));
+    }
+
+    #[test]
+    fn downgrade_preserves_residency() {
+        let mut c = ProcessorCache::new(8);
+        c.fill(7, LineState::Modified, t(0));
+        c.downgrade(7);
+        assert_eq!(c.state_of(7), Some(LineState::Shared));
+        assert_eq!(c.probe(7, false), AccessOutcome::Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = ProcessorCache::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_associativity_panics() {
+        let _ = ProcessorCache::with_associativity(8, 0);
+    }
+
+    #[test]
+    fn two_way_set_holds_conflicting_pair() {
+        // Lines 0 and 8 conflict in a direct-mapped cache of 8 sets; a
+        // 2-way cache holds both.
+        let mut c = ProcessorCache::with_associativity(8, 2);
+        assert_eq!(c.associativity(), 2);
+        c.fill(0, LineState::Shared, t(0));
+        assert_eq!(c.probe(8, false), AccessOutcome::Miss { victim: None });
+        c.fill(8, LineState::Shared, t(0));
+        assert_eq!(c.probe(0, false), AccessOutcome::Hit);
+        assert_eq!(c.probe(8, false), AccessOutcome::Hit);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ProcessorCache::with_associativity(8, 2);
+        c.fill(0, LineState::Shared, t(0));
+        c.fill(8, LineState::Shared, t(0));
+        // Touch 0 so 8 becomes LRU.
+        assert_eq!(c.probe(0, false), AccessOutcome::Hit);
+        match c.probe(16, false) {
+            AccessOutcome::Miss { victim } => {
+                assert_eq!(victim, Some((8, LineState::Shared)));
+            }
+            other => panic!("expected miss, got {other:?}"),
+        }
+        let v = c.fill(16, LineState::Shared, t(1));
+        assert_eq!(v, Some((8, LineState::Shared)));
+        assert_eq!(c.probe(0, false), AccessOutcome::Hit, "MRU line survives");
+    }
+
+    #[test]
+    fn invalidate_one_way_keeps_others() {
+        let mut c = ProcessorCache::with_associativity(8, 2);
+        c.fill(0, LineState::Shared, t(0));
+        c.fill(8, LineState::Modified, t(0));
+        c.invalidate(0, p(1));
+        assert_eq!(c.state_of(0), None);
+        assert_eq!(c.state_of(8), Some(LineState::Modified));
+    }
+}

@@ -1,0 +1,295 @@
+//! Full-map directory for the write-invalidate (MSI) coherence protocol.
+//!
+//! The directory tracks, per cache line, which processors hold a copy and
+//! whether one holds it modified. Caches send replacement hints on
+//! eviction, so sharer sets are exact — invalidations only ever target
+//! caches that actually hold the line.
+
+use placesim_placement::ProcessorId;
+use placesim_trace::hash::FastMap;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of processors the directory supports (the sharer set
+/// is a `u128` bitmask). The paper's largest configuration is 127
+/// processors (Gauss, one thread per processor).
+pub const MAX_PROCESSORS: usize = 128;
+
+/// A set of processors holding a line, as a bitmask.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharerSet(u128);
+
+impl SharerSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        SharerSet(0)
+    }
+
+    /// Set containing exactly `p`.
+    pub fn single(p: ProcessorId) -> Self {
+        SharerSet(1u128 << p.index())
+    }
+
+    /// Inserts `p`.
+    pub fn insert(&mut self, p: ProcessorId) {
+        self.0 |= 1u128 << p.index();
+    }
+
+    /// Removes `p`.
+    pub fn remove(&mut self, p: ProcessorId) {
+        self.0 &= !(1u128 << p.index());
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: ProcessorId) -> bool {
+        self.0 & (1u128 << p.index()) != 0
+    }
+
+    /// Number of sharers.
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` if no processor holds the line.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over members in ascending processor order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessorId> + '_ {
+        let bits = self.0;
+        (0..MAX_PROCESSORS)
+            .filter(move |i| bits & (1u128 << i) != 0)
+            .map(ProcessorId::from_index)
+    }
+}
+
+/// Directory state of one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirState {
+    /// One or more caches hold the line clean.
+    Shared(SharerSet),
+    /// Exactly one cache holds the line dirty.
+    Modified(ProcessorId),
+}
+
+/// What a cache must do after a directory transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Remote caches that must invalidate the line.
+    pub invalidate: Vec<ProcessorId>,
+    /// Remote cache that must downgrade the line Modified → Shared.
+    pub downgrade: Option<ProcessorId>,
+}
+
+impl Transaction {
+    fn none() -> Self {
+        Transaction {
+            invalidate: Vec::new(),
+            downgrade: None,
+        }
+    }
+}
+
+/// The full-map directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    lines: FastMap<u64, DirState>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lines with at least one cached copy.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Processor `p` reads line `line` (on a read miss fill).
+    ///
+    /// Returns the remote actions: a Modified owner, if any, must
+    /// downgrade to Shared.
+    pub fn read_fill(&mut self, p: ProcessorId, line: u64) -> Transaction {
+        let mut tx = Transaction::none();
+        let state = self.lines.entry(line).or_insert(DirState::Shared(SharerSet::empty()));
+        match state {
+            DirState::Shared(sharers) => {
+                sharers.insert(p);
+            }
+            DirState::Modified(owner) => {
+                let owner = *owner;
+                debug_assert_ne!(owner, p, "owner re-reading must hit in its own cache");
+                tx.downgrade = Some(owner);
+                let mut sharers = SharerSet::single(owner);
+                sharers.insert(p);
+                *state = DirState::Shared(sharers);
+            }
+        }
+        tx
+    }
+
+    /// Processor `p` writes line `line` (write-miss fill *or* upgrade of
+    /// a Shared copy).
+    ///
+    /// Returns the remote caches to invalidate; the directory then
+    /// records `p` as the exclusive Modified owner.
+    pub fn write_fill(&mut self, p: ProcessorId, line: u64) -> Transaction {
+        let mut tx = Transaction::none();
+        let state = self.lines.entry(line).or_insert(DirState::Modified(p));
+        match state {
+            DirState::Shared(sharers) => {
+                for sharer in sharers.iter() {
+                    if sharer != p {
+                        tx.invalidate.push(sharer);
+                    }
+                }
+                *state = DirState::Modified(p);
+            }
+            DirState::Modified(owner) => {
+                if *owner != p {
+                    tx.invalidate.push(*owner);
+                    *state = DirState::Modified(p);
+                }
+            }
+        }
+        tx
+    }
+
+    /// Replacement hint: processor `p` evicted its copy of `line`.
+    pub fn evict(&mut self, p: ProcessorId, line: u64) {
+        if let Some(state) = self.lines.get_mut(&line) {
+            match state {
+                DirState::Shared(sharers) => {
+                    sharers.remove(p);
+                    if sharers.is_empty() {
+                        self.lines.remove(&line);
+                    }
+                }
+                DirState::Modified(owner) => {
+                    debug_assert_eq!(*owner, p, "only the owner can evict a Modified line");
+                    self.lines.remove(&line);
+                }
+            }
+        }
+    }
+
+    /// The sharers of a line (empty if untracked). For assertions/tests.
+    pub fn sharers(&self, line: u64) -> SharerSet {
+        match self.lines.get(&line) {
+            None => SharerSet::empty(),
+            Some(DirState::Shared(s)) => *s,
+            Some(DirState::Modified(o)) => SharerSet::single(*o),
+        }
+    }
+
+    /// Whether `p` holds `line` according to the directory.
+    pub fn holds(&self, p: ProcessorId, line: u64) -> bool {
+        self.sharers(line).contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::from_index(i)
+    }
+
+    #[test]
+    fn sharer_set_ops() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(p(3));
+        s.insert(p(127));
+        assert!(s.contains(p(3)));
+        assert!(!s.contains(p(4)));
+        assert_eq!(s.len(), 2);
+        let members: Vec<usize> = s.iter().map(|x| x.index()).collect();
+        assert_eq!(members, vec![3, 127]);
+        s.remove(p(3));
+        assert!(!s.contains(p(3)));
+        assert_eq!(SharerSet::single(p(0)).len(), 1);
+    }
+
+    #[test]
+    fn read_read_shares() {
+        let mut d = Directory::new();
+        assert_eq!(d.read_fill(p(0), 10), Transaction::none());
+        assert_eq!(d.read_fill(p(1), 10), Transaction::none());
+        assert_eq!(d.sharers(10).len(), 2);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.read_fill(p(0), 10);
+        d.read_fill(p(1), 10);
+        d.read_fill(p(2), 10);
+        let tx = d.write_fill(p(1), 10);
+        let mut inv: Vec<usize> = tx.invalidate.iter().map(|x| x.index()).collect();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![0, 2]);
+        assert!(tx.downgrade.is_none());
+        assert!(d.holds(p(1), 10));
+        assert!(!d.holds(p(0), 10));
+    }
+
+    #[test]
+    fn read_downgrades_owner() {
+        let mut d = Directory::new();
+        d.write_fill(p(0), 20);
+        let tx = d.read_fill(p(1), 20);
+        assert_eq!(tx.downgrade, Some(p(0)));
+        assert!(tx.invalidate.is_empty());
+        assert_eq!(d.sharers(20).len(), 2);
+    }
+
+    #[test]
+    fn write_steals_modified() {
+        let mut d = Directory::new();
+        d.write_fill(p(0), 30);
+        let tx = d.write_fill(p(1), 30);
+        assert_eq!(tx.invalidate, vec![p(0)]);
+        assert!(d.holds(p(1), 30));
+        assert!(!d.holds(p(0), 30));
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_silent() {
+        let mut d = Directory::new();
+        d.write_fill(p(0), 30);
+        let tx = d.write_fill(p(0), 30);
+        assert_eq!(tx, Transaction::none());
+    }
+
+    #[test]
+    fn eviction_hints_clean_up() {
+        let mut d = Directory::new();
+        d.read_fill(p(0), 40);
+        d.read_fill(p(1), 40);
+        d.evict(p(0), 40);
+        assert!(!d.holds(p(0), 40));
+        assert!(d.holds(p(1), 40));
+        d.evict(p(1), 40);
+        assert_eq!(d.tracked_lines(), 0);
+
+        d.write_fill(p(2), 50);
+        d.evict(p(2), 50);
+        assert_eq!(d.tracked_lines(), 0);
+        // Evicting an untracked line is a no-op.
+        d.evict(p(2), 50);
+    }
+
+    #[test]
+    fn upgrade_from_shared_excludes_writer() {
+        let mut d = Directory::new();
+        d.read_fill(p(0), 60);
+        d.read_fill(p(1), 60);
+        // p0 upgrades its own Shared copy.
+        let tx = d.write_fill(p(0), 60);
+        assert_eq!(tx.invalidate, vec![p(1)]);
+    }
+}

@@ -1,0 +1,987 @@
+//! The global event loop coupling processors, caches and the directory.
+//!
+//! # Execution model
+//!
+//! Every reference costs one issue cycle. On a cache hit the active
+//! context continues next cycle. On a miss the reference's line fill and
+//! directory transaction happen at issue time, the missing context
+//! becomes ready again after the memory latency, and the processor pays
+//! the context-switch (pipeline drain) cost before dispatching the next
+//! ready context round-robin — idling if none is ready. Processors
+//! interleave deterministically through a global priority queue ordered
+//! by (time, processor id).
+//!
+//! Accounting: `busy` counts one cycle per completed reference,
+//! `switching` counts drain cycles, `idle` the gaps, and per processor
+//! `busy + switching + idle == finish_time` (a conservation law the
+//! tests enforce). A missed reference is accounted at its issue cycle;
+//! its 50-cycle latency shows up as the context's unavailability, which
+//! is the quantity multithreading hides. (The tail latency of a thread's
+//! final reference is therefore not part of `finish_time` — a uniform,
+//! sub-0.01% simplification at paper trace lengths.)
+
+use crate::cache::{AccessOutcome, LineState, ProcessorCache};
+use crate::config::ArchConfig;
+use crate::directory::{Directory, MAX_PROCESSORS};
+use crate::stats::{MissKind, ProcStats, SimStats};
+use placesim_analysis::SymMatrix;
+use placesim_placement::{PlacementMap, ProcessorId};
+use placesim_trace::{MemRef, ProgramTrace, RefKind, ThreadId, ThreadTraceIter};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Errors from starting a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The placement map and the trace disagree about the thread count.
+    PlacementMismatch {
+        /// Threads in the trace.
+        trace_threads: usize,
+        /// Threads in the placement map.
+        placed_threads: usize,
+    },
+    /// More processors than the directory supports.
+    TooManyProcessors {
+        /// Processors requested.
+        processors: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// Threads disagree on how many barriers they cross: a global
+    /// barrier with unequal participation would deadlock.
+    BarrierMismatch {
+        /// Barrier count of thread 0.
+        expected: u64,
+        /// The first disagreeing thread.
+        thread: usize,
+        /// Its barrier count.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PlacementMismatch {
+                trace_threads,
+                placed_threads,
+            } => write!(
+                f,
+                "trace has {trace_threads} threads but placement map has {placed_threads}"
+            ),
+            SimError::TooManyProcessors { processors, max } => {
+                write!(f, "{processors} processors exceed the supported maximum of {max}")
+            }
+            SimError::BarrierMismatch {
+                expected,
+                thread,
+                found,
+            } => write!(
+                f,
+                "thread {thread} crosses {found} barriers but thread 0 crosses {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulates `prog` on the machine described by `config`, with threads
+/// placed per `map`. See the module docs for the execution model.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the placement does not match the trace or
+/// exceeds [`MAX_PROCESSORS`] processors.
+pub fn simulate(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+) -> Result<SimStats, SimError> {
+    let (stats, _) = run(prog, map, config, false)?;
+    Ok(stats)
+}
+
+/// Like [`simulate`], but additionally records the pairwise
+/// processor-to-processor coherence traffic matrix: entry `(i, j)` counts
+/// invalidations sent between `i` and `j` plus invalidation misses one of
+/// them caused the other (the paper's §4.2 dynamic measurement).
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_with_traffic(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+) -> Result<(SimStats, SymMatrix<u64>), SimError> {
+    let (stats, traffic) = run(prog, map, config, true)?;
+    Ok((stats, traffic.expect("traffic recording was enabled")))
+}
+
+/// One hardware context: a thread's reference stream plus readiness.
+struct Context<'a> {
+    thread: ThreadId,
+    refs: ThreadTraceIter<'a>,
+    ready_at: u64,
+    done: bool,
+    /// Arrived at a barrier and waiting for the release.
+    waiting: bool,
+}
+
+/// One processor: its contexts and the round-robin cursor.
+struct Processor<'a> {
+    contexts: Vec<Context<'a>>,
+    current: usize,
+    stats: ProcStats,
+}
+
+impl Processor<'_> {
+    /// The next context (cyclically after `current`, inclusive of the
+    /// current context as last resort) ready by `deadline`, or the
+    /// not-done context with the earliest readiness.
+    ///
+    /// Returns `(index, dispatch_time)` or `None` when all contexts are
+    /// done.
+    fn next_context(&self, deadline: u64) -> Option<(usize, u64)> {
+        let n = self.contexts.len();
+        let mut best_later: Option<(u64, usize)> = None;
+        for step in 1..=n {
+            let idx = (self.current + step) % n;
+            let ctx = &self.contexts[idx];
+            if ctx.done || ctx.waiting {
+                continue;
+            }
+            if ctx.ready_at <= deadline {
+                return Some((idx, deadline));
+            }
+            let key = (ctx.ready_at, step);
+            if best_later.map_or(true, |(r, s)| (key.0, key.1) < (r, s)) {
+                best_later = Some((ctx.ready_at, step));
+            }
+        }
+        best_later.map(|(ready, step)| ((self.current + step) % n, ready))
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    record_traffic: bool,
+) -> Result<(SimStats, Option<SymMatrix<u64>>), SimError> {
+    if map.thread_count() != prog.thread_count() {
+        return Err(SimError::PlacementMismatch {
+            trace_threads: prog.thread_count(),
+            placed_threads: map.thread_count(),
+        });
+    }
+    let p = map.processor_count();
+    if p > MAX_PROCESSORS {
+        return Err(SimError::TooManyProcessors {
+            processors: p,
+            max: MAX_PROCESSORS,
+        });
+    }
+
+    // Global barriers require equal participation or they deadlock.
+    let barrier_total = prog
+        .threads()
+        .first()
+        .map(placesim_trace::ThreadTrace::barrier_len)
+        .unwrap_or(0);
+    for (i, thread) in prog.threads().iter().enumerate() {
+        if thread.barrier_len() != barrier_total {
+            return Err(SimError::BarrierMismatch {
+                expected: barrier_total,
+                thread: i,
+                found: thread.barrier_len(),
+            });
+        }
+    }
+    let participants = prog.thread_count() as u64;
+
+    let line_size = config.line_size();
+    let switch_cost = config.context_switch();
+    let latency = config.memory_latency();
+    let occupancy = config.memory_occupancy();
+    // Bandwidth-limited interconnect (0 = the paper's contention-free
+    // multipath network): each fill occupies the memory channel for
+    // `occupancy` cycles, serializing concurrent misses.
+    let mut channel_free_at = 0u64;
+
+    let mut procs: Vec<Processor<'_>> = map
+        .iter()
+        .map(|(_, cluster)| Processor {
+            contexts: cluster
+                .iter()
+                .map(|&tid| Context {
+                    thread: tid,
+                    refs: prog.thread(tid).iter(),
+                    ready_at: 0,
+                    done: prog.thread(tid).is_empty(),
+                    waiting: false,
+                })
+                .collect(),
+            current: 0,
+            stats: ProcStats::default(),
+        })
+        .collect();
+    let mut caches: Vec<ProcessorCache> = (0..p)
+        .map(|_| {
+            ProcessorCache::with_associativity(config.num_sets(), config.associativity() as usize)
+        })
+        .collect();
+    let mut directory = Directory::new();
+    let mut traffic = record_traffic.then(|| SymMatrix::new(p, 0u64));
+    // Barrier bookkeeping: arrivals at the current global barrier, and
+    // processors parked with every context waiting on it.
+    let mut barrier_arrivals = 0u64;
+    let mut parked: Vec<Option<u64>> = vec![None; p]; // Some(park time)
+
+    // Event queue: Reverse((time, processor)). One event = dispatch one
+    // reference of the processor's current context.
+    let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (pi, proc) in procs.iter_mut().enumerate() {
+        // Start on the first not-done context, if any.
+        if let Some((idx, at)) = proc.next_context(0) {
+            proc.current = idx;
+            queue.push(Reverse((at, pi)));
+        } else {
+            // Degenerate: only empty threads (or none). current stays 0.
+            proc.current = 0;
+        }
+    }
+
+    fn record_pair(traffic: &mut Option<SymMatrix<u64>>, a: usize, b: usize) {
+        if let Some(m) = traffic {
+            if a != b {
+                m.add(a, b, 1);
+            }
+        }
+    }
+
+    while let Some(Reverse((t, pi))) = queue.pop() {
+        let me = ProcessorId::from_index(pi);
+        let ctx_idx = procs[pi].current;
+        debug_assert!(!procs[pi].contexts[ctx_idx].done);
+        debug_assert!(procs[pi].contexts[ctx_idx].ready_at <= t);
+
+        let thread = procs[pi].contexts[ctx_idx].thread;
+        let r: MemRef = procs[pi].contexts[ctx_idx]
+            .refs
+            .next()
+            .expect("dispatched context has a next reference");
+        let exhausted = procs[pi].contexts[ctx_idx].refs.len() == 0;
+
+        if r.kind == RefKind::Barrier {
+            procs[pi].stats.busy += 1;
+            procs[pi].stats.barrier_ops += 1;
+            let issue_end = t + 1;
+            procs[pi].stats.finish_time = issue_end;
+            if exhausted {
+                procs[pi].contexts[ctx_idx].done = true;
+            }
+
+            barrier_arrivals += 1;
+            if barrier_arrivals == participants {
+                // Release: every waiting context resumes next cycle, and
+                // parked processors are rescheduled.
+                barrier_arrivals = 0;
+                for qi in 0..p {
+                    let mut woke = false;
+                    for ctx in &mut procs[qi].contexts {
+                        if ctx.waiting {
+                            ctx.waiting = false;
+                            ctx.ready_at = issue_end;
+                            woke = true;
+                        }
+                    }
+                    if woke {
+                        if let Some(park_time) = parked[qi].take() {
+                            if let Some((idx, dispatch)) = procs[qi].next_context(issue_end) {
+                                procs[qi].stats.idle += dispatch - park_time;
+                                procs[qi].current = idx;
+                                queue.push(Reverse((dispatch, qi)));
+                            }
+                        }
+                    }
+                }
+            } else if !exhausted {
+                procs[pi].contexts[ctx_idx].waiting = true;
+            }
+
+            // Barrier waits are synchronization, not pipeline misses: the
+            // switch to another ready context is free.
+            match procs[pi].next_context(issue_end) {
+                Some((idx, dispatch)) => {
+                    if dispatch > issue_end {
+                        procs[pi].stats.idle += dispatch - issue_end;
+                    }
+                    procs[pi].current = idx;
+                    queue.push(Reverse((dispatch, pi)));
+                }
+                None => {
+                    // All contexts done or waiting: park until a release
+                    // (or forever, if everything is done).
+                    let any_waiting = procs[pi].contexts.iter().any(|c| c.waiting);
+                    if any_waiting {
+                        parked[pi] = Some(issue_end);
+                    }
+                }
+            }
+            continue;
+        }
+
+        let line = r.addr.line(line_size).raw();
+        let is_write = r.kind.is_write();
+
+        procs[pi].stats.busy += 1;
+        let issue_end = t + 1;
+
+        let missed = match caches[pi].probe(line, is_write) {
+            AccessOutcome::Hit => {
+                procs[pi].stats.hits += 1;
+                false
+            }
+            AccessOutcome::UpgradeHit => {
+                procs[pi].stats.hits += 1;
+                procs[pi].stats.upgrades += 1;
+                let tx = directory.write_fill(me, line);
+                let had_remote = !tx.invalidate.is_empty();
+                procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
+                for victim in tx.invalidate {
+                    caches[victim.index()].invalidate(line, me);
+                    procs[victim.index()].stats.invalidations_received += 1;
+                    record_pair(&mut traffic, victim.index(), pi);
+                }
+                caches[pi].set_modified(line);
+                config.upgrade_stalls() && had_remote
+            }
+            AccessOutcome::Miss { victim: _ } => {
+                let (kind, source) = caches[pi].miss_provenance(line, thread);
+                procs[pi].stats.misses.record(kind);
+                if kind == MissKind::Invalidation {
+                    if let Some(src) = source {
+                        record_pair(&mut traffic, pi, src.index());
+                    }
+                }
+                let tx = if is_write {
+                    directory.write_fill(me, line)
+                } else {
+                    directory.read_fill(me, line)
+                };
+                procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
+                for victim in tx.invalidate {
+                    caches[victim.index()].invalidate(line, me);
+                    procs[victim.index()].stats.invalidations_received += 1;
+                    record_pair(&mut traffic, victim.index(), pi);
+                }
+                if let Some(owner) = tx.downgrade {
+                    caches[owner.index()].downgrade(line);
+                }
+                let fill_state = if is_write {
+                    LineState::Modified
+                } else {
+                    LineState::Shared
+                };
+                if let Some((vline, _)) = caches[pi].fill(line, fill_state, thread) {
+                    directory.evict(me, vline);
+                }
+                true
+            }
+        };
+
+        let proc = &mut procs[pi];
+        let ctx = &mut proc.contexts[ctx_idx];
+        if exhausted {
+            ctx.done = true;
+        }
+        if missed {
+            let start = if occupancy == 0 {
+                t
+            } else {
+                let start = channel_free_at.max(t);
+                channel_free_at = start + occupancy;
+                start
+            };
+            ctx.ready_at = start + latency;
+        }
+        proc.stats.finish_time = issue_end;
+
+        // Decide what this processor does next.
+        if !missed && !exhausted {
+            // Same context continues next cycle.
+            queue.push(Reverse((issue_end, pi)));
+            continue;
+        }
+
+        // Miss-induced switches pay the drain cost; switching away from a
+        // completed thread is free (one-time event per thread).
+        let (drain_end, drained) = if missed {
+            (issue_end + switch_cost, switch_cost)
+        } else {
+            (issue_end, 0)
+        };
+
+        match proc.next_context(drain_end) {
+            Some((idx, dispatch)) => {
+                proc.stats.switching += drained;
+                if dispatch > drain_end {
+                    proc.stats.idle += dispatch - drain_end;
+                }
+                proc.current = idx;
+                queue.push(Reverse((dispatch, pi)));
+            }
+            None => {
+                // All contexts done: the processor is finished. The drain
+                // after the final miss is not part of useful execution and
+                // is not charged.
+            }
+        }
+    }
+
+    let stats = SimStats::new(procs.into_iter().map(|pr| pr.stats).collect());
+    Ok((stats, traffic))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placesim_trace::{Address, ThreadTrace};
+
+    fn cfg() -> ArchConfig {
+        // Tiny cache: 8 sets of 32 bytes, latency 50, switch 6.
+        ArchConfig::builder()
+            .cache_size(256)
+            .line_size(32)
+            .build()
+            .unwrap()
+    }
+
+    fn single(trace: ThreadTrace) -> (ProgramTrace, PlacementMap) {
+        let prog = ProgramTrace::new("t", vec![trace]);
+        let map = PlacementMap::from_clusters(vec![vec![0]]).unwrap();
+        (prog, map)
+    }
+
+    #[test]
+    fn all_hits_take_one_cycle_each() {
+        // Same line referenced repeatedly: 1 compulsory miss + hits.
+        let tr: ThreadTrace = (0..10).map(|_| MemRef::read(Address::new(0x100))).collect();
+        let (prog, map) = single(tr);
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        let p0 = stats.per_proc()[0];
+        assert_eq!(p0.refs(), 10);
+        assert_eq!(p0.misses.compulsory, 1);
+        assert_eq!(p0.hits, 9);
+        // Timeline: miss at t=0 (busy 1), drain 6, idle until ready at 50,
+        // then 9 hits. finish = 50 + 9 = 59.
+        assert_eq!(p0.busy, 10);
+        assert_eq!(p0.switching, 6);
+        assert_eq!(p0.idle, 50 - 7);
+        assert_eq!(stats.execution_time(), 59);
+        assert_eq!(p0.accounted_cycles(), p0.finish_time);
+    }
+
+    #[test]
+    fn sequential_instr_stream_misses_per_line() {
+        // 16 sequential word fetches cover 2 lines of 32 bytes.
+        let tr: ThreadTrace = (0..16).map(|i| MemRef::instr(Address::new(4 * i))).collect();
+        let (prog, map) = single(tr);
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        assert_eq!(stats.total_misses().compulsory, 2);
+        assert_eq!(stats.total_hits(), 14);
+    }
+
+    #[test]
+    fn conflict_misses_classified_intra_thread() {
+        // Two addresses 256 bytes apart map to the same set (8 sets * 32B).
+        let mut tr = ThreadTrace::new();
+        for _ in 0..3 {
+            tr.push(MemRef::read(Address::new(0x0)));
+            tr.push(MemRef::read(Address::new(0x100)));
+        }
+        let (prog, map) = single(tr);
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        let m = stats.total_misses();
+        assert_eq!(m.compulsory, 2);
+        assert_eq!(m.intra_thread_conflict, 4);
+        assert_eq!(m.inter_thread_conflict, 0);
+        assert_eq!(m.invalidation, 0);
+    }
+
+    #[test]
+    fn inter_thread_conflicts_on_shared_processor() {
+        // Two threads on one processor, alternating ownership of a set.
+        let t0: ThreadTrace = (0..4).map(|_| MemRef::read(Address::new(0x0))).collect();
+        let t1: ThreadTrace = (0..4).map(|_| MemRef::read(Address::new(0x100))).collect();
+        let prog = ProgramTrace::new("t", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0, 1]]).unwrap();
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        let m = stats.total_misses();
+        assert_eq!(m.compulsory, 2);
+        assert!(m.inter_thread_conflict > 0, "{m:?}");
+        assert_eq!(m.intra_thread_conflict, 0);
+    }
+
+    #[test]
+    fn invalidation_misses_across_processors() {
+        // T0 reads X, T1 writes X, T0 rereads X → invalidation miss at P0.
+        // Interleaving: both threads also execute spacer instructions so
+        // the write lands between T0's two reads.
+        let mut t0 = ThreadTrace::new();
+        t0.push(MemRef::read(Address::new(0x1000)));
+        for i in 0..200 {
+            t0.push(MemRef::instr(Address::new(4 * i)));
+        }
+        t0.push(MemRef::read(Address::new(0x1000)));
+
+        let mut t1 = ThreadTrace::new();
+        t1.push(MemRef::write(Address::new(0x1000)));
+
+        let prog = ProgramTrace::new("t", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        let m = stats.total_misses();
+        assert_eq!(m.invalidation, 1, "{m:?}");
+        assert_eq!(stats.per_proc()[1].invalidations_sent, 1);
+        assert_eq!(stats.per_proc()[0].invalidations_received, 1);
+        assert_eq!(stats.coherence_traffic(), 2);
+    }
+
+    #[test]
+    fn upgrade_write_counts_and_invalidates() {
+        // T0 and T1 both read X, then T0 writes X (upgrade).
+        let mut t0 = ThreadTrace::new();
+        t0.push(MemRef::read(Address::new(0x1000)));
+        for i in 0..200 {
+            t0.push(MemRef::instr(Address::new(4 * i)));
+        }
+        t0.push(MemRef::write(Address::new(0x1000)));
+
+        let mut t1 = ThreadTrace::new();
+        t1.push(MemRef::read(Address::new(0x1000)));
+
+        let prog = ProgramTrace::new("t", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        // Large cache so the instruction stream cannot evict X between
+        // the read and the upgrade write.
+        let big = ArchConfig::builder().cache_size(1 << 20).build().unwrap();
+        let stats = simulate(&prog, &map, &big).unwrap();
+        assert_eq!(stats.per_proc()[0].upgrades, 1);
+        assert_eq!(stats.per_proc()[0].invalidations_sent, 1);
+        assert_eq!(stats.per_proc()[1].invalidations_received, 1);
+    }
+
+    #[test]
+    fn multithreading_hides_latency() {
+        // One long thread alone vs. two threads with disjoint misses on
+        // one processor: the pair overlaps latency, so two threads on one
+        // processor finish in far less than 2x the solo time.
+        let mk = |base: u64| -> ThreadTrace {
+            (0..20)
+                .map(|i| MemRef::read(Address::new(base + 0x1000 * i)))
+                .collect()
+        };
+        let solo_prog = ProgramTrace::new("solo", vec![mk(0)]);
+        let solo_map = PlacementMap::from_clusters(vec![vec![0]]).unwrap();
+        let big = ArchConfig::builder()
+            .cache_size(1 << 20)
+            .build()
+            .unwrap();
+        let solo = simulate(&solo_prog, &solo_map, &big).unwrap();
+
+        let duo_prog = ProgramTrace::new("duo", vec![mk(0), mk(0x100_0000)]);
+        let duo_map = PlacementMap::from_clusters(vec![vec![0, 1]]).unwrap();
+        let duo = simulate(&duo_prog, &duo_map, &big).unwrap();
+
+        assert!(
+            duo.execution_time() < 2 * solo.execution_time() * 3 / 4,
+            "duo {} vs solo {}",
+            duo.execution_time(),
+            solo.execution_time()
+        );
+    }
+
+    #[test]
+    fn cycle_conservation_per_processor() {
+        let t0: ThreadTrace = (0..50)
+            .map(|i| MemRef::read(Address::new(0x40 * (i % 13))))
+            .collect();
+        let t1: ThreadTrace = (0..30)
+            .map(|i| MemRef::write(Address::new(0x40 * (i % 7))))
+            .collect();
+        let t2: ThreadTrace = (0..70).map(|i| MemRef::instr(Address::new(4 * i))).collect();
+        let prog = ProgramTrace::new("t", vec![t0, t1, t2]);
+        let map = PlacementMap::from_clusters(vec![vec![0, 1], vec![2]]).unwrap();
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        for (i, p) in stats.per_proc().iter().enumerate() {
+            assert_eq!(
+                p.accounted_cycles(),
+                p.finish_time,
+                "processor {i}: busy {} + switch {} + idle {} != finish {}",
+                p.busy,
+                p.switching,
+                p.idle,
+                p.finish_time
+            );
+        }
+        assert_eq!(stats.total_refs(), 150);
+    }
+
+    #[test]
+    fn traffic_matrix_symmetry_and_content() {
+        let mut t0 = ThreadTrace::new();
+        t0.push(MemRef::read(Address::new(0x1000)));
+        for i in 0..100 {
+            t0.push(MemRef::instr(Address::new(4 * i)));
+        }
+        t0.push(MemRef::read(Address::new(0x1000)));
+        let mut t1 = ThreadTrace::new();
+        t1.push(MemRef::write(Address::new(0x1000)));
+        let prog = ProgramTrace::new("t", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        let (stats, traffic) = simulate_with_traffic(&prog, &map, &cfg()).unwrap();
+        // One invalidation (P1→P0) + one invalidation miss at P0 = 2.
+        assert_eq!(traffic.get(0, 1), 2);
+        assert_eq!(stats.coherence_traffic(), 2);
+    }
+
+    #[test]
+    fn placement_mismatch_rejected() {
+        let prog = ProgramTrace::new("t", vec![ThreadTrace::new()]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        assert!(matches!(
+            simulate(&prog, &map, &cfg()),
+            Err(SimError::PlacementMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_threads_finish_instantly() {
+        let prog = ProgramTrace::new("t", vec![ThreadTrace::new(), ThreadTrace::new()]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        assert_eq!(stats.execution_time(), 0);
+        assert_eq!(stats.total_refs(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t0: ThreadTrace = (0..60)
+            .map(|i| MemRef::read(Address::new(0x20 * (i % 17))))
+            .collect();
+        let t1: ThreadTrace = (0..60)
+            .map(|i| MemRef::write(Address::new(0x20 * (i % 11))))
+            .collect();
+        let prog = ProgramTrace::new("t", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        let a = simulate(&prog, &map, &cfg()).unwrap();
+        let b = simulate(&prog, &map, &cfg()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infinite_cache_eliminates_conflicts() {
+        let t0: ThreadTrace = (0..100)
+            .map(|i| MemRef::read(Address::new(0x40 * (i % 37))))
+            .collect();
+        let prog = ProgramTrace::new("t", vec![t0]);
+        let map = PlacementMap::from_clusters(vec![vec![0]]).unwrap();
+        let stats = simulate(&prog, &map, &ArchConfig::infinite_cache()).unwrap();
+        let m = stats.total_misses();
+        assert_eq!(m.conflicts(), 0);
+        assert_eq!(m.compulsory, 37);
+    }
+}
+
+#[cfg(test)]
+mod contention_tests {
+    use super::*;
+    use placesim_trace::{Address, ThreadTrace};
+
+    /// Many processors missing simultaneously: a bandwidth-limited
+    /// channel must stretch execution, a contention-free one must not.
+    #[test]
+    fn memory_occupancy_serializes_concurrent_misses() {
+        // 8 single-thread processors, each missing on every reference
+        // (distinct lines, no reuse).
+        let mk = |base: u64| -> ThreadTrace {
+            (0..40)
+                .map(|i| MemRef::read(Address::new(base + 0x1000 * i)))
+                .collect()
+        };
+        let prog = ProgramTrace::new(
+            "missy",
+            (0..8u64).map(|t| mk(t * 0x100_0000)).collect(),
+        );
+        let map = PlacementMap::from_clusters((0..8).map(|i| vec![i]).collect()).unwrap();
+
+        let free = ArchConfig::builder().cache_size(1 << 20).build().unwrap();
+        let tight = ArchConfig::builder()
+            .cache_size(1 << 20)
+            .memory_occupancy(10)
+            .build()
+            .unwrap();
+
+        let a = simulate(&prog, &map, &free).unwrap();
+        let b = simulate(&prog, &map, &tight).unwrap();
+        assert!(
+            b.execution_time() > a.execution_time() * 3 / 2,
+            "contended {} should be well above free {}",
+            b.execution_time(),
+            a.execution_time()
+        );
+        // Miss classification is orthogonal to timing.
+        assert_eq!(a.total_misses(), b.total_misses());
+    }
+
+    /// Occupancy 0 must match the default path bit-for-bit.
+    #[test]
+    fn zero_occupancy_is_identity() {
+        let tr: ThreadTrace = (0..60)
+            .map(|i| MemRef::write(Address::new(0x40 * (i % 23))))
+            .collect();
+        let prog = ProgramTrace::new("t", vec![tr]);
+        let map = PlacementMap::from_clusters(vec![vec![0]]).unwrap();
+        let base = ArchConfig::paper_default();
+        let zero = ArchConfig::builder().memory_occupancy(0).build().unwrap();
+        assert_eq!(
+            simulate(&prog, &map, &base).unwrap(),
+            simulate(&prog, &map, &zero).unwrap()
+        );
+    }
+}
+
+#[cfg(test)]
+mod upgrade_tests {
+    use super::*;
+    use placesim_trace::{Address, ThreadTrace};
+
+    /// With `upgrade_stalls`, a write hit that must invalidate a remote
+    /// sharer costs the writer the memory latency; without it, the write
+    /// completes in one cycle. Coherence events are identical either way.
+    #[test]
+    fn upgrade_stall_costs_latency_only() {
+        // T0: read X, long spacer, write X (upgrade), more spacers.
+        let mut t0 = ThreadTrace::new();
+        t0.push(MemRef::read(Address::new(0x8000)));
+        for i in 0..300 {
+            t0.push(MemRef::instr(Address::new(4 * i)));
+        }
+        t0.push(MemRef::write(Address::new(0x8000)));
+        for i in 0..300 {
+            t0.push(MemRef::instr(Address::new(4 * i)));
+        }
+        // T1 reads X early so the write is a real upgrade.
+        let t1: ThreadTrace = [MemRef::read(Address::new(0x8000))].into_iter().collect();
+
+        let prog = ProgramTrace::new("up", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        let big = |stall: bool| {
+            ArchConfig::builder()
+                .cache_size(1 << 20)
+                .upgrade_stalls(stall)
+                .build()
+                .unwrap()
+        };
+
+        let fast = simulate(&prog, &map, &big(false)).unwrap();
+        let slow = simulate(&prog, &map, &big(true)).unwrap();
+
+        assert_eq!(fast.per_proc()[0].upgrades, 1);
+        assert_eq!(slow.per_proc()[0].upgrades, 1);
+        assert_eq!(fast.total_invalidations(), slow.total_invalidations());
+        assert_eq!(fast.total_misses(), slow.total_misses());
+        // The stalled run pays the latency (minus what the switch would
+        // have cost anyway) exactly once.
+        let delta = slow.execution_time() - fast.execution_time();
+        assert!(
+            delta >= 40 && delta <= 60,
+            "stall delta {delta} should be about one memory latency"
+        );
+    }
+
+    /// An upgrade with no remote sharers never stalls, even with the
+    /// knob on.
+    #[test]
+    fn solo_upgrade_never_stalls() {
+        let mut t0 = ThreadTrace::new();
+        t0.push(MemRef::read(Address::new(0x8000)));
+        t0.push(MemRef::write(Address::new(0x8000)));
+        let prog = ProgramTrace::new("solo", vec![t0]);
+        let map = PlacementMap::from_clusters(vec![vec![0]]).unwrap();
+        let cfg = ArchConfig::builder()
+            .cache_size(1 << 20)
+            .upgrade_stalls(true)
+            .build()
+            .unwrap();
+        let stats = simulate(&prog, &map, &cfg).unwrap();
+        // Read miss at t=0 (ready t=50), write upgrade hit at t=50,
+        // finish t=51.
+        assert_eq!(stats.execution_time(), 51);
+        assert_eq!(stats.per_proc()[0].upgrades, 1);
+        assert_eq!(stats.per_proc()[0].invalidations_sent, 0);
+    }
+}
+
+#[cfg(test)]
+mod barrier_tests {
+    use super::*;
+    use placesim_trace::{Address, ThreadTrace};
+
+    fn big_cache() -> ArchConfig {
+        ArchConfig::builder().cache_size(1 << 20).build().unwrap()
+    }
+
+    /// A fast thread must wait at the barrier for a slow one on another
+    /// processor.
+    #[test]
+    fn barrier_synchronizes_across_processors() {
+        let mut fast = ThreadTrace::new();
+        for i in 0..10 {
+            fast.push(MemRef::instr(Address::new(4 * i)));
+        }
+        fast.push(MemRef::barrier(0));
+        for i in 0..5 {
+            fast.push(MemRef::instr(Address::new(4 * i)));
+        }
+
+        let mut slow = ThreadTrace::new();
+        for i in 0..500 {
+            slow.push(MemRef::instr(Address::new(4 * i)));
+        }
+        slow.push(MemRef::barrier(0));
+        for i in 0..5 {
+            slow.push(MemRef::instr(Address::new(4 * i)));
+        }
+
+        let prog = ProgramTrace::new("sync", vec![fast, slow]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        let stats = simulate(&prog, &map, &big_cache()).unwrap();
+
+        // The fast thread's processor finishes only after the slow
+        // thread reaches the barrier (~500+ cycles), despite having only
+        // 16 references of its own.
+        let p0 = stats.per_proc()[0];
+        assert!(p0.finish_time > 450, "fast proc finish {}", p0.finish_time);
+        assert!(p0.idle > 400, "fast proc must idle at the barrier: {}", p0.idle);
+        assert_eq!(p0.barrier_ops, 1);
+        assert_eq!(p0.accounted_cycles(), p0.finish_time);
+        assert_eq!(stats.total_refs(), prog.total_refs());
+    }
+
+    /// Two co-resident threads can satisfy a barrier via context
+    /// switching on one processor.
+    #[test]
+    fn barrier_on_one_processor_does_not_deadlock() {
+        let mk = |n: u64| -> ThreadTrace {
+            let mut t = ThreadTrace::new();
+            for i in 0..n {
+                t.push(MemRef::instr(Address::new(4 * i)));
+            }
+            t.push(MemRef::barrier(0));
+            t.push(MemRef::instr(Address::new(0)));
+            t
+        };
+        let prog = ProgramTrace::new("local", vec![mk(10), mk(30)]);
+        let map = PlacementMap::from_clusters(vec![vec![0, 1]]).unwrap();
+        let stats = simulate(&prog, &map, &big_cache()).unwrap();
+        assert_eq!(stats.total_refs(), prog.total_refs());
+        let p0 = stats.per_proc()[0];
+        assert_eq!(p0.barrier_ops, 2);
+        assert_eq!(p0.accounted_cycles(), p0.finish_time);
+    }
+
+    /// Multiple barrier phases execute in order.
+    #[test]
+    fn multiple_phases() {
+        let mk = |work: u64| -> ThreadTrace {
+            let mut t = ThreadTrace::new();
+            for phase in 0..3u64 {
+                for i in 0..work {
+                    t.push(MemRef::instr(Address::new(4 * i)));
+                }
+                t.push(MemRef::barrier(phase));
+            }
+            t
+        };
+        let prog = ProgramTrace::new("phases", vec![mk(20), mk(40), mk(60)]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1], vec![2]]).unwrap();
+        let stats = simulate(&prog, &map, &big_cache()).unwrap();
+        // Makespan is governed by the slowest thread per phase: at least
+        // 3 * 60 instructions.
+        assert!(stats.execution_time() >= 3 * 60);
+        for p in stats.per_proc() {
+            assert_eq!(p.barrier_ops, 3);
+            assert_eq!(p.accounted_cycles(), p.finish_time);
+        }
+    }
+
+    /// Unequal barrier counts are rejected up front.
+    #[test]
+    fn mismatched_barrier_counts_rejected() {
+        let mut t0 = ThreadTrace::new();
+        t0.push(MemRef::barrier(0));
+        let t1: ThreadTrace = [MemRef::instr(Address::new(0))].into_iter().collect();
+        let prog = ProgramTrace::new("bad", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        assert!(matches!(
+            simulate(&prog, &map, &big_cache()),
+            Err(SimError::BarrierMismatch {
+                expected: 1,
+                thread: 1,
+                found: 0
+            })
+        ));
+    }
+
+    /// A thread ending exactly at its final barrier still releases
+    /// everyone else.
+    #[test]
+    fn thread_ending_at_barrier_releases_peers() {
+        let mut ends_at_barrier = ThreadTrace::new();
+        ends_at_barrier.push(MemRef::instr(Address::new(0)));
+        ends_at_barrier.push(MemRef::barrier(0));
+
+        let mut continues = ThreadTrace::new();
+        continues.push(MemRef::barrier(0));
+        for i in 0..10 {
+            continues.push(MemRef::instr(Address::new(4 * i)));
+        }
+
+        let prog = ProgramTrace::new("tail", vec![ends_at_barrier, continues]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        let stats = simulate(&prog, &map, &big_cache()).unwrap();
+        assert_eq!(stats.total_refs(), prog.total_refs());
+        assert!(stats.per_proc()[1].finish_time >= 12);
+    }
+
+    /// Barrier waits interact correctly with cache misses: a waiting
+    /// context neither executes nor blocks its co-resident contexts.
+    #[test]
+    fn waiting_context_lets_others_run() {
+        let mut waits_early = ThreadTrace::new();
+        waits_early.push(MemRef::barrier(0));
+        waits_early.push(MemRef::read(Address::new(0x9000)));
+
+        let mut works = ThreadTrace::new();
+        for i in 0..50 {
+            works.push(MemRef::read(Address::new(0x1000 + 0x40 * i)));
+        }
+        works.push(MemRef::barrier(0));
+
+        let prog = ProgramTrace::new("mix", vec![waits_early, works]);
+        let map = PlacementMap::from_clusters(vec![vec![0, 1]]).unwrap();
+        let stats = simulate(&prog, &map, &big_cache()).unwrap();
+        let p0 = stats.per_proc()[0];
+        assert_eq!(stats.total_refs(), prog.total_refs());
+        assert_eq!(p0.barrier_ops, 2);
+        // The working thread's 50 misses dominate; the waiting context
+        // must not add idle beyond what the misses force.
+        assert_eq!(p0.accounted_cycles(), p0.finish_time);
+    }
+}

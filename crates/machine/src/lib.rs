@@ -1,0 +1,50 @@
+//! Event-driven simulator of a multithreaded shared-memory multiprocessor.
+//!
+//! This is the machine of Thekkath & Eggers (ISCA 1994) §3.2: processors
+//! with multiple hardware contexts and a round-robin switch-on-miss
+//! policy, per-processor direct-mapped caches, a full-map directory-based
+//! write-invalidate coherence protocol, and a contention-free
+//! interconnect modeled as a fixed memory latency. The simulator is
+//! trace-driven: it consumes a [`placesim_trace::ProgramTrace`] and a
+//! [`placesim_placement::PlacementMap`] and produces cycle and miss
+//! statistics ([`SimStats`]).
+//!
+//! Cache misses are classified exactly as the paper requires
+//! ([`MissKind`]): compulsory, intra-thread conflict, inter-thread
+//! conflict, and invalidation misses.
+//!
+//! # Example
+//!
+//! ```
+//! use placesim_trace::{Address, MemRef, ProgramTrace, ThreadTrace};
+//! use placesim_placement::PlacementMap;
+//! use placesim_machine::{ArchConfig, simulate};
+//!
+//! let t0: ThreadTrace = (0..100).map(|i| MemRef::instr(Address::new(4 * i))).collect();
+//! let t1: ThreadTrace = (0..50).map(|i| MemRef::instr(Address::new(0x8000 + 4 * i))).collect();
+//! let prog = ProgramTrace::new("two-threads", vec![t0, t1]);
+//! let map = PlacementMap::from_clusters(vec![vec![0], vec![1]])?;
+//!
+//! let stats = simulate(&prog, &map, &ArchConfig::paper_default())?;
+//! assert!(stats.execution_time() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod directory;
+mod engine;
+pub mod model;
+pub mod probe;
+mod stats;
+
+pub use cache::{AccessOutcome, GoneReason, LineState, ProcessorCache};
+pub use config::{ArchConfig, ArchConfigBuilder, ConfigError};
+pub use directory::{Directory, SharerSet, MAX_PROCESSORS};
+pub use engine::{simulate, simulate_with_traffic, SimError};
+pub use model::{simulated_efficiency, EfficiencyModel};
+pub use probe::{probe_coherence, ProbeResult};
+pub use stats::{MissBreakdown, MissKind, ProcStats, SimStats};

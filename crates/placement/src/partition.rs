@@ -1,0 +1,235 @@
+//! Cluster partitions and the thread-balance constraint.
+
+use serde::{Deserialize, Serialize};
+
+/// The thread-balance shape for `t` threads on `p` processors: final
+/// cluster sizes must be ⌊t/p⌋ or ⌈t/p⌉, with exactly `t mod p` clusters
+/// of the larger size (paper §2: "each cluster must have t/p threads if p
+/// divides evenly into t; otherwise some processors will have ⌊t/p⌋
+/// threads and others ⌈t/p⌉").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BalanceSpec {
+    threads: usize,
+    processors: usize,
+}
+
+impl BalanceSpec {
+    /// Creates the spec. `processors` may not exceed `threads` (callers
+    /// validate; this type only describes the shape).
+    pub fn new(threads: usize, processors: usize) -> Self {
+        BalanceSpec {
+            threads,
+            processors,
+        }
+    }
+
+    /// ⌊t/p⌋.
+    pub fn floor_size(&self) -> usize {
+        self.threads / self.processors.max(1)
+    }
+
+    /// ⌈t/p⌉ — also the maximum legal cluster size.
+    pub fn ceil_size(&self) -> usize {
+        self.threads.div_ceil(self.processors.max(1))
+    }
+
+    /// Number of clusters that must have the ⌈t/p⌉ size (0 when `p | t`).
+    pub fn big_clusters(&self) -> usize {
+        if self.floor_size() == self.ceil_size() {
+            0
+        } else {
+            self.threads % self.processors
+        }
+    }
+
+    /// Target processor count.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Whether a combine producing `new_size`, in a partition currently
+    /// holding `big_count` clusters of the ceiling size, keeps a balanced
+    /// completion possible.
+    ///
+    /// Necessary conditions: the new cluster fits under the ceiling, and
+    /// — when sizes are uneven — the count of ceiling-sized clusters never
+    /// exceeds `t mod p`. (Sufficiency is restored by the engine's
+    /// backtracking.)
+    pub fn combine_allowed(&self, new_size: usize, big_count_after: usize) -> bool {
+        let ceil = self.ceil_size();
+        if new_size > ceil {
+            return false;
+        }
+        if self.floor_size() != ceil && new_size == ceil && big_count_after > self.big_clusters() {
+            return false;
+        }
+        true
+    }
+}
+
+/// A working partition of threads into clusters during cluster combining.
+///
+/// Clusters are lists of thread indices. Combining removes the
+/// higher-indexed cluster and appends its members to the lower-indexed
+/// one, so an undo log of `(kept, merged_members)` supports the engine's
+/// backtracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    clusters: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// The initial partition: each of `t` threads in its own cluster.
+    pub fn singletons(t: usize) -> Self {
+        Partition {
+            clusters: (0..t).map(|i| vec![i]).collect(),
+        }
+    }
+
+    /// Builds a partition from explicit clusters (used in tests).
+    pub fn from_clusters(clusters: Vec<Vec<usize>>) -> Self {
+        Partition { clusters }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` if there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Members of cluster `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cluster(&self, i: usize) -> &[usize] {
+        &self.clusters[i]
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// Number of clusters whose size equals `size`.
+    pub fn count_of_size(&self, size: usize) -> usize {
+        self.clusters.iter().filter(|c| c.len() == size).count()
+    }
+
+    /// Combines clusters `a` and `b` (`a != b`), keeping the smaller
+    /// index. Returns an undo token for [`Partition::undo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn combine(&mut self, a: usize, b: usize) -> UndoToken {
+        assert!(a != b, "cannot combine a cluster with itself");
+        let (keep, remove) = if a < b { (a, b) } else { (b, a) };
+        let moved = self.clusters.remove(remove);
+        let moved_len = moved.len();
+        self.clusters[keep].extend(moved);
+        UndoToken {
+            keep,
+            removed_at: remove,
+            moved_len,
+        }
+    }
+
+    /// Reverts the most recent [`Partition::combine`] described by `token`.
+    ///
+    /// Tokens must be undone in LIFO order.
+    pub fn undo(&mut self, token: UndoToken) {
+        let keep_cluster = &mut self.clusters[token.keep];
+        let split = keep_cluster.len() - token.moved_len;
+        let moved: Vec<usize> = keep_cluster.split_off(split);
+        self.clusters.insert(token.removed_at, moved);
+    }
+
+    /// Consumes the partition, returning its clusters.
+    pub fn into_clusters(self) -> Vec<Vec<usize>> {
+        self.clusters
+    }
+}
+
+/// Undo record for one combine step (LIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndoToken {
+    keep: usize,
+    removed_at: usize,
+    moved_len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_spec_even() {
+        let s = BalanceSpec::new(8, 4);
+        assert_eq!(s.floor_size(), 2);
+        assert_eq!(s.ceil_size(), 2);
+        assert_eq!(s.big_clusters(), 0);
+        assert!(s.combine_allowed(2, 99)); // big count irrelevant when even
+        assert!(!s.combine_allowed(3, 0));
+    }
+
+    #[test]
+    fn balance_spec_uneven() {
+        let s = BalanceSpec::new(5, 2);
+        assert_eq!(s.floor_size(), 2);
+        assert_eq!(s.ceil_size(), 3);
+        assert_eq!(s.big_clusters(), 1);
+        assert!(s.combine_allowed(3, 1));
+        assert!(!s.combine_allowed(3, 2)); // a second ceil-sized cluster
+        assert!(!s.combine_allowed(4, 1));
+    }
+
+    #[test]
+    fn combine_and_undo_roundtrip() {
+        let mut p = Partition::singletons(4);
+        let before = p.clone();
+        let tok = p.combine(1, 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.cluster(1), &[1, 3]);
+        p.undo(tok);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn combine_keeps_lower_index() {
+        let mut p = Partition::singletons(3);
+        p.combine(2, 0);
+        assert_eq!(p.cluster(0), &[0, 2]);
+        assert_eq!(p.cluster(1), &[1]);
+    }
+
+    #[test]
+    fn nested_undo_lifo() {
+        let mut p = Partition::singletons(5);
+        let before = p.clone();
+        let t1 = p.combine(0, 1);
+        let t2 = p.combine(0, 2); // cluster 2 is thread 3 after first merge
+        p.undo(t2);
+        p.undo(t1);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn count_of_size() {
+        let p = Partition::from_clusters(vec![vec![0, 1], vec![2], vec![3, 4]]);
+        assert_eq!(p.count_of_size(2), 2);
+        assert_eq!(p.count_of_size(1), 1);
+        assert_eq!(p.count_of_size(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn self_combine_panics() {
+        let mut p = Partition::singletons(2);
+        p.combine(1, 1);
+    }
+}

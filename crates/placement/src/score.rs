@@ -1,0 +1,99 @@
+//! Lexicographic cluster-combining scores.
+
+use std::cmp::Ordering;
+
+/// A two-level lexicographic score for a candidate cluster combination.
+///
+/// Higher scores combine first. The secondary component breaks primary
+/// ties (e.g. SHARE-ADDR prefers, among pairs with equal shared
+/// references, the pair with the denser shared working set).
+///
+/// Scores must be finite; constructing a NaN or infinite score panics so
+/// ordering stays total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    primary: f64,
+    secondary: f64,
+}
+
+impl Score {
+    /// A score with no secondary component.
+    pub fn primary(primary: f64) -> Self {
+        Self::new(primary, 0.0)
+    }
+
+    /// Creates a lexicographic score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is NaN or infinite.
+    pub fn new(primary: f64, secondary: f64) -> Self {
+        assert!(primary.is_finite(), "score primary must be finite, got {primary}");
+        assert!(secondary.is_finite(), "score secondary must be finite, got {secondary}");
+        Score { primary, secondary }
+    }
+
+    /// The primary component.
+    pub fn primary_value(&self) -> f64 {
+        self.primary
+    }
+
+    /// The secondary (tie-break) component.
+    pub fn secondary_value(&self) -> f64 {
+        self.secondary
+    }
+}
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite floats admit a total order via partial_cmp.
+        self.primary
+            .partial_cmp(&other.primary)
+            .expect("scores are finite")
+            .then_with(|| {
+                self.secondary
+                    .partial_cmp(&other.secondary)
+                    .expect("scores are finite")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        assert!(Score::new(2.0, 0.0) > Score::new(1.0, 99.0));
+        assert!(Score::new(1.0, 2.0) > Score::new(1.0, 1.0));
+        assert_eq!(Score::new(1.0, 1.0), Score::new(1.0, 1.0));
+        assert!(Score::primary(-1.0) < Score::primary(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_panics() {
+        let _ = Score::primary(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_panics() {
+        let _ = Score::new(0.0, f64::INFINITY);
+    }
+
+    #[test]
+    fn sortable() {
+        let mut v = vec![Score::primary(3.0), Score::primary(1.0), Score::primary(2.0)];
+        v.sort();
+        assert_eq!(v, vec![Score::primary(1.0), Score::primary(2.0), Score::primary(3.0)]);
+    }
+}

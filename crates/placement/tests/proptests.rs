@@ -1,0 +1,156 @@
+//! Property-based tests: every algorithm always yields a valid placement.
+
+use placesim_analysis::{SharingAnalysis, SymMatrix};
+use placesim_placement::{PlacementAlgorithm, PlacementInputs};
+use placesim_trace::{Address, MemRef, ProgramTrace, ThreadId, ThreadTrace};
+use proptest::prelude::*;
+
+/// A random small program: up to 12 threads, each touching a random
+/// subset of 16 shared addresses and some private ones.
+fn arb_program() -> impl Strategy<Value = ProgramTrace> {
+    let thread = proptest::collection::vec((0u64..16, 0u8..3, 1u32..6), 1..24);
+    proptest::collection::vec(thread, 2..12).prop_map(|threads| {
+        let traces: Vec<ThreadTrace> = threads
+            .into_iter()
+            .enumerate()
+            .map(|(tid, accesses)| {
+                let mut t = ThreadTrace::new();
+                // Some instructions so thread lengths are non-zero and varied.
+                for i in 0..(tid + 1) * 3 {
+                    t.push(MemRef::instr(Address::new(4 * i as u64)));
+                }
+                for (slot, kind, reps) in accesses {
+                    let addr = Address::new(0x1000 + slot * 8);
+                    for _ in 0..reps {
+                        let r = match kind {
+                            0 => MemRef::read(addr),
+                            1 => MemRef::write(addr),
+                            // Private address, unique per thread.
+                            _ => MemRef::read(Address::new(
+                                0x10_0000 + tid as u64 * 0x1000 + slot * 8,
+                            )),
+                        };
+                        t.push(r);
+                    }
+                }
+                t
+            })
+            .collect();
+        ProgramTrace::new("prop", traces)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_algorithm_yields_valid_placement(
+        prog in arb_program(),
+        p_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let t = prog.thread_count();
+        let p = 1 + ((t - 1) as f64 * p_frac) as usize;
+        let sharing = SharingAnalysis::measure(&prog);
+        let lengths = placesim_placement::thread_lengths(&prog);
+        let mut traffic = SymMatrix::new(t, 0u64);
+        if t >= 2 {
+            traffic.set(0, 1, seed % 17);
+        }
+        let inputs = PlacementInputs::new(&sharing, &lengths)
+            .with_seed(seed)
+            .with_traffic(&traffic);
+
+        for algo in PlacementAlgorithm::ALL {
+            let map = algo.place(&inputs, p).unwrap();
+            // Every thread placed exactly once.
+            prop_assert_eq!(map.thread_count(), t);
+            prop_assert_eq!(map.processor_count(), p);
+            let mut seen = vec![false; t];
+            for (proc, cluster) in map.iter() {
+                for &tid in cluster {
+                    prop_assert!(!seen[tid.index()], "{} placed twice", tid);
+                    seen[tid.index()] = true;
+                    prop_assert_eq!(map.processor_of(tid), proc);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "all threads placed");
+
+            // Cluster-combining algorithms and RANDOM are thread-balanced;
+            // LOAD-BAL balances instructions instead.
+            if algo != PlacementAlgorithm::LoadBal {
+                prop_assert!(
+                    map.is_thread_balanced(),
+                    "{} not thread balanced: {}",
+                    algo,
+                    map
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_bal_is_at_least_as_balanced_as_worst_random(
+        prog in arb_program(),
+        seed in 0u64..1000,
+    ) {
+        let t = prog.thread_count();
+        let p = (t / 2).max(1);
+        let sharing = SharingAnalysis::measure(&prog);
+        let lengths = placesim_placement::thread_lengths(&prog);
+        let inputs = PlacementInputs::new(&sharing, &lengths).with_seed(seed);
+
+        let lb = PlacementAlgorithm::LoadBal.place(&inputs, p).unwrap();
+        let rand = PlacementAlgorithm::Random.place(&inputs, p).unwrap();
+        // LPT's makespan is provably within 4/3 of optimal; in particular
+        // it never exceeds the random placement's makespan.
+        let lb_max = lb.loads(&lengths).into_iter().max().unwrap_or(0);
+        let r_max = rand.loads(&lengths).into_iter().max().unwrap_or(0);
+        prop_assert!(lb_max <= r_max, "LPT {lb_max} worse than random {r_max}");
+    }
+
+    #[test]
+    fn placement_is_deterministic(prog in arb_program(), seed in 0u64..100) {
+        let t = prog.thread_count();
+        let sharing = SharingAnalysis::measure(&prog);
+        let lengths = placesim_placement::thread_lengths(&prog);
+        let inputs = PlacementInputs::new(&sharing, &lengths).with_seed(seed);
+        let p = (t / 2).max(1);
+        for algo in PlacementAlgorithm::STATIC {
+            let a = algo.place(&inputs, p).unwrap();
+            let b = algo.place(&inputs, p).unwrap();
+            prop_assert_eq!(a, b, "{} not deterministic", algo);
+        }
+    }
+
+    #[test]
+    fn share_refs_maximal_pairs_cohabit(seed in 0u64..500) {
+        // Build a sharing matrix with one dominant pair; SHARE-REFS must
+        // co-locate that pair when p = t/2 makes it feasible.
+        let t = 6usize;
+        let hot_a = (seed as usize) % t;
+        let hot_b = (hot_a + 1 + (seed as usize / t) % (t - 1)) % t;
+        let mut traces = Vec::new();
+        for i in 0..t {
+            let mut tr = ThreadTrace::new();
+            tr.push(MemRef::instr(Address::new(0)));
+            if i == hot_a || i == hot_b {
+                for _ in 0..50 {
+                    tr.push(MemRef::read(Address::new(0xBEEF)));
+                }
+            } else {
+                tr.push(MemRef::read(Address::new(0x2000 + i as u64)));
+            }
+            traces.push(tr);
+        }
+        let prog = ProgramTrace::new("hot-pair", traces);
+        let sharing = SharingAnalysis::measure(&prog);
+        let lengths = placesim_placement::thread_lengths(&prog);
+        let inputs = PlacementInputs::new(&sharing, &lengths);
+        let map = PlacementAlgorithm::ShareRefs.place(&inputs, 3).unwrap();
+        prop_assert_eq!(
+            map.processor_of(ThreadId::from_index(hot_a)),
+            map.processor_of(ThreadId::from_index(hot_b))
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for trace construction and (de)serialization.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced when reading, writing or validating traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The byte stream is not a valid trace file.
+    Format {
+        /// Human-readable description of the malformation.
+        reason: String,
+    },
+    /// The file was written by an unsupported format version.
+    Version {
+        /// The version found in the file header.
+        found: u32,
+        /// The version this library writes and reads.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Format { reason } => write!(f, "malformed trace: {reason}"),
+            TraceError::Version { found, supported } => write!(
+                f,
+                "unsupported trace format version {found} (supported: {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_messages() {
+        let e = TraceError::Format {
+            reason: "bad magic".into(),
+        };
+        assert_eq!(e.to_string(), "malformed trace: bad magic");
+
+        let e = TraceError::Version {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+
+        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,106 @@
+//! A fast, non-cryptographic hasher for address-keyed maps.
+//!
+//! Trace analysis and simulation perform tens of millions of hash-map
+//! operations keyed by addresses; the standard SipHash dominates that
+//! cost. [`FastHasher`] is the classic Fibonacci-multiply mixer (as used
+//! by rustc's FxHash) specialized for integer keys. It is **not** DoS
+//! resistant — keys here come from our own generators and simulators,
+//! never from untrusted input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for integer keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback for composite keys.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(SEED);
+        self.0 ^= self.0 >> 29;
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let mut a = FastHasher::default();
+        a.write_u64(1);
+        let mut b = FastHasher::default();
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn integer_widths_delegate() {
+        let mut a = FastHasher::default();
+        a.write_u32(7);
+        let mut b = FastHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = FastHasher::default();
+        c.write_u16(7);
+        assert_eq!(c.finish(), b.finish());
+
+        let mut d = FastHasher::default();
+        d.write_usize(7);
+        assert_eq!(d.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_fallback_mixes() {
+        let mut h = FastHasher::default();
+        h.write(&[1, 2, 3]);
+        assert_ne!(h.finish(), 0);
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        m.insert(10, 1);
+        assert_eq!(m.get(&10), Some(&1));
+        let mut s: FastSet<u64> = FastSet::default();
+        s.insert(10);
+        assert!(s.contains(&10));
+    }
+}

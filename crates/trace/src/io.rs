@@ -1,0 +1,252 @@
+//! Compact binary (de)serialization of [`ProgramTrace`]s.
+//!
+//! The format mirrors what a tracing tool like MPtrace would emit after
+//! post-processing: a small header followed by each thread's packed
+//! reference words, little-endian.
+//!
+//! ```text
+//! magic   b"PSIM"            4 bytes
+//! version u32 LE             currently 1
+//! name    u32 LE length + UTF-8 bytes
+//! threads u32 LE count
+//! per thread: u64 LE reference count, then count packed u64 LE words
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), placesim_trace::TraceError> {
+//! use placesim_trace::{io, Address, MemRef, ProgramTrace, ThreadTrace};
+//!
+//! let t: ThreadTrace = [MemRef::read(Address::new(0x40))].into_iter().collect();
+//! let prog = ProgramTrace::new("roundtrip", vec![t]);
+//!
+//! let mut buf = Vec::new();
+//! io::write_program(&prog, &mut buf)?;
+//! let back = io::read_program(&mut buf.as_slice())?;
+//! assert_eq!(back, prog);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{ProgramTrace, ThreadTrace, TraceError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// File magic, `b"PSIM"`.
+pub const MAGIC: [u8; 4] = *b"PSIM";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Serializes a program trace to any [`Write`] sink.
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the sink fails.
+pub fn write_program<W: Write>(prog: &ProgramTrace, mut w: W) -> Result<(), TraceError> {
+    let mut header = BytesMut::with_capacity(64);
+    header.put_slice(&MAGIC);
+    header.put_u32_le(VERSION);
+    let name = prog.name().as_bytes();
+    header.put_u32_le(u32::try_from(name.len()).map_err(|_| TraceError::Format {
+        reason: "program name longer than u32::MAX bytes".into(),
+    })?);
+    header.put_slice(name);
+    header.put_u32_le(u32::try_from(prog.thread_count()).map_err(|_| TraceError::Format {
+        reason: "more than u32::MAX threads".into(),
+    })?);
+    w.write_all(&header)?;
+
+    let mut body = BytesMut::new();
+    for (_, thread) in prog.iter() {
+        body.clear();
+        body.reserve(8 + thread.len() * 8);
+        body.put_u64_le(thread.len() as u64);
+        for &word in thread.packed() {
+            body.put_u64_le(word);
+        }
+        w.write_all(&body)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes a program trace into an owned byte buffer.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] only for pathological inputs (names or
+/// thread counts exceeding `u32::MAX`).
+pub fn to_bytes(prog: &ProgramTrace) -> Result<Bytes, TraceError> {
+    let mut buf = Vec::new();
+    write_program(prog, &mut buf)?;
+    Ok(Bytes::from(buf))
+}
+
+/// Deserializes a program trace from any [`Read`] source.
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] on a malformed stream,
+/// [`TraceError::Version`] on a version mismatch and [`TraceError::Io`] on
+/// read failures.
+pub fn read_program<R: Read>(mut r: R) -> Result<ProgramTrace, TraceError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    from_bytes(&raw)
+}
+
+/// Deserializes a program trace from an in-memory buffer.
+///
+/// # Errors
+///
+/// Same as [`read_program`].
+pub fn from_bytes(raw: &[u8]) -> Result<ProgramTrace, TraceError> {
+    let mut buf = raw;
+
+    let mut magic = [0u8; 4];
+    take(&mut buf, 4, "magic")?.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(TraceError::Format {
+            reason: format!("bad magic {magic:?}, expected {MAGIC:?}"),
+        });
+    }
+
+    let version = take(&mut buf, 4, "version")?.get_u32_le();
+    if version != VERSION {
+        return Err(TraceError::Version {
+            found: version,
+            supported: VERSION,
+        });
+    }
+
+    let name_len = take(&mut buf, 4, "name length")?.get_u32_le() as usize;
+    let name_bytes = take(&mut buf, name_len, "name")?;
+    let name = std::str::from_utf8(name_bytes)
+        .map_err(|_| TraceError::Format {
+            reason: "program name is not UTF-8".into(),
+        })?
+        .to_owned();
+
+    let thread_count = take(&mut buf, 4, "thread count")?.get_u32_le() as usize;
+    let mut threads = Vec::with_capacity(thread_count);
+    for tid in 0..thread_count {
+        let len = take(&mut buf, 8, "thread length")?.get_u64_le() as usize;
+        let need = len.checked_mul(8).ok_or_else(|| TraceError::Format {
+            reason: format!("thread {tid} length overflows"),
+        })?;
+        let mut words = take(&mut buf, need, "thread body")?;
+        let mut packed = Vec::with_capacity(len);
+        for _ in 0..len {
+            packed.push(words.get_u64_le());
+        }
+        threads.push(ThreadTrace::from_packed(packed)?);
+    }
+
+    if !buf.is_empty() {
+        return Err(TraceError::Format {
+            reason: format!("{} trailing bytes after last thread", buf.len()),
+        });
+    }
+
+    Ok(ProgramTrace::new(name, threads))
+}
+
+/// Splits `need` bytes off the front of `buf`, or errors naming `what`.
+fn take<'a>(buf: &mut &'a [u8], need: usize, what: &str) -> Result<&'a [u8], TraceError> {
+    if buf.len() < need {
+        return Err(TraceError::Format {
+            reason: format!("truncated while reading {what}: need {need}, have {}", buf.len()),
+        });
+    }
+    let (head, tail) = buf.split_at(need);
+    *buf = tail;
+    Ok(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Address, MemRef};
+
+    fn sample() -> ProgramTrace {
+        let t0: ThreadTrace = [
+            MemRef::instr(Address::new(0x100)),
+            MemRef::read(Address::new(0x8000)),
+            MemRef::write(Address::new(0x8010)),
+        ]
+        .into_iter()
+        .collect();
+        let t1: ThreadTrace = [MemRef::read(Address::new(0x8000))].into_iter().collect();
+        ProgramTrace::new("sample-app", vec![t0, t1])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let prog = sample();
+        let bytes = to_bytes(&prog).unwrap();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn roundtrip_empty_program() {
+        let prog = ProgramTrace::new("", vec![]);
+        let bytes = to_bytes(&prog).unwrap();
+        assert_eq!(from_bytes(&bytes).unwrap(), prog);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&sample()).unwrap().to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = to_bytes(&sample()).unwrap().to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::Version { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = to_bytes(&sample()).unwrap();
+        for cut in [3, 7, 11, bytes.len() - 1] {
+            assert!(
+                matches!(from_bytes(&bytes[..cut]), Err(TraceError::Format { .. })),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&sample()).unwrap().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn read_write_via_traits() {
+        let prog = sample();
+        let mut sink = Vec::new();
+        write_program(&prog, &mut sink).unwrap();
+        let back = read_program(&mut sink.as_slice()).unwrap();
+        assert_eq!(back, prog);
+    }
+}

@@ -1,0 +1,280 @@
+//! The packed, append-only reference trace of a single thread.
+
+use crate::record::{MemRef, RefKind};
+use serde::{Deserialize, Serialize};
+
+/// The complete memory-reference trace of one thread.
+///
+/// References are stored packed (one `u64` each, see [`MemRef::pack`]) so
+/// that paper-scale traces (hundreds of thousands to millions of references
+/// per thread) stay compact. Counts of each reference kind are maintained
+/// incrementally so the common statistics are O(1).
+///
+/// # Example
+///
+/// ```
+/// use placesim_trace::{Address, MemRef, ThreadTrace};
+///
+/// let mut trace = ThreadTrace::new();
+/// trace.push(MemRef::instr(Address::new(0x400)));
+/// trace.push(MemRef::write(Address::new(0x8000)));
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.instr_len(), 1);
+/// assert_eq!(trace.write_len(), 1);
+/// let kinds: Vec<_> = trace.iter().map(|r| r.kind).collect();
+/// assert_eq!(kinds.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadTrace {
+    packed: Vec<u64>,
+    instr: u64,
+    reads: u64,
+    writes: u64,
+    barriers: u64,
+}
+
+impl ThreadTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with capacity for `n` references.
+    pub fn with_capacity(n: usize) -> Self {
+        ThreadTrace {
+            packed: Vec::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    /// Appends a reference to the trace.
+    #[inline]
+    pub fn push(&mut self, r: MemRef) {
+        match r.kind {
+            RefKind::Instr => self.instr += 1,
+            RefKind::Read => self.reads += 1,
+            RefKind::Write => self.writes += 1,
+            RefKind::Barrier => self.barriers += 1,
+        }
+        self.packed.push(r.pack());
+    }
+
+    /// Total number of references (instruction + data).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Returns `true` if the trace has no references.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Number of instruction fetches.
+    ///
+    /// The paper measures *thread length* in instructions; this is that
+    /// length.
+    #[inline]
+    pub fn instr_len(&self) -> u64 {
+        self.instr
+    }
+
+    /// Number of data loads.
+    #[inline]
+    pub fn read_len(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of data stores.
+    #[inline]
+    pub fn write_len(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of data references (loads + stores).
+    #[inline]
+    pub fn data_len(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Number of barrier records.
+    #[inline]
+    pub fn barrier_len(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Iterates over the references in program order.
+    pub fn iter(&self) -> ThreadTraceIter<'_> {
+        ThreadTraceIter {
+            inner: self.packed.iter(),
+        }
+    }
+
+    /// Returns the reference at `index`, if in bounds.
+    pub fn get(&self, index: usize) -> Option<MemRef> {
+        self.packed
+            .get(index)
+            .map(|&p| MemRef::unpack(p).expect("trace contains only packed MemRefs"))
+    }
+
+    /// Borrows the raw packed representation (for zero-copy serialization).
+    pub(crate) fn packed(&self) -> &[u64] {
+        &self.packed
+    }
+
+    /// Rebuilds a trace from raw packed words.
+    ///
+    /// Used by the deserializer; validates every word.
+    pub(crate) fn from_packed(packed: Vec<u64>) -> Result<Self, crate::TraceError> {
+        let mut t = ThreadTrace {
+            packed: Vec::new(),
+            instr: 0,
+            reads: 0,
+            writes: 0,
+            barriers: 0,
+        };
+        for &word in &packed {
+            let r = MemRef::unpack(word).ok_or_else(|| crate::TraceError::Format {
+                reason: format!("invalid packed reference {word:#x}"),
+            })?;
+            match r.kind {
+                RefKind::Instr => t.instr += 1,
+                RefKind::Read => t.reads += 1,
+                RefKind::Write => t.writes += 1,
+                RefKind::Barrier => t.barriers += 1,
+            }
+        }
+        t.packed = packed;
+        Ok(t)
+    }
+}
+
+impl FromIterator<MemRef> for ThreadTrace {
+    fn from_iter<I: IntoIterator<Item = MemRef>>(iter: I) -> Self {
+        let mut t = ThreadTrace::new();
+        for r in iter {
+            t.push(r);
+        }
+        t
+    }
+}
+
+impl Extend<MemRef> for ThreadTrace {
+    fn extend<I: IntoIterator<Item = MemRef>>(&mut self, iter: I) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ThreadTrace {
+    type Item = MemRef;
+    type IntoIter = ThreadTraceIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the references of a [`ThreadTrace`], in program order.
+#[derive(Debug, Clone)]
+pub struct ThreadTraceIter<'a> {
+    inner: std::slice::Iter<'a, u64>,
+}
+
+impl Iterator for ThreadTraceIter<'_> {
+    type Item = MemRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<MemRef> {
+        self.inner
+            .next()
+            .map(|&p| MemRef::unpack(p).expect("trace contains only packed MemRefs"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ThreadTraceIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Address;
+
+    fn sample() -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        t.push(MemRef::instr(Address::new(0x100)));
+        t.push(MemRef::read(Address::new(0x8000)));
+        t.push(MemRef::instr(Address::new(0x104)));
+        t.push(MemRef::write(Address::new(0x8000)));
+        t.push(MemRef::read(Address::new(0x8040)));
+        t
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.instr_len(), 2);
+        assert_eq!(t.read_len(), 2);
+        assert_eq!(t.write_len(), 1);
+        assert_eq!(t.data_len(), 3);
+        assert!(!t.is_empty());
+        assert!(ThreadTrace::new().is_empty());
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let t = sample();
+        let refs: Vec<MemRef> = t.iter().collect();
+        assert_eq!(refs[0], MemRef::instr(Address::new(0x100)));
+        assert_eq!(refs[3], MemRef::write(Address::new(0x8000)));
+        assert_eq!(t.iter().len(), 5);
+    }
+
+    #[test]
+    fn get_in_and_out_of_bounds() {
+        let t = sample();
+        assert_eq!(t.get(1), Some(MemRef::read(Address::new(0x8000))));
+        assert_eq!(t.get(5), None);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let refs = vec![
+            MemRef::instr(Address::new(1)),
+            MemRef::read(Address::new(2)),
+        ];
+        let mut t: ThreadTrace = refs.iter().copied().collect();
+        assert_eq!(t.len(), 2);
+        t.extend([MemRef::write(Address::new(3))]);
+        assert_eq!(t.write_len(), 1);
+    }
+
+    #[test]
+    fn from_packed_accepts_all_kinds() {
+        let good = sample().packed().to_vec();
+        let rebuilt = ThreadTrace::from_packed(good).unwrap();
+        assert_eq!(rebuilt, sample());
+
+        // Tag 3 is a barrier record.
+        let barriers = ThreadTrace::from_packed(vec![3u64 << 62]).unwrap();
+        assert_eq!(barriers.barrier_len(), 1);
+    }
+
+    #[test]
+    fn barrier_counting() {
+        let mut t = ThreadTrace::new();
+        t.push(MemRef::instr(Address::new(0)));
+        t.push(MemRef::barrier(0));
+        t.push(MemRef::barrier(1));
+        assert_eq!(t.barrier_len(), 2);
+        assert_eq!(t.instr_len(), 1);
+        assert_eq!(t.data_len(), 0);
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the trace data model and its serialization.
+
+use placesim_trace::{compress, io, Address, MemRef, ProgramTrace, RefKind, ThreadTrace};
+use proptest::prelude::*;
+
+fn arb_ref() -> impl Strategy<Value = MemRef> {
+    (0u64..(1u64 << 40), 0u8..4).prop_map(|(addr, kind)| {
+        let kind = match kind {
+            0 => RefKind::Instr,
+            1 => RefKind::Read,
+            2 => RefKind::Write,
+            _ => RefKind::Barrier,
+        };
+        MemRef::new(kind, Address::new(addr))
+    })
+}
+
+fn arb_thread() -> impl Strategy<Value = ThreadTrace> {
+    proptest::collection::vec(arb_ref(), 0..200).prop_map(|refs| refs.into_iter().collect())
+}
+
+fn arb_program() -> impl Strategy<Value = ProgramTrace> {
+    (
+        "[a-z0-9-]{0,16}",
+        proptest::collection::vec(arb_thread(), 0..8),
+    )
+        .prop_map(|(name, threads)| ProgramTrace::new(name, threads))
+}
+
+proptest! {
+    #[test]
+    fn pack_unpack_roundtrip(r in arb_ref()) {
+        prop_assert_eq!(MemRef::unpack(r.pack()), Some(r));
+    }
+
+    #[test]
+    fn thread_counts_are_consistent(t in arb_thread()) {
+        prop_assert_eq!(
+            t.instr_len() + t.read_len() + t.write_len() + t.barrier_len(),
+            t.len() as u64
+        );
+        prop_assert_eq!(t.data_len(), t.read_len() + t.write_len());
+        // Recount via iteration.
+        let instrs = t.iter().filter(|r| r.kind == RefKind::Instr).count() as u64;
+        prop_assert_eq!(instrs, t.instr_len());
+    }
+
+    #[test]
+    fn io_roundtrip(prog in arb_program()) {
+        let bytes = io::to_bytes(&prog).unwrap();
+        let back = io::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn compressed_roundtrip(prog in arb_program()) {
+        let bytes = compress::to_bytes(&prog).unwrap();
+        prop_assert_eq!(compress::from_bytes(&bytes).unwrap(), prog.clone());
+        // read_any dispatches on version for both formats.
+        prop_assert_eq!(compress::read_any(&bytes).unwrap(), prog.clone());
+        let v1 = io::to_bytes(&prog).unwrap();
+        prop_assert_eq!(compress::read_any(&v1).unwrap(), prog);
+    }
+
+    #[test]
+    fn compressed_truncations_never_panic(prog in arb_program(), cut in 0usize..64) {
+        let bytes = compress::to_bytes(&prog).unwrap();
+        if cut < bytes.len() {
+            prop_assert!(compress::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(prog in arb_program(), cut in 0usize..64) {
+        let bytes = io::to_bytes(&prog).unwrap();
+        if cut < bytes.len() {
+            // Any truncation must produce an error, never a panic or bogus value.
+            prop_assert!(io::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

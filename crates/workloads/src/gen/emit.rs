@@ -1,0 +1,291 @@
+//! Reference-stream emission: turns a thread's plan into a trace.
+
+use crate::gen::patterns::{SharedPlan, WritePolicy};
+use crate::gen::regions::{self, Layout};
+use crate::gen::GenOptions;
+use crate::spec::AppSpec;
+use placesim_trace::{Address, MemRef, ThreadTrace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// References per private address (temporal locality of private data).
+pub(crate) const PRIVATE_RPA: f64 = 30.0;
+/// Write probability for private accesses.
+const PRIVATE_WRITE_FRACTION: f64 = 0.35;
+
+/// Number of distinct private words a thread of `n_instr` instructions
+/// needs (used by [`Layout`] packing and by emission).
+pub(crate) fn private_slot_count(spec: &AppSpec, n_instr: u64) -> u64 {
+    let n_data = n_instr as f64 * spec.data_ratio;
+    let private_refs = n_data * (1.0 - spec.shared_percent / 100.0);
+    ((private_refs / PRIVATE_RPA).ceil() as u64).max(1)
+}
+
+/// Emits the full reference trace of one thread.
+///
+/// The stream interleaves one instruction fetch per instruction with
+/// `data_ratio` data references per instruction (fractional accumulator),
+/// and splits data references between the shared plan and the private
+/// region according to `shared_percent`. Both shared and private data
+/// are visited in *runs* — several consecutive references to the same
+/// address — sized to hit the references-per-address targets. Runs are
+/// what make the sharing *sequential* in the paper's sense.
+pub fn emit_thread(
+    spec: &AppSpec,
+    tid: usize,
+    n_instr: u64,
+    plan: &SharedPlan,
+    layout: &Layout,
+    opts: &GenOptions,
+) -> ThreadTrace {
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ (0xEA17 + tid as u64 * 0x9E37_79B9));
+    let n_data = (n_instr as f64 * spec.data_ratio).round() as u64;
+    let shared_frac = spec.shared_percent / 100.0;
+
+    let mut shared = RunCursor::new(spec.refs_per_shared_addr, plan.policy);
+    let mut private = RunCursor::new(PRIVATE_RPA, WritePolicy::Bernoulli(PRIVATE_WRITE_FRACTION));
+
+    let mut trace = ThreadTrace::with_capacity((n_instr + n_data) as usize + 8);
+    let mut data_acc = 0.0f64;
+    let mut shared_acc = 0.0f64;
+    let mut shared_idx = 0usize;
+    let mut private_slot = 0u64;
+
+    // Barrier-separated phases (paper §4.2: "many of the coarse-grain
+    // programs use barriers to separate different phases of work").
+    // Every thread emits exactly `phases - 1` barriers, at proportional
+    // positions, so the machine's global barriers always match up.
+    let phases = spec.phases.max(1) as u64;
+    let mut next_barrier = 1u64;
+
+    for i in 0..n_instr {
+        while next_barrier < phases && i == next_barrier * n_instr / phases {
+            trace.push(MemRef::barrier(next_barrier - 1));
+            next_barrier += 1;
+        }
+        trace.push(MemRef::instr(Address::new(regions::code_addr(i))));
+        data_acc += spec.data_ratio;
+        while data_acc >= 1.0 {
+            data_acc -= 1.0;
+            shared_acc += shared_frac;
+            if shared_acc >= 1.0 {
+                shared_acc -= 1.0;
+                let (slot, write) = shared.next(&mut rng, || {
+                    let s = plan.slots[shared_idx % plan.slots.len()];
+                    shared_idx += 1;
+                    s
+                });
+                let addr = Address::new(regions::shared_addr(slot));
+                trace.push(if write {
+                    MemRef::write(addr)
+                } else {
+                    MemRef::read(addr)
+                });
+            } else {
+                let (slot, write) = private.next(&mut rng, || {
+                    let s = private_slot;
+                    private_slot += 1;
+                    s
+                });
+                let addr = Address::new(layout.private_addr(tid, slot));
+                trace.push(if write {
+                    MemRef::write(addr)
+                } else {
+                    MemRef::read(addr)
+                });
+            }
+        }
+    }
+    // Flush barriers a zero-or-tiny-length thread never reached, so all
+    // threads always cross exactly `phases - 1` barriers.
+    while next_barrier < phases {
+        trace.push(MemRef::barrier(next_barrier - 1));
+        next_barrier += 1;
+    }
+    trace
+}
+
+/// Emits run-structured accesses: each new address is referenced for a
+/// run of roughly `refs_per_addr` consecutive data slots.
+struct RunCursor {
+    refs_per_addr: f64,
+    policy: WritePolicy,
+    current: u64,
+    remaining: u64,
+    run_is_write: bool,
+}
+
+impl RunCursor {
+    fn new(refs_per_addr: f64, policy: WritePolicy) -> Self {
+        RunCursor {
+            refs_per_addr: refs_per_addr.max(1.0),
+            policy,
+            current: 0,
+            remaining: 0,
+            run_is_write: false,
+        }
+    }
+
+    /// Returns the next `(slot, is_write)`, pulling a fresh slot from
+    /// `next_slot` when the current run ends.
+    fn next<F: FnMut() -> u64>(&mut self, rng: &mut SmallRng, mut next_slot: F) -> (u64, bool) {
+        if self.remaining == 0 {
+            self.current = next_slot();
+            let jitter = rng.gen_range(0.5..1.5);
+            self.remaining = (self.refs_per_addr * jitter).round().max(1.0) as u64;
+            if let WritePolicy::RunLevel(p) = self.policy {
+                self.run_is_write = rng.gen_bool(p.clamp(0.0, 1.0));
+            }
+        }
+        self.remaining -= 1;
+        let write = match self.policy {
+            WritePolicy::Bernoulli(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
+            WritePolicy::OwnRange { lo, hi, prob } => {
+                (lo..hi).contains(&self.current) && rng.gen_bool(prob.clamp(0.0, 1.0))
+            }
+            WritePolicy::RunLevel(_) => self.run_is_write,
+        };
+        (self.current, write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+    use placesim_trace::RefKind;
+
+    fn small_opts() -> GenOptions {
+        GenOptions {
+            scale: 0.01,
+            seed: 11,
+        }
+    }
+
+    fn emit_one(spec: &AppSpec, n_instr: u64) -> (ThreadTrace, Layout) {
+        let plan = SharedPlan {
+            slots: (0..100).collect(),
+            policy: WritePolicy::Bernoulli(spec.pattern.write_fraction()),
+            target_refs: 0,
+        };
+        let layout = Layout::new(vec![private_slot_count(spec, n_instr)]);
+        let t = emit_thread(spec, 0, n_instr, &plan, &layout, &small_opts());
+        (t, layout)
+    }
+
+    fn is_shared(addr: u64) -> bool {
+        (regions::SHARED_BASE..regions::PRIVATE_BASE).contains(&addr)
+    }
+
+    #[test]
+    fn instruction_count_is_exact() {
+        let spec = suite::water();
+        let (t, _) = emit_one(&spec, 10_000);
+        assert_eq!(t.instr_len(), 10_000);
+    }
+
+    #[test]
+    fn data_ratio_is_respected() {
+        let spec = suite::water();
+        let (t, _) = emit_one(&spec, 20_000);
+        let ratio = t.data_len() as f64 / t.instr_len() as f64;
+        assert!((ratio / spec.data_ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shared_fraction_is_respected() {
+        let spec = suite::mp3d(); // 82.6% shared
+        let (t, _) = emit_one(&spec, 50_000);
+        let shared = t
+            .iter()
+            .filter(|r| r.kind.is_data() && is_shared(r.addr.raw()))
+            .count() as f64;
+        let frac = 100.0 * shared / t.data_len() as f64;
+        assert!((frac - spec.shared_percent).abs() < 2.0, "frac {frac}");
+    }
+
+    #[test]
+    fn shared_accesses_come_in_runs() {
+        let spec = suite::topopt(); // 611 refs per shared address
+        let (t, _) = emit_one(&spec, 30_000);
+        let addrs: Vec<u64> = t
+            .iter()
+            .filter(|r| r.kind.is_data() && is_shared(r.addr.raw()))
+            .map(|r| r.addr.raw())
+            .collect();
+        let mut runs = 1u64;
+        for w in addrs.windows(2) {
+            if w[0] != w[1] {
+                runs += 1;
+            }
+        }
+        let mean_run = addrs.len() as f64 / runs as f64;
+        assert!(mean_run > 50.0, "mean shared run {mean_run}");
+    }
+
+    #[test]
+    fn writes_present_per_policy() {
+        let spec = suite::mp3d();
+        let (t, _) = emit_one(&spec, 20_000);
+        let writes = t.iter().filter(|r| r.kind == RefKind::Write).count();
+        assert!(writes > 0);
+    }
+
+    #[test]
+    fn own_range_policy_confines_shared_writes() {
+        let spec = suite::barnes_hut();
+        let plan = SharedPlan {
+            slots: (0..200).collect(),
+            policy: WritePolicy::OwnRange {
+                lo: 0,
+                hi: 10,
+                prob: 0.9,
+            },
+            target_refs: 0,
+        };
+        let layout = Layout::new(vec![private_slot_count(&spec, 30_000)]);
+        let t = emit_thread(&spec, 0, 30_000, &plan, &layout, &small_opts());
+        for r in t.iter() {
+            if r.kind == RefKind::Write && is_shared(r.addr.raw()) {
+                let slot = (r.addr.raw() - regions::SHARED_BASE) / regions::SHARED_STRIDE;
+                assert!(slot < 10, "shared write outside own range: slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn private_addresses_stay_in_own_region() {
+        let spec = suite::water();
+        let plan = SharedPlan {
+            slots: vec![0],
+            policy: WritePolicy::Bernoulli(0.2),
+            target_refs: 0,
+        };
+        let counts = vec![
+            private_slot_count(&spec, 5_000),
+            private_slot_count(&spec, 5_000),
+            private_slot_count(&spec, 5_000),
+            private_slot_count(&spec, 5_000),
+        ];
+        let layout = Layout::new(counts);
+        let t3 = emit_thread(&spec, 3, 5_000, &plan, &layout, &small_opts());
+        for r in t3.iter() {
+            let a = r.addr.raw();
+            if a >= regions::PRIVATE_BASE {
+                assert!(
+                    a >= layout.private_base(3) && a < layout.end(),
+                    "address {a:#x} outside thread 3's region"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn private_slot_count_formula() {
+        let spec = suite::water(); // 71.7% shared, ratio 0.30
+        let n = private_slot_count(&spec, 100_000);
+        let expect = (100_000.0_f64 * 0.30 * (1.0 - 0.717) / 30.0).ceil() as u64;
+        assert_eq!(n, expect);
+        assert!(private_slot_count(&spec, 0) >= 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Thread-length sampling.
+//!
+//! Thread lengths are drawn from a lognormal distribution matched to the
+//! spec's mean and coefficient of variation. A lognormal is always
+//! positive and reproduces both the near-constant lengths of MP3D/Topopt
+//! (CV ≈ 0) and FFT's wild 187.6% deviation without clipping artifacts.
+
+use crate::gen::GenOptions;
+use crate::spec::AppSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Minimum thread length in instructions, regardless of scale.
+pub const MIN_LENGTH: u64 = 64;
+
+/// Samples one length per thread, deterministically from the options'
+/// seed.
+pub fn sample_lengths(spec: &AppSpec, opts: &GenOptions) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xD1CE_5EED);
+    let mean = spec.thread_length.mean * opts.scale;
+    let cv = spec.thread_length.dev_percent / 100.0;
+    (0..spec.threads)
+        .map(|_| sample_lognormal(&mut rng, mean, cv).round().max(MIN_LENGTH as f64) as u64)
+        .collect()
+}
+
+/// Draws from a lognormal with the given mean and coefficient of
+/// variation (`std_dev / mean`). `cv == 0` returns the mean exactly.
+fn sample_lognormal(rng: &mut SmallRng, mean: f64, cv: f64) -> f64 {
+    if cv <= 0.0 || mean <= 0.0 {
+        return mean;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    let z = standard_normal(rng);
+    (mu + sigma2.sqrt() * z).exp()
+}
+
+/// Box–Muller standard normal (rand 0.8 ships no normal distribution
+/// without the `rand_distr` crate).
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Granularity, SharingPattern, TargetStat};
+
+    fn spec_with(mean: f64, dev: f64, threads: usize) -> AppSpec {
+        AppSpec {
+            name: "x",
+            granularity: Granularity::Medium,
+            threads,
+            thread_length: TargetStat::new(mean, dev),
+            shared_percent: 50.0,
+            refs_per_shared_addr: 10.0,
+            data_ratio: 0.3,
+            pattern: SharingPattern::UniformAllShare { write_fraction: 0.2 },
+            cache_kb: 64,
+            phases: 1,
+        }
+    }
+
+    #[test]
+    fn zero_cv_is_constant() {
+        let lens = sample_lengths(&spec_with(5000.0, 0.0, 8), &GenOptions::default());
+        assert!(lens.iter().all(|&l| l == 5000), "{lens:?}");
+    }
+
+    #[test]
+    fn mean_and_cv_are_roughly_matched() {
+        let spec = spec_with(100_000.0, 80.0, 400);
+        let lens = sample_lengths(&spec, &GenOptions::default());
+        let n = lens.len() as f64;
+        let mean = lens.iter().sum::<u64>() as f64 / n;
+        let var = lens.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / n;
+        let cv = var.sqrt() / mean;
+        assert!((mean / 100_000.0 - 1.0).abs() < 0.25, "mean {mean}");
+        assert!((cv / 0.8 - 1.0).abs() < 0.35, "cv {cv}");
+    }
+
+    #[test]
+    fn scale_multiplies_mean() {
+        let spec = spec_with(100_000.0, 0.0, 4);
+        let lens = sample_lengths(
+            &spec,
+            &GenOptions {
+                scale: 0.1,
+                seed: 1,
+            },
+        );
+        assert!(lens.iter().all(|&l| l == 10_000), "{lens:?}");
+    }
+
+    #[test]
+    fn minimum_enforced() {
+        let spec = spec_with(100.0, 300.0, 64);
+        let lens = sample_lengths(
+            &spec,
+            &GenOptions {
+                scale: 0.001,
+                seed: 2,
+            },
+        );
+        assert!(lens.iter().all(|&l| l >= MIN_LENGTH));
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = spec_with(50_000.0, 50.0, 16);
+        let o = GenOptions { scale: 1.0, seed: 77 };
+        assert_eq!(sample_lengths(&spec, &o), sample_lengths(&spec, &o));
+    }
+}

@@ -1,0 +1,449 @@
+//! Shared-address assignment: which slots each thread touches, in what
+//! order, and when it may write.
+//!
+//! Every pattern decorrelates threads in time (per-thread permutations
+//! or rotation offsets), so that at any instant concurrent threads work
+//! in different parts of the pool. Combined with the run-structured
+//! emission this produces the *sequential sharing* the paper observed:
+//! many references per address between ownership changes, hence very
+//! little coherence traffic despite a huge fraction of shared
+//! references.
+//!
+//! Patterns with structure (neighbor windows, channels, migration
+//! windows) additionally take a `uniform_fraction`: the share of a
+//! thread's accesses drawn from the global pool in per-thread-random
+//! order. Mixing tunes the *pairwise-sharing deviation* to the values
+//! the paper's Table 2 reports — the coarse applications are almost
+//! perfectly uniform, the Presto programs range from mildly to extremely
+//! skewed.
+
+use crate::gen::GenOptions;
+use crate::spec::{AppSpec, SharingPattern};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// When a shared access may be a write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WritePolicy {
+    /// Each access writes independently with this probability.
+    Bernoulli(f64),
+    /// Writes happen only inside the thread's own slot range
+    /// `[lo, hi)`, with the given probability (owner-computes style).
+    OwnRange {
+        /// First owned slot.
+        lo: u64,
+        /// One past the last owned slot.
+        hi: u64,
+        /// Write probability within the owned range.
+        prob: f64,
+    },
+    /// Whole access runs are write runs with this probability
+    /// (migratory data).
+    RunLevel(f64),
+}
+
+/// One thread's shared-access plan: the slot sequence it sweeps and its
+/// write policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedPlan {
+    /// Shared-pool slot numbers in visit order.
+    pub slots: Vec<u64>,
+    /// Write policy.
+    pub policy: WritePolicy,
+    /// Target shared references for this thread.
+    pub target_refs: u64,
+}
+
+/// Expected shared references for a thread of `n_instr` instructions.
+fn shared_target(spec: &AppSpec, n_instr: u64) -> u64 {
+    (n_instr as f64 * spec.data_ratio * spec.shared_percent / 100.0).round() as u64
+}
+
+/// Distinct shared slots a thread should visit to hit its
+/// references-per-address target.
+fn slot_count(spec: &AppSpec, n_instr: u64) -> u64 {
+    (shared_target(spec, n_instr) as f64 / spec.refs_per_shared_addr)
+        .round()
+        .max(1.0) as u64
+}
+
+/// The global pool size, based on the *mean* thread length so all
+/// threads of an app share one pool.
+fn pool_size(spec: &AppSpec, opts: &GenOptions) -> u64 {
+    let mean_instr = (spec.thread_length.mean * opts.scale).max(1.0) as u64;
+    slot_count(spec, mean_instr).max(spec.threads as u64)
+}
+
+/// A per-thread pseudo-random permutation of `0..pool`.
+fn permuted_pool(pool: u64, tid: usize, opts: &GenOptions) -> Vec<u64> {
+    let mut order: Vec<u64> = (0..pool).collect();
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ (tid as u64).wrapping_mul(0x5851_F42D));
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    order
+}
+
+/// The uniform-component fraction for one thread: `uniform_fraction` of
+/// the *mean* slot budget, expressed as a fraction of this thread's own
+/// budget. Long threads therefore get the same absolute uniform traffic
+/// as everyone else and spend their surplus in their structured window —
+/// if uniform traffic scaled with length, the reference-counting sharing
+/// metrics would cluster long threads together, a length/sharing
+/// correlation the real programs do not have (their pairwise-sharing
+/// deviations are well below their length deviations).
+fn effective_uniform_fraction(
+    uniform_fraction: f64,
+    spec: &AppSpec,
+    opts: &GenOptions,
+    count: usize,
+) -> f64 {
+    let mean_instr = (spec.thread_length.mean * opts.scale).max(1.0) as u64;
+    let mean_count = slot_count(spec, mean_instr) as f64;
+    (uniform_fraction * mean_count / count.max(1) as f64).min(1.0)
+}
+
+/// Interleaves a uniform slot source with a structured (local) source:
+/// `uniform_fraction` of the `count` output slots come from `uniform`,
+/// the rest from `local`, both consumed cyclically in order.
+fn mix(uniform: &[u64], local: &[u64], uniform_fraction: f64, count: usize) -> Vec<u64> {
+    let count = count.max(1);
+    let mut out = Vec::with_capacity(count);
+    let (mut iu, mut il) = (0usize, 0usize);
+    let mut acc = 0.0f64;
+    for _ in 0..count {
+        acc += uniform_fraction.clamp(0.0, 1.0);
+        let take_uniform = (acc >= 1.0 && !uniform.is_empty()) || local.is_empty();
+        if take_uniform && !uniform.is_empty() {
+            acc -= 1.0;
+            out.push(uniform[iu % uniform.len()]);
+            iu += 1;
+        } else {
+            out.push(local[il % local.len()]);
+            il += 1;
+        }
+    }
+    out
+}
+
+/// Builds every thread's shared plan.
+pub fn assign_addresses(spec: &AppSpec, lengths: &[u64], opts: &GenOptions) -> Vec<SharedPlan> {
+    let pool = pool_size(spec, opts);
+    let t = spec.threads as u64;
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xA55E_55ED);
+
+    match spec.pattern {
+        SharingPattern::UniformAllShare { write_fraction } => lengths
+            .iter()
+            .enumerate()
+            .map(|(tid, &len)| {
+                // Whole pool in per-thread-random order: uniform sharing
+                // with no phase structure a placement could exploit.
+                let count = slot_count(spec, len) as usize;
+                let order = permuted_pool(pool, tid, opts);
+                let slots = order.iter().copied().cycle().take(count.max(1)).collect();
+                SharedPlan {
+                    slots,
+                    policy: WritePolicy::Bernoulli(write_fraction),
+                    target_refs: shared_target(spec, len),
+                }
+            })
+            .collect(),
+
+        SharingPattern::Migratory {
+            write_fraction,
+            uniform_fraction,
+        } => lengths
+            .iter()
+            .enumerate()
+            .map(|(tid, &len)| {
+                // A rotation-offset window covering a quarter of the
+                // pool: only rotation neighbors overlap, in proportion to
+                // their distance, so the sharing graph mixes thread
+                // lengths instead of correlating with them. Extra
+                // accesses revisit the window (long write runs =
+                // migration).
+                let count = slot_count(spec, len) as usize;
+                let window = (pool / 4).max(1);
+                let start = tid as u64 * pool / t;
+                let local: Vec<u64> = (0..window).map(|i| (start + i) % pool).collect();
+                let uniform = permuted_pool(pool, tid, opts);
+                let uf = effective_uniform_fraction(uniform_fraction, spec, opts, count);
+                SharedPlan {
+                    slots: mix(&uniform, &local, uf, count),
+                    policy: WritePolicy::RunLevel(write_fraction),
+                    target_refs: shared_target(spec, len),
+                }
+            })
+            .collect(),
+
+        SharingPattern::PartitionedReadShare { write_fraction } => {
+            // Partition the pool into per-thread chunks; reads sweep the
+            // whole pool starting at the owner's chunk, writes stay home.
+            let chunk = (pool / t).max(1);
+            lengths
+                .iter()
+                .enumerate()
+                .map(|(tid, &len)| {
+                    let count = slot_count(spec, len);
+                    let lo = tid as u64 * chunk;
+                    let slots = (0..count.max(1))
+                        .map(|i| (lo + i) % (chunk * t))
+                        .collect();
+                    SharedPlan {
+                        slots,
+                        policy: WritePolicy::OwnRange {
+                            lo,
+                            hi: lo + chunk,
+                            // Concentrate the write budget in the owned
+                            // chunk: overall write fraction ≈
+                            // write_fraction when chunk coverage ≈ 1/t.
+                            prob: (write_fraction * t as f64).min(0.9),
+                        },
+                        target_refs: shared_target(spec, len),
+                    }
+                })
+                .collect()
+        }
+
+        SharingPattern::NeighborExchange {
+            write_fraction,
+            reach,
+            uniform_fraction,
+        } => {
+            let chunk = (pool / t).max(1);
+            lengths
+                .iter()
+                .enumerate()
+                .map(|(tid, &len)| {
+                    let count = slot_count(spec, len) as usize;
+                    // Own chunk then ±1, ±2, … neighbor chunks.
+                    let mut local: Vec<u64> = Vec::new();
+                    let mut offsets: Vec<i64> = vec![0];
+                    for r in 1..=(reach as i64) {
+                        offsets.push(r);
+                        offsets.push(-r);
+                    }
+                    for &off in &offsets {
+                        let n = ((tid as i64 + off).rem_euclid(t as i64)) as u64;
+                        local.extend((n * chunk)..((n + 1) * chunk));
+                    }
+                    let uniform = permuted_pool(chunk * t, tid, opts);
+                    let uf = effective_uniform_fraction(uniform_fraction, spec, opts, count);
+                    SharedPlan {
+                        slots: mix(&uniform, &local, uf, count),
+                        policy: WritePolicy::Bernoulli(write_fraction),
+                        target_refs: shared_target(spec, len),
+                    }
+                })
+                .collect()
+        }
+
+        SharingPattern::RandomComm {
+            write_fraction,
+            partners,
+            uniform_fraction,
+        } => {
+            // Each unordered pair that communicates gets a dedicated
+            // channel region; a thread sweeps the channels it belongs to.
+            let mut channels: Vec<(usize, usize)> = Vec::new();
+            let mut member_channels: Vec<Vec<usize>> = vec![Vec::new(); spec.threads];
+            for tid in 0..spec.threads {
+                for _ in 0..partners.max(1) {
+                    let other = loop {
+                        let cand = rng.gen_range(0..spec.threads);
+                        if cand != tid || spec.threads == 1 {
+                            break cand;
+                        }
+                    };
+                    let pair = (tid.min(other), tid.max(other));
+                    let ch = match channels.iter().position(|&c| c == pair) {
+                        Some(i) => i,
+                        None => {
+                            channels.push(pair);
+                            channels.len() - 1
+                        }
+                    };
+                    for member in [pair.0, pair.1] {
+                        if !member_channels[member].contains(&ch) {
+                            member_channels[member].push(ch);
+                        }
+                    }
+                }
+            }
+            // Each channel is a dedicated slot range past the uniform
+            // pool, sized to the *smaller* partner's slot budget so both
+            // partners always cover it fully — a channel slot therefore
+            // always has exactly its two sharers, and the pairwise metric
+            // sees the strong partner skew the pattern models.
+            let local_budget = |tid: usize| -> u64 {
+                let count = slot_count(spec, lengths[tid]) as f64;
+                (((1.0 - uniform_fraction).max(0.05) * count)
+                    / member_channels[tid].len().max(1) as f64)
+                    .ceil()
+                    .max(1.0) as u64
+            };
+            let mut widths = Vec::with_capacity(channels.len());
+            let mut bases = Vec::with_capacity(channels.len());
+            let mut cursor = pool;
+            for &(a, b) in &channels {
+                let w = local_budget(a).min(local_budget(b)).max(1);
+                widths.push(w);
+                bases.push(cursor);
+                cursor += w;
+            }
+            lengths
+                .iter()
+                .enumerate()
+                .map(|(tid, &len)| {
+                    let count = slot_count(spec, len) as usize;
+                    let mut local: Vec<u64> = Vec::new();
+                    for &ch in &member_channels[tid] {
+                        local.extend(bases[ch]..bases[ch] + widths[ch]);
+                    }
+                    let uniform = permuted_pool(pool, tid, opts);
+                    let uf = effective_uniform_fraction(uniform_fraction, spec, opts, count);
+                    SharedPlan {
+                        slots: mix(&uniform, &local, uf, count),
+                        policy: WritePolicy::Bernoulli(write_fraction),
+                        target_refs: shared_target(spec, len),
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+    use std::collections::HashSet;
+
+    fn opts() -> GenOptions {
+        GenOptions {
+            scale: 0.1,
+            seed: 5,
+        }
+    }
+
+    fn slot_sets(spec: &AppSpec) -> Vec<HashSet<u64>> {
+        let lengths = vec![(spec.thread_length.mean * 0.1) as u64; spec.threads];
+        assign_addresses(spec, &lengths, &opts())
+            .iter()
+            .map(|p| p.slots.iter().copied().collect())
+            .collect()
+    }
+
+    #[test]
+    fn uniform_threads_overlap_heavily() {
+        let sets = slot_sets(&suite::water());
+        let inter = sets[0].intersection(&sets[1]).count();
+        assert!(inter > 0, "uniform pattern must overlap");
+        // Far-apart threads overlap just as much: uniformity.
+        let far = sets[0].intersection(&sets[8]).count();
+        assert!(far > 0);
+    }
+
+    #[test]
+    fn partitioned_writes_stay_home() {
+        let spec = suite::barnes_hut();
+        let lengths = vec![(spec.thread_length.mean * 0.1) as u64; spec.threads];
+        let plans = assign_addresses(&spec, &lengths, &opts());
+        for (tid, plan) in plans.iter().enumerate() {
+            match plan.policy {
+                WritePolicy::OwnRange { lo, hi, prob } => {
+                    assert!(hi > lo);
+                    assert!(prob > 0.0 && prob <= 0.9);
+                    if tid > 0 {
+                        if let WritePolicy::OwnRange { hi: prev_hi, .. } = plans[tid - 1].policy {
+                            assert!(lo >= prev_hi);
+                        }
+                    }
+                }
+                other => panic!("expected OwnRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn migratory_uses_run_level_writes_and_graded_overlap() {
+        let spec = suite::fft();
+        let lengths = vec![(spec.thread_length.mean * 0.05) as u64; spec.threads];
+        let plans = assign_addresses(&spec, &lengths, &opts());
+        assert!(matches!(plans[0].policy, WritePolicy::RunLevel(_)));
+        let sets: Vec<HashSet<u64>> = plans
+            .iter()
+            .map(|p| p.slots.iter().copied().collect())
+            .collect();
+        // Rotation neighbors overlap more than threads half a rotation
+        // apart (windows cover half the pool).
+        let near = sets[0].intersection(&sets[1]).count();
+        let far = sets[0].intersection(&sets[sets.len() / 2]).count();
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn neighbor_mixing_shares_beyond_the_window() {
+        let spec = suite::grav(); // NeighborExchange with uniform mixing
+        let sets = slot_sets(&spec);
+        let t = spec.threads;
+        // Neighbors overlap strongly; distant threads still overlap a
+        // little through the uniform component.
+        let near = sets[0].intersection(&sets[1]).count();
+        let far = sets[0].intersection(&sets[t / 2]).count();
+        assert!(near > far, "near {near} far {far}");
+        assert!(far > 0, "uniform mixing must create some distant overlap");
+    }
+
+    #[test]
+    fn random_comm_produces_skew() {
+        let spec = suite::vandermonde(); // 1 partner, tiny uniform mixing
+        let sets = slot_sets(&spec);
+        let mut counts: Vec<usize> = Vec::new();
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                counts.push(sets[i].intersection(&sets[j]).count());
+            }
+        }
+        let max = *counts.iter().max().unwrap();
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        // A few heavy channel pairs, many light/empty pairs.
+        assert!(max > 10, "max overlap {max}");
+        assert!(nonzero < counts.len(), "some pairs share only channels");
+    }
+
+    #[test]
+    fn slot_counts_follow_refs_per_addr() {
+        let spec = suite::water();
+        let n_instr = 100_000u64;
+        let target = shared_target(&spec, n_instr);
+        let slots = slot_count(&spec, n_instr);
+        let implied_rpa = target as f64 / slots as f64;
+        assert!(
+            (implied_rpa / spec.refs_per_shared_addr - 1.0).abs() < 0.1,
+            "implied {implied_rpa}"
+        );
+    }
+
+    #[test]
+    fn mix_respects_fraction() {
+        let uniform: Vec<u64> = (0..100).collect();
+        let local: Vec<u64> = (1000..1100).collect();
+        let out = mix(&uniform, &local, 0.3, 1000);
+        let from_uniform = out.iter().filter(|&&s| s < 100).count();
+        assert!((from_uniform as f64 / 1000.0 - 0.3).abs() < 0.02);
+        // Degenerate sources.
+        assert_eq!(mix(&[], &local, 0.5, 4).len(), 4);
+        assert_eq!(mix(&uniform, &[], 0.0, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let spec = suite::health();
+        let lengths = vec![(spec.thread_length.mean * 0.1) as u64; spec.threads];
+        let a = assign_addresses(&spec, &lengths, &opts());
+        let b = assign_addresses(&spec, &lengths, &opts());
+        assert_eq!(a, b);
+    }
+}

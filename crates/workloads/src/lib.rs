@@ -1,0 +1,54 @@
+//! The synthetic 14-application parallel workload suite.
+//!
+//! The paper's experiments consume MPtrace traces of fourteen coarse- and
+//! medium-grain parallel programs captured on a Sequent Symmetry. Those
+//! traces are long gone; this crate substitutes a *parameterized
+//! synthetic generator* with one model per application, tuned to the
+//! paper's published program characteristics (Tables 1 and 2):
+//!
+//! * thread count and thread-length mean/deviation,
+//! * percentage of shared data references,
+//! * references per shared address (temporal locality),
+//! * pairwise-sharing uniformity (via the qualitative sharing pattern),
+//! * the *sequential* nature of inter-thread sharing the paper credits
+//!   for its negative result (threads sweep shared data in long
+//!   same-thread runs, staggered in time).
+//!
+//! The paper's own causal explanation rests exactly on these measurable
+//! characteristics, so a generator that reproduces them exercises the
+//! same simulator code paths and reproduces the result *shapes* (see
+//! DESIGN.md for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use placesim_workloads::{suite, generate, GenOptions};
+//!
+//! let spec = placesim_workloads::spec("fft").expect("fft is in the suite");
+//! // Generate at 1% of paper scale for a quick look.
+//! let prog = generate(&spec, &GenOptions { scale: 0.01, seed: 7 });
+//! assert_eq!(prog.thread_count(), spec.threads);
+//! assert_eq!(suite().len(), 14);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod spec;
+mod suite;
+pub mod validate;
+
+pub use gen::{generate, GenOptions};
+pub use spec::{AppSpec, Granularity, SharingPattern, TargetStat};
+pub use suite::{spec, suite, SUITE_NAMES};
+
+/// Address-space landmarks of the generator, exposed for validation and
+/// analysis tooling (e.g. deciding whether an address is in the shared
+/// region).
+pub mod gen_internals {
+    pub use crate::gen::regions::{
+        CODE_BASE, CODE_WORDS, MAX_SHARED_SLOTS, PRIVATE_BASE, PRIVATE_STRIDE, SHARED_BASE,
+        SHARED_STRIDE,
+    };
+}

@@ -1,0 +1,402 @@
+//! The fourteen applications of the paper's workload (Table 1 / Table 2).
+//!
+//! Numeric targets (thread length mean and deviation, % shared refs,
+//! references per shared address) are taken directly from the paper's
+//! Table 2; sharing patterns follow the per-application prose (§3.1,
+//! §4.2). Thread counts are not legible in the source scan, so they are
+//! chosen to match the granularity narrative — coarse programs have
+//! fewer, longer threads; medium-grain more, shorter ones; Gauss has the
+//! paper's stated maximum of 127 threads — and each choice is noted
+//! below. Cache sizes follow §3.2: 32 KB for the coarse programs plus
+//! Health and FFT, 64 KB for the other medium-grain programs.
+
+use crate::spec::{AppSpec, Granularity, SharingPattern, TargetStat};
+
+/// Names of the fourteen applications, coarse grain first.
+pub const SUITE_NAMES: [&str; 14] = [
+    "locusroute",
+    "water",
+    "mp3d",
+    "cholesky",
+    "barnes-hut",
+    "pverify",
+    "topopt",
+    "fullconn",
+    "grav",
+    "health",
+    "patch",
+    "vandermonde",
+    "fft",
+    "gauss",
+];
+
+/// All fourteen application specifications, coarse grain first.
+pub fn suite() -> Vec<AppSpec> {
+    vec![
+        locusroute(),
+        water(),
+        mp3d(),
+        cholesky(),
+        barnes_hut(),
+        pverify(),
+        topopt(),
+        fullconn(),
+        grav(),
+        health(),
+        patch(),
+        vandermonde(),
+        fft(),
+        gauss(),
+    ]
+}
+
+/// Looks up one application by (case-insensitive) name.
+pub fn spec(name: &str) -> Option<AppSpec> {
+    let lower = name.to_ascii_lowercase();
+    suite().into_iter().find(|s| s.name == lower)
+}
+
+/// LocusRoute: commercial VLSI standard-cell router. Threads route wires
+/// in geographic regions — neighbor overlap, moderate sharing deviation
+/// (Table 2: pairwise dev 14%). 16 threads (coarse).
+pub fn locusroute() -> AppSpec {
+    AppSpec {
+        name: "locusroute",
+        granularity: Granularity::Coarse,
+        threads: 16,
+        thread_length: TargetStat::new(1_055_000.0, 14.6),
+        shared_percent: 57.4,
+        refs_per_shared_addr: 15.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::UniformAllShare { write_fraction: 0.25 },
+        cache_kb: 32,
+        phases: 1,
+    }
+}
+
+/// Water: N-molecule dynamics; all threads sweep the same molecule array
+/// — very uniform sharing (devs of 1.6–2.8%). 16 threads.
+pub fn water() -> AppSpec {
+    AppSpec {
+        name: "water",
+        granularity: Granularity::Coarse,
+        threads: 16,
+        thread_length: TargetStat::new(467_000.0, 2.4),
+        shared_percent: 71.7,
+        refs_per_shared_addr: 23.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::UniformAllShare { write_fraction: 0.2 },
+        cache_kb: 32,
+        phases: 4,
+    }
+}
+
+/// MP3D: rarefied hypersonic flow; particles uniformly shared
+/// (deviations near zero). 16 threads.
+pub fn mp3d() -> AppSpec {
+    AppSpec {
+        name: "mp3d",
+        granularity: Granularity::Coarse,
+        threads: 16,
+        thread_length: TargetStat::new(1_674_000.0, 0.9),
+        shared_percent: 82.6,
+        refs_per_shared_addr: 24.0,
+        data_ratio: 0.32,
+        pattern: SharingPattern::UniformAllShare { write_fraction: 0.35 },
+        cache_kb: 32,
+        phases: 4,
+    }
+}
+
+/// Cholesky: sparse factorization; mostly private panels with a small
+/// read-shared frontier (lowest % shared refs of the suite, 17.1%).
+/// 16 threads.
+pub fn cholesky() -> AppSpec {
+    AppSpec {
+        name: "cholesky",
+        granularity: Granularity::Coarse,
+        threads: 16,
+        thread_length: TargetStat::new(2_994_000.0, 0.0),
+        shared_percent: 17.1,
+        refs_per_shared_addr: 24.0,
+        data_ratio: 0.33,
+        pattern: SharingPattern::PartitionedReadShare { write_fraction: 0.15 },
+        cache_kb: 32,
+        phases: 1,
+    }
+}
+
+/// Barnes-Hut: N-body with spatial partitioning; read-shares particle
+/// positions during computation, writes locally at phase end (§4.2).
+/// 16 threads. Single phase: the paper notes the computation phase is
+/// 1.6 M instructions per thread while its traced threads are 597 k —
+/// the trace never crosses a barrier.
+pub fn barnes_hut() -> AppSpec {
+    AppSpec {
+        name: "barnes-hut",
+        granularity: Granularity::Coarse,
+        threads: 16,
+        thread_length: TargetStat::new(597_000.0, 7.0),
+        shared_percent: 58.6,
+        refs_per_shared_addr: 8.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::PartitionedReadShare { write_fraction: 0.10 },
+        cache_kb: 32,
+        phases: 1,
+    }
+}
+
+/// Pverify: boolean-circuit equivalence; restructured shared data with
+/// high locality (98 refs per shared address) and mild skew. 16 threads.
+pub fn pverify() -> AppSpec {
+    AppSpec {
+        name: "pverify",
+        granularity: Granularity::Coarse,
+        threads: 16,
+        thread_length: TargetStat::new(1_095_000.0, 22.8),
+        shared_percent: 91.7,
+        refs_per_shared_addr: 98.0,
+        data_ratio: 0.31,
+        pattern: SharingPattern::UniformAllShare { write_fraction: 0.2 },
+        cache_kb: 32,
+        phases: 1,
+    }
+}
+
+/// Topopt: simulated-annealing topological optimization; very long
+/// same-thread access runs (611 refs per shared address). 8 threads
+/// (the coarsest program).
+pub fn topopt() -> AppSpec {
+    AppSpec {
+        name: "topopt",
+        granularity: Granularity::Coarse,
+        threads: 8,
+        thread_length: TargetStat::new(2_934_000.0, 0.0),
+        shared_percent: 50.7,
+        refs_per_shared_addr: 611.0,
+        data_ratio: 0.31,
+        pattern: SharingPattern::UniformAllShare { write_fraction: 0.4 },
+        cache_kb: 32,
+        phases: 1,
+    }
+}
+
+/// Fullconn: fully connected processors communicating at random —
+/// highly skewed pairwise sharing (dev 88.8%). 32 threads.
+pub fn fullconn() -> AppSpec {
+    AppSpec {
+        name: "fullconn",
+        granularity: Granularity::Medium,
+        threads: 32,
+        thread_length: TargetStat::new(974_000.0, 6.1),
+        shared_percent: 95.6,
+        refs_per_shared_addr: 493.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::RandomComm {
+            write_fraction: 0.5,
+            partners: 3,
+            uniform_fraction: 0.20,
+        },
+        cache_kb: 64,
+        phases: 1,
+    }
+}
+
+/// Grav: Presto Barnes-Hut clustering; spatial neighbors, skewed lengths.
+/// 32 threads.
+pub fn grav() -> AppSpec {
+    AppSpec {
+        name: "grav",
+        granularity: Granularity::Medium,
+        threads: 32,
+        thread_length: TargetStat::new(763_000.0, 38.9),
+        shared_percent: 98.2,
+        refs_per_shared_addr: 43.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::NeighborExchange {
+            write_fraction: 0.15,
+            reach: 2,
+            uniform_fraction: 0.55,
+        },
+        cache_kb: 64,
+        phases: 4,
+    }
+}
+
+/// Health: doctors/patients/centers interacting at random — the most
+/// skewed pairwise sharing (dev 133.7%) and very long runs. 64 threads
+/// (a length deviation of 95% over few threads would make every
+/// thread-balanced placement hopeless, contradicting the paper's Table 5
+/// values for health; the doctor/patient simulation naturally has many
+/// threads). 32 KB cache per §3.2.
+pub fn health() -> AppSpec {
+    AppSpec {
+        name: "health",
+        granularity: Granularity::Medium,
+        threads: 64,
+        thread_length: TargetStat::new(1_208_000.0, 95.2),
+        shared_percent: 93.5,
+        refs_per_shared_addr: 854.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::RandomComm {
+            write_fraction: 0.4,
+            partners: 2,
+            uniform_fraction: 0.45,
+        },
+        cache_kb: 32,
+        phases: 1,
+    }
+}
+
+/// Patch: radiosity; patch interactions fall off with distance. 32
+/// threads.
+pub fn patch() -> AppSpec {
+    AppSpec {
+        name: "patch",
+        granularity: Granularity::Medium,
+        threads: 32,
+        thread_length: TargetStat::new(488_000.0, 59.1),
+        shared_percent: 97.4,
+        refs_per_shared_addr: 73.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::NeighborExchange {
+            write_fraction: 0.2,
+            reach: 1,
+            uniform_fraction: 0.92,
+        },
+        cache_kb: 64,
+        phases: 1,
+    }
+}
+
+/// Vandermonde: matrix-operation sequence; extremely skewed sharing
+/// (pairwise dev 242.6%) and the longest runs of the suite. 24 threads.
+pub fn vandermonde() -> AppSpec {
+    AppSpec {
+        name: "vandermonde",
+        granularity: Granularity::Medium,
+        threads: 24,
+        thread_length: TargetStat::new(1_819_000.0, 80.3),
+        shared_percent: 98.7,
+        refs_per_shared_addr: 1647.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::RandomComm {
+            write_fraction: 0.45,
+            partners: 1,
+            uniform_fraction: 0.25,
+        },
+        cache_kb: 64,
+        phases: 1,
+    }
+}
+
+/// FFT: migratory data ("73% of all shared elements are migratory") and
+/// the largest thread-length deviation of any application (187.6%),
+/// which makes it the paper's showcase for load balancing (Figure 3).
+/// 64 threads — a deviation this large over few threads would force one
+/// single dominant thread, which contradicts the paper's observed
+/// LOAD-BAL wins; with 64 medium-grain threads the skew spreads over
+/// several long threads. 32 KB cache per §3.2.
+pub fn fft() -> AppSpec {
+    AppSpec {
+        name: "fft",
+        granularity: Granularity::Medium,
+        threads: 64,
+        thread_length: TargetStat::new(191_000.0, 187.6),
+        shared_percent: 72.4,
+        refs_per_shared_addr: 42.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::Migratory {
+            write_fraction: 0.7,
+            uniform_fraction: 0.15,
+        },
+        cache_kb: 32,
+        phases: 4,
+    }
+}
+
+/// Gauss: gaussian elimination; every thread reads the shared pivot rows
+/// (uniform all-sharing) and the paper's largest thread count, 127.
+pub fn gauss() -> AppSpec {
+    AppSpec {
+        name: "gauss",
+        granularity: Granularity::Medium,
+        threads: 127,
+        thread_length: TargetStat::new(210_000.0, 84.6),
+        shared_percent: 95.0,
+        refs_per_shared_addr: 26.0,
+        data_ratio: 0.30,
+        pattern: SharingPattern::UniformAllShare { write_fraction: 0.1 },
+        cache_kb: 64,
+        phases: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fourteen_unique_apps() {
+        let s = suite();
+        assert_eq!(s.len(), 14);
+        let mut names: Vec<&str> = s.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+        assert_eq!(s.len(), SUITE_NAMES.len());
+        for a in &s {
+            assert!(SUITE_NAMES.contains(&a.name));
+        }
+    }
+
+    #[test]
+    fn grain_split_is_seven_seven() {
+        let s = suite();
+        let coarse = s.iter().filter(|a| a.granularity == Granularity::Coarse).count();
+        assert_eq!(coarse, 7);
+        assert_eq!(s.len() - coarse, 7);
+    }
+
+    #[test]
+    fn coarse_threads_are_fewer_and_longer() {
+        let s = suite();
+        let avg = |g: Granularity, f: &dyn Fn(&AppSpec) -> f64| -> f64 {
+            let xs: Vec<f64> = s.iter().filter(|a| a.granularity == g).map(f).collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            avg(Granularity::Coarse, &|a| a.thread_length.mean)
+                > avg(Granularity::Medium, &|a| a.thread_length.mean) * 0.9
+        );
+        assert!(
+            avg(Granularity::Coarse, &|a| a.threads as f64)
+                < avg(Granularity::Medium, &|a| a.threads as f64)
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(spec("FFT").unwrap().name, "fft");
+        assert_eq!(spec("gauss").unwrap().threads, 127);
+        assert!(spec("doom").is_none());
+    }
+
+    #[test]
+    fn cache_sizes_follow_paper() {
+        // Coarse + health + fft: 32 KB. Other medium: 64 KB.
+        for a in suite() {
+            let expect_32 =
+                a.granularity == Granularity::Coarse || a.name == "health" || a.name == "fft";
+            assert_eq!(a.cache_kb, if expect_32 { 32 } else { 64 }, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn table2_targets_spot_checks() {
+        assert!((spec("locusroute").unwrap().shared_percent - 57.4).abs() < 1e-9);
+        assert!((spec("fft").unwrap().thread_length.dev_percent - 187.6).abs() < 1e-9);
+        assert!((spec("vandermonde").unwrap().refs_per_shared_addr - 1647.0).abs() < 1e-9);
+        assert!((spec("topopt").unwrap().thread_length.mean - 2_934_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,66 @@
+//! Miss anatomy: dissect cache misses into the paper's four components
+//! across machine configurations, reproducing the Figure 5 story — fewer
+//! threads per processor turn inter-thread conflicts into intra-thread
+//! conflicts and shrink conflicts overall, while compulsory and
+//! invalidation misses stay put regardless of placement.
+//!
+//! ```sh
+//! cargo run --release --example miss_anatomy -- water
+//! ```
+
+use placesim_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "water".into());
+    let spec = spec(&name).ok_or_else(|| format!("unknown application {name}"))?;
+    let app = PreparedApp::prepare(
+        &spec,
+        &GenOptions {
+            scale: 0.05,
+            seed: 13,
+        },
+    );
+
+    println!(
+        "{name}: {} threads, {} KB cache\n",
+        app.threads(),
+        app.config.cache_size() / 1024
+    );
+    println!(
+        "{:<12} {:<12} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "processors", "algorithm", "compulsory", "intra", "inter", "invalid", "miss %"
+    );
+    println!("{}", "-".repeat(80));
+
+    for processors in [2usize, 4, 8, 16] {
+        if processors > app.threads() {
+            continue;
+        }
+        for algo in [
+            PlacementAlgorithm::Random,
+            PlacementAlgorithm::LoadBal,
+            PlacementAlgorithm::ShareRefs,
+        ] {
+            let r = placesim::run_placement(&app, algo, processors)?;
+            let m = r.stats.total_misses();
+            println!(
+                "{:<12} {:<12} {:>10} {:>10} {:>10} {:>10} {:>8.2}%",
+                processors,
+                algo.paper_name(),
+                m.compulsory,
+                m.intra_thread_conflict,
+                m.inter_thread_conflict,
+                m.invalidation,
+                100.0 * r.stats.miss_rate(),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Note how the compulsory and invalidation columns barely move\n\
+         between RANDOM, LOAD-BAL and SHARE-REFS at any processor count:\n\
+         sharing-based placement has nothing to harvest."
+    );
+    Ok(())
+}

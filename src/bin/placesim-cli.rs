@@ -1,0 +1,343 @@
+//! `placesim-cli`: command-line trace tooling for the reproduction.
+//!
+//! ```text
+//! placesim-cli suite
+//! placesim-cli gen <app> <out.trace> [--scale S] [--seed N]
+//! placesim-cli info <trace>
+//! placesim-cli analyze <trace>
+//! placesim-cli place <trace> <algorithm> <processors>
+//! placesim-cli simulate <trace> <algorithm> <processors> [--cache-kb K]
+//!              [--assoc W] [--latency L] [--switch C]
+//! placesim-cli probe <trace>
+//! ```
+//!
+//! Traces use the `placesim-trace` binary format, so generated traces
+//! can be archived and re-analyzed like MPtrace outputs were.
+
+use placesim_analysis::{CharacteristicsRow, SharingAnalysis};
+use placesim_machine::{probe_coherence, simulate, ArchConfig};
+use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs};
+use placesim_trace::{compress, io as trace_io, ProgramTrace};
+use placesim_workloads::{generate, suite, GenOptions};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  placesim-cli suite
+  placesim-cli gen <app> <out.trace> [--scale S] [--seed N] [--flat]
+  placesim-cli info <trace>
+  placesim-cli analyze <trace>
+  placesim-cli place <trace> <algorithm> <processors>
+  placesim-cli simulate <trace> <algorithm> <processors>
+               [--cache-kb K] [--assoc W] [--latency L] [--switch C]
+  placesim-cli probe <trace>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("suite") => cmd_suite(),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("place") => cmd_place(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("probe") => cmd_probe(&args[1..]),
+        Some(other) => Err(format!("unknown command {other}")),
+        None => Err("missing command".into()),
+    }
+}
+
+/// Parses `--key value` flags from the tail of an argument list.
+fn flag(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| format!("{name} value must be numeric"));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_algorithm(name: &str) -> Result<PlacementAlgorithm, String> {
+    PlacementAlgorithm::ALL
+        .into_iter()
+        .find(|a| a.paper_name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = PlacementAlgorithm::ALL
+                .iter()
+                .map(|a| a.paper_name())
+                .collect();
+            format!("unknown algorithm {name}; choose one of {}", names.join(", "))
+        })
+}
+
+fn load_trace(path: &str) -> Result<ProgramTrace, String> {
+    let mut file = BufReader::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?);
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut file, &mut raw).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Accepts both the flat v1 and compressed v2 formats.
+    compress::read_any(&raw).map_err(|e| format!("cannot decode {path}: {e}"))
+}
+
+fn cmd_suite() -> Result<(), String> {
+    println!("{:<14} {:<8} {:>8} {:>16} {:>14}", "app", "grain", "threads", "mean length", "shared refs %");
+    for s in suite() {
+        println!(
+            "{:<14} {:<8} {:>8} {:>16} {:>13.1}%",
+            s.name,
+            format!("{:?}", s.granularity),
+            s.threads,
+            s.thread_length.mean as u64,
+            s.shared_percent
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let app = args.first().ok_or("gen needs an app name")?;
+    let out = args.get(1).ok_or("gen needs an output path")?;
+    let spec = placesim_workloads::spec(app).ok_or_else(|| format!("unknown app {app}"))?;
+    let opts = GenOptions {
+        // --scale wins; otherwise PLACESIM_SCALE, like the bench harness.
+        scale: flag(args, "--scale")?.unwrap_or_else(|| placesim::scale_from_env(0.1)),
+        seed: flag(args, "--seed")?.unwrap_or(1994.0) as u64,
+    };
+    let prog = generate(&spec, &opts);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let flat = args.iter().any(|a| a == "--flat");
+    if flat {
+        trace_io::write_program(&prog, BufWriter::new(file))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+    } else {
+        compress::write_program(&prog, BufWriter::new(file))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    println!(
+        "wrote {out}: {} threads, {} references (scale {}, seed {}, {} format)",
+        prog.thread_count(),
+        prog.total_refs(),
+        opts.scale,
+        opts.seed,
+        if flat { "flat v1" } else { "compressed v2" }
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let prog = load_trace(args.first().ok_or("info needs a trace path")?)?;
+    println!("program:      {}", prog.name());
+    println!("threads:      {}", prog.thread_count());
+    println!("references:   {}", prog.total_refs());
+    println!("instructions: {}", prog.total_instrs());
+    println!("data refs:    {}", prog.total_data_refs());
+    for (id, t) in prog.iter() {
+        println!(
+            "  {id}: {} instrs, {} reads, {} writes",
+            t.instr_len(),
+            t.read_len(),
+            t.write_len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let prog = load_trace(args.first().ok_or("analyze needs a trace path")?)?;
+    let sharing = SharingAnalysis::measure(&prog);
+    let row = CharacteristicsRow::from_sharing(&prog, &sharing, 1994);
+    println!("app: {}", row.app);
+    println!(
+        "pairwise sharing:      mean {:.0}  dev {:.1}%",
+        row.pairwise_sharing.mean,
+        row.pairwise_sharing.dev_percent()
+    );
+    println!(
+        "n-way sharing:         mean {:.0}  dev {:.1}%",
+        row.nway_sharing.mean,
+        row.nway_sharing.dev_percent()
+    );
+    println!(
+        "refs per shared addr:  mean {:.1}  dev {:.1}%",
+        row.refs_per_shared_addr.mean,
+        row.refs_per_shared_addr.dev_percent()
+    );
+    println!("shared refs:           {:.1}%", row.shared_refs_percent.mean);
+    println!(
+        "thread length:         mean {:.0}  dev {:.1}%",
+        row.thread_length.mean,
+        row.thread_length.dev_percent()
+    );
+    println!(
+        "shared addresses:      {} of {}",
+        sharing.shared_address_count(),
+        sharing.total_address_count()
+    );
+    Ok(())
+}
+
+fn cmd_place(args: &[String]) -> Result<(), String> {
+    let prog = load_trace(args.first().ok_or("place needs a trace path")?)?;
+    let algo = parse_algorithm(args.get(1).ok_or("place needs an algorithm")?)?;
+    let processors: usize = args
+        .get(2)
+        .ok_or("place needs a processor count")?
+        .parse()
+        .map_err(|_| "processor count must be an integer".to_string())?;
+    let sharing = SharingAnalysis::measure(&prog);
+    let lengths = thread_lengths(&prog);
+    let inputs = PlacementInputs::new(&sharing, &lengths);
+    let map = algo.place(&inputs, processors).map_err(|e| e.to_string())?;
+    println!("{} onto {processors} processors:", algo.paper_name());
+    print!("{map}");
+    println!("loads: {:?}", map.loads(&lengths));
+    println!("load imbalance: {:.3}", map.load_imbalance(&lengths));
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let prog = load_trace(args.first().ok_or("simulate needs a trace path")?)?;
+    let algo = parse_algorithm(args.get(1).ok_or("simulate needs an algorithm")?)?;
+    let processors: usize = args
+        .get(2)
+        .ok_or("simulate needs a processor count")?
+        .parse()
+        .map_err(|_| "processor count must be an integer".to_string())?;
+
+    let mut builder = ArchConfig::builder();
+    if let Some(kb) = flag(args, "--cache-kb")? {
+        builder.cache_size(kb as u64 * 1024);
+    }
+    if let Some(w) = flag(args, "--assoc")? {
+        builder.associativity(w as u32);
+    }
+    if let Some(l) = flag(args, "--latency")? {
+        builder.memory_latency(l as u64);
+    }
+    if let Some(c) = flag(args, "--switch")? {
+        builder.context_switch(c as u64);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+
+    let sharing = SharingAnalysis::measure(&prog);
+    let lengths = thread_lengths(&prog);
+    let inputs = PlacementInputs::new(&sharing, &lengths);
+    let map = algo.place(&inputs, processors).map_err(|e| e.to_string())?;
+    let stats = simulate(&prog, &map, &config).map_err(|e| e.to_string())?;
+
+    let m = stats.total_misses();
+    println!("execution time: {} cycles", stats.execution_time());
+    println!("references:     {}", stats.total_refs());
+    println!("miss rate:      {:.3}%", 100.0 * stats.miss_rate());
+    println!("misses:");
+    println!("  compulsory            {}", m.compulsory);
+    println!("  intra-thread conflict {}", m.intra_thread_conflict);
+    println!("  inter-thread conflict {}", m.inter_thread_conflict);
+    println!("  invalidation          {}", m.invalidation);
+    println!("coherence traffic: {}", stats.coherence_traffic());
+    Ok(())
+}
+
+fn cmd_probe(args: &[String]) -> Result<(), String> {
+    let prog = load_trace(args.first().ok_or("probe needs a trace path")?)?;
+    let result = probe_coherence(&prog, &ArchConfig::paper_default()).map_err(|e| e.to_string())?;
+    println!("one-thread-per-processor coherence probe:");
+    println!("  compulsory misses: {}", result.compulsory_misses());
+    println!("  coherence traffic: {}", result.total_traffic());
+    println!(
+        "  traffic fraction:  {:.4}% of references",
+        100.0 * result.traffic_fraction()
+    );
+    // Top-5 hottest thread pairs.
+    let mut pairs: Vec<(usize, usize, u64)> = result.traffic.iter_pairs().collect();
+    pairs.sort_by_key(|&(_, _, v)| std::cmp::Reverse(v));
+    println!("  hottest thread pairs:");
+    for (a, b, v) in pairs.into_iter().take(5) {
+        println!("    T{a} <-> T{b}: {v}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["gen", "fft", "--scale", "0.25", "--seed", "7"]);
+        assert_eq!(flag(&args, "--scale").unwrap(), Some(0.25));
+        assert_eq!(flag(&args, "--seed").unwrap(), Some(7.0));
+        assert_eq!(flag(&args, "--missing").unwrap(), None);
+        assert!(flag(&s(&["--scale"]), "--scale").is_err());
+        assert!(flag(&s(&["--scale", "abc"]), "--scale").is_err());
+    }
+
+    #[test]
+    fn algorithm_parsing() {
+        assert_eq!(
+            parse_algorithm("share-refs").unwrap(),
+            PlacementAlgorithm::ShareRefs
+        );
+        assert_eq!(
+            parse_algorithm("LOAD-BAL").unwrap(),
+            PlacementAlgorithm::LoadBal
+        );
+        assert!(parse_algorithm("bogus").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn suite_command_runs() {
+        run(&s(&["suite"])).unwrap();
+    }
+
+    #[test]
+    fn gen_info_analyze_roundtrip() {
+        let dir = std::env::temp_dir().join("placesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fft.trace");
+        let path_s = path.to_str().unwrap().to_string();
+
+        run(&s(&["gen", "fft", &path_s, "--scale", "0.002", "--seed", "3"])).unwrap();
+        run(&s(&["info", &path_s])).unwrap(); // compressed v2 loads
+        run(&s(&["gen", "fft", &path_s, "--scale", "0.002", "--seed", "3", "--flat"])).unwrap();
+        run(&s(&["info", &path_s])).unwrap();
+        run(&s(&["analyze", &path_s])).unwrap();
+        run(&s(&["place", &path_s, "LOAD-BAL", "4"])).unwrap();
+        run(&s(&["simulate", &path_s, "RANDOM", "4", "--cache-kb", "32", "--assoc", "2"]))
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run(&s(&["info", "/nonexistent/x.trace"])).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration tests for barrier-phased execution across the full
+//! pipeline (generator → placement → machine).
+
+use placesim_repro::prelude::*;
+
+fn opts() -> GenOptions {
+    GenOptions {
+        scale: 0.01,
+        seed: 77,
+    }
+}
+
+/// Every suite application generates equal barrier counts across its
+/// threads — the machine's precondition for deadlock-free barriers.
+#[test]
+fn suite_barrier_counts_are_uniform() {
+    for spec in suite() {
+        let prog = generate(&spec, &opts());
+        let expected = (spec.phases.max(1) - 1) as u64;
+        for (id, thread) in prog.iter() {
+            assert_eq!(
+                thread.barrier_len(),
+                expected,
+                "{} {}: barrier count",
+                spec.name,
+                id
+            );
+        }
+    }
+}
+
+/// Phased applications run end-to-end with references conserved and
+/// cycle accounting intact.
+#[test]
+fn phased_apps_simulate_cleanly() {
+    for name in ["water", "gauss", "fft"] {
+        let app = PreparedApp::prepare(&spec(name).unwrap(), &opts());
+        let p = 4.min(app.threads());
+        let r = placesim::run_placement(&app, PlacementAlgorithm::LoadBal, p).unwrap();
+        assert_eq!(r.stats.total_refs(), app.prog.total_refs(), "{name}");
+        for (i, ps) in r.stats.per_proc().iter().enumerate() {
+            assert_eq!(
+                ps.accounted_cycles(),
+                ps.finish_time,
+                "{name} P{i}: conservation with barriers"
+            );
+        }
+    }
+}
+
+/// Barriers amplify imbalance: on a skewed-length app, the phased run
+/// cannot be faster than the same app generated without phases (same
+/// placement algorithm, same seed).
+#[test]
+fn phases_never_speed_up_execution() {
+    let mut phased_spec = spec("gauss").unwrap();
+    let mut flat_spec = phased_spec.clone();
+    phased_spec.phases = 8;
+    flat_spec.phases = 1;
+
+    let phased = PreparedApp::prepare(&phased_spec, &opts());
+    let flat = PreparedApp::prepare(&flat_spec, &opts());
+    let p = 8;
+    let rp = placesim::run_placement(&phased, PlacementAlgorithm::Random, p).unwrap();
+    let rf = placesim::run_placement(&flat, PlacementAlgorithm::Random, p).unwrap();
+    assert!(
+        rp.execution_time() >= rf.execution_time(),
+        "phased {} must not beat flat {}",
+        rp.execution_time(),
+        rf.execution_time()
+    );
+}
+
+/// The compressed trace format round-trips a phased application
+/// (barrier records included) and the analysis ignores barriers.
+#[test]
+fn phased_trace_roundtrip_and_analysis() {
+    use placesim_repro::analysis::SharingAnalysis;
+    use placesim_repro::trace::compress;
+
+    let prog = generate(&spec("mp3d").unwrap(), &opts());
+    assert!(prog.threads()[0].barrier_len() > 0, "mp3d is phased");
+
+    let bytes = compress::to_bytes(&prog).unwrap();
+    let back = compress::from_bytes(&bytes).unwrap();
+    assert_eq!(back, prog);
+
+    let a = SharingAnalysis::measure(&prog);
+    let b = SharingAnalysis::measure(&back);
+    assert_eq!(a, b);
+    // Barriers are not data references.
+    let data: u64 = prog.threads().iter().map(|t| t.data_len()).sum();
+    let per_thread: u64 = a.per_thread().iter().map(|s| s.data_refs()).sum();
+    assert_eq!(data, per_thread);
+}

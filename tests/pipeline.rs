@@ -1,0 +1,88 @@
+//! End-to-end pipeline tests: workload generation → static analysis →
+//! placement → simulation, across crates.
+
+use placesim_repro::prelude::*;
+
+fn opts() -> GenOptions {
+    GenOptions {
+        scale: 0.003,
+        seed: 2024,
+    }
+}
+
+#[test]
+fn every_app_runs_every_algorithm_end_to_end() {
+    for app_spec in suite() {
+        let mut app = PreparedApp::prepare(&app_spec, &opts());
+        // Skip probe for the 127-thread app to keep this test fast; the
+        // static algorithms don't need it.
+        let algos: Vec<PlacementAlgorithm> = PlacementAlgorithm::STATIC.to_vec();
+        let p = 4.min(app.threads());
+        for algo in algos {
+            let r = placesim::run_placement(&app, algo, p)
+                .unwrap_or_else(|e| panic!("{} {algo}: {e}", app_spec.name));
+            assert_eq!(
+                r.stats.total_refs(),
+                app.prog.total_refs(),
+                "{} {algo}: reference conservation",
+                app_spec.name
+            );
+            assert!(r.execution_time() > 0);
+        }
+        // One dynamic-probe-driven placement per app (cheap at this scale).
+        app.run_probe().expect("probe");
+        let r = placesim::run_placement(&app, PlacementAlgorithm::CoherenceTraffic, p)
+            .expect("coherence placement");
+        assert!(r.execution_time() > 0);
+    }
+}
+
+#[test]
+fn trace_io_roundtrip_preserves_analysis() {
+    use placesim_repro::analysis::SharingAnalysis;
+    use placesim_repro::trace::io;
+
+    let spec = spec("pverify").unwrap();
+    let prog = generate(&spec, &opts());
+    let bytes = io::to_bytes(&prog).expect("serialize");
+    let back = io::from_bytes(&bytes).expect("deserialize");
+    assert_eq!(back, prog);
+
+    let a = SharingAnalysis::measure(&prog);
+    let b = SharingAnalysis::measure(&back);
+    assert_eq!(a, b, "analysis must be identical on the round-tripped trace");
+}
+
+#[test]
+fn prepared_app_from_trace_matches_prepare() {
+    let spec = spec("patch").unwrap();
+    let prog = generate(&spec, &opts());
+    let via_trace = PreparedApp::from_trace(&spec, prog, &opts());
+    let via_prepare = PreparedApp::prepare(&spec, &opts());
+    assert_eq!(via_trace.prog, via_prepare.prog);
+    assert_eq!(via_trace.lengths, via_prepare.lengths);
+}
+
+#[test]
+fn simulation_is_deterministic_across_sweeps() {
+    let app = PreparedApp::prepare(&spec("grav").unwrap(), &opts());
+    let algos = [PlacementAlgorithm::LoadBal, PlacementAlgorithm::ShareRefs];
+    let a = placesim::run_sweep(&app, &algos, &[2, 4]).unwrap();
+    let b = placesim::run_sweep(&app, &algos, &[2, 4]).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.stats, y.stats);
+        assert_eq!(x.map, y.map);
+    }
+}
+
+#[test]
+fn context_count_follows_placement() {
+    // The machine sizes hardware contexts from the placement map: with
+    // p processors and t threads the largest cluster is ⌈t/p⌉ for every
+    // thread-balanced algorithm.
+    let app = PreparedApp::prepare(&spec("water").unwrap(), &opts());
+    for p in [2usize, 4, 8] {
+        let r = placesim::run_placement(&app, PlacementAlgorithm::Random, p).unwrap();
+        assert_eq!(r.map.max_cluster_size(), app.threads().div_ceil(p));
+    }
+}
