@@ -44,7 +44,11 @@ impl<T: Clone> SymMatrix<T> {
     fn index(&self, i: usize, j: usize) -> usize {
         debug_assert!(i != j, "diagonal is implicit");
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-        debug_assert!(hi < self.n, "index ({i},{j}) out of bounds for dim {}", self.n);
+        debug_assert!(
+            hi < self.n,
+            "index ({i},{j}) out of bounds for dim {}",
+            self.n
+        );
         // Elements are laid out row by row over the strict upper triangle:
         // row lo starts at lo*n - lo*(lo+1)/2 - lo  (cumulative row lengths).
         lo * (2 * self.n - lo - 1) / 2 + (hi - lo - 1)
@@ -56,7 +60,11 @@ impl<T: Clone> SymMatrix<T> {
     ///
     /// Panics if `i` or `j` is out of bounds.
     pub fn get(&self, i: usize, j: usize) -> T {
-        assert!(i < self.n && j < self.n, "({i},{j}) out of bounds for dim {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "({i},{j}) out of bounds for dim {}",
+            self.n
+        );
         if i == j {
             self.zero.clone()
         } else {
@@ -70,7 +78,11 @@ impl<T: Clone> SymMatrix<T> {
     ///
     /// Panics if out of bounds or if `i == j`.
     pub fn set(&mut self, i: usize, j: usize, value: T) {
-        assert!(i < self.n && j < self.n, "({i},{j}) out of bounds for dim {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "({i},{j}) out of bounds for dim {}",
+            self.n
+        );
         assert!(i != j, "cannot set the implicit zero diagonal");
         let idx = self.index(i, j);
         self.data[idx] = value;
@@ -82,7 +94,11 @@ impl<T: Clone> SymMatrix<T> {
     ///
     /// Panics if out of bounds or if `i == j`.
     pub fn get_mut(&mut self, i: usize, j: usize) -> &mut T {
-        assert!(i < self.n && j < self.n, "({i},{j}) out of bounds for dim {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "({i},{j}) out of bounds for dim {}",
+            self.n
+        );
         assert!(i != j, "cannot mutate the implicit zero diagonal");
         let idx = self.index(i, j);
         &mut self.data[idx]

@@ -144,12 +144,9 @@ mod tests {
     #[test]
     fn nway_is_deterministic_per_seed() {
         let t0: ThreadTrace = [MemRef::read(Address::new(1))].into_iter().collect();
-        let t1: ThreadTrace = [
-            MemRef::read(Address::new(1)),
-            MemRef::read(Address::new(2)),
-        ]
-        .into_iter()
-        .collect();
+        let t1: ThreadTrace = [MemRef::read(Address::new(1)), MemRef::read(Address::new(2))]
+            .into_iter()
+            .collect();
         let t2: ThreadTrace = [MemRef::read(Address::new(2))].into_iter().collect();
         let t3: ThreadTrace = [MemRef::read(Address::new(3))].into_iter().collect();
         let prog = ProgramTrace::new("skew", vec![t0, t1, t2, t3]);

@@ -59,10 +59,7 @@ impl PerAddress {
     }
 
     fn bump(&mut self, thread: ThreadId, is_write: bool) {
-        let slot = match self
-            .counts
-            .binary_search_by_key(&thread, |c| c.thread)
-        {
+        let slot = match self.counts.binary_search_by_key(&thread, |c| c.thread) {
             Ok(i) => &mut self.counts[i],
             Err(i) => {
                 self.counts.insert(
@@ -222,5 +219,4 @@ mod tests {
         assert_eq!(pa.counts()[1].reads, 1);
         assert_eq!(pa.counts()[1].writes, 1);
     }
-
 }

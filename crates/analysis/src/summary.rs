@@ -54,7 +54,10 @@ impl CharacteristicsRow {
             pairwise_sharing: pairwise_stats(sharing),
             nway_sharing: nway_stats(sharing, nway_cluster, Self::NWAY_SAMPLES, seed),
             refs_per_shared_addr: MeanDev::from_values(
-                sharing.per_thread().iter().map(|s| s.refs_per_shared_addr()),
+                sharing
+                    .per_thread()
+                    .iter()
+                    .map(|s| s.refs_per_shared_addr()),
             ),
             shared_refs_percent: MeanDev::from_values(
                 sharing.per_thread().iter().map(|s| s.shared_percent()),

@@ -66,7 +66,7 @@ pub fn analyze_round_robin(prog: &ProgramTrace) -> WriteRunStats {
         next: 0,
         live: prog.thread_count(),
     };
-    analyze_stream(stream.map(|(tid, addr)| (tid, addr)))
+    analyze_stream(stream)
 }
 
 /// Analyzes write runs over an arbitrary interleaved `(thread, address)`

@@ -24,17 +24,70 @@ fn main() {
     );
 
     let knobs: Vec<(&str, ArchConfig)> = vec![
-        ("baseline (switch 6, latency 50, line 32)", ArchConfig::paper_default()),
-        ("switch 0", build(|b| { b.context_switch(0); })),
-        ("switch 16", build(|b| { b.context_switch(16); })),
-        ("latency 25", build(|b| { b.memory_latency(25); })),
-        ("latency 200", build(|b| { b.memory_latency(200); })),
-        ("line 16", build(|b| { b.line_size(16); })),
-        ("line 128", build(|b| { b.line_size(128); })),
-        ("upgrade stalls", build(|b| { b.upgrade_stalls(true); })),
-        ("memory occupancy 8", build(|b| { b.memory_occupancy(8); })),
-        ("2-way associative", build(|b| { b.associativity(2); })),
-        ("4-way associative", build(|b| { b.associativity(4); })),
+        (
+            "baseline (switch 6, latency 50, line 32)",
+            ArchConfig::paper_default(),
+        ),
+        (
+            "switch 0",
+            build(|b| {
+                b.context_switch(0);
+            }),
+        ),
+        (
+            "switch 16",
+            build(|b| {
+                b.context_switch(16);
+            }),
+        ),
+        (
+            "latency 25",
+            build(|b| {
+                b.memory_latency(25);
+            }),
+        ),
+        (
+            "latency 200",
+            build(|b| {
+                b.memory_latency(200);
+            }),
+        ),
+        (
+            "line 16",
+            build(|b| {
+                b.line_size(16);
+            }),
+        ),
+        (
+            "line 128",
+            build(|b| {
+                b.line_size(128);
+            }),
+        ),
+        (
+            "upgrade stalls",
+            build(|b| {
+                b.upgrade_stalls(true);
+            }),
+        ),
+        (
+            "memory occupancy 8",
+            build(|b| {
+                b.memory_occupancy(8);
+            }),
+        ),
+        (
+            "2-way associative",
+            build(|b| {
+                b.associativity(2);
+            }),
+        ),
+        (
+            "4-way associative",
+            build(|b| {
+                b.associativity(4);
+            }),
+        ),
     ];
 
     for app_name in apps {
@@ -53,13 +106,9 @@ fn main() {
             let lb =
                 run_placement_with_config(&app, PlacementAlgorithm::LoadBal, processors, &config)
                     .expect("load-bal");
-            let sr = run_placement_with_config(
-                &app,
-                PlacementAlgorithm::ShareRefs,
-                processors,
-                &config,
-            )
-            .expect("share-refs");
+            let sr =
+                run_placement_with_config(&app, PlacementAlgorithm::ShareRefs, processors, &config)
+                    .expect("share-refs");
             let r = rnd.execution_time() as f64;
             t.row([
                 label.to_string(),

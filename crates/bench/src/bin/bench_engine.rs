@@ -1,0 +1,158 @@
+//! Measures engine throughput (references per second) for the batched
+//! hit-run engine against the per-reference reference engine and writes
+//! `BENCH_engine.json` at the repository root.
+//!
+//! Scenarios are chosen to bracket the optimisation:
+//!
+//! * `p1-hot-loop` — one processor, four contexts, cache-resident
+//!   working sets: the queue is empty after each pop, so entire hit runs
+//!   batch under a single event. This is the fast path's best case.
+//! * `p1-water` — a paper workload multiprogrammed onto one processor.
+//! * `p4-water` / `p8-water` — the paper's actual sharing experiments:
+//!   lockstep cross-processor events cut hit runs at the horizon, so
+//!   gains here come mostly from the flat cache slab and the fused
+//!   single-pass access.
+//!
+//! Usage: `cargo run --release -p placesim-bench --bin bench_engine`.
+
+use placesim::PreparedApp;
+use placesim_machine::{reference, simulate, ArchConfig};
+use placesim_placement::{PlacementAlgorithm, PlacementMap};
+use placesim_trace::{Address, MemRef, ProgramTrace, ThreadTrace};
+use placesim_workloads::{spec, GenOptions};
+use std::time::Instant;
+
+/// One measured scenario: both engines over the same inputs.
+struct Scenario {
+    name: &'static str,
+    note: &'static str,
+    prog: ProgramTrace,
+    map: PlacementMap,
+    config: ArchConfig,
+}
+
+/// Median wall-clock seconds per run over `samples` timed runs (after
+/// one warmup), for a closure executing one full simulation.
+fn median_secs(samples: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warmup: touch caches, fault pages
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn hot_loop_program() -> (ProgramTrace, PlacementMap) {
+    // Four threads, each looping over a 4-line working set disjoint from
+    // the others (16 lines total fit the paper cache easily): after the
+    // compulsory fills, every reference hits.
+    let threads: Vec<ThreadTrace> = (0..4u64)
+        .map(|t| {
+            (0..200_000u64)
+                .map(|i| MemRef::read(Address::new(t * 0x1000 + (i % 4) * 64)))
+                .collect()
+        })
+        .collect();
+    let prog = ProgramTrace::new("hot-loop", threads);
+    let map = PlacementMap::from_clusters(vec![vec![0, 1, 2, 3]]).unwrap();
+    (prog, map)
+}
+
+fn main() {
+    let opts = GenOptions {
+        scale: 0.05,
+        seed: 1994,
+    };
+    let app = PreparedApp::prepare(&spec("water").expect("known app"), &opts);
+
+    let mut scenarios = Vec::new();
+    let (prog, map) = hot_loop_program();
+    scenarios.push(Scenario {
+        name: "p1-hot-loop",
+        note: "1 processor, 4 contexts, cache-resident: maximal hit-run batching",
+        prog,
+        map,
+        config: ArchConfig::paper_default(),
+    });
+    for p in [1usize, 4, 8] {
+        let name = match p {
+            1 => "p1-water",
+            4 => "p4-water",
+            _ => "p8-water",
+        };
+        let note = if p == 1 {
+            "water multiprogrammed on 1 processor: long uncontested hit runs"
+        } else {
+            "paper configuration: cross-processor events cut runs at the horizon"
+        };
+        scenarios.push(Scenario {
+            name,
+            note,
+            prog: app.prog.clone(),
+            map: PlacementAlgorithm::LoadBal
+                .place(&app.placement_inputs(), p)
+                .expect("placement"),
+            config: app.config.clone(),
+        });
+    }
+
+    let samples = 9;
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let refs = s.prog.total_refs() as f64;
+        let batched = median_secs(samples, || {
+            drop(simulate(&s.prog, &s.map, &s.config).unwrap())
+        });
+        let refr = median_secs(samples, || {
+            drop(reference::simulate(&s.prog, &s.map, &s.config).unwrap());
+        });
+        let batched_rps = refs / batched;
+        let reference_rps = refs / refr;
+        let speedup = batched_rps / reference_rps;
+        println!(
+            "{:<12} {:>12.0} refs/s batched | {:>12.0} refs/s reference | {:.2}x",
+            s.name, batched_rps, reference_rps, speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"note\": \"{}\",\n",
+                "      \"total_refs\": {},\n",
+                "      \"batched_refs_per_sec\": {:.0},\n",
+                "      \"reference_refs_per_sec\": {:.0},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            s.name,
+            s.note,
+            s.prog.total_refs(),
+            batched_rps,
+            reference_rps,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"engine-throughput\",\n",
+            "  \"unit\": \"references per second, median of {} runs\",\n",
+            "  \"engines\": {{\n",
+            "    \"batched\": \"hit-run batching + flat cache slab + fused access\",\n",
+            "    \"reference\": \"one heap event per reference (pre-optimisation engine)\"\n",
+            "  }},\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        samples,
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(out, json).expect("write BENCH_engine.json");
+    println!("wrote {out}");
+}

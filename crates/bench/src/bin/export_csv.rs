@@ -16,9 +16,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| "placesim-csv".into());
     let out = Path::new(&out_dir);
     fs::create_dir_all(out)?;
-    eprintln!("exporting CSVs to {out_dir} (scale {})", harness_opts().scale);
+    eprintln!(
+        "exporting CSVs to {out_dir} (scale {})",
+        harness_opts().scale
+    );
 
-    for (figure, app_name) in [("fig2", "locusroute"), ("fig3", "fft"), ("fig4", "barnes-hut")] {
+    for (figure, app_name) in [
+        ("fig2", "locusroute"),
+        ("fig3", "fft"),
+        ("fig4", "barnes-hut"),
+    ] {
         let app = prepare(app_name);
         let procs = default_processor_counts(app.threads());
         let fig = exec_time_figure(&app, &procs)?;

@@ -8,8 +8,8 @@
 //! Defaults: all 14 applications, all 14 static algorithms, the paper's
 //! processor counts. `--infinite` switches to the 8 MB cache.
 
-use placesim::grid::{grid_to_csv, run_grid};
 use placesim::figures::default_processor_counts;
+use placesim::grid::{grid_to_csv, run_grid};
 use placesim_bench::{harness_opts, prepare};
 use placesim_machine::ArchConfig;
 use placesim_placement::PlacementAlgorithm;
@@ -63,8 +63,7 @@ fn main() {
         let pcs = procs
             .clone()
             .unwrap_or_else(|| default_processor_counts(app.threads()));
-        let records =
-            run_grid(&app, &algos, &pcs, config.as_ref()).expect("grid cell failed");
+        let records = run_grid(&app, &algos, &pcs, config.as_ref()).expect("grid cell failed");
         all.extend(records);
     }
     print!("{}", grid_to_csv(&all));

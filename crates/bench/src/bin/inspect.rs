@@ -39,8 +39,18 @@ fn main() {
 
     let loads = r.map.loads(&app.lengths);
     let mut t = TextTable::new([
-        "proc", "threads", "load", "finish", "busy", "switch", "idle", "hits", "compulsory",
-        "intra", "inter", "invalid",
+        "proc",
+        "threads",
+        "load",
+        "finish",
+        "busy",
+        "switch",
+        "idle",
+        "hits",
+        "compulsory",
+        "intra",
+        "inter",
+        "invalid",
     ]);
     for (i, ps) in r.stats.per_proc().iter().enumerate() {
         let cluster = r.map.threads_on(ProcessorId::from_index(i));

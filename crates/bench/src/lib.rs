@@ -46,7 +46,13 @@ pub fn print_table1() {
     let opts = harness_opts();
     println!("Table 1: The application suite (scale {})\n", opts.scale);
     let apps = prepare_suite(&suite(), &opts);
-    let mut t = TextTable::new(["Application", "Grain", "Threads", "Total instrs", "Mean thread len"]);
+    let mut t = TextTable::new([
+        "Application",
+        "Grain",
+        "Threads",
+        "Total instrs",
+        "Mean thread len",
+    ]);
     for row in table1(&apps) {
         t.row([
             row.app.clone(),
@@ -219,7 +225,12 @@ pub fn print_exec_figure(fig: &ExecTimeFigure) {
         println!("bars at p={last} (full bar = RANDOM):");
         for (a, &algo) in fig.algorithms.iter().enumerate() {
             let v = *fig.normalized[a].last().expect("non-empty row");
-            println!("  {:<14} {:<6} {}", algo.paper_name(), fmt_f(v, 3), ascii_bar(v, 1.0, 40));
+            println!(
+                "  {:<14} {:<6} {}",
+                algo.paper_name(),
+                fmt_f(v, 3),
+                ascii_bar(v, 1.0, 40)
+            );
         }
         println!();
     }

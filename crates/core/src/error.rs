@@ -25,7 +25,10 @@ impl fmt::Display for Error {
             Error::Sim(e) => write!(f, "simulation failed: {e}"),
             Error::Config(e) => write!(f, "bad architecture config: {e}"),
             Error::ProbeMissing => {
-                write!(f, "coherence-traffic probe required; call PreparedApp::run_probe first")
+                write!(
+                    f,
+                    "coherence-traffic probe required; call PreparedApp::run_probe first"
+                )
             }
         }
     }

@@ -1,12 +1,10 @@
 //! Prepared applications and placement experiments.
 
 use crate::error::Error;
-use crate::sweep::parallel_map;
+use crate::sweep::try_parallel_map;
 use placesim_analysis::{SharingAnalysis, SymMatrix};
 use placesim_machine::{probe_coherence, simulate, ArchConfig, ProbeResult, SimStats};
-use placesim_placement::{
-    thread_lengths, PlacementAlgorithm, PlacementInputs, PlacementMap,
-};
+use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs, PlacementMap};
 use placesim_trace::ProgramTrace;
 use placesim_workloads::{generate, AppSpec, GenOptions};
 
@@ -167,9 +165,14 @@ pub fn run_placement_with_config(
 /// Runs every `(algorithm, processors)` combination in parallel worker
 /// threads and returns results in deterministic (algorithm-major) order.
 ///
+/// A failing combination short-circuits the sweep: the shared stop flag
+/// inside [`try_parallel_map`] keeps workers from claiming further
+/// combinations, so a bad grid fails in one simulation's time rather
+/// than the whole grid's.
+///
 /// # Errors
 ///
-/// Returns the first error encountered, if any.
+/// Returns the lowest-indexed (algorithm-major) error encountered.
 pub fn run_sweep(
     app: &PreparedApp,
     algorithms: &[PlacementAlgorithm],
@@ -179,8 +182,7 @@ pub fn run_sweep(
         .iter()
         .flat_map(|&a| processor_counts.iter().map(move |&p| (a, p)))
         .collect();
-    let results = parallel_map(&combos, |&(algo, p)| run_placement(app, algo, p));
-    results.into_iter().collect()
+    try_parallel_map(&combos, |&(algo, p)| run_placement(app, algo, p))
 }
 
 #[cfg(test)]
@@ -236,8 +238,10 @@ mod tests {
         let procs = [2, 4];
         let results = run_sweep(&app, &algos, &procs).unwrap();
         assert_eq!(results.len(), 4);
-        let got: Vec<(PlacementAlgorithm, usize)> =
-            results.iter().map(|r| (r.algorithm, r.processors)).collect();
+        let got: Vec<(PlacementAlgorithm, usize)> = results
+            .iter()
+            .map(|r| (r.algorithm, r.processors))
+            .collect();
         assert_eq!(
             got,
             vec![
@@ -253,8 +257,7 @@ mod tests {
     fn explicit_config_overrides_cache() {
         let app = tiny("water");
         let inf = placesim_machine::ArchConfig::infinite_cache();
-        let r =
-            run_placement_with_config(&app, PlacementAlgorithm::LoadBal, 2, &inf).unwrap();
+        let r = run_placement_with_config(&app, PlacementAlgorithm::LoadBal, 2, &inf).unwrap();
         assert_eq!(r.stats.total_misses().conflicts(), 0);
     }
 }

@@ -25,10 +25,7 @@ where
     C::Item: AsRef<str>,
 {
     let mut out = String::new();
-    let header: Vec<String> = headers
-        .into_iter()
-        .map(|h| csv_field(h.as_ref()))
-        .collect();
+    let header: Vec<String> = headers.into_iter().map(|h| csv_field(h.as_ref())).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in rows {
@@ -78,7 +75,10 @@ impl MissComponentsFigure {
                 }
             }
         }
-        to_csv(["app", "algorithm", "processors", "miss_kind", "count"], rows)
+        to_csv(
+            ["app", "algorithm", "processors", "miss_kind", "count"],
+            rows,
+        )
     }
 }
 

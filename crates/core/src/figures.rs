@@ -38,7 +38,10 @@ impl ExecTimeFigure {
     /// The normalized time of one algorithm at one processor count.
     pub fn normalized_time(&self, algo: PlacementAlgorithm, processors: usize) -> Option<f64> {
         let a = self.algorithms.iter().position(|&x| x == algo)?;
-        let p = self.processor_counts.iter().position(|&x| x == processors)?;
+        let p = self
+            .processor_counts
+            .iter()
+            .position(|&x| x == processors)?;
         Some(self.normalized[a][p])
     }
 }
@@ -103,7 +106,10 @@ impl MissComponentsFigure {
     /// The breakdown of one algorithm at one processor count.
     pub fn get(&self, algo: PlacementAlgorithm, processors: usize) -> Option<&MissBreakdown> {
         let a = self.algorithms.iter().position(|&x| x == algo)?;
-        let p = self.processor_counts.iter().position(|&x| x == processors)?;
+        let p = self
+            .processor_counts
+            .iter()
+            .position(|&x| x == processors)?;
         Some(&self.breakdown[a][p])
     }
 }

@@ -140,8 +140,7 @@ mod tests {
     fn grid_with_explicit_config() {
         let app = tiny();
         let inf = ArchConfig::infinite_cache();
-        let records =
-            run_grid(&app, &[PlacementAlgorithm::Random], &[2], Some(&inf)).unwrap();
+        let records = run_grid(&app, &[PlacementAlgorithm::Random], &[2], Some(&inf)).unwrap();
         assert_eq!(records[0].misses.conflicts(), 0);
     }
 

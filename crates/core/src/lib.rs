@@ -45,7 +45,7 @@ pub use error::Error;
 pub use experiment::{
     run_placement, run_placement_with_config, run_sweep, ExperimentResult, PreparedApp,
 };
-pub use sweep::parallel_map;
+pub use sweep::{parallel_map, try_parallel_map};
 
 /// Reads the global scale factor from the `PLACESIM_SCALE` environment
 /// variable, defaulting to `default` when unset or unparsable.

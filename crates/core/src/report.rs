@@ -82,7 +82,10 @@ impl fmt::Display for TextTable {
                     write!(f, "  ")?;
                 }
                 // Right-align numeric-looking cells, left-align the rest.
-                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-')
                     && cell.chars().all(|c| !c.is_ascii_alphabetic() || c == 'e')
                 {
                     write!(f, "{cell:>w$}", w = w)?;

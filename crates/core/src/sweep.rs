@@ -1,54 +1,143 @@
-//! Small parallel-map helper for experiment sweeps.
+//! Small parallel-map helpers for experiment sweeps.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Applies `f` to every item on a pool of worker threads and returns the
 /// results in input order.
 ///
 /// The worker count is `min(items, available_parallelism)`. `f` must be
-/// `Sync` (it runs concurrently) and results are collected through a
-/// mutex-guarded slot vector, so per-item overhead is tiny compared to a
-/// simulation run.
+/// `Sync` (it runs concurrently); results land in lock-free
+/// [`OnceLock`] slots, so per-item overhead is tiny compared to a
+/// simulation run. If `f` panics, the panic is re-raised on the calling
+/// thread with the index of the item that caused it.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
-    R: Send,
+    R: Send + Sync,
     F: Fn(&T) -> R + Sync,
+{
+    match try_parallel_map(items, |item| Ok::<R, std::convert::Infallible>(f(item))) {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible [`parallel_map`]: applies `f` to every item in parallel, but
+/// the first `Err` raises a shared stop flag so workers stop claiming
+/// new items, and that error is returned. When several items fail
+/// concurrently, the error with the smallest item index wins, keeping
+/// the result deterministic.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed error produced before the sweep stopped.
+pub fn try_parallel_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    // `Sync` because workers share `&Vec<OnceLock<R>>`; results are plain
+    // data (stats, placements), so this costs callers nothing.
+    R: Send + Sync,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
 {
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n);
     if workers <= 1 {
-        return items.iter().map(&f).collect();
+        // Same contract as the threaded path: errors short-circuit and
+        // panics carry the failing item's index.
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                catch_unwind(AssertUnwindSafe(|| f(item)))
+                    .unwrap_or_else(|payload| repanic_with_index(i, payload))
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let stop = AtomicBool::new(false);
+    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    // Failures are rare (they end the sweep), so a mutex-guarded list
+    // costs nothing on the happy path where it is never touched.
+    let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(Ok(r)) => {
+                        let filled = slots[i].set(r).is_ok();
+                        debug_assert!(filled, "item {i} claimed twice");
+                    }
+                    Ok(Err(e)) => {
+                        stop.store(true, Ordering::Relaxed);
+                        errors.lock().expect("error list poisoned").push((i, e));
+                        break;
+                    }
+                    Err(payload) => {
+                        stop.store(true, Ordering::Relaxed);
+                        panics
+                            .lock()
+                            .expect("panic list poisoned")
+                            .push((i, payload));
+                        break;
+                    }
+                }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    slots
+    let mut panics = panics.into_inner().expect("panic list poisoned");
+    if let Some(min_at) = panics
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (i, _))| *i)
+        .map(|(at, _)| at)
+    {
+        let (i, payload) = panics.swap_remove(min_at);
+        repanic_with_index(i, payload);
+    }
+
+    let errors = errors.into_inner().expect("error list poisoned");
+    if let Some((_, e)) = errors.into_iter().min_by_key(|(i, _)| *i) {
+        return Err(e);
+    }
+
+    Ok(slots
         .into_iter()
         .map(|s| s.into_inner().expect("every slot filled"))
-        .collect()
+        .collect())
+}
+
+/// Re-raises a caught worker panic, prefixing string payloads with the
+/// index of the item whose closure panicked.
+fn repanic_with_index(i: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
+    if let Some(msg) = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+    {
+        panic!("parallel_map: worker panicked on item {i}: {msg}");
+    }
+    eprintln!("parallel_map: worker panicked on item {i}");
+    resume_unwind(payload);
 }
 
 #[cfg(test)]
@@ -79,5 +168,63 @@ mod tests {
         let items: Vec<usize> = (0..50).collect();
         let out = parallel_map(&items, |&i| table[i * 2]);
         assert_eq!(out[10], 20);
+    }
+
+    #[test]
+    fn try_map_happy_path() {
+        let items: Vec<u64> = (0..40).collect();
+        let out: Result<Vec<u64>, ()> = try_parallel_map(&items, |&x| Ok(x + 1));
+        assert_eq!(out.unwrap()[39], 40);
+    }
+
+    #[test]
+    fn first_error_wins_deterministically() {
+        // Every item fails; the error carried back must be item 0's,
+        // regardless of which worker finished (or stopped) first.
+        let items: Vec<usize> = (0..64).collect();
+        let out: Result<Vec<()>, usize> = try_parallel_map(&items, |&i| Err(i));
+        assert_eq!(out.unwrap_err(), 0);
+    }
+
+    #[test]
+    fn error_raises_stop_flag() {
+        let executed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10_000).collect();
+        let out: Result<Vec<()>, &'static str> = try_parallel_map(&items, |&i| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                Err("boom")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(out.unwrap_err(), "boom");
+        // Workers stop claiming once the flag is up; with 10k items and
+        // item 0 failing on a worker's first claim, a full sweep means
+        // cancellation never happened.
+        assert!(
+            executed.load(Ordering::Relaxed) < items.len(),
+            "stop flag did not short-circuit the sweep"
+        );
+    }
+
+    #[test]
+    fn panic_carries_item_index() {
+        let items: Vec<usize> = (0..4).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, |&i| {
+                if i == 3 {
+                    panic!("exploded");
+                }
+                i
+            })
+        }))
+        .expect_err("worker panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic message is a String");
+        assert!(msg.contains("item 3"), "message was: {msg}");
+        assert!(msg.contains("exploded"), "message was: {msg}");
     }
 }

@@ -91,7 +91,10 @@ pub fn table3() -> Vec<Table3Row> {
         },
         Table3Row {
             parameter: "Memory latency",
-            value: format!("{} cycles (contention-free multipath network)", c.memory_latency()),
+            value: format!(
+                "{} cycles (contention-free multipath network)",
+                c.memory_latency()
+            ),
         },
         Table3Row {
             parameter: "Coherence protocol",
@@ -189,7 +192,7 @@ pub fn table5_row(app: &PreparedApp, processor_counts: &[usize]) -> Result<Table
         let mut best: Option<(PlacementAlgorithm, u64)> = None;
         for c in candidates {
             let (a, t) = c?;
-            if best.map_or(true, |(_, bt)| t < bt) {
+            if best.is_none_or(|(_, bt)| t < bt) {
                 best = Some((a, t));
             }
         }
@@ -260,8 +263,17 @@ mod tests {
     fn table3_covers_paper_parameters() {
         let rows = table3();
         assert!(rows.len() >= 9);
-        let all: String = rows.iter().map(|r| format!("{} {}", r.parameter, r.value)).collect();
-        for needle in ["50 cycles", "6 cycles", "direct-mapped", "round-robin", "directory"] {
+        let all: String = rows
+            .iter()
+            .map(|r| format!("{} {}", r.parameter, r.value))
+            .collect();
+        for needle in [
+            "50 cycles",
+            "6 cycles",
+            "direct-mapped",
+            "round-robin",
+            "directory",
+        ] {
             assert!(all.contains(needle), "missing {needle}");
         }
     }
@@ -294,9 +306,6 @@ mod tests {
     #[test]
     fn table5_requires_probe() {
         let app = tiny("fft");
-        assert!(matches!(
-            table5_row(&app, &[2]),
-            Err(Error::ProbeMissing)
-        ));
+        assert!(matches!(table5_row(&app, &[2]), Err(Error::ProbeMissing)));
     }
 }

@@ -9,10 +9,28 @@
 //! previously-resident line is gone — evicted by which thread, or
 //! invalidated by which processor — so the engine can classify each miss
 //! into the paper's four components ([`crate::MissKind`]).
+//!
+//! # Layout
+//!
+//! Ways live in one flat slab: set `s` occupies
+//! `slots[s * assoc .. s * assoc + lens[s]]`, most recently used first.
+//! One slab keeps every lookup inside a single allocation (the hot path
+//! of the simulation engine), where the earlier `Vec<Vec<Slot>>` layout
+//! paid a pointer chase into a separately-allocated set on every
+//! reference.
+//!
+//! # Provenance without a `seen` set
+//!
+//! Compulsory classification needs "was this line ever resident here?".
+//! Tracking that with a dedicated set is redundant: every departure path
+//! (eviction, invalidation) records a [`GoneReason`], and every fill
+//! removes it, so a non-resident line was previously resident *iff* it
+//! has a `gone` entry. A miss therefore classifies with a single map
+//! lookup — `None` means compulsory.
 
 use crate::stats::MissKind;
 use placesim_placement::ProcessorId;
-use placesim_trace::hash::{FastMap, FastSet};
+use placesim_trace::hash::FastMap;
 use placesim_trace::ThreadId;
 
 /// Local MSI state of a resident line (Invalid is "not resident").
@@ -60,16 +78,36 @@ pub enum AccessOutcome {
     },
 }
 
+/// Outcome of a fused [`ProcessorCache::access`]: one set walk, and — on
+/// a miss — the provenance classification in the same call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Resident with sufficient permission; LRU order updated.
+    Hit,
+    /// Resident Shared but written: the directory must invalidate remote
+    /// sharers. LRU order updated.
+    UpgradeHit,
+    /// Not resident; classified at lookup time.
+    Miss {
+        /// The paper's four-way miss classification.
+        kind: MissKind,
+        /// The invalidating processor, for invalidation misses.
+        source: Option<ProcessorId>,
+    },
+}
+
 /// A set-associative processor cache with LRU replacement
 /// (associativity 1 = the paper's direct-mapped configuration).
 #[derive(Debug)]
 pub struct ProcessorCache {
-    /// `sets[s]` holds up to `assoc` slots, most recently used first.
-    sets: Vec<Vec<Slot>>,
+    /// Flat way slab: set `s` is `slots[s * assoc ..][..lens[s]]`,
+    /// MRU first.
+    slots: Vec<Slot>,
+    /// Occupied ways per set.
+    lens: Vec<u32>,
     assoc: usize,
-    /// Lines ever resident in this cache (for compulsory classification).
-    seen: FastSet<u64>,
     /// Departure reason of every previously-resident, non-resident line.
+    /// Doubles as the "ever seen" record: see the module docs.
     gone: FastMap<u64, GoneReason>,
     set_mask: u64,
 }
@@ -90,12 +128,19 @@ impl ProcessorCache {
     ///
     /// Panics if `num_sets` is not a power of two or `assoc` is zero.
     pub fn with_associativity(num_sets: u64, assoc: usize) -> Self {
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be positive");
+        let empty = Slot {
+            line: u64::MAX,
+            state: LineState::Shared,
+        };
         ProcessorCache {
-            sets: vec![Vec::with_capacity(assoc); num_sets as usize],
+            slots: vec![empty; num_sets as usize * assoc],
+            lens: vec![0; num_sets as usize],
             assoc,
-            seen: FastSet::default(),
             gone: FastMap::default(),
             set_mask: num_sets - 1,
         }
@@ -107,8 +152,33 @@ impl ProcessorCache {
     }
 
     #[inline]
-    fn index(&self, line: u64) -> usize {
-        (line & self.set_mask) as usize
+    fn set_bounds(&self, line: u64) -> (usize, usize) {
+        let idx = (line & self.set_mask) as usize;
+        (idx, idx * self.assoc)
+    }
+
+    /// One-pass access: classifies a reference to `line`, updates LRU
+    /// order on hits, and classifies misses from the departure record in
+    /// the same call. This is the simulation engine's hot path; see
+    /// [`ProcessorCache::probe`] / [`ProcessorCache::miss_provenance`]
+    /// for the split variant the reference engine and unit tests use.
+    #[inline]
+    pub fn access(&mut self, line: u64, is_write: bool, thread: ThreadId) -> Access {
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        let set = &mut self.slots[base..base + len];
+        if let Some(pos) = set.iter().position(|s| s.line == line) {
+            let slot = set[pos];
+            set.copy_within(..pos, 1); // MRU to front
+            set[0] = slot;
+            return if is_write && slot.state == LineState::Shared {
+                Access::UpgradeHit
+            } else {
+                Access::Hit
+            };
+        }
+        let (kind, source) = self.classify_gone(line, thread);
+        Access::Miss { kind, source }
     }
 
     /// Classifies an access to `line` and updates LRU order on hits.
@@ -117,23 +187,44 @@ impl ProcessorCache {
     /// calls [`ProcessorCache::fill`] (for misses) or relies on
     /// [`ProcessorCache::set_modified`] (for upgrades).
     pub fn probe(&mut self, line: u64, is_write: bool) -> AccessOutcome {
-        let idx = self.index(line);
-        let set = &mut self.sets[idx];
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        let set = &mut self.slots[base..base + len];
         if let Some(pos) = set.iter().position(|s| s.line == line) {
-            let slot = set.remove(pos);
-            set.insert(0, slot); // MRU
+            let slot = set[pos];
+            set.copy_within(..pos, 1); // MRU to front
+            set[0] = slot;
             return if is_write && slot.state == LineState::Shared {
                 AccessOutcome::UpgradeHit
             } else {
                 AccessOutcome::Hit
             };
         }
-        let victim = if set.len() == self.assoc {
+        let victim = if len == self.assoc {
             set.last().map(|s| (s.line, s.state))
         } else {
             None
         };
         AccessOutcome::Miss { victim }
+    }
+
+    #[inline]
+    fn classify_gone(
+        &self,
+        line: u64,
+        missing_thread: ThreadId,
+    ) -> (MissKind, Option<ProcessorId>) {
+        match self.gone.get(&line) {
+            None => (MissKind::Compulsory, None),
+            Some(GoneReason::InvalidatedBy(p)) => (MissKind::Invalidation, Some(*p)),
+            Some(GoneReason::EvictedBy(t)) => {
+                if *t == missing_thread {
+                    (MissKind::IntraThreadConflict, None)
+                } else {
+                    (MissKind::InterThreadConflict, None)
+                }
+            }
+        }
     }
 
     /// Refines a miss classification into the paper's four components
@@ -145,20 +236,7 @@ impl ProcessorCache {
         line: u64,
         missing_thread: ThreadId,
     ) -> (MissKind, Option<ProcessorId>) {
-        if !self.seen.contains(&line) {
-            return (MissKind::Compulsory, None);
-        }
-        match self.gone.get(&line) {
-            Some(GoneReason::InvalidatedBy(p)) => (MissKind::Invalidation, Some(*p)),
-            Some(GoneReason::EvictedBy(t)) => {
-                if *t == missing_thread {
-                    (MissKind::IntraThreadConflict, None)
-                } else {
-                    (MissKind::InterThreadConflict, None)
-                }
-            }
-            None => unreachable!("seen but resident elsewhere is impossible"),
-        }
+        self.classify_gone(line, missing_thread)
     }
 
     /// Fills `line` after a miss by `thread`, displacing the LRU way if
@@ -173,20 +251,23 @@ impl ProcessorCache {
         state: LineState,
         thread: ThreadId,
     ) -> Option<(u64, LineState)> {
-        let assoc = self.assoc;
-        let idx = self.index(line);
-        let set = &mut self.sets[idx];
-        debug_assert!(set.iter().all(|s| s.line != line), "fill of resident line");
-        let victim = if set.len() == assoc {
-            set.pop().map(|s| (s.line, s.state))
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        debug_assert!(
+            self.slots[base..base + len].iter().all(|s| s.line != line),
+            "fill of resident line"
+        );
+        let victim = if len == self.assoc {
+            let lru = self.slots[base + len - 1];
+            self.gone.insert(lru.line, GoneReason::EvictedBy(thread));
+            Some((lru.line, lru.state))
         } else {
+            self.lens[idx] = (len + 1) as u32;
             None
         };
-        if let Some((vline, _)) = victim {
-            self.gone.insert(vline, GoneReason::EvictedBy(thread));
-        }
-        self.sets[idx].insert(0, Slot { line, state });
-        self.seen.insert(line);
+        let occupied = if victim.is_some() { len - 1 } else { len };
+        self.slots.copy_within(base..base + occupied, base + 1);
+        self.slots[base] = Slot { line, state };
         self.gone.remove(&line);
         victim
     }
@@ -199,11 +280,16 @@ impl ProcessorCache {
     /// Panics (debug builds) if the line is not resident — the directory's
     /// sharer sets are exact, so spurious invalidations indicate a bug.
     pub fn invalidate(&mut self, line: u64, by: ProcessorId) {
-        let idx = self.index(line);
-        let set = &mut self.sets[idx];
-        match set.iter().position(|s| s.line == line) {
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        match self.slots[base..base + len]
+            .iter()
+            .position(|s| s.line == line)
+        {
             Some(pos) => {
-                set.remove(pos);
+                self.slots
+                    .copy_within(base + pos + 1..base + len, base + pos);
+                self.lens[idx] = (len - 1) as u32;
                 self.gone.insert(line, GoneReason::InvalidatedBy(by));
             }
             None => debug_assert!(false, "invalidation for non-resident line {line:#x}"),
@@ -216,8 +302,12 @@ impl ProcessorCache {
     ///
     /// Panics (debug builds) if the line is not resident Modified.
     pub fn downgrade(&mut self, line: u64) {
-        let idx = self.index(line);
-        match self.sets[idx].iter_mut().find(|s| s.line == line) {
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        match self.slots[base..base + len]
+            .iter_mut()
+            .find(|s| s.line == line)
+        {
             Some(slot) => {
                 debug_assert_eq!(slot.state, LineState::Modified);
                 slot.state = LineState::Shared;
@@ -233,8 +323,12 @@ impl ProcessorCache {
     ///
     /// Panics (debug builds) if the line is not resident.
     pub fn set_modified(&mut self, line: u64) {
-        let idx = self.index(line);
-        match self.sets[idx].iter_mut().find(|s| s.line == line) {
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        match self.slots[base..base + len]
+            .iter_mut()
+            .find(|s| s.line == line)
+        {
             Some(slot) => slot.state = LineState::Modified,
             None => debug_assert!(false, "upgrade for non-resident line {line:#x}"),
         }
@@ -242,7 +336,9 @@ impl ProcessorCache {
 
     /// State of a resident line, if present (for tests).
     pub fn state_of(&self, line: u64) -> Option<LineState> {
-        self.sets[self.index(line)]
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        self.slots[base..base + len]
             .iter()
             .find(|s| s.line == line)
             .map(|s| s.state)
@@ -250,7 +346,7 @@ impl ProcessorCache {
 
     /// Number of resident lines (for tests).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 }
 
@@ -303,8 +399,14 @@ mod tests {
         assert_eq!(victim, Some((0, LineState::Shared)));
 
         // Line 0 is gone, evicted by thread 1.
-        assert_eq!(c.miss_provenance(0, t(1)), (MissKind::IntraThreadConflict, None));
-        assert_eq!(c.miss_provenance(0, t(0)), (MissKind::InterThreadConflict, None));
+        assert_eq!(
+            c.miss_provenance(0, t(1)),
+            (MissKind::IntraThreadConflict, None)
+        );
+        assert_eq!(
+            c.miss_provenance(0, t(0)),
+            (MissKind::InterThreadConflict, None)
+        );
         match c.probe(0, false) {
             AccessOutcome::Miss { victim } => {
                 assert_eq!(victim, Some((8, LineState::Shared)));
@@ -334,7 +436,10 @@ mod tests {
         // Evict it by conflict now; classification must be conflict, not
         // the stale invalidation.
         c.fill(13, LineState::Shared, t(2));
-        assert_eq!(c.miss_provenance(5, t(2)), (MissKind::IntraThreadConflict, None));
+        assert_eq!(
+            c.miss_provenance(5, t(2)),
+            (MissKind::IntraThreadConflict, None)
+        );
     }
 
     #[test]
@@ -398,5 +503,75 @@ mod tests {
         c.invalidate(0, p(1));
         assert_eq!(c.state_of(0), None);
         assert_eq!(c.state_of(8), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn fused_access_matches_split_path() {
+        // Drive both a fused cache and a probe/provenance cache through
+        // the same mixed sequence; classifications and LRU behavior must
+        // agree exactly.
+        let seq: Vec<(u64, bool, u16)> = vec![
+            (0, false, 0),
+            (8, false, 1),
+            (0, true, 0),
+            (16, false, 0),
+            (8, false, 1),
+            (0, false, 1),
+            (24, true, 2),
+            (16, false, 2),
+        ];
+        let mut fused = ProcessorCache::with_associativity(8, 2);
+        let mut split = ProcessorCache::with_associativity(8, 2);
+        for &(line, is_write, tid) in &seq {
+            let a = fused.access(line, is_write, t(tid));
+            let b = match split.probe(line, is_write) {
+                AccessOutcome::Hit => Access::Hit,
+                AccessOutcome::UpgradeHit => Access::UpgradeHit,
+                AccessOutcome::Miss { .. } => {
+                    let (kind, source) = split.miss_provenance(line, t(tid));
+                    Access::Miss { kind, source }
+                }
+            };
+            assert_eq!(a, b, "diverged at line {line:#x}");
+            let state = if is_write {
+                LineState::Modified
+            } else {
+                LineState::Shared
+            };
+            if let Access::Miss { .. } = a {
+                fused.fill(line, state, t(tid));
+                split.fill(line, state, t(tid));
+            } else if a == Access::UpgradeHit {
+                fused.set_modified(line);
+                split.set_modified(line);
+            }
+        }
+        assert_eq!(fused.resident_lines(), split.resident_lines());
+    }
+
+    #[test]
+    fn invalidation_then_conflict_uses_latest_reason() {
+        // A line invalidated remotely, then the *set* reused by another
+        // fill: the first miss after the invalidation classifies as
+        // invalidation, and once refilled+evicted, as a conflict.
+        let mut c = ProcessorCache::new(8);
+        c.fill(3, LineState::Shared, t(0));
+        c.invalidate(3, p(2));
+        assert_eq!(
+            c.access(3, false, t(0)),
+            Access::Miss {
+                kind: MissKind::Invalidation,
+                source: Some(p(2))
+            }
+        );
+        c.fill(3, LineState::Shared, t(0));
+        c.fill(11, LineState::Shared, t(1)); // evicts 3
+        assert_eq!(
+            c.access(3, false, t(0)),
+            Access::Miss {
+                kind: MissKind::InterThreadConflict,
+                source: None
+            }
+        );
     }
 }

@@ -291,11 +291,17 @@ mod tests {
     fn builder_validates() {
         assert!(matches!(
             ArchConfig::builder().cache_size(1000).build(),
-            Err(ConfigError::NotPowerOfTwo { what: "cache size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                ..
+            })
         ));
         assert!(matches!(
             ArchConfig::builder().line_size(24).build(),
-            Err(ConfigError::NotPowerOfTwo { what: "line size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             ArchConfig::builder().cache_size(16).line_size(32).build(),
@@ -327,27 +333,41 @@ mod tests {
         assert_eq!(c.num_sets(), 64 * 1024 / 32 / 4);
         assert!(matches!(
             ArchConfig::builder().associativity(3).build(),
-            Err(ConfigError::NotPowerOfTwo { what: "associativity", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "associativity",
+                ..
+            })
         ));
         // A fully associative demand that exceeds the cache is rejected.
         assert!(matches!(
-            ArchConfig::builder().cache_size(64).associativity(4).build(),
+            ArchConfig::builder()
+                .cache_size(64)
+                .associativity(4)
+                .build(),
             Err(ConfigError::CacheTooSmall { .. })
         ));
     }
 
     #[test]
     fn with_cache_size_shortcut() {
-        let c = ArchConfig::paper_default().with_cache_size(32 * 1024).unwrap();
+        let c = ArchConfig::paper_default()
+            .with_cache_size(32 * 1024)
+            .unwrap();
         assert_eq!(c.cache_size(), 32 * 1024);
         assert!(ArchConfig::paper_default().with_cache_size(31).is_err());
     }
 
     #[test]
     fn error_display() {
-        let e = ConfigError::NotPowerOfTwo { what: "cache size", value: 7 };
+        let e = ConfigError::NotPowerOfTwo {
+            what: "cache size",
+            value: 7,
+        };
         assert!(e.to_string().contains("power of two"));
-        let e = ConfigError::CacheTooSmall { cache: 16, line: 32 };
+        let e = ConfigError::CacheTooSmall {
+            cache: 16,
+            line: 32,
+        };
         assert!(e.to_string().contains("cannot hold"));
     }
 }

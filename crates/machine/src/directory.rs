@@ -113,7 +113,10 @@ impl Directory {
     /// downgrade to Shared.
     pub fn read_fill(&mut self, p: ProcessorId, line: u64) -> Transaction {
         let mut tx = Transaction::none();
-        let state = self.lines.entry(line).or_insert(DirState::Shared(SharerSet::empty()));
+        let state = self
+            .lines
+            .entry(line)
+            .or_insert(DirState::Shared(SharerSet::empty()));
         match state {
             DirState::Shared(sharers) => {
                 sharers.insert(p);

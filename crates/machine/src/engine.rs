@@ -19,15 +19,57 @@
 //! is the quantity multithreading hides. (The tail latency of a thread's
 //! final reference is therefore not part of `finish_time` — a uniform,
 //! sub-0.01% simplification at paper trace lengths.)
+//!
+//! # Hit-run batching
+//!
+//! Conceptually one queue event dispatches one reference. Literally
+//! doing that (see the [`reference`] engine) pays a queue operation per
+//! reference even though the overwhelmingly common outcome — a cache hit
+//! by the running context — has **no global side effects**: it touches
+//! only this processor's cache (LRU order) and counters, schedules
+//! nothing, and cannot change any other processor's state.
+//!
+//! The production engine exploits that. The simulator maintains the
+//! invariant of at most one pending event per processor, so instead of
+//! a binary heap the queue is a flat slot array `events[p]` of event
+//! times; popping is an argmin scan by `(time, processor)` — exactly the
+//! heap's pop order — and the scan's runner-up `(t', p')` is the
+//! *horizon*: the next event any other processor could possibly run.
+//! After popping `(t, p)` the engine executes the current context's
+//! references in a tight local loop while they hit, advancing a local
+//! clock `now`. The run stops when
+//!
+//! * the next reference would issue at `(now, p) ≥ (t', p')` — the
+//!   horizon. The slot is re-armed at `now` and the other processor's
+//!   event runs first, exactly as the per-reference engine would order
+//!   them;
+//! * the reference misses, is a coherence upgrade, or is a barrier —
+//!   these have global effects (directory transactions, invalidations,
+//!   releases) and are handled at time `now` by the ordinary slow path;
+//! * the context exhausts its trace.
+//!
+//! Why this is exact and not an approximation: event keys
+//! `(time, processor)` are unique (one slot per processor) and are
+//! consumed in ascending order. While `(now, p) < (t', p')` holds, the
+//! per-reference engine would pop `(now, p)` next anyway, so the batched
+//! engine executes the same reference at the same cycle. Since pure hits
+//! schedule nothing and mutate nothing outside processor `p`, the slots
+//! are untouched during a run and the horizon stays valid for its whole
+//! duration; every globally-visible action (miss, upgrade, barrier)
+//! still executes in exact `(time, processor)` order. The two engines
+//! are therefore bit-for-bit equivalent — asserted per commit by the
+//! differential property tests in `tests/differential.rs`.
 
-use crate::cache::{AccessOutcome, LineState, ProcessorCache};
+use crate::cache::{Access, LineState, ProcessorCache};
 use crate::config::ArchConfig;
 use crate::directory::{Directory, MAX_PROCESSORS};
 use crate::stats::{MissKind, ProcStats, SimStats};
 use placesim_analysis::SymMatrix;
 use placesim_placement::{PlacementMap, ProcessorId};
 use placesim_trace::{MemRef, ProgramTrace, RefKind, ThreadId, ThreadTraceIter};
+#[cfg(feature = "reference-engine")]
 use std::cmp::Reverse;
+#[cfg(feature = "reference-engine")]
 use std::collections::BinaryHeap;
 use std::fmt;
 
@@ -71,7 +113,10 @@ impl fmt::Display for SimError {
                 "trace has {trace_threads} threads but placement map has {placed_threads}"
             ),
             SimError::TooManyProcessors { processors, max } => {
-                write!(f, "{processors} processors exceed the supported maximum of {max}")
+                write!(
+                    f,
+                    "{processors} processors exceed the supported maximum of {max}"
+                )
             }
             SimError::BarrierMismatch {
                 expected,
@@ -157,7 +202,7 @@ impl Processor<'_> {
                 return Some((idx, deadline));
             }
             let key = (ctx.ready_at, step);
-            if best_later.map_or(true, |(r, s)| (key.0, key.1) < (r, s)) {
+            if best_later.is_none_or(|(r, s)| (key.0, key.1) < (r, s)) {
                 best_later = Some((ctx.ready_at, step));
             }
         }
@@ -165,13 +210,9 @@ impl Processor<'_> {
     }
 }
 
-#[allow(clippy::too_many_lines)]
-fn run(
-    prog: &ProgramTrace,
-    map: &PlacementMap,
-    config: &ArchConfig,
-    record_traffic: bool,
-) -> Result<(SimStats, Option<SymMatrix<u64>>), SimError> {
+/// Validates placement shape, processor count and barrier participation.
+/// Returns the barrier participant count.
+fn validate(prog: &ProgramTrace, map: &PlacementMap) -> Result<u64, SimError> {
     if map.thread_count() != prog.thread_count() {
         return Err(SimError::PlacementMismatch {
             trace_threads: prog.thread_count(),
@@ -201,18 +242,16 @@ fn run(
             });
         }
     }
-    let participants = prog.thread_count() as u64;
+    Ok(prog.thread_count() as u64)
+}
 
-    let line_size = config.line_size();
-    let switch_cost = config.context_switch();
-    let latency = config.memory_latency();
-    let occupancy = config.memory_occupancy();
-    // Bandwidth-limited interconnect (0 = the paper's contention-free
-    // multipath network): each fill occupies the memory channel for
-    // `occupancy` cycles, serializing concurrent misses.
-    let mut channel_free_at = 0u64;
-
-    let mut procs: Vec<Processor<'_>> = map
+/// Builds the per-processor contexts and seeds the event queue.
+fn build_processors<'a>(
+    prog: &'a ProgramTrace,
+    map: &PlacementMap,
+    mut schedule: impl FnMut(usize, u64),
+) -> Vec<Processor<'a>> {
+    let mut procs: Vec<Processor<'a>> = map
         .iter()
         .map(|(_, cluster)| Processor {
             contexts: cluster
@@ -229,6 +268,91 @@ fn run(
             stats: ProcStats::default(),
         })
         .collect();
+    for (pi, proc) in procs.iter_mut().enumerate() {
+        // Start on the first not-done context, if any.
+        if let Some((idx, at)) = proc.next_context(0) {
+            proc.current = idx;
+            schedule(pi, at);
+        } else {
+            // Degenerate: only empty threads (or none). current stays 0.
+            proc.current = 0;
+        }
+    }
+    procs
+}
+
+/// Absent event marker in the batched engine's slot queue.
+const NO_EVENT: u64 = u64::MAX;
+
+fn record_pair(traffic: &mut Option<SymMatrix<u64>>, a: usize, b: usize) {
+    if let Some(m) = traffic {
+        if a != b {
+            m.add(a, b, 1);
+        }
+    }
+}
+
+/// Why a hit run ended; every variant is a reference with global
+/// effects (or an end-of-trace) handled by the slow path. The remaining
+/// stop — yielding at the horizon — is handled inline in the fast loop.
+enum Stop {
+    /// The context's final reference hit; the free switch to another
+    /// context happens at `now`.
+    HitExhausted,
+    /// A barrier reference, not yet accounted.
+    Barrier {
+        /// The barrier was the context's final reference.
+        exhausted: bool,
+    },
+    /// A write hit on a Shared line: directory upgrade at `now`.
+    Upgrade {
+        /// The written line.
+        line: u64,
+        /// The upgrade was the context's final reference.
+        exhausted: bool,
+    },
+    /// A miss, already classified by the fused cache access.
+    Miss {
+        /// The missing line.
+        line: u64,
+        /// Whether the missing reference writes.
+        is_write: bool,
+        /// The paper's four-way classification.
+        kind: MissKind,
+        /// Invalidating processor, for invalidation misses.
+        source: Option<ProcessorId>,
+        /// The miss was the context's final reference.
+        exhausted: bool,
+    },
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    record_traffic: bool,
+) -> Result<(SimStats, Option<SymMatrix<u64>>), SimError> {
+    let participants = validate(prog, map)?;
+    let p = map.processor_count();
+
+    let line_size = config.line_size();
+    let switch_cost = config.context_switch();
+    let latency = config.memory_latency();
+    let occupancy = config.memory_occupancy();
+    // Bandwidth-limited interconnect (0 = the paper's contention-free
+    // multipath network): each fill occupies the memory channel for
+    // `occupancy` cycles, serializing concurrent misses.
+    let mut channel_free_at = 0u64;
+
+    // Slot queue: `events[q]` is processor q's (sole) pending event time,
+    // `NO_EVENT` if none. One event = dispatch the processor's current
+    // context until it can no longer run locally. With at most one event
+    // per processor and the paper's small machines, a linear argmin scan
+    // beats a binary heap, and the scan's runner-up is the horizon the
+    // fast path needs anyway.
+    let mut events: Vec<u64> = vec![NO_EVENT; p];
+    let mut procs = build_processors(prog, map, |pi, at| events[pi] = at);
     let mut caches: Vec<ProcessorCache> = (0..p)
         .map(|_| {
             ProcessorCache::with_associativity(config.num_sets(), config.associativity() as usize)
@@ -241,112 +365,178 @@ fn run(
     let mut barrier_arrivals = 0u64;
     let mut parked: Vec<Option<u64>> = vec![None; p]; // Some(park time)
 
-    // Event queue: Reverse((time, processor)). One event = dispatch one
-    // reference of the processor's current context.
-    let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    for (pi, proc) in procs.iter_mut().enumerate() {
-        // Start on the first not-done context, if any.
-        if let Some((idx, at)) = proc.next_context(0) {
-            proc.current = idx;
-            queue.push(Reverse((at, pi)));
+    'events: loop {
+        // Pop: argmin over the slots by (time, processor), which is
+        // exactly the heap's pop order (ties go to the lower index). The
+        // runner-up is the safe horizon: the next event the
+        // per-reference engine would interleave. Slots are untouched
+        // during a hit run, so it stays valid; `(NO_EVENT, MAX)` (no
+        // other pending event) means an unbounded run.
+        let mut t = NO_EVENT;
+        let mut pi = usize::MAX;
+        let mut horizon = (NO_EVENT, usize::MAX);
+        for (qi, &eq) in events.iter().enumerate() {
+            if eq < t {
+                horizon = (t, pi);
+                t = eq;
+                pi = qi;
+            } else if eq < horizon.0 {
+                horizon = (eq, qi);
+            }
+        }
+        if t == NO_EVENT {
+            break;
+        }
+        events[pi] = NO_EVENT;
+        // Collapse the (time, processor) horizon into one scalar bound:
+        // a tie at the runner-up's time yields only to lower-indexed
+        // processors, so a higher-indexed runner-up lets this processor
+        // keep the tied cycle.
+        let batch_limit = if pi < horizon.1 {
+            horizon.0.saturating_add(1)
         } else {
-            // Degenerate: only empty threads (or none). current stays 0.
-            proc.current = 0;
-        }
-    }
-
-    fn record_pair(traffic: &mut Option<SymMatrix<u64>>, a: usize, b: usize) {
-        if let Some(m) = traffic {
-            if a != b {
-                m.add(a, b, 1);
-            }
-        }
-    }
-
-    while let Some(Reverse((t, pi))) = queue.pop() {
-        let me = ProcessorId::from_index(pi);
+            horizon.0
+        };
         let ctx_idx = procs[pi].current;
-        debug_assert!(!procs[pi].contexts[ctx_idx].done);
-        debug_assert!(procs[pi].contexts[ctx_idx].ready_at <= t);
+        let mut now = t;
 
-        let thread = procs[pi].contexts[ctx_idx].thread;
-        let r: MemRef = procs[pi].contexts[ctx_idx]
-            .refs
-            .next()
-            .expect("dispatched context has a next reference");
-        let exhausted = procs[pi].contexts[ctx_idx].refs.len() == 0;
-
-        if r.kind == RefKind::Barrier {
-            procs[pi].stats.busy += 1;
-            procs[pi].stats.barrier_ops += 1;
-            let issue_end = t + 1;
-            procs[pi].stats.finish_time = issue_end;
-            if exhausted {
-                procs[pi].contexts[ctx_idx].done = true;
-            }
-
-            barrier_arrivals += 1;
-            if barrier_arrivals == participants {
-                // Release: every waiting context resumes next cycle, and
-                // parked processors are rescheduled.
-                barrier_arrivals = 0;
-                for qi in 0..p {
-                    let mut woke = false;
-                    for ctx in &mut procs[qi].contexts {
-                        if ctx.waiting {
-                            ctx.waiting = false;
-                            ctx.ready_at = issue_end;
-                            woke = true;
+        // Fast path: consume the current context's consecutive hitting
+        // references without touching the event queue. Counters
+        // accumulate in locals and flush once per run, so a hit costs no
+        // stat stores at all.
+        let mut run_busy = 0u64;
+        let mut run_hits = 0u64;
+        let stop = {
+            let proc = &mut procs[pi];
+            let cache = &mut caches[pi];
+            // Disjoint field borrows: the loop advances the context while
+            // the flushes below update the stats.
+            let stats = &mut proc.stats;
+            let ctx = &mut proc.contexts[ctx_idx];
+            debug_assert!(!ctx.done);
+            debug_assert!(ctx.ready_at <= t);
+            let thread = ctx.thread;
+            loop {
+                let r: MemRef = ctx
+                    .refs
+                    .next()
+                    .expect("dispatched context has a next reference");
+                let exhausted = ctx.refs.len() == 0;
+                if r.kind == RefKind::Barrier {
+                    break Stop::Barrier { exhausted };
+                }
+                let line = r.addr.line(line_size).raw();
+                let is_write = r.kind.is_write();
+                run_busy += 1;
+                match cache.access(line, is_write, thread) {
+                    Access::Hit => {
+                        run_hits += 1;
+                        now += 1;
+                        if exhausted {
+                            ctx.done = true;
+                            break Stop::HitExhausted;
+                        }
+                        if now >= batch_limit {
+                            // Yield to the earliest other event; handled
+                            // inline because it is the hottest stop in
+                            // lockstep multi-processor phases.
+                            stats.busy += run_busy;
+                            stats.hits += run_hits;
+                            stats.finish_time = now;
+                            events[pi] = now;
+                            continue 'events;
                         }
                     }
-                    if woke {
-                        if let Some(park_time) = parked[qi].take() {
-                            if let Some((idx, dispatch)) = procs[qi].next_context(issue_end) {
-                                procs[qi].stats.idle += dispatch - park_time;
-                                procs[qi].current = idx;
-                                queue.push(Reverse((dispatch, qi)));
+                    Access::UpgradeHit => break Stop::Upgrade { line, exhausted },
+                    Access::Miss { kind, source } => {
+                        break Stop::Miss {
+                            line,
+                            is_write,
+                            kind,
+                            source,
+                            exhausted,
+                        }
+                    }
+                }
+            }
+        };
+        {
+            let stats = &mut procs[pi].stats;
+            stats.busy += run_busy;
+            stats.hits += run_hits;
+            // The run's hits all completed; misses/upgrades/barriers set
+            // finish_time again below at their own issue end.
+            stats.finish_time = now;
+        }
+
+        let me = ProcessorId::from_index(pi);
+        let final_hit = matches!(stop, Stop::HitExhausted);
+        // Slow path: `Some((missed, exhausted))` falls through to the
+        // shared reschedule tail; `None` arms reschedule themselves.
+        let reschedule: Option<(bool, bool)> = match stop {
+            Stop::HitExhausted => {
+                // Switching away from a completed thread is free.
+                Some((false, true))
+            }
+            Stop::Barrier { exhausted } => {
+                procs[pi].stats.busy += 1;
+                procs[pi].stats.barrier_ops += 1;
+                let issue_end = now + 1;
+                procs[pi].stats.finish_time = issue_end;
+                if exhausted {
+                    procs[pi].contexts[ctx_idx].done = true;
+                }
+
+                barrier_arrivals += 1;
+                if barrier_arrivals == participants {
+                    // Release: every waiting context resumes next cycle,
+                    // and parked processors are rescheduled.
+                    barrier_arrivals = 0;
+                    for qi in 0..p {
+                        let mut woke = false;
+                        for ctx in &mut procs[qi].contexts {
+                            if ctx.waiting {
+                                ctx.waiting = false;
+                                ctx.ready_at = issue_end;
+                                woke = true;
+                            }
+                        }
+                        if woke {
+                            if let Some(park_time) = parked[qi].take() {
+                                if let Some((idx, dispatch)) = procs[qi].next_context(issue_end) {
+                                    procs[qi].stats.idle += dispatch - park_time;
+                                    procs[qi].current = idx;
+                                    events[qi] = dispatch;
+                                }
                             }
                         }
                     }
+                } else if !exhausted {
+                    procs[pi].contexts[ctx_idx].waiting = true;
                 }
-            } else if !exhausted {
-                procs[pi].contexts[ctx_idx].waiting = true;
-            }
 
-            // Barrier waits are synchronization, not pipeline misses: the
-            // switch to another ready context is free.
-            match procs[pi].next_context(issue_end) {
-                Some((idx, dispatch)) => {
-                    if dispatch > issue_end {
-                        procs[pi].stats.idle += dispatch - issue_end;
+                // Barrier waits are synchronization, not pipeline misses:
+                // the switch to another ready context is free.
+                match procs[pi].next_context(issue_end) {
+                    Some((idx, dispatch)) => {
+                        if dispatch > issue_end {
+                            procs[pi].stats.idle += dispatch - issue_end;
+                        }
+                        procs[pi].current = idx;
+                        events[pi] = dispatch;
                     }
-                    procs[pi].current = idx;
-                    queue.push(Reverse((dispatch, pi)));
-                }
-                None => {
-                    // All contexts done or waiting: park until a release
-                    // (or forever, if everything is done).
-                    let any_waiting = procs[pi].contexts.iter().any(|c| c.waiting);
-                    if any_waiting {
-                        parked[pi] = Some(issue_end);
+                    None => {
+                        // All contexts done or waiting: park until a
+                        // release (or forever, if everything is done).
+                        let any_waiting = procs[pi].contexts.iter().any(|c| c.waiting);
+                        if any_waiting {
+                            parked[pi] = Some(issue_end);
+                        }
                     }
                 }
+                None
             }
-            continue;
-        }
-
-        let line = r.addr.line(line_size).raw();
-        let is_write = r.kind.is_write();
-
-        procs[pi].stats.busy += 1;
-        let issue_end = t + 1;
-
-        let missed = match caches[pi].probe(line, is_write) {
-            AccessOutcome::Hit => {
-                procs[pi].stats.hits += 1;
-                false
-            }
-            AccessOutcome::UpgradeHit => {
+            Stop::Upgrade { line, exhausted } => {
                 procs[pi].stats.hits += 1;
                 procs[pi].stats.upgrades += 1;
                 let tx = directory.write_fill(me, line);
@@ -358,10 +548,15 @@ fn run(
                     record_pair(&mut traffic, victim.index(), pi);
                 }
                 caches[pi].set_modified(line);
-                config.upgrade_stalls() && had_remote
+                Some((config.upgrade_stalls() && had_remote, exhausted))
             }
-            AccessOutcome::Miss { victim: _ } => {
-                let (kind, source) = caches[pi].miss_provenance(line, thread);
+            Stop::Miss {
+                line,
+                is_write,
+                kind,
+                source,
+                exhausted,
+            } => {
                 procs[pi].stats.misses.record(kind);
                 if kind == MissKind::Invalidation {
                     if let Some(src) = source {
@@ -387,13 +582,21 @@ fn run(
                 } else {
                     LineState::Shared
                 };
+                let thread = procs[pi].contexts[ctx_idx].thread;
                 if let Some((vline, _)) = caches[pi].fill(line, fill_state, thread) {
                     directory.evict(me, vline);
                 }
-                true
+                Some((true, exhausted))
             }
         };
 
+        let Some((missed, exhausted)) = reschedule else {
+            continue 'events;
+        };
+
+        // `now` is the issue cycle for misses/upgrades but already the
+        // end of issue for a final hit (the fast path advanced it).
+        let issue_end = if final_hit { now } else { now + 1 };
         let proc = &mut procs[pi];
         let ctx = &mut proc.contexts[ctx_idx];
         if exhausted {
@@ -401,9 +604,9 @@ fn run(
         }
         if missed {
             let start = if occupancy == 0 {
-                t
+                now
             } else {
-                let start = channel_free_at.max(t);
+                let start = channel_free_at.max(now);
                 channel_free_at = start + occupancy;
                 start
             };
@@ -411,11 +614,10 @@ fn run(
         }
         proc.stats.finish_time = issue_end;
 
-        // Decide what this processor does next.
         if !missed && !exhausted {
-            // Same context continues next cycle.
-            queue.push(Reverse((issue_end, pi)));
-            continue;
+            // Same context continues next cycle (post-upgrade).
+            events[pi] = issue_end;
+            continue 'events;
         }
 
         // Miss-induced switches pay the drain cost; switching away from a
@@ -433,7 +635,7 @@ fn run(
                     proc.stats.idle += dispatch - drain_end;
                 }
                 proc.current = idx;
-                queue.push(Reverse((dispatch, pi)));
+                events[pi] = dispatch;
             }
             None => {
                 // All contexts done: the processor is finished. The drain
@@ -447,6 +649,243 @@ fn run(
     Ok((stats, traffic))
 }
 
+/// The pre-batching engine: one heap event per reference, kept verbatim
+/// as the obviously-correct oracle for the differential test suite.
+/// Compiled only with the default `reference-engine` feature.
+#[cfg(feature = "reference-engine")]
+pub mod reference {
+    use super::*;
+    use crate::cache::AccessOutcome;
+
+    /// [`super::simulate`], executed by the per-reference engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::simulate`].
+    pub fn simulate(
+        prog: &ProgramTrace,
+        map: &PlacementMap,
+        config: &ArchConfig,
+    ) -> Result<SimStats, SimError> {
+        let (stats, _) = run(prog, map, config, false)?;
+        Ok(stats)
+    }
+
+    /// [`super::simulate_with_traffic`], executed by the per-reference
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::simulate`].
+    pub fn simulate_with_traffic(
+        prog: &ProgramTrace,
+        map: &PlacementMap,
+        config: &ArchConfig,
+    ) -> Result<(SimStats, SymMatrix<u64>), SimError> {
+        let (stats, traffic) = run(prog, map, config, true)?;
+        Ok((stats, traffic.expect("traffic recording was enabled")))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(
+        prog: &ProgramTrace,
+        map: &PlacementMap,
+        config: &ArchConfig,
+        record_traffic: bool,
+    ) -> Result<(SimStats, Option<SymMatrix<u64>>), SimError> {
+        let participants = validate(prog, map)?;
+        let p = map.processor_count();
+
+        let line_size = config.line_size();
+        let switch_cost = config.context_switch();
+        let latency = config.memory_latency();
+        let occupancy = config.memory_occupancy();
+        let mut channel_free_at = 0u64;
+
+        // Event queue: Reverse((time, processor)). One event = dispatch
+        // one reference of the processor's current context.
+        let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut procs = build_processors(prog, map, |pi, at| queue.push(Reverse((at, pi))));
+        let mut caches: Vec<ProcessorCache> = (0..p)
+            .map(|_| {
+                ProcessorCache::with_associativity(
+                    config.num_sets(),
+                    config.associativity() as usize,
+                )
+            })
+            .collect();
+        let mut directory = Directory::new();
+        let mut traffic = record_traffic.then(|| SymMatrix::new(p, 0u64));
+        let mut barrier_arrivals = 0u64;
+        let mut parked: Vec<Option<u64>> = vec![None; p]; // Some(park time)
+
+        while let Some(Reverse((t, pi))) = queue.pop() {
+            let me = ProcessorId::from_index(pi);
+            let ctx_idx = procs[pi].current;
+            debug_assert!(!procs[pi].contexts[ctx_idx].done);
+            debug_assert!(procs[pi].contexts[ctx_idx].ready_at <= t);
+
+            let thread = procs[pi].contexts[ctx_idx].thread;
+            let r: MemRef = procs[pi].contexts[ctx_idx]
+                .refs
+                .next()
+                .expect("dispatched context has a next reference");
+            let exhausted = procs[pi].contexts[ctx_idx].refs.len() == 0;
+
+            if r.kind == RefKind::Barrier {
+                procs[pi].stats.busy += 1;
+                procs[pi].stats.barrier_ops += 1;
+                let issue_end = t + 1;
+                procs[pi].stats.finish_time = issue_end;
+                if exhausted {
+                    procs[pi].contexts[ctx_idx].done = true;
+                }
+
+                barrier_arrivals += 1;
+                if barrier_arrivals == participants {
+                    barrier_arrivals = 0;
+                    for qi in 0..p {
+                        let mut woke = false;
+                        for ctx in &mut procs[qi].contexts {
+                            if ctx.waiting {
+                                ctx.waiting = false;
+                                ctx.ready_at = issue_end;
+                                woke = true;
+                            }
+                        }
+                        if woke {
+                            if let Some(park_time) = parked[qi].take() {
+                                if let Some((idx, dispatch)) = procs[qi].next_context(issue_end) {
+                                    procs[qi].stats.idle += dispatch - park_time;
+                                    procs[qi].current = idx;
+                                    queue.push(Reverse((dispatch, qi)));
+                                }
+                            }
+                        }
+                    }
+                } else if !exhausted {
+                    procs[pi].contexts[ctx_idx].waiting = true;
+                }
+
+                match procs[pi].next_context(issue_end) {
+                    Some((idx, dispatch)) => {
+                        if dispatch > issue_end {
+                            procs[pi].stats.idle += dispatch - issue_end;
+                        }
+                        procs[pi].current = idx;
+                        queue.push(Reverse((dispatch, pi)));
+                    }
+                    None => {
+                        let any_waiting = procs[pi].contexts.iter().any(|c| c.waiting);
+                        if any_waiting {
+                            parked[pi] = Some(issue_end);
+                        }
+                    }
+                }
+                continue;
+            }
+
+            let line = r.addr.line(line_size).raw();
+            let is_write = r.kind.is_write();
+
+            procs[pi].stats.busy += 1;
+            let issue_end = t + 1;
+
+            let missed = match caches[pi].probe(line, is_write) {
+                AccessOutcome::Hit => {
+                    procs[pi].stats.hits += 1;
+                    false
+                }
+                AccessOutcome::UpgradeHit => {
+                    procs[pi].stats.hits += 1;
+                    procs[pi].stats.upgrades += 1;
+                    let tx = directory.write_fill(me, line);
+                    let had_remote = !tx.invalidate.is_empty();
+                    procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
+                    for victim in tx.invalidate {
+                        caches[victim.index()].invalidate(line, me);
+                        procs[victim.index()].stats.invalidations_received += 1;
+                        record_pair(&mut traffic, victim.index(), pi);
+                    }
+                    caches[pi].set_modified(line);
+                    config.upgrade_stalls() && had_remote
+                }
+                AccessOutcome::Miss { victim: _ } => {
+                    let (kind, source) = caches[pi].miss_provenance(line, thread);
+                    procs[pi].stats.misses.record(kind);
+                    if kind == MissKind::Invalidation {
+                        if let Some(src) = source {
+                            record_pair(&mut traffic, pi, src.index());
+                        }
+                    }
+                    let tx = if is_write {
+                        directory.write_fill(me, line)
+                    } else {
+                        directory.read_fill(me, line)
+                    };
+                    procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
+                    for victim in tx.invalidate {
+                        caches[victim.index()].invalidate(line, me);
+                        procs[victim.index()].stats.invalidations_received += 1;
+                        record_pair(&mut traffic, victim.index(), pi);
+                    }
+                    if let Some(owner) = tx.downgrade {
+                        caches[owner.index()].downgrade(line);
+                    }
+                    let fill_state = if is_write {
+                        LineState::Modified
+                    } else {
+                        LineState::Shared
+                    };
+                    if let Some((vline, _)) = caches[pi].fill(line, fill_state, thread) {
+                        directory.evict(me, vline);
+                    }
+                    true
+                }
+            };
+
+            let proc = &mut procs[pi];
+            let ctx = &mut proc.contexts[ctx_idx];
+            if exhausted {
+                ctx.done = true;
+            }
+            if missed {
+                let start = if occupancy == 0 {
+                    t
+                } else {
+                    let start = channel_free_at.max(t);
+                    channel_free_at = start + occupancy;
+                    start
+                };
+                ctx.ready_at = start + latency;
+            }
+            proc.stats.finish_time = issue_end;
+
+            if !missed && !exhausted {
+                queue.push(Reverse((issue_end, pi)));
+                continue;
+            }
+
+            let (drain_end, drained) = if missed {
+                (issue_end + switch_cost, switch_cost)
+            } else {
+                (issue_end, 0)
+            };
+
+            if let Some((idx, dispatch)) = proc.next_context(drain_end) {
+                proc.stats.switching += drained;
+                if dispatch > drain_end {
+                    proc.stats.idle += dispatch - drain_end;
+                }
+                proc.current = idx;
+                queue.push(Reverse((dispatch, pi)));
+            }
+        }
+
+        let stats = SimStats::new(procs.into_iter().map(|pr| pr.stats).collect());
+        Ok((stats, traffic))
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,7 +928,9 @@ mod tests {
     #[test]
     fn sequential_instr_stream_misses_per_line() {
         // 16 sequential word fetches cover 2 lines of 32 bytes.
-        let tr: ThreadTrace = (0..16).map(|i| MemRef::instr(Address::new(4 * i))).collect();
+        let tr: ThreadTrace = (0..16)
+            .map(|i| MemRef::instr(Address::new(4 * i)))
+            .collect();
         let (prog, map) = single(tr);
         let stats = simulate(&prog, &map, &cfg()).unwrap();
         assert_eq!(stats.total_misses().compulsory, 2);
@@ -588,10 +1029,7 @@ mod tests {
         };
         let solo_prog = ProgramTrace::new("solo", vec![mk(0)]);
         let solo_map = PlacementMap::from_clusters(vec![vec![0]]).unwrap();
-        let big = ArchConfig::builder()
-            .cache_size(1 << 20)
-            .build()
-            .unwrap();
+        let big = ArchConfig::builder().cache_size(1 << 20).build().unwrap();
         let solo = simulate(&solo_prog, &solo_map, &big).unwrap();
 
         let duo_prog = ProgramTrace::new("duo", vec![mk(0), mk(0x100_0000)]);
@@ -614,7 +1052,9 @@ mod tests {
         let t1: ThreadTrace = (0..30)
             .map(|i| MemRef::write(Address::new(0x40 * (i % 7))))
             .collect();
-        let t2: ThreadTrace = (0..70).map(|i| MemRef::instr(Address::new(4 * i))).collect();
+        let t2: ThreadTrace = (0..70)
+            .map(|i| MemRef::instr(Address::new(4 * i)))
+            .collect();
         let prog = ProgramTrace::new("t", vec![t0, t1, t2]);
         let map = PlacementMap::from_clusters(vec![vec![0, 1], vec![2]]).unwrap();
         let stats = simulate(&prog, &map, &cfg()).unwrap();
@@ -714,10 +1154,7 @@ mod contention_tests {
                 .map(|i| MemRef::read(Address::new(base + 0x1000 * i)))
                 .collect()
         };
-        let prog = ProgramTrace::new(
-            "missy",
-            (0..8u64).map(|t| mk(t * 0x100_0000)).collect(),
-        );
+        let prog = ProgramTrace::new("missy", (0..8u64).map(|t| mk(t * 0x100_0000)).collect());
         let map = PlacementMap::from_clusters((0..8).map(|i| vec![i]).collect()).unwrap();
 
         let free = ArchConfig::builder().cache_size(1 << 20).build().unwrap();
@@ -868,7 +1305,11 @@ mod barrier_tests {
         // 16 references of its own.
         let p0 = stats.per_proc()[0];
         assert!(p0.finish_time > 450, "fast proc finish {}", p0.finish_time);
-        assert!(p0.idle > 400, "fast proc must idle at the barrier: {}", p0.idle);
+        assert!(
+            p0.idle > 400,
+            "fast proc must idle at the barrier: {}",
+            p0.idle
+        );
         assert_eq!(p0.barrier_ops, 1);
         assert_eq!(p0.accounted_cycles(), p0.finish_time);
         assert_eq!(stats.total_refs(), prog.total_refs());
@@ -982,6 +1423,103 @@ mod barrier_tests {
         assert_eq!(p0.barrier_ops, 2);
         // The working thread's 50 misses dominate; the waiting context
         // must not add idle beyond what the misses force.
+        assert_eq!(p0.accounted_cycles(), p0.finish_time);
+    }
+}
+
+/// Edge cases of the hit-run fast path: runs cut exactly at the
+/// horizon, contexts exhausting mid-run, and barriers immediately after
+/// a batched run. Every test closes with the cycle conservation law.
+#[cfg(test)]
+mod horizon_tests {
+    use super::*;
+    use placesim_trace::{Address, ThreadTrace};
+
+    fn cfg() -> ArchConfig {
+        // 8 sets of 32 bytes, latency 50, switch 6, contention-free.
+        ArchConfig::builder()
+            .cache_size(256)
+            .line_size(32)
+            .build()
+            .unwrap()
+    }
+
+    /// Two lockstep processors: every hit run is interrupted after
+    /// exactly one reference because the other processor's event sits at
+    /// the same cycle. The fast path degenerates to per-reference
+    /// stepping and must account identically to it.
+    #[test]
+    fn hit_run_cut_exactly_at_horizon() {
+        let t0: ThreadTrace = (0..10).map(|_| MemRef::read(Address::new(0x000))).collect();
+        let t1: ThreadTrace = (0..10).map(|_| MemRef::read(Address::new(0x400))).collect();
+        let prog = ProgramTrace::new("lockstep", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+
+        for p in stats.per_proc() {
+            // Compulsory miss at t=0, drain 6, ready at 50, then 9 hits
+            // issued one per cycle while the peers interleave.
+            assert_eq!(p.misses.compulsory, 1);
+            assert_eq!(p.hits, 9);
+            assert_eq!(p.busy, 10);
+            assert_eq!(p.switching, 6);
+            assert_eq!(p.idle, 43);
+            assert_eq!(p.finish_time, 59);
+            assert_eq!(p.accounted_cycles(), p.finish_time);
+        }
+    }
+
+    /// A context's trace ends inside a hit run: the run stops, the
+    /// thread completes, and the switch to the other context is free
+    /// (no drain) — only the wait until its readiness is idle time.
+    #[test]
+    fn context_exhausts_mid_run() {
+        let t0: ThreadTrace = (0..5).map(|_| MemRef::read(Address::new(0x000))).collect();
+        let t1: ThreadTrace = (0..5).map(|_| MemRef::read(Address::new(0x020))).collect();
+        let prog = ProgramTrace::new("exhaust", vec![t0, t1]);
+        let map = PlacementMap::from_clusters(vec![vec![0, 1]]).unwrap();
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        let p0 = stats.per_proc()[0];
+
+        // t=0: thread 0 compulsory miss, drain to 7, thread 1 dispatched.
+        // t=7: thread 1 compulsory miss, drain to 14, idle until thread 0
+        // ready at 50. t=50..54: thread 0's 4 hits in one batch (queue
+        // empty, no horizon), trace done, free switch, idle until 57.
+        // t=57..61: thread 1's 4 hits in one batch.
+        assert_eq!(p0.misses.compulsory, 2);
+        assert_eq!(p0.hits, 8);
+        assert_eq!(p0.busy, 10);
+        assert_eq!(p0.switching, 12);
+        assert_eq!(p0.idle, 36 + 3);
+        assert_eq!(p0.finish_time, 61);
+        assert_eq!(p0.accounted_cycles(), p0.finish_time);
+    }
+
+    /// A barrier is the first reference the slow path sees after a
+    /// batched run of hits: arrival bookkeeping, waiting and release all
+    /// happen at the batch's local clock, not the event's pop time.
+    #[test]
+    fn barrier_first_after_batched_run() {
+        let mk = |base: u64| -> ThreadTrace {
+            let mut t = ThreadTrace::new();
+            for _ in 0..4 {
+                t.push(MemRef::read(Address::new(base)));
+            }
+            t.push(MemRef::barrier(0));
+            for _ in 0..3 {
+                t.push(MemRef::read(Address::new(base)));
+            }
+            t
+        };
+        let prog = ProgramTrace::new("batch-barrier", vec![mk(0x000), mk(0x020)]);
+        let map = PlacementMap::from_clusters(vec![vec![0, 1]]).unwrap();
+        let stats = simulate(&prog, &map, &cfg()).unwrap();
+        let p0 = stats.per_proc()[0];
+
+        assert_eq!(stats.total_refs(), prog.total_refs());
+        assert_eq!(p0.barrier_ops, 2);
+        assert_eq!(p0.misses.total(), 2);
+        assert_eq!(p0.hits, 12);
         assert_eq!(p0.accounted_cycles(), p0.finish_time);
     }
 }

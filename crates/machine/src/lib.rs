@@ -41,9 +41,11 @@ pub mod model;
 pub mod probe;
 mod stats;
 
-pub use cache::{AccessOutcome, GoneReason, LineState, ProcessorCache};
+pub use cache::{Access, AccessOutcome, GoneReason, LineState, ProcessorCache};
 pub use config::{ArchConfig, ArchConfigBuilder, ConfigError};
 pub use directory::{Directory, SharerSet, MAX_PROCESSORS};
+#[cfg(feature = "reference-engine")]
+pub use engine::reference;
 pub use engine::{simulate, simulate_with_traffic, SimError};
 pub use model::{simulated_efficiency, EfficiencyModel};
 pub use probe::{probe_coherence, ProbeResult};

@@ -210,12 +210,8 @@ mod tests {
             }
             t
         };
-        let prog = ProgramTrace::new(
-            "model",
-            (0..contexts as u64).map(mk).collect(),
-        );
-        let map =
-            PlacementMap::from_clusters(vec![(0..contexts).collect()]).unwrap();
+        let prog = ProgramTrace::new("model", (0..contexts as u64).map(mk).collect());
+        let map = PlacementMap::from_clusters(vec![(0..contexts).collect()]).unwrap();
         let config = ArchConfig::builder().cache_size(1 << 21).build().unwrap();
         let stats = simulate(&prog, &map, &config).unwrap();
 

@@ -83,7 +83,9 @@ mod tests {
                 t0.push(MemRef::instr(Address::new(4 * (i * 60 + k))));
             }
         }
-        let t1: ThreadTrace = (0..50).map(|i| MemRef::read(Address::new(0x9000 + 32 * i))).collect();
+        let t1: ThreadTrace = (0..50)
+            .map(|i| MemRef::read(Address::new(0x9000 + 32 * i)))
+            .collect();
         let mut t2 = ThreadTrace::new();
         for i in 0..4 {
             t2.push(MemRef::write(Address::new(0x1000)));

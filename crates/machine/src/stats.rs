@@ -172,7 +172,11 @@ impl SimStats {
     /// Execution time: the maximum finish time over all processors (the
     /// quantity the paper's Figures 2–4 plot).
     pub fn execution_time(&self) -> u64 {
-        self.per_proc.iter().map(|p| p.finish_time).max().unwrap_or(0)
+        self.per_proc
+            .iter()
+            .map(|p| p.finish_time)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Aggregated miss breakdown over all processors.

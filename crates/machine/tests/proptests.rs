@@ -168,7 +168,10 @@ mod barrier_props {
         // Each thread: `phases` segments of random refs with barriers
         // between segments; all threads share the phase count.
         let segment = proptest::collection::vec((0u8..3, 0u64..48), 0..30);
-        (1usize..4, proptest::collection::vec(proptest::collection::vec(segment, 3), 1..5))
+        (
+            1usize..4,
+            proptest::collection::vec(proptest::collection::vec(segment, 3), 1..5),
+        )
             .prop_map(|(phases, threads)| {
                 let traces: Vec<ThreadTrace> = threads
                     .into_iter()

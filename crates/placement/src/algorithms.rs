@@ -123,7 +123,9 @@ impl PlacementAlgorithm {
             PlacementAlgorithm::MinInvs => {
                 "minimize cross-processor references that can cause invalidations"
             }
-            PlacementAlgorithm::MaxWrites => "maximize write-shared references among co-located threads",
+            PlacementAlgorithm::MaxWrites => {
+                "maximize write-shared references among co-located threads"
+            }
             PlacementAlgorithm::MinShare => "worst case: minimize shared references per processor",
             PlacementAlgorithm::ShareRefsLb
             | PlacementAlgorithm::ShareAddrLb
@@ -232,8 +234,11 @@ impl PlacementAlgorithm {
                 options,
             )?,
             PlacementAlgorithm::MinPriv => {
-                let private: Vec<u64> =
-                    sharing.per_thread().iter().map(|s| s.private_addrs).collect();
+                let private: Vec<u64> = sharing
+                    .per_thread()
+                    .iter()
+                    .map(|s| s.private_addrs)
+                    .collect();
                 cluster(
                     &MinPrivMetric {
                         refs: sharing.pair_refs_matrix(),

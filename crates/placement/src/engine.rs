@@ -172,17 +172,20 @@ fn bfd_completable(part: &Partition, merged: (usize, usize), spec: &BalanceSpec)
         return false;
     }
     let (floor, ceil) = (spec.floor_size(), spec.ceil_size());
-    let big = if floor == ceil { 0 } else { spec.big_clusters() };
-    let mut bins: Vec<usize> = std::iter::repeat(ceil)
-        .take(if floor == ceil { 0 } else { big })
-        .chain(std::iter::repeat(floor).take(p - if floor == ceil { 0 } else { big }))
+    let big = if floor == ceil {
+        0
+    } else {
+        spec.big_clusters()
+    };
+    let mut bins: Vec<usize> = std::iter::repeat_n(ceil, big)
+        .chain(std::iter::repeat_n(floor, p - big))
         .collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     for s in sizes {
         // Best fit: the tightest bin that still holds s.
         let mut best: Option<usize> = None;
         for (i, &room) in bins.iter().enumerate() {
-            if room >= s && best.map_or(true, |bi| bins[bi] > room) {
+            if room >= s && best.is_none_or(|bi| bins[bi] > room) {
                 best = Some(i);
             }
         }
@@ -206,7 +209,11 @@ fn ranked_candidates<M: PairMetric>(
 ) -> Vec<(usize, usize)> {
     let ceil = spec.ceil_size();
     let floor = spec.floor_size();
-    let big_now = if floor == ceil { 0 } else { part.count_of_size(ceil) };
+    let big_now = if floor == ceil {
+        0
+    } else {
+        part.count_of_size(ceil)
+    };
 
     let mut scored: Vec<(bool, Score, usize, usize)> = Vec::new();
     for a in 0..part.len() {
@@ -312,7 +319,7 @@ mod tests {
         let metric = ShareRefsMetric { refs: &m };
         let mut part = Partition::singletons(5);
         part.combine(1, 2); // {2,3} in paper numbering
-        // Clusters now: {0},{1,2},{3},{4}; score({1,2},{3}):
+                            // Clusters now: {0},{1,2},{3},{4}; score({1,2},{3}):
         let s = metric.score(&part, 1, 2);
         assert_eq!(s, Score::primary(4.5));
     }
@@ -327,8 +334,17 @@ mod tests {
             let sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
             let floor = 7 / p;
             let ceil = 7usize.div_ceil(p);
-            assert!(sizes.iter().all(|&s| s == floor || s == ceil), "p={p} sizes={sizes:?}");
-            assert_eq!(sizes.iter().filter(|&&s| s == ceil && floor != ceil).count(), 7 % p);
+            assert!(
+                sizes.iter().all(|&s| s == floor || s == ceil),
+                "p={p} sizes={sizes:?}"
+            );
+            assert_eq!(
+                sizes
+                    .iter()
+                    .filter(|&&s| s == ceil && floor != ceil)
+                    .count(),
+                7 % p
+            );
         }
     }
 
@@ -341,13 +357,7 @@ mod tests {
         // scores are arranged so, and must backtrack or route around it.
         let m = share_refs(
             8,
-            &[
-                (0, 1, 100),
-                (1, 2, 90),
-                (3, 4, 80),
-                (4, 5, 70),
-                (6, 7, 1),
-            ],
+            &[(0, 1, 100), (1, 2, 90), (3, 4, 80), (4, 5, 70), (6, 7, 1)],
         );
         let metric = ShareRefsMetric { refs: &m };
         let clusters = cluster(&metric, 8, 2, EngineOptions::default()).unwrap();

@@ -35,18 +35,33 @@ pub enum PlacementError {
 impl fmt::Display for PlacementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlacementError::ZeroProcessors => write!(f, "placement requires at least one processor"),
-            PlacementError::TooManyProcessors { threads, processors } => write!(
+            PlacementError::ZeroProcessors => {
+                write!(f, "placement requires at least one processor")
+            }
+            PlacementError::TooManyProcessors {
+                threads,
+                processors,
+            } => write!(
                 f,
                 "cannot thread-balance {threads} threads over {processors} processors"
             ),
             PlacementError::SearchExhausted => {
-                write!(f, "clustering search budget exhausted without a balanced partition")
+                write!(
+                    f,
+                    "clustering search budget exhausted without a balanced partition"
+                )
             }
             PlacementError::MissingTraffic => {
-                write!(f, "coherence-traffic placement requires a measured traffic matrix")
+                write!(
+                    f,
+                    "coherence-traffic placement requires a measured traffic matrix"
+                )
             }
-            PlacementError::DimensionMismatch { what, expected, found } => {
+            PlacementError::DimensionMismatch {
+                what,
+                expected,
+                found,
+            } => {
                 write!(f, "{what} has dimension {found}, expected {expected}")
             }
         }
@@ -61,10 +76,19 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(PlacementError::ZeroProcessors.to_string().contains("one processor"));
-        let e = PlacementError::TooManyProcessors { threads: 2, processors: 4 };
+        assert!(PlacementError::ZeroProcessors
+            .to_string()
+            .contains("one processor"));
+        let e = PlacementError::TooManyProcessors {
+            threads: 2,
+            processors: 4,
+        };
         assert!(e.to_string().contains("2 threads"));
-        let e = PlacementError::DimensionMismatch { what: "lengths", expected: 3, found: 2 };
+        let e = PlacementError::DimensionMismatch {
+            what: "lengths",
+            expected: 3,
+            found: 2,
+        };
         assert!(e.to_string().contains("lengths"));
     }
 }

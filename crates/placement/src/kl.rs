@@ -125,7 +125,7 @@ fn kl_pass(clusters: &mut [Vec<usize>], a: usize, b: usize, graph: &SymMatrix<u6
                 }
                 let dy = d_value(y, &wb, &wa);
                 let gain = dx + dy - 2 * graph.get(x, y) as i64;
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((i, j, gain));
                 }
             }
@@ -226,8 +226,7 @@ mod tests {
     fn uneven_clusters_preserved() {
         // 5 threads over 2 clusters: sizes 3 and 2 stay 3 and 2.
         let g = graph(5, &[(0, 4, 50), (1, 2, 50)]);
-        let initial =
-            PlacementMap::from_clusters(vec![vec![0, 1, 2], vec![3, 4]]).unwrap();
+        let initial = PlacementMap::from_clusters(vec![vec![0, 1, 2], vec![3, 4]]).unwrap();
         let (refined, _) = refine(&initial, &g).unwrap();
         let sizes: Vec<usize> = refined.iter().map(|(_, c)| c.len()).collect();
         assert_eq!(sizes, vec![3, 2]);

@@ -98,8 +98,10 @@ impl PlacementMap {
                 *slot = Some(ProcessorId::from_index(pi));
             }
         }
-        let assignment: Vec<ProcessorId> =
-            assignment.into_iter().map(|s| s.expect("all slots filled")).collect();
+        let assignment: Vec<ProcessorId> = assignment
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect();
         let mut sorted_clusters: Vec<Vec<ThreadId>> = clusters
             .into_iter()
             .map(|c| c.into_iter().map(ThreadId::from_index).collect())
@@ -256,8 +258,7 @@ mod tests {
         assert!(even.is_thread_balanced());
 
         // 7 over 3 → sizes must be 3,2,2. (3,3,1) is not balanced.
-        let bad =
-            PlacementMap::from_clusters(vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]).unwrap();
+        let bad = PlacementMap::from_clusters(vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]).unwrap();
         assert!(!bad.is_thread_balanced());
     }
 

@@ -56,9 +56,7 @@ pub struct ShareAddrMetric<'a> {
 impl PairMetric for ShareAddrMetric<'_> {
     fn score(&self, part: &Partition, a: usize, b: usize) -> Score {
         let refs = averaged_cross(self.refs, part, a, b);
-        let addrs = self
-            .addrs
-            .cross_sum(part.cluster(a), part.cluster(b)) as f64;
+        let addrs = self.addrs.cross_sum(part.cluster(a), part.cluster(b)) as f64;
         // Density: shared refs per shared address across the cut. With no
         // common addresses the density is 0 (nothing to make better use of).
         let density = if addrs == 0.0 {

@@ -116,9 +116,8 @@ mod tests {
 
     #[test]
     fn no_sharing_is_zero_not_nan() {
-        let mk = |addr: u64| -> ThreadTrace {
-            [MemRef::read(Address::new(addr))].into_iter().collect()
-        };
+        let mk =
+            |addr: u64| -> ThreadTrace { [MemRef::read(Address::new(addr))].into_iter().collect() };
         let prog = ProgramTrace::new("p", vec![mk(1), mk(2)]);
         let sharing = SharingAnalysis::measure(&prog);
         let lengths = thread_lengths(&prog);

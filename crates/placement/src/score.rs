@@ -28,8 +28,14 @@ impl Score {
     ///
     /// Panics if either component is NaN or infinite.
     pub fn new(primary: f64, secondary: f64) -> Self {
-        assert!(primary.is_finite(), "score primary must be finite, got {primary}");
-        assert!(secondary.is_finite(), "score secondary must be finite, got {secondary}");
+        assert!(
+            primary.is_finite(),
+            "score primary must be finite, got {primary}"
+        );
+        assert!(
+            secondary.is_finite(),
+            "score secondary must be finite, got {secondary}"
+        );
         Score { primary, secondary }
     }
 
@@ -92,8 +98,19 @@ mod tests {
 
     #[test]
     fn sortable() {
-        let mut v = vec![Score::primary(3.0), Score::primary(1.0), Score::primary(2.0)];
+        let mut v = vec![
+            Score::primary(3.0),
+            Score::primary(1.0),
+            Score::primary(2.0),
+        ];
         v.sort();
-        assert_eq!(v, vec![Score::primary(1.0), Score::primary(2.0), Score::primary(3.0)]);
+        assert_eq!(
+            v,
+            vec![
+                Score::primary(1.0),
+                Score::primary(2.0),
+                Score::primary(3.0)
+            ]
+        );
     }
 }

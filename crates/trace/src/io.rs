@@ -54,9 +54,11 @@ pub fn write_program<W: Write>(prog: &ProgramTrace, mut w: W) -> Result<(), Trac
         reason: "program name longer than u32::MAX bytes".into(),
     })?);
     header.put_slice(name);
-    header.put_u32_le(u32::try_from(prog.thread_count()).map_err(|_| TraceError::Format {
-        reason: "more than u32::MAX threads".into(),
-    })?);
+    header.put_u32_le(
+        u32::try_from(prog.thread_count()).map_err(|_| TraceError::Format {
+            reason: "more than u32::MAX threads".into(),
+        })?,
+    );
     w.write_all(&header)?;
 
     let mut body = BytesMut::new();
@@ -160,7 +162,10 @@ pub fn from_bytes(raw: &[u8]) -> Result<ProgramTrace, TraceError> {
 fn take<'a>(buf: &mut &'a [u8], need: usize, what: &str) -> Result<&'a [u8], TraceError> {
     if buf.len() < need {
         return Err(TraceError::Format {
-            reason: format!("truncated while reading {what}: need {need}, have {}", buf.len()),
+            reason: format!(
+                "truncated while reading {what}: need {need}, have {}",
+                buf.len()
+            ),
         });
     }
     let (head, tail) = buf.split_at(need);
@@ -204,10 +209,7 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = to_bytes(&sample()).unwrap().to_vec();
         bytes[0] = b'X';
-        assert!(matches!(
-            from_bytes(&bytes),
-            Err(TraceError::Format { .. })
-        ));
+        assert!(matches!(from_bytes(&bytes), Err(TraceError::Format { .. })));
     }
 
     #[test]
@@ -235,10 +237,7 @@ mod tests {
     fn rejects_trailing_garbage() {
         let mut bytes = to_bytes(&sample()).unwrap().to_vec();
         bytes.push(0);
-        assert!(matches!(
-            from_bytes(&bytes),
-            Err(TraceError::Format { .. })
-        ));
+        assert!(matches!(from_bytes(&bytes), Err(TraceError::Format { .. })));
     }
 
     #[test]

@@ -118,7 +118,10 @@ impl Address {
     /// Panics (debug builds) if `line_size` is not a power of two.
     #[inline]
     pub fn line(self, line_size: u64) -> LineAddr {
-        debug_assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        debug_assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(self.0 >> line_size.trailing_zeros())
     }
 
@@ -173,7 +176,10 @@ impl LineAddr {
     /// Panics (debug builds) if `num_sets` is not a power of two.
     #[inline]
     pub fn set_index(self, num_sets: u64) -> usize {
-        debug_assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        debug_assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         (self.0 & (num_sets - 1)) as usize
     }
 }
@@ -310,7 +316,12 @@ mod tests {
 
     #[test]
     fn kind_tag_roundtrip() {
-        for kind in [RefKind::Instr, RefKind::Read, RefKind::Write, RefKind::Barrier] {
+        for kind in [
+            RefKind::Instr,
+            RefKind::Read,
+            RefKind::Write,
+            RefKind::Barrier,
+        ] {
             assert_eq!(RefKind::from_tag(kind.to_tag()), Some(kind));
         }
         assert_eq!(RefKind::from_tag(4), None);

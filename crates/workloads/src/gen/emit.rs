@@ -189,7 +189,10 @@ mod tests {
         let spec = suite::water();
         let (t, _) = emit_one(&spec, 20_000);
         let ratio = t.data_len() as f64 / t.instr_len() as f64;
-        assert!((ratio / spec.data_ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+        assert!(
+            (ratio / spec.data_ratio - 1.0).abs() < 0.02,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub fn sample_lengths(spec: &AppSpec, opts: &GenOptions) -> Vec<u64> {
     let mean = spec.thread_length.mean * opts.scale;
     let cv = spec.thread_length.dev_percent / 100.0;
     (0..spec.threads)
-        .map(|_| sample_lognormal(&mut rng, mean, cv).round().max(MIN_LENGTH as f64) as u64)
+        .map(|_| {
+            sample_lognormal(&mut rng, mean, cv)
+                .round()
+                .max(MIN_LENGTH as f64) as u64
+        })
         .collect()
 }
 
@@ -58,7 +62,9 @@ mod tests {
             shared_percent: 50.0,
             refs_per_shared_addr: 10.0,
             data_ratio: 0.3,
-            pattern: SharingPattern::UniformAllShare { write_fraction: 0.2 },
+            pattern: SharingPattern::UniformAllShare {
+                write_fraction: 0.2,
+            },
             cache_kb: 64,
             phases: 1,
         }
@@ -111,7 +117,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let spec = spec_with(50_000.0, 50.0, 16);
-        let o = GenOptions { scale: 1.0, seed: 77 };
+        let o = GenOptions {
+            scale: 1.0,
+            seed: 77,
+        };
         assert_eq!(sample_lengths(&spec, &o), sample_lengths(&spec, &o));
     }
 }

@@ -55,9 +55,7 @@ pub fn generate(spec: &AppSpec, opts: &GenOptions) -> ProgramTrace {
         .iter()
         .zip(plans)
         .enumerate()
-        .map(|(tid, (&n_instr, plan))| {
-            emit::emit_thread(spec, tid, n_instr, &plan, &layout, opts)
-        })
+        .map(|(tid, (&n_instr, plan))| emit::emit_thread(spec, tid, n_instr, &plan, &layout, opts))
         .collect();
     ProgramTrace::new(spec.name, threads)
 }
@@ -105,8 +103,20 @@ mod tests {
     #[test]
     fn scale_shrinks_traces_proportionally() {
         let spec = suite::water();
-        let small = generate(&spec, &GenOptions { scale: 0.005, seed: 9 });
-        let large = generate(&spec, &GenOptions { scale: 0.01, seed: 9 });
+        let small = generate(
+            &spec,
+            &GenOptions {
+                scale: 0.005,
+                seed: 9,
+            },
+        );
+        let large = generate(
+            &spec,
+            &GenOptions {
+                scale: 0.01,
+                seed: 9,
+            },
+        );
         let ratio = large.total_instrs() as f64 / small.total_instrs() as f64;
         assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
     }
@@ -114,6 +124,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_panics() {
-        let _ = generate(&suite::water(), &GenOptions { scale: 0.0, seed: 1 });
+        let _ = generate(
+            &suite::water(),
+            &GenOptions {
+                scale: 0.0,
+                seed: 1,
+            },
+        );
     }
 }

@@ -187,9 +187,7 @@ pub fn assign_addresses(spec: &AppSpec, lengths: &[u64], opts: &GenOptions) -> V
                 .map(|(tid, &len)| {
                     let count = slot_count(spec, len);
                     let lo = tid as u64 * chunk;
-                    let slots = (0..count.max(1))
-                        .map(|i| (lo + i) % (chunk * t))
-                        .collect();
+                    let slots = (0..count.max(1)).map(|i| (lo + i) % (chunk * t)).collect();
                     SharedPlan {
                         slots,
                         policy: WritePolicy::OwnRange {

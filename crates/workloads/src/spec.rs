@@ -196,7 +196,9 @@ mod tests {
             shared_percent: 50.0,
             refs_per_shared_addr: 10.0,
             data_ratio: 0.3,
-            pattern: SharingPattern::UniformAllShare { write_fraction: 0.2 },
+            pattern: SharingPattern::UniformAllShare {
+                write_fraction: 0.2,
+            },
             cache_kb: 64,
             phases: 1,
         };

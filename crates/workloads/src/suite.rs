@@ -68,7 +68,9 @@ pub fn locusroute() -> AppSpec {
         shared_percent: 57.4,
         refs_per_shared_addr: 15.0,
         data_ratio: 0.30,
-        pattern: SharingPattern::UniformAllShare { write_fraction: 0.25 },
+        pattern: SharingPattern::UniformAllShare {
+            write_fraction: 0.25,
+        },
         cache_kb: 32,
         phases: 1,
     }
@@ -85,7 +87,9 @@ pub fn water() -> AppSpec {
         shared_percent: 71.7,
         refs_per_shared_addr: 23.0,
         data_ratio: 0.30,
-        pattern: SharingPattern::UniformAllShare { write_fraction: 0.2 },
+        pattern: SharingPattern::UniformAllShare {
+            write_fraction: 0.2,
+        },
         cache_kb: 32,
         phases: 4,
     }
@@ -102,7 +106,9 @@ pub fn mp3d() -> AppSpec {
         shared_percent: 82.6,
         refs_per_shared_addr: 24.0,
         data_ratio: 0.32,
-        pattern: SharingPattern::UniformAllShare { write_fraction: 0.35 },
+        pattern: SharingPattern::UniformAllShare {
+            write_fraction: 0.35,
+        },
         cache_kb: 32,
         phases: 4,
     }
@@ -120,7 +126,9 @@ pub fn cholesky() -> AppSpec {
         shared_percent: 17.1,
         refs_per_shared_addr: 24.0,
         data_ratio: 0.33,
-        pattern: SharingPattern::PartitionedReadShare { write_fraction: 0.15 },
+        pattern: SharingPattern::PartitionedReadShare {
+            write_fraction: 0.15,
+        },
         cache_kb: 32,
         phases: 1,
     }
@@ -140,7 +148,9 @@ pub fn barnes_hut() -> AppSpec {
         shared_percent: 58.6,
         refs_per_shared_addr: 8.0,
         data_ratio: 0.30,
-        pattern: SharingPattern::PartitionedReadShare { write_fraction: 0.10 },
+        pattern: SharingPattern::PartitionedReadShare {
+            write_fraction: 0.10,
+        },
         cache_kb: 32,
         phases: 1,
     }
@@ -157,7 +167,9 @@ pub fn pverify() -> AppSpec {
         shared_percent: 91.7,
         refs_per_shared_addr: 98.0,
         data_ratio: 0.31,
-        pattern: SharingPattern::UniformAllShare { write_fraction: 0.2 },
+        pattern: SharingPattern::UniformAllShare {
+            write_fraction: 0.2,
+        },
         cache_kb: 32,
         phases: 1,
     }
@@ -175,7 +187,9 @@ pub fn topopt() -> AppSpec {
         shared_percent: 50.7,
         refs_per_shared_addr: 611.0,
         data_ratio: 0.31,
-        pattern: SharingPattern::UniformAllShare { write_fraction: 0.4 },
+        pattern: SharingPattern::UniformAllShare {
+            write_fraction: 0.4,
+        },
         cache_kb: 32,
         phases: 1,
     }
@@ -326,7 +340,9 @@ pub fn gauss() -> AppSpec {
         shared_percent: 95.0,
         refs_per_shared_addr: 26.0,
         data_ratio: 0.30,
-        pattern: SharingPattern::UniformAllShare { write_fraction: 0.1 },
+        pattern: SharingPattern::UniformAllShare {
+            write_fraction: 0.1,
+        },
         cache_kb: 64,
         phases: 8,
     }
@@ -353,7 +369,10 @@ mod tests {
     #[test]
     fn grain_split_is_seven_seven() {
         let s = suite();
-        let coarse = s.iter().filter(|a| a.granularity == Granularity::Coarse).count();
+        let coarse = s
+            .iter()
+            .filter(|a| a.granularity == Granularity::Coarse)
+            .count();
         assert_eq!(coarse, 7);
         assert_eq!(s.len() - coarse, 7);
     }

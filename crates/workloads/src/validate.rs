@@ -89,8 +89,7 @@ impl ValidationReport {
                 // of variation cv itself has cv/√t relative noise; allow
                 // three of those on top of the base tolerance.
                 tolerance: 0.20
-                    + 3.0 * (spec.thread_length.dev_percent / 100.0)
-                        / (spec.threads as f64).sqrt(),
+                    + 3.0 * (spec.thread_length.dev_percent / 100.0) / (spec.threads as f64).sqrt(),
             },
             shared_percent: Check {
                 target: spec.shared_percent,

@@ -2,7 +2,7 @@
 
 use placesim_analysis::SharingAnalysis;
 use placesim_workloads::{
-    generate, gen_internals, AppSpec, GenOptions, Granularity, SharingPattern, TargetStat,
+    gen_internals, generate, AppSpec, GenOptions, Granularity, SharingPattern, TargetStat,
 };
 use proptest::prelude::*;
 
@@ -33,26 +33,28 @@ fn arb_pattern() -> impl Strategy<Value = SharingPattern> {
 
 fn arb_spec() -> impl Strategy<Value = AppSpec> {
     (
-        2usize..12,                 // threads
-        5_000f64..40_000.0,         // mean length
-        0f64..120.0,                // length dev %
-        10f64..95.0,                // shared %
-        2f64..200.0,                // refs per shared addr
-        0.2f64..0.45,               // data ratio
+        2usize..12,         // threads
+        5_000f64..40_000.0, // mean length
+        0f64..120.0,        // length dev %
+        10f64..95.0,        // shared %
+        2f64..200.0,        // refs per shared addr
+        0.2f64..0.45,       // data ratio
         arb_pattern(),
     )
-        .prop_map(|(threads, mean, dev, shared, rpa, ratio, pattern)| AppSpec {
-            name: "prop-app",
-            granularity: Granularity::Medium,
-            threads,
-            thread_length: TargetStat::new(mean, dev),
-            shared_percent: shared,
-            refs_per_shared_addr: rpa,
-            data_ratio: ratio,
-            pattern,
-            cache_kb: 64,
-            phases: 1,
-        })
+        .prop_map(
+            |(threads, mean, dev, shared, rpa, ratio, pattern)| AppSpec {
+                name: "prop-app",
+                granularity: Granularity::Medium,
+                threads,
+                thread_length: TargetStat::new(mean, dev),
+                shared_percent: shared,
+                refs_per_shared_addr: rpa,
+                data_ratio: ratio,
+                pattern,
+                cache_kb: 64,
+                phases: 1,
+            },
+        )
 }
 
 proptest! {

@@ -30,7 +30,7 @@ fn pingpong_pair(pair: usize, role: usize, rounds: usize) -> ThreadTrace {
         // Alternate writes to the pair's mailbox lines.
         for line in 0..4u64 {
             let addr = Address::new(base + 32 * line);
-            if (round + role) % 2 == 0 {
+            if (round + role).is_multiple_of(2) {
                 t.push(MemRef::write(addr));
             } else {
                 t.push(MemRef::read(addr));
@@ -57,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shared_percent: 100.0,
         refs_per_shared_addr: 4.0,
         data_ratio: 0.5,
-        pattern: SharingPattern::UniformAllShare { write_fraction: 0.5 },
+        pattern: SharingPattern::UniformAllShare {
+            write_fraction: 0.5,
+        },
         cache_kb: 64,
         phases: 1,
     };

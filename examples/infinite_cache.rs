@@ -29,9 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     app.run_probe()?; // enables the coherence-traffic oracle
 
     let infinite = ArchConfig::infinite_cache();
-    println!(
-        "{name} on {processors} processors, 8 MB cache (no conflict misses)\n"
-    );
+    println!("{name} on {processors} processors, 8 MB cache (no conflict misses)\n");
 
     let lb = run_placement_with_config(&app, PlacementAlgorithm::LoadBal, processors, &infinite)?;
     let lb_time = lb.execution_time();

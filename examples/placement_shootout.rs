@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     results.sort_by_key(|&(_, t, _)| t);
 
-    println!("{:<16} {:>14} {:>12}", "algorithm", "exec (cycles)", "load imbal");
+    println!(
+        "{:<16} {:>14} {:>12}",
+        "algorithm", "exec (cycles)", "load imbal"
+    );
     println!("{}", "-".repeat(44));
     let best = results[0].1 as f64;
     for (algo, time, imbalance) in &results {

@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    placement should optimize.
     let lb = run_placement(&app, PlacementAlgorithm::LoadBal, processors)?;
     let rand = run_placement(&app, PlacementAlgorithm::Random, processors)?;
-    let speedup =
-        100.0 * (1.0 - lb.execution_time() as f64 / rand.execution_time() as f64);
+    let speedup = 100.0 * (1.0 - lb.execution_time() as f64 / rand.execution_time() as f64);
     println!("\nLOAD-BAL is {speedup:.1}% faster than RANDOM for this run.");
     Ok(())
 }

@@ -84,20 +84,28 @@ fn parse_algorithm(name: &str) -> Result<PlacementAlgorithm, String> {
                 .iter()
                 .map(|a| a.paper_name())
                 .collect();
-            format!("unknown algorithm {name}; choose one of {}", names.join(", "))
+            format!(
+                "unknown algorithm {name}; choose one of {}",
+                names.join(", ")
+            )
         })
 }
 
 fn load_trace(path: &str) -> Result<ProgramTrace, String> {
-    let mut file = BufReader::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?);
+    let mut file =
+        BufReader::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?);
     let mut raw = Vec::new();
-    std::io::Read::read_to_end(&mut file, &mut raw).map_err(|e| format!("cannot read {path}: {e}"))?;
+    std::io::Read::read_to_end(&mut file, &mut raw)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
     // Accepts both the flat v1 and compressed v2 formats.
     compress::read_any(&raw).map_err(|e| format!("cannot decode {path}: {e}"))
 }
 
 fn cmd_suite() -> Result<(), String> {
-    println!("{:<14} {:<8} {:>8} {:>16} {:>14}", "app", "grain", "threads", "mean length", "shared refs %");
+    println!(
+        "{:<14} {:<8} {:>8} {:>16} {:>14}",
+        "app", "grain", "threads", "mean length", "shared refs %"
+    );
     for s in suite() {
         println!(
             "{:<14} {:<8} {:>8} {:>16} {:>13.1}%",
@@ -179,7 +187,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         row.refs_per_shared_addr.mean,
         row.refs_per_shared_addr.dev_percent()
     );
-    println!("shared refs:           {:.1}%", row.shared_refs_percent.mean);
+    println!(
+        "shared refs:           {:.1}%",
+        row.shared_refs_percent.mean
+    );
     println!(
         "thread length:         mean {:.0}  dev {:.1}%",
         row.thread_length.mean,
@@ -324,14 +335,29 @@ mod tests {
         let path = dir.join("fft.trace");
         let path_s = path.to_str().unwrap().to_string();
 
-        run(&s(&["gen", "fft", &path_s, "--scale", "0.002", "--seed", "3"])).unwrap();
+        run(&s(&[
+            "gen", "fft", &path_s, "--scale", "0.002", "--seed", "3",
+        ]))
+        .unwrap();
         run(&s(&["info", &path_s])).unwrap(); // compressed v2 loads
-        run(&s(&["gen", "fft", &path_s, "--scale", "0.002", "--seed", "3", "--flat"])).unwrap();
+        run(&s(&[
+            "gen", "fft", &path_s, "--scale", "0.002", "--seed", "3", "--flat",
+        ]))
+        .unwrap();
         run(&s(&["info", &path_s])).unwrap();
         run(&s(&["analyze", &path_s])).unwrap();
         run(&s(&["place", &path_s, "LOAD-BAL", "4"])).unwrap();
-        run(&s(&["simulate", &path_s, "RANDOM", "4", "--cache-kb", "32", "--assoc", "2"]))
-            .unwrap();
+        run(&s(&[
+            "simulate",
+            &path_s,
+            "RANDOM",
+            "4",
+            "--cache-kb",
+            "32",
+            "--assoc",
+            "2",
+        ]))
+        .unwrap();
         std::fs::remove_file(&path).ok();
     }
 

@@ -39,7 +39,13 @@ mod tests {
     fn prelude_is_usable() {
         use crate::prelude::*;
         let spec = spec("water").expect("suite app");
-        let prog = generate(&spec, &GenOptions { scale: 0.001, seed: 1 });
+        let prog = generate(
+            &spec,
+            &GenOptions {
+                scale: 0.001,
+                seed: 1,
+            },
+        );
         assert_eq!(prog.thread_count(), 16);
     }
 }

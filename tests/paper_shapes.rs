@@ -16,18 +16,34 @@ fn opts() -> GenOptions {
 
 /// §4.1: for applications with large thread-length deviation, LOAD-BAL
 /// beats RANDOM.
+///
+/// RANDOM is a distribution, not a number: a single draw can get lucky
+/// and land within a percent of balanced (observed on locusroute at
+/// seed 1994), which says nothing about the paper's expectation-level
+/// claim. So LOAD-BAL must beat the *median* of several independent
+/// random placements.
 #[test]
 fn load_balancing_beats_random_on_skewed_apps() {
     for name in ["fft", "locusroute"] {
         let app = PreparedApp::prepare(&spec(name).unwrap(), &opts());
         let p = 8.min(app.threads() / 2);
         let lb = placesim::run_placement(&app, PlacementAlgorithm::LoadBal, p).unwrap();
-        let rnd = placesim::run_placement(&app, PlacementAlgorithm::Random, p).unwrap();
+        let mut random_times: Vec<u64> = (0..5u64)
+            .map(|i| {
+                let inputs = app.placement_inputs().with_seed(app.gen.seed + i);
+                let map = PlacementAlgorithm::Random.place(&inputs, p).unwrap();
+                placesim_repro::machine::simulate(&app.prog, &map, &app.config)
+                    .unwrap()
+                    .execution_time()
+            })
+            .collect();
+        random_times.sort_unstable();
+        let median = random_times[random_times.len() / 2];
         assert!(
-            lb.execution_time() < rnd.execution_time(),
-            "{name}: LOAD-BAL {} should beat RANDOM {}",
+            lb.execution_time() < median,
+            "{name}: LOAD-BAL {} should beat median RANDOM {} (draws: {random_times:?})",
             lb.execution_time(),
-            rnd.execution_time()
+            median
         );
     }
 }
@@ -48,10 +64,7 @@ fn uniform_length_apps_are_placement_insensitive() {
     let times: Vec<u64> = results.iter().map(|r| r.execution_time()).collect();
     let max = *times.iter().max().unwrap() as f64;
     let min = *times.iter().min().unwrap() as f64;
-    assert!(
-        max / min < 1.15,
-        "barnes-hut spread too large: {times:?}"
-    );
+    assert!(max / min < 1.15, "barnes-hut spread too large: {times:?}");
 }
 
 /// §4.2, the central negative result: compulsory and invalidation misses
@@ -174,8 +187,7 @@ fn associativity_reduces_conflicts() {
         .associativity(4)
         .build()
         .unwrap();
-    let four_way =
-        run_placement_with_config(&app, PlacementAlgorithm::Random, p, &assoc4).unwrap();
+    let four_way = run_placement_with_config(&app, PlacementAlgorithm::Random, p, &assoc4).unwrap();
 
     let md = direct.stats.total_misses();
     let m4 = four_way.stats.total_misses();
@@ -185,7 +197,10 @@ fn associativity_reduces_conflicts() {
         m4.conflicts(),
         md.conflicts()
     );
-    assert_eq!(m4.compulsory, md.compulsory, "compulsory misses are placement/assoc invariant");
+    assert_eq!(
+        m4.compulsory, md.compulsory,
+        "compulsory misses are placement/assoc invariant"
+    );
 }
 
 /// A stronger sharing optimizer changes nothing: Kernighan–Lin

@@ -50,7 +50,10 @@ fn trace_io_roundtrip_preserves_analysis() {
 
     let a = SharingAnalysis::measure(&prog);
     let b = SharingAnalysis::measure(&back);
-    assert_eq!(a, b, "analysis must be identical on the round-tripped trace");
+    assert_eq!(
+        a, b,
+        "analysis must be identical on the round-tripped trace"
+    );
 }
 
 #[test]

@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Provides the builder/macro surface the workspace's benches use —
+//! `Criterion::default().sample_size(..)`, `benchmark_group`,
+//! `throughput`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `criterion_group!`, `criterion_main!` — backed by a
+//! plain wall-clock harness: each benchmark runs a short warmup, then
+//! `sample_size` timed samples, and prints median time per iteration
+//! plus throughput (elem/s) when declared.
+//!
+//! No statistical analysis, plots, or saved baselines; results are for
+//! relative comparison within one machine/run, which is how this repo's
+//! `BENCH_*.json` exporters consume them.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the closure under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a warmup pass, then one timed call per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: fill caches / JIT-free but still useful for branch
+        // predictors and page faults; bounded so huge cases stay cheap.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < Duration::from_millis(30) {
+            black_box(f());
+            if warm_start.elapsed() > Duration::from_millis(300) {
+                break;
+            }
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            return Duration::ZERO;
+        }
+        s.sort();
+        s[s.len() / 2]
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped benchmark, mirroring `Criterion::bench_function`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(id, None, sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput metadata.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, self.criterion.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    let med = b.median();
+    let per_iter = med.as_secs_f64();
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            println!(
+                "bench {id:<48} {:>12.3?}/iter  {:>14.0} elem/s",
+                med,
+                n as f64 / per_iter
+            );
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            println!(
+                "bench {id:<48} {:>12.3?}/iter  {:>14.0} B/s",
+                med,
+                n as f64 / per_iter
+            );
+        }
+        _ => println!("bench {id:<48} {:>12.3?}/iter", med),
+    }
+}
+
+/// Mirrors `criterion_group!` — both the struct form
+/// (`name = ..; config = ..; targets = ..`) and the simple list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("self-test");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = tiny_target
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p8").to_string(), "p8");
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never drives serde's data model (all on-disk formats are hand-rolled
+//! in `placesim-trace::io`/`compress`, and reports are plain text). This
+//! crate provides the two trait names plus no-op derive macros so the
+//! annotations compile without network access. Blanket implementations
+//! keep any future `T: Serialize` bound satisfiable.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(all(test, feature = "derive"))]
+mod tests {
+    #[test]
+    fn derives_compile_and_bounds_hold() {
+        #[derive(crate::Serialize, crate::Deserialize, Debug, PartialEq)]
+        struct Point {
+            x: u32,
+        }
+        fn requires_serialize<T: crate::Serialize>(_: &T) {}
+        requires_serialize(&Point { x: 1 });
+    }
+}

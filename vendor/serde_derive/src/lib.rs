@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This build environment has no access to crates.io, and nothing in the
+//! workspace actually serializes through serde's data model — the derives
+//! only decorate types. These macros therefore accept the same syntax as
+//! the real crate (including `#[serde(...)]` helper attributes) and emit
+//! no code. If a future change needs real (de)serialization, replace this
+//! crate with the genuine `serde_derive` and the workspace compiles
+//! unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
