@@ -6,10 +6,13 @@
 //! paper's §3.1, Table 2). This crate computes all of them:
 //!
 //! * [`AddressProfile`] — per-address, per-thread reference counts, the
-//!   single pass over the traces everything else derives from,
+//!   single pass over the traces everything else derives from (with a
+//!   sharded sort-merge fast path, `build_parallel`),
 //! * [`SharingAnalysis`] — pairwise shared-reference matrices
 //!   (all-shared, write-shared, common-address counts) and per-thread
-//!   aggregates (% shared refs, private footprints),
+//!   aggregates (% shared refs, private footprints); `measure` fuses the
+//!   profiling scan and matrix build, `measure_reference` keeps the
+//!   original two-pass path for differential testing,
 //! * [`nway`] — group ("N-way") sharing metrics over clusters of threads,
 //! * [`write_runs`] — write-run and migratory-data analysis over an
 //!   interleaved reference stream (the paper's §4.2 FFT discussion),
@@ -41,6 +44,7 @@ pub mod locality;
 mod matrix;
 pub mod nway;
 mod profile;
+mod shard;
 mod sharing;
 mod summary;
 pub mod write_runs;

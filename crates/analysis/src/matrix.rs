@@ -122,6 +122,24 @@ impl SymMatrix<u64> {
         *self.get_mut(i, j) += delta;
     }
 
+    /// Element-wise adds `other` into `self` (the reduction step of the
+    /// sharded sharing analysis: partial matrices from disjoint address
+    /// shards sum exactly because all entries are `u64` counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_assign(&mut self, other: &SymMatrix<u64>) {
+        assert_eq!(
+            self.n, other.n,
+            "cannot add a {}-dim matrix into a {}-dim one",
+            other.n, self.n
+        );
+        for (dst, src) in self.data.iter_mut().zip(&other.data) {
+            *dst += src;
+        }
+    }
+
     /// Sum of the metric between every pair drawn from `members`.
     ///
     /// This is the paper's "total shared references within each cluster,
@@ -207,6 +225,27 @@ mod tests {
         m.add(0, 1, 5);
         m.add(1, 0, 3);
         assert_eq!(m.get(0, 1), 8);
+    }
+
+    #[test]
+    fn add_assign_sums_elementwise() {
+        let mut a = SymMatrix::new(3, 0u64);
+        a.set(0, 1, 2);
+        a.set(1, 2, 3);
+        let mut b = SymMatrix::new(3, 0u64);
+        b.set(0, 1, 10);
+        b.set(0, 2, 7);
+        a.add_assign(&b);
+        assert_eq!(a.get(0, 1), 12);
+        assert_eq!(a.get(0, 2), 7);
+        assert_eq!(a.get(1, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add")]
+    fn add_assign_checks_dims() {
+        let mut a = SymMatrix::new(3, 0u64);
+        a.add_assign(&SymMatrix::new(4, 0u64));
     }
 
     #[test]

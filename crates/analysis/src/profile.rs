@@ -59,25 +59,57 @@ impl PerAddress {
     }
 
     fn bump(&mut self, thread: ThreadId, is_write: bool) {
-        let slot = match self.counts.binary_search_by_key(&thread, |c| c.thread) {
-            Ok(i) => &mut self.counts[i],
-            Err(i) => {
-                self.counts.insert(
-                    i,
-                    PerThreadCount {
-                        thread,
-                        reads: 0,
-                        writes: 0,
-                    },
-                );
-                &mut self.counts[i]
+        // Fast path: `build` scans threads in ascending id order, so a
+        // repeated reference hits the last slot and a new sharer always
+        // appends — no binary search, no mid-vector `insert`, and no
+        // quadratic behaviour on heavily-shared addresses.
+        let slot = match self.counts.last_mut() {
+            Some(last) if last.thread == thread => self.counts.last_mut().expect("non-empty"),
+            Some(last) if last.thread < thread => {
+                self.counts.push(PerThreadCount {
+                    thread,
+                    reads: 0,
+                    writes: 0,
+                });
+                self.counts.last_mut().expect("just pushed")
             }
+            None => {
+                self.counts.push(PerThreadCount {
+                    thread,
+                    reads: 0,
+                    writes: 0,
+                });
+                self.counts.last_mut().expect("just pushed")
+            }
+            // Out-of-order callers (tests, future incremental updates)
+            // still get the ordered-insert slow path.
+            Some(_) => match self.counts.binary_search_by_key(&thread, |c| c.thread) {
+                Ok(i) => &mut self.counts[i],
+                Err(i) => {
+                    self.counts.insert(
+                        i,
+                        PerThreadCount {
+                            thread,
+                            reads: 0,
+                            writes: 0,
+                        },
+                    );
+                    &mut self.counts[i]
+                }
+            },
         };
         if is_write {
             slot.writes += 1;
         } else {
             slot.reads += 1;
         }
+    }
+
+    /// Builds the entry from counts already sorted by ascending thread
+    /// id (the sharded merge produces them in exactly that order).
+    pub(crate) fn from_sorted_counts(counts: Vec<PerThreadCount>) -> Self {
+        debug_assert!(counts.windows(2).all(|w| w[0].thread < w[1].thread));
+        PerAddress { counts }
     }
 }
 
@@ -101,7 +133,7 @@ impl PerAddress {
 /// assert_eq!(profile.address_count(), 1);
 /// assert!(profile.get(0x10).unwrap().is_write_shared());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AddressProfile {
     map: AddrMap<PerAddress>,
     threads: usize,
@@ -109,6 +141,11 @@ pub struct AddressProfile {
 
 impl AddressProfile {
     /// Builds the profile by scanning every thread's data references.
+    ///
+    /// This is the reference path: one hash-map probe per reference. It
+    /// is kept byte-for-byte equivalent to [`Self::build_parallel`] (the
+    /// differential proptests compare the two) and used by tests and the
+    /// old-front-end arm of `bench_pipeline`.
     pub fn build(prog: &ProgramTrace) -> Self {
         let mut map: AddrMap<PerAddress> = AddrMap::default();
         for (tid, trace) in prog.iter() {
@@ -119,6 +156,29 @@ impl AddressProfile {
                         .bump(tid, r.kind.is_write());
                 }
             }
+        }
+        AddressProfile {
+            map,
+            threads: prog.thread_count(),
+        }
+    }
+
+    /// Builds the same profile via the sharded sort-merge pass
+    /// ([`crate::shard`]): per-thread sorted run extraction, then a
+    /// parallel k-way merge over disjoint address shards. One hash-map
+    /// insert per *distinct* address instead of one probe per reference.
+    pub fn build_parallel(prog: &ProgramTrace) -> Self {
+        let shards = crate::shard::sharded_scan(
+            prog,
+            Vec::new,
+            |acc: &mut Vec<(u64, PerAddress)>, addr, counts| {
+                acc.push((addr, PerAddress::from_sorted_counts(counts.to_vec())));
+            },
+        );
+        let mut map: AddrMap<PerAddress> = AddrMap::default();
+        map.reserve(shards.iter().map(Vec::len).sum());
+        for shard in shards {
+            map.extend(shard);
         }
         AddressProfile {
             map,
@@ -205,6 +265,15 @@ mod tests {
         assert_eq!(p.address_count(), 3);
         assert_eq!(p.shared_address_count(), 2);
         assert!(p.get(0x4).is_none(), "instruction addresses are excluded");
+    }
+
+    #[test]
+    fn parallel_build_matches_reference() {
+        let p = prog();
+        assert_eq!(
+            AddressProfile::build_parallel(&p),
+            AddressProfile::build(&p)
+        );
     }
 
     #[test]

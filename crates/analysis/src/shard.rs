@@ -1,0 +1,333 @@
+//! Sharded, sort-based address scanning: the fast path behind
+//! [`crate::AddressProfile::build_parallel`],
+//! [`crate::SharingAnalysis::measure`] and
+//! [`crate::SharingAnalysis::measure_access`].
+//!
+//! The original profiling pass probes one *global* map — whose values
+//! are per-address sharer vectors — once per memory reference. This
+//! module replaces that with a three-stage pipeline that does almost all
+//! of its work on *distinct* (thread, address) pairs instead:
+//!
+//! 1. **Run extraction** (parallel over threads): each thread's data
+//!    references fold into a small thread-local map of
+//!    `addr → (reads, writes)`. Traces are run-structured (many
+//!    consecutive references to one address), so a last-address memo
+//!    turns the common case into a single compare — most references
+//!    never touch the map at all. The distinct entries are then sorted
+//!    by address, once, per thread.
+//! 2. **Splitter selection**: a small sample of addresses from every
+//!    thread picks quantile cut points so shards carry comparable work.
+//! 3. **K-way merge** (parallel over shards): per shard, a binary heap
+//!    merges the threads' run slices in `(addr, thread)` order, so each
+//!    address surfaces once with its per-thread counts already sorted by
+//!    thread id — exactly the [`crate::PerAddress`] invariant.
+//!
+//! Shard results are combined by the caller; all downstream accumulation
+//! is commutative `u64` addition, so shard order cannot change results.
+
+use crate::profile::PerThreadCount;
+use placesim_trace::hash::FastMap;
+use placesim_trace::par::{max_workers, parallel_map};
+use placesim_trace::{AddrCounts, ProgramTrace, ThreadId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-thread addresses sampled for splitter selection. 32 keeps the
+/// sample tiny while bounding shard skew to a few percent of a thread.
+const SAMPLES_PER_THREAD: usize = 32;
+
+/// Extracts each thread's address-sorted `(addr, reads, writes)` runs.
+fn extract_runs(prog: &ProgramTrace) -> Vec<Vec<AddrCounts>> {
+    let tids: Vec<ThreadId> = (0..prog.thread_count())
+        .map(|i| ThreadId::new(i as u16))
+        .collect();
+    parallel_map(&tids, |&tid| {
+        let mut runs: Vec<AddrCounts> = Vec::new();
+        let mut index: FastMap<u64, u32> = FastMap::default();
+        // Memo for the run-structured common case: a reference to the
+        // same address as its predecessor costs one compare.
+        let mut last: Option<(u64, usize)> = None;
+        for r in prog.thread(tid).iter() {
+            if !r.kind.is_data() {
+                continue;
+            }
+            let addr = r.addr.raw();
+            let slot = match last {
+                Some((a, slot)) if a == addr => slot,
+                _ => {
+                    let slot = *index.entry(addr).or_insert_with(|| {
+                        runs.push(AddrCounts::new(addr));
+                        (runs.len() - 1) as u32
+                    }) as usize;
+                    last = Some((addr, slot));
+                    slot
+                }
+            };
+            runs[slot].bump(r.kind.is_write());
+        }
+        runs.sort_unstable_by_key(|run| run.addr);
+        runs
+    })
+}
+
+/// Folds one thread's unaggregated access entries (an address may recur,
+/// once per run) into address-sorted distinct-address counts.
+fn aggregate_access(entries: &[AddrCounts]) -> Vec<AddrCounts> {
+    let mut runs: Vec<AddrCounts> = Vec::new();
+    let mut index: FastMap<u64, u32> = FastMap::default();
+    for e in entries {
+        let slot = *index.entry(e.addr).or_insert_with(|| {
+            runs.push(AddrCounts::new(e.addr));
+            (runs.len() - 1) as u32
+        }) as usize;
+        runs[slot].reads += e.reads;
+        runs[slot].writes += e.writes;
+    }
+    runs.sort_unstable_by_key(|run| run.addr);
+    runs
+}
+
+/// Picks up to `shards - 1` address cut points from evenly spaced
+/// samples of every thread's runs. Returned cuts are strictly
+/// increasing; fewer cuts (down to none) simply mean fewer shards.
+fn splitters(runs: &[Vec<AddrCounts>], shards: usize) -> Vec<u64> {
+    if shards <= 1 {
+        return Vec::new();
+    }
+    let mut samples: Vec<u64> = Vec::new();
+    for thread_runs in runs {
+        let take = thread_runs.len().min(SAMPLES_PER_THREAD);
+        for k in 0..take {
+            samples.push(thread_runs[k * thread_runs.len() / take].addr);
+        }
+    }
+    samples.sort_unstable();
+    samples.dedup();
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut cuts: Vec<u64> = (1..shards)
+        .map(|s| samples[(s * samples.len() / shards).min(samples.len() - 1)])
+        .collect();
+    cuts.dedup();
+    cuts
+}
+
+/// Merges every thread's runs within `[lo, hi)` (`None` = unbounded) in
+/// ascending address order, invoking `visit` once per address with the
+/// per-thread counts sorted by thread id.
+fn merge_shard<A>(
+    runs: &[Vec<AddrCounts>],
+    lo: Option<u64>,
+    hi: Option<u64>,
+    acc: &mut A,
+    visit: &impl Fn(&mut A, u64, &[PerThreadCount]),
+) {
+    // Heap keys are (addr, thread, run index); ties on addr pop in
+    // thread order, which is what keeps counts sorted without a sort.
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    let mut ends: Vec<usize> = Vec::with_capacity(runs.len());
+    for (t, thread_runs) in runs.iter().enumerate() {
+        let start = lo.map_or(0, |l| thread_runs.partition_point(|r| r.addr < l));
+        let end = hi.map_or(thread_runs.len(), |h| {
+            thread_runs.partition_point(|r| r.addr < h)
+        });
+        if start < end {
+            heap.push(Reverse((thread_runs[start].addr, t, start)));
+        }
+        ends.push(end);
+    }
+    let mut counts: Vec<PerThreadCount> = Vec::new();
+    while let Some(&Reverse((addr, _, _))) = heap.peek() {
+        counts.clear();
+        while let Some(&Reverse((a, t, i))) = heap.peek() {
+            if a != addr {
+                break;
+            }
+            heap.pop();
+            let run = runs[t][i];
+            counts.push(PerThreadCount {
+                thread: ThreadId::new(t as u16),
+                reads: run.reads,
+                writes: run.writes,
+            });
+            if i + 1 < ends[t] {
+                heap.push(Reverse((runs[t][i + 1].addr, t, i + 1)));
+            }
+        }
+        visit(acc, addr, &counts);
+    }
+}
+
+/// Scans every distinct data address of `prog` exactly once, in parallel
+/// over disjoint address shards.
+///
+/// For each shard a fresh accumulator comes from `init`; `visit` sees
+/// every address in that shard (ascending) with its per-thread counts in
+/// thread-id order; the per-shard accumulators are returned for the
+/// caller to reduce. Address shards partition the address space, so any
+/// commutative reduction is independent of shard count and order.
+pub(crate) fn sharded_scan<A, I, V>(prog: &ProgramTrace, init: I, visit: V) -> Vec<A>
+where
+    A: Send + Sync,
+    I: Fn() -> A + Sync,
+    V: Fn(&mut A, u64, &[PerThreadCount]) + Sync,
+{
+    sharded_scan_runs(&extract_runs(prog), init, visit)
+}
+
+/// [`sharded_scan`] over pre-extracted access lists instead of a trace:
+/// the fused front end hands the emitter's per-thread run entries
+/// straight here, skipping the trace re-scan entirely.
+pub(crate) fn sharded_scan_access<A, I, V>(access: &[Vec<AddrCounts>], init: I, visit: V) -> Vec<A>
+where
+    A: Send + Sync,
+    I: Fn() -> A + Sync,
+    V: Fn(&mut A, u64, &[PerThreadCount]) + Sync,
+{
+    let runs = parallel_map(access, |entries| aggregate_access(entries));
+    sharded_scan_runs(&runs, init, visit)
+}
+
+/// Shared back half: splitter selection plus the per-shard k-way merge.
+fn sharded_scan_runs<A, I, V>(runs: &[Vec<AddrCounts>], init: I, visit: V) -> Vec<A>
+where
+    A: Send + Sync,
+    I: Fn() -> A + Sync,
+    V: Fn(&mut A, u64, &[PerThreadCount]) + Sync,
+{
+    // Two shards per worker evens out skewed address distributions
+    // without flooding the heap merge with tiny ranges.
+    let cuts = splitters(runs, max_workers().saturating_mul(2).max(1));
+    let mut bounds: Vec<(Option<u64>, Option<u64>)> = Vec::with_capacity(cuts.len() + 1);
+    let mut prev: Option<u64> = None;
+    for &c in &cuts {
+        bounds.push((prev, Some(c)));
+        prev = Some(c);
+    }
+    bounds.push((prev, None));
+    parallel_map(&bounds, |&(lo, hi)| {
+        let mut acc = init();
+        merge_shard(runs, lo, hi, &mut acc, &visit);
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placesim_trace::{Address, MemRef, ThreadTrace};
+
+    fn prog() -> ProgramTrace {
+        let t0: ThreadTrace = [
+            MemRef::read(Address::new(0x100)),
+            MemRef::read(Address::new(0x100)),
+            MemRef::write(Address::new(0x900)),
+            MemRef::instr(Address::new(0x4)),
+        ]
+        .into_iter()
+        .collect();
+        let t1: ThreadTrace = [
+            MemRef::write(Address::new(0x100)),
+            MemRef::read(Address::new(0x200)),
+        ]
+        .into_iter()
+        .collect();
+        ProgramTrace::new("p", vec![t0, t1])
+    }
+
+    #[test]
+    fn scan_visits_every_address_once_in_thread_order() {
+        let shards = sharded_scan(
+            &prog(),
+            Vec::new,
+            |acc: &mut Vec<(u64, usize)>, addr, counts| {
+                assert!(counts.windows(2).all(|w| w[0].thread < w[1].thread));
+                acc.push((addr, counts.len()));
+            },
+        );
+        let mut seen: Vec<(u64, usize)> = shards.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0x100, 2), (0x200, 1), (0x900, 1)]);
+    }
+
+    #[test]
+    fn run_extraction_aggregates_reads_and_writes() {
+        let runs = extract_runs(&prog());
+        // Thread 0: 0x100 twice read, 0x900 one write; instr excluded.
+        assert_eq!(runs[0].len(), 2);
+        assert_eq!(runs[0][0].addr, 0x100);
+        assert_eq!(runs[0][0].reads, 2);
+        assert_eq!(runs[0][0].writes, 0);
+        assert_eq!(runs[0][1].addr, 0x900);
+        assert_eq!(runs[0][1].writes, 1);
+    }
+
+    #[test]
+    fn access_scan_matches_trace_scan() {
+        // The same references expressed as unaggregated access entries
+        // (0x100 recurs in thread 0's list, as two runs would leave it).
+        let access = vec![
+            vec![
+                AddrCounts {
+                    addr: 0x100,
+                    reads: 1,
+                    writes: 0,
+                },
+                AddrCounts {
+                    addr: 0x900,
+                    reads: 0,
+                    writes: 1,
+                },
+                AddrCounts {
+                    addr: 0x100,
+                    reads: 1,
+                    writes: 0,
+                },
+            ],
+            vec![
+                AddrCounts {
+                    addr: 0x100,
+                    reads: 0,
+                    writes: 1,
+                },
+                AddrCounts {
+                    addr: 0x200,
+                    reads: 1,
+                    writes: 0,
+                },
+            ],
+        ];
+        let collect =
+            |acc: &mut Vec<(u64, u32, u32, usize)>, addr: u64, counts: &[PerThreadCount]| {
+                for c in counts {
+                    acc.push((addr, c.reads, c.writes, c.thread.index()));
+                }
+            };
+        let mut from_access: Vec<_> = sharded_scan_access(&access, Vec::new, collect)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut from_trace: Vec<_> = sharded_scan(&prog(), Vec::new, collect)
+            .into_iter()
+            .flatten()
+            .collect();
+        from_access.sort_unstable();
+        from_trace.sort_unstable();
+        assert_eq!(from_access, from_trace);
+    }
+
+    #[test]
+    fn splitters_are_strictly_increasing() {
+        let runs = extract_runs(&prog());
+        let cuts = splitters(&runs, 8);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_program_yields_no_addresses() {
+        let prog = ProgramTrace::new("empty", vec![ThreadTrace::new()]);
+        let shards = sharded_scan(&prog, || 0usize, |n, _, _| *n += 1);
+        assert_eq!(shards.into_iter().sum::<usize>(), 0);
+    }
+}

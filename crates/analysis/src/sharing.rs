@@ -2,7 +2,8 @@
 
 use crate::matrix::SymMatrix;
 use crate::profile::AddressProfile;
-use placesim_trace::{ProgramTrace, ThreadId};
+use placesim_trace::hash::FastMap;
+use placesim_trace::{AddrCounts, ProgramTrace, ThreadId};
 use serde::{Deserialize, Serialize};
 
 /// Per-thread sharing aggregates.
@@ -69,55 +70,285 @@ pub struct SharingAnalysis {
     total_addresses: u64,
 }
 
+/// Streaming accumulator behind [`SharingAnalysis`].
+///
+/// [`record`](Self::record) folds one address's per-thread counts into
+/// the matrices; both the serial [`SharingAnalysis::from_profile`] and
+/// the sharded [`SharingAnalysis::measure`] drive this same code, so the
+/// two paths cannot diverge in accumulation logic. Partial accumulators
+/// over disjoint address shards [`merge`](Self::merge) exactly: every
+/// field is a commutative `u64` sum.
+#[derive(Debug, Clone)]
+pub(crate) struct SharingAccum {
+    pair_refs: SymMatrix<u64>,
+    pair_write_refs: SymMatrix<u64>,
+    pair_addrs: SymMatrix<u64>,
+    per_thread: Vec<ThreadSharing>,
+    shared_addresses: u64,
+    total_addresses: u64,
+}
+
+impl SharingAccum {
+    pub(crate) fn new(threads: usize) -> Self {
+        SharingAccum {
+            pair_refs: SymMatrix::new(threads, 0u64),
+            pair_write_refs: SymMatrix::new(threads, 0u64),
+            pair_addrs: SymMatrix::new(threads, 0u64),
+            per_thread: vec![ThreadSharing::default(); threads],
+            shared_addresses: 0,
+            total_addresses: 0,
+        }
+    }
+
+    /// Folds one address's per-thread counts (sorted by thread id) into
+    /// the running totals.
+    pub(crate) fn record(&mut self, counts: &[crate::PerThreadCount]) {
+        if counts.is_empty() {
+            return;
+        }
+        self.total_addresses += 1;
+        if counts.len() >= 2 {
+            self.shared_addresses += 1;
+            let write_shared = counts.iter().any(|c| c.writes > 0);
+            for (k, a) in counts.iter().enumerate() {
+                let ts = &mut self.per_thread[a.thread.index()];
+                ts.shared_refs += a.total();
+                ts.shared_addrs += 1;
+                ts.writes_to_shared += a.writes as u64;
+                for b in &counts[k + 1..] {
+                    let refs = a.total() + b.total();
+                    self.pair_refs.add(a.thread.index(), b.thread.index(), refs);
+                    self.pair_addrs.add(a.thread.index(), b.thread.index(), 1);
+                    if write_shared {
+                        self.pair_write_refs
+                            .add(a.thread.index(), b.thread.index(), refs);
+                    }
+                }
+            }
+        } else {
+            let only = &counts[0];
+            let ts = &mut self.per_thread[only.thread.index()];
+            ts.private_refs += only.total();
+            ts.private_addrs += 1;
+        }
+    }
+
+    /// Sums another shard's partial totals into this one.
+    pub(crate) fn merge(&mut self, other: &SharingAccum) {
+        self.pair_refs.add_assign(&other.pair_refs);
+        self.pair_write_refs.add_assign(&other.pair_write_refs);
+        self.pair_addrs.add_assign(&other.pair_addrs);
+        for (dst, src) in self.per_thread.iter_mut().zip(&other.per_thread) {
+            dst.shared_refs += src.shared_refs;
+            dst.private_refs += src.private_refs;
+            dst.shared_addrs += src.shared_addrs;
+            dst.private_addrs += src.private_addrs;
+            dst.writes_to_shared += src.writes_to_shared;
+        }
+        self.shared_addresses += other.shared_addresses;
+        self.total_addresses += other.total_addresses;
+    }
+
+    pub(crate) fn finish(self) -> SharingAnalysis {
+        SharingAnalysis {
+            pair_refs: self.pair_refs,
+            pair_write_refs: self.pair_write_refs,
+            pair_addrs: self.pair_addrs,
+            per_thread: self.per_thread,
+            shared_addresses: self.shared_addresses,
+            total_addresses: self.total_addresses,
+        }
+    }
+}
+
+/// Sharer-set-grouped accumulator: the fast paths' `record`.
+///
+/// The paper's workloads concentrate sharing: enormous numbers of
+/// addresses have the *same* sharer set (in Gauss, every thread sweeps
+/// the whole shared matrix, so thousands of addresses are shared by all
+/// 127 threads). [`SharingAccum::record`] pays an O(k²) pairwise matrix
+/// update per address; but every one of those updates is *linear* in the
+/// per-thread totals (`refs = a.total() + b.total()`, `+1` per common
+/// address, write-shared gated on a per-address flag), so addresses with
+/// an identical `(sharer list, write-shared)` signature can be summed
+/// per sharer first and the pairwise pass run once per *group*. All
+/// sums are commutative `u64` additions, so the grouping is exact —
+/// `fused_measure_matches_reference` and the differential proptests pin
+/// the bit-identity against the ungrouped reference.
+pub(crate) struct GroupedAccum {
+    base: SharingAccum,
+    /// Signature hash → indices into `groups` (collision chains; the
+    /// chain is verified element-wise, so hash collisions only cost a
+    /// compare, never correctness).
+    buckets: FastMap<u64, Vec<u32>>,
+    groups: Vec<Group>,
+}
+
+/// One sharer-set group: the threads, per-thread running sums, and the
+/// number of addresses folded in.
+struct Group {
+    threads: Vec<u16>,
+    write_shared: bool,
+    addrs: u64,
+    refs: Vec<u64>,
+    writes: Vec<u64>,
+}
+
+impl GroupedAccum {
+    pub(crate) fn new(threads: usize) -> Self {
+        GroupedAccum {
+            base: SharingAccum::new(threads),
+            buckets: FastMap::default(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Folds one address's per-thread counts (sorted by thread id) into
+    /// its sharer-set group; private addresses go straight to the base
+    /// accumulator.
+    pub(crate) fn record(&mut self, counts: &[crate::PerThreadCount]) {
+        if counts.len() < 2 {
+            self.base.record(counts);
+            return;
+        }
+        let write_shared = counts.iter().any(|c| c.writes > 0);
+        // FNV-1a over the (sorted) thread ids and the write flag.
+        let mut sig = 0xcbf2_9ce4_8422_2325u64 ^ write_shared as u64;
+        for c in counts {
+            sig = (sig ^ c.thread.raw() as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        let groups = &mut self.groups;
+        let chain = self.buckets.entry(sig).or_default();
+        let gi = chain
+            .iter()
+            .copied()
+            .find(|&g| {
+                let g = &groups[g as usize];
+                g.write_shared == write_shared
+                    && g.threads.len() == counts.len()
+                    && g.threads
+                        .iter()
+                        .zip(counts)
+                        .all(|(&t, c)| t == c.thread.raw())
+            })
+            .unwrap_or_else(|| {
+                let gi = u32::try_from(groups.len()).expect("group count exceeds u32");
+                groups.push(Group {
+                    threads: counts.iter().map(|c| c.thread.raw()).collect(),
+                    write_shared,
+                    addrs: 0,
+                    refs: vec![0; counts.len()],
+                    writes: vec![0; counts.len()],
+                });
+                chain.push(gi);
+                gi
+            });
+        let g = &mut groups[gi as usize];
+        g.addrs += 1;
+        for (k, c) in counts.iter().enumerate() {
+            g.refs[k] += c.total();
+            g.writes[k] += c.writes as u64;
+        }
+    }
+
+    /// Flushes every group through the pairwise update — once per group
+    /// instead of once per address — and returns the plain accumulator.
+    pub(crate) fn into_accum(mut self) -> SharingAccum {
+        let base = &mut self.base;
+        for g in &self.groups {
+            base.total_addresses += g.addrs;
+            base.shared_addresses += g.addrs;
+            for (k, &ti) in g.threads.iter().enumerate() {
+                let i = ti as usize;
+                let ts = &mut base.per_thread[i];
+                ts.shared_refs += g.refs[k];
+                ts.shared_addrs += g.addrs;
+                ts.writes_to_shared += g.writes[k];
+                for (l, &tj) in g.threads.iter().enumerate().skip(k + 1) {
+                    let j = tj as usize;
+                    let refs = g.refs[k] + g.refs[l];
+                    base.pair_refs.add(i, j, refs);
+                    base.pair_addrs.add(i, j, g.addrs);
+                    if g.write_shared {
+                        base.pair_write_refs.add(i, j, refs);
+                    }
+                }
+            }
+        }
+        self.base
+    }
+}
+
 impl SharingAnalysis {
     /// Profiles `prog` and computes all sharing metrics.
+    ///
+    /// This is the fused fast path: the sharded sort-merge scan
+    /// ([`crate::shard`]) feeds each address's per-thread counts straight
+    /// into per-shard [`GroupedAccum`]s — no intermediate
+    /// [`AddressProfile`] map is materialized, and the O(k²) pairwise
+    /// update runs once per sharer-set group instead of once per
+    /// address. Results are bit-identical to
+    /// [`Self::measure_reference`]: every accumulated quantity is an
+    /// exact `u64` sum, so neither sharding, nor grouping, nor visit
+    /// order can change them.
     pub fn measure(prog: &ProgramTrace) -> Self {
+        let threads = prog.thread_count();
+        Self::from_grouped_shards(
+            threads,
+            crate::shard::sharded_scan(
+                prog,
+                || GroupedAccum::new(threads),
+                |acc, _addr, counts| acc.record(counts),
+            ),
+        )
+    }
+
+    /// Computes all sharing metrics straight from per-thread access
+    /// lists — the fused front end's profile-during-generation path.
+    ///
+    /// `access[t]` holds thread `t`'s entries, unaggregated (the same
+    /// address may recur, e.g. once per run); only per-thread sums
+    /// matter, so any split of the same references yields bit-identical
+    /// results to [`Self::measure`] on the corresponding trace. The
+    /// trace itself is never touched — callers that already hold access
+    /// lists (e.g. `generate_with_access` in `placesim-workloads`) skip
+    /// the full trace scan entirely.
+    pub fn measure_access(access: &[Vec<AddrCounts>]) -> Self {
+        let threads = access.len();
+        Self::from_grouped_shards(
+            threads,
+            crate::shard::sharded_scan_access(
+                access,
+                || GroupedAccum::new(threads),
+                |acc, _addr, counts| acc.record(counts),
+            ),
+        )
+    }
+
+    /// Reduces per-shard grouped accumulators to the final analysis.
+    fn from_grouped_shards(threads: usize, shards: Vec<GroupedAccum>) -> Self {
+        let mut iter = shards.into_iter().map(GroupedAccum::into_accum);
+        let mut total = iter.next().unwrap_or_else(|| SharingAccum::new(threads));
+        for shard in iter {
+            total.merge(&shard);
+        }
+        total.finish()
+    }
+
+    /// The original serial path: build the full [`AddressProfile`], then
+    /// derive the metrics from it. Kept as the differential-testing
+    /// reference and the old-front-end arm of `bench_pipeline`.
+    pub fn measure_reference(prog: &ProgramTrace) -> Self {
         Self::from_profile(&AddressProfile::build(prog))
     }
 
     /// Computes all sharing metrics from a pre-built profile.
     pub fn from_profile(profile: &AddressProfile) -> Self {
-        let n = profile.thread_count();
-        let mut pair_refs = SymMatrix::new(n, 0u64);
-        let mut pair_write_refs = SymMatrix::new(n, 0u64);
-        let mut pair_addrs = SymMatrix::new(n, 0u64);
-        let mut per_thread = vec![ThreadSharing::default(); n];
-        let mut shared_addresses = 0u64;
-
+        let mut acc = SharingAccum::new(profile.thread_count());
         for (_addr, pa) in profile.iter() {
-            let counts = pa.counts();
-            if pa.is_shared() {
-                shared_addresses += 1;
-                let write_shared = pa.is_write_shared();
-                for (k, a) in counts.iter().enumerate() {
-                    let ts = &mut per_thread[a.thread.index()];
-                    ts.shared_refs += a.total();
-                    ts.shared_addrs += 1;
-                    ts.writes_to_shared += a.writes as u64;
-                    for b in &counts[k + 1..] {
-                        let refs = a.total() + b.total();
-                        pair_refs.add(a.thread.index(), b.thread.index(), refs);
-                        pair_addrs.add(a.thread.index(), b.thread.index(), 1);
-                        if write_shared {
-                            pair_write_refs.add(a.thread.index(), b.thread.index(), refs);
-                        }
-                    }
-                }
-            } else if let Some(only) = counts.first() {
-                let ts = &mut per_thread[only.thread.index()];
-                ts.private_refs += only.total();
-                ts.private_addrs += 1;
-            }
+            acc.record(pa.counts());
         }
-
-        SharingAnalysis {
-            pair_refs,
-            pair_write_refs,
-            pair_addrs,
-            per_thread,
-            shared_addresses,
-            total_addresses: profile.address_count() as u64,
-        }
+        acc.finish()
     }
 
     /// Number of threads analyzed.
@@ -273,6 +504,87 @@ mod tests {
         let s = SharingAnalysis::measure(&prog());
         assert_eq!(s.total_pairwise_shared_refs(), 6);
         assert_eq!(s.thread_count(), 3);
+    }
+
+    #[test]
+    fn fused_measure_matches_reference() {
+        let p = prog();
+        assert_eq!(
+            SharingAnalysis::measure(&p),
+            SharingAnalysis::measure_reference(&p)
+        );
+    }
+
+    #[test]
+    fn measure_access_matches_trace_measure() {
+        // prog() expressed as unaggregated access lists; T0's reads of X
+        // are deliberately split across two entries.
+        let access = vec![
+            vec![
+                AddrCounts {
+                    addr: 0x100,
+                    reads: 1,
+                    writes: 0,
+                },
+                AddrCounts {
+                    addr: 0x100,
+                    reads: 1,
+                    writes: 0,
+                },
+                AddrCounts {
+                    addr: 0x900,
+                    reads: 0,
+                    writes: 1,
+                },
+            ],
+            vec![
+                AddrCounts {
+                    addr: 0x100,
+                    reads: 0,
+                    writes: 1,
+                },
+                AddrCounts {
+                    addr: 0x200,
+                    reads: 1,
+                    writes: 0,
+                },
+            ],
+            vec![AddrCounts {
+                addr: 0x200,
+                reads: 2,
+                writes: 0,
+            }],
+        ];
+        assert_eq!(
+            SharingAnalysis::measure_access(&access),
+            SharingAnalysis::measure(&prog())
+        );
+    }
+
+    #[test]
+    fn grouping_splits_on_write_shared_flag() {
+        // Two addresses with the same sharer set {T0, T1} but different
+        // write-shared flags must land in different groups: only the
+        // written one contributes to pair_write_refs.
+        let t0: ThreadTrace = [
+            MemRef::read(Address::new(0x100)),
+            MemRef::read(Address::new(0x200)),
+        ]
+        .into_iter()
+        .collect();
+        let t1: ThreadTrace = [
+            MemRef::write(Address::new(0x100)),
+            MemRef::read(Address::new(0x200)),
+        ]
+        .into_iter()
+        .collect();
+        let p = ProgramTrace::new("p", vec![t0, t1]);
+        let s = SharingAnalysis::measure(&p);
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        assert_eq!(s.pair_shared_refs(a, b), 4);
+        assert_eq!(s.pair_write_shared_refs(a, b), 2);
+        assert_eq!(s.pair_shared_addrs(a, b), 2);
+        assert_eq!(s, SharingAnalysis::measure_reference(&p));
     }
 
     #[test]

@@ -95,6 +95,35 @@ proptest! {
         }
     }
 
+    /// Differential: the sharded sort-merge profile is identical to the
+    /// reference hash-map build — same address map, same per-thread
+    /// counts (HashMap equality is order-independent, so this is exactly
+    /// "equal maps").
+    #[test]
+    fn parallel_profile_matches_reference(prog in arb_program()) {
+        prop_assert_eq!(
+            AddressProfile::build_parallel(&prog),
+            AddressProfile::build(&prog)
+        );
+    }
+
+    /// Differential: the fused sharded analysis is bit-identical to the
+    /// two-pass reference — all three pairwise matrices, every
+    /// ThreadSharing row, and the address censuses.
+    #[test]
+    fn fused_measure_matches_reference(prog in arb_program()) {
+        let fused = SharingAnalysis::measure(&prog);
+        let reference = SharingAnalysis::measure_reference(&prog);
+        prop_assert_eq!(fused.pair_refs_matrix(), reference.pair_refs_matrix());
+        prop_assert_eq!(fused.pair_write_refs_matrix(), reference.pair_write_refs_matrix());
+        prop_assert_eq!(fused.pair_addrs_matrix(), reference.pair_addrs_matrix());
+        prop_assert_eq!(fused.per_thread(), reference.per_thread());
+        prop_assert_eq!(fused.shared_address_count(), reference.shared_address_count());
+        prop_assert_eq!(fused.total_address_count(), reference.total_address_count());
+        // Derived equality covers any future field.
+        prop_assert_eq!(fused, reference);
+    }
+
     /// Cluster sharing sums: the group metric over the full thread set
     /// equals the sum of all pairwise entries.
     #[test]

@@ -46,7 +46,7 @@ fn bench_engines(c: &mut Criterion) {
             &hot_map,
             ArchConfig::paper_default(),
         ),
-        ("water-p4", &app.prog, &water_map, app.config.clone()),
+        ("water-p4", &app.prog, &water_map, app.config),
     ];
 
     let mut group = c.benchmark_group("engine-throughput");

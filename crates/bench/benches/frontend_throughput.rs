@@ -1,0 +1,72 @@
+//! Criterion benchmarks: front-end throughput — sharing-profile build
+//! and clustering — for the fused paths against the retained reference
+//! paths. `bench_pipeline` measures the same stages end-to-end at paper
+//! scale; these microbenchmarks isolate each stage for regression
+//! tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use placesim_analysis::SharingAnalysis;
+use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs, ScoreMode};
+use placesim_workloads::{generate_with_access, spec, GenOptions};
+
+const ALGOS: [PlacementAlgorithm; 12] = [
+    PlacementAlgorithm::ShareRefs,
+    PlacementAlgorithm::ShareRefsLb,
+    PlacementAlgorithm::ShareAddr,
+    PlacementAlgorithm::ShareAddrLb,
+    PlacementAlgorithm::MinPriv,
+    PlacementAlgorithm::MinPrivLb,
+    PlacementAlgorithm::MinInvs,
+    PlacementAlgorithm::MinInvsLb,
+    PlacementAlgorithm::MaxWrites,
+    PlacementAlgorithm::MaxWritesLb,
+    PlacementAlgorithm::MinShare,
+    PlacementAlgorithm::MinShareLb,
+];
+
+fn bench_frontend(c: &mut Criterion) {
+    let opts = GenOptions {
+        scale: 0.02,
+        seed: 1994,
+    };
+    let s = spec("gauss").expect("suite app");
+    let (prog, access) = generate_with_access(&s, &opts);
+    let refs = prog.total_refs();
+
+    // Profile build: the emitter's free access profile vs. rescanning
+    // the packed trace words.
+    let mut group = c.benchmark_group("profile");
+    group.throughput(Throughput::Elements(refs));
+    group.bench_function("fused-access", |b| {
+        b.iter(|| SharingAnalysis::measure_access(&access))
+    });
+    group.bench_function("reference-rescan", |b| {
+        b.iter(|| SharingAnalysis::measure_reference(&prog))
+    });
+    group.finish();
+
+    // Clustering: the full twelve-algorithm sweep with the incremental
+    // score cache vs. fresh rescoring on every merge. Cost depends on
+    // thread count (127), not trace scale.
+    let sharing = SharingAnalysis::measure_access(&access);
+    let lengths = thread_lengths(&prog);
+    let inputs = PlacementInputs::new(&sharing, &lengths).with_seed(opts.seed);
+    let mut group = c.benchmark_group("clustering");
+    for (name, mode) in [("cached", ScoreMode::Cached), ("fresh", ScoreMode::Fresh)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| {
+                for algo in ALGOS {
+                    algo.place_with_mode(&inputs, 16, mode).expect("placement");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_frontend
+}
+criterion_main!(benches);

@@ -96,7 +96,7 @@ fn main() {
             map: PlacementAlgorithm::LoadBal
                 .place(&app.placement_inputs(), p)
                 .expect("placement"),
-            config: app.config.clone(),
+            config: app.config,
         });
     }
 

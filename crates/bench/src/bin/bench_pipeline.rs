@@ -1,0 +1,341 @@
+//! Measures end-to-end pipeline throughput (references per second) for
+//! the fused front end against the retained reference paths and writes
+//! `BENCH_pipeline.json` at the repository root.
+//!
+//! Two stage groups are timed, each at scale 0.1 and 1.0 on the
+//! 127-thread Gauss (medium-grain) configuration:
+//!
+//! * `frontend` — generate → sharing profile → placement with the full
+//!   twelve-algorithm clustering set on 16 processors. The fused arm
+//!   uses the skeleton emitter's free access profile
+//!   ([`generate_with_access`]), the grouped sharded profile build
+//!   (`measure_access`) and the incremental cluster-score cache
+//!   ([`ScoreMode::Cached`]); the reference arm re-runs the serial
+//!   emitter, the trace-rescanning profile build and fresh per-merge
+//!   rescoring. Differential proptests in `placesim-workloads` and
+//!   `placesim-placement` pin both arms to bit-identical sharing
+//!   matrices and identical placements.
+//! * `pipeline` — the same front end followed by a full simulation of
+//!   the ShareRefsLb placement (batched engine vs. the per-reference
+//!   reference engine).
+//!
+//! The emitted JSON follows the `BENCH_engine.json` schema and is
+//! validated before the process exits (non-zero on malformed output),
+//! so CI can run this binary at a tiny `PLACESIM_SCALE` as a release
+//! smoke test.
+//!
+//! Usage: `cargo run --release -p placesim-bench --bin bench_pipeline`.
+
+use placesim_analysis::SharingAnalysis;
+use placesim_machine::{reference as machine_reference, simulate, ArchConfig};
+use placesim_placement::{
+    thread_lengths, PlacementAlgorithm, PlacementInputs, PlacementMap, ScoreMode,
+};
+use placesim_workloads::{generate_with_access, reference, spec, AppSpec, GenOptions};
+use std::time::Instant;
+
+/// Every clustering algorithm the paper's tables sweep (CoherenceTraffic
+/// needs a machine probe and Random/LoadBal are trivial, so none of the
+/// three belongs in a front-end timing).
+const ALGOS: [PlacementAlgorithm; 12] = [
+    PlacementAlgorithm::ShareRefs,
+    PlacementAlgorithm::ShareRefsLb,
+    PlacementAlgorithm::ShareAddr,
+    PlacementAlgorithm::ShareAddrLb,
+    PlacementAlgorithm::MinPriv,
+    PlacementAlgorithm::MinPrivLb,
+    PlacementAlgorithm::MinInvs,
+    PlacementAlgorithm::MinInvsLb,
+    PlacementAlgorithm::MaxWrites,
+    PlacementAlgorithm::MaxWritesLb,
+    PlacementAlgorithm::MinShare,
+    PlacementAlgorithm::MinShareLb,
+];
+
+const PROCESSORS: usize = 16;
+const SAMPLES: usize = 9;
+
+/// Median wall-clock seconds per run over `samples` timed runs (after
+/// one warmup that touches caches and faults pages).
+fn median_secs(samples: usize, mut run: impl FnMut()) -> f64 {
+    run();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// The fused front end: skeleton emitter + grouped profile + cached
+/// clustering. Returns the ShareRefsLb map so the pipeline arm can
+/// extend the run with a simulation.
+fn frontend_fused(app: &AppSpec, opts: &GenOptions) -> PlacementMap {
+    let (prog, access) = generate_with_access(app, opts);
+    let sharing = SharingAnalysis::measure_access(&access);
+    drop(access);
+    let lengths = thread_lengths(&prog);
+    let inputs = PlacementInputs::new(&sharing, &lengths).with_seed(opts.seed);
+    let mut keep = None;
+    for algo in ALGOS {
+        let map = algo
+            .place_with_mode(&inputs, PROCESSORS, ScoreMode::Cached)
+            .expect("placement");
+        if algo == PlacementAlgorithm::ShareRefsLb {
+            keep = Some(map);
+        }
+    }
+    keep.expect("ShareRefsLb is in the algorithm set")
+}
+
+/// The retained reference front end: serial emitter + trace-rescanning
+/// profile + fresh rescoring on every cluster merge.
+fn frontend_reference(app: &AppSpec, opts: &GenOptions) -> PlacementMap {
+    let prog = reference::generate(app, opts);
+    let sharing = SharingAnalysis::measure_reference(&prog);
+    let lengths = thread_lengths(&prog);
+    let inputs = PlacementInputs::new(&sharing, &lengths).with_seed(opts.seed);
+    let mut keep = None;
+    for algo in ALGOS {
+        let map = algo
+            .place_with_mode(&inputs, PROCESSORS, ScoreMode::Fresh)
+            .expect("placement");
+        if algo == PlacementAlgorithm::ShareRefsLb {
+            keep = Some(map);
+        }
+    }
+    keep.expect("ShareRefsLb is in the algorithm set")
+}
+
+/// Extracts every numeric value stored under `"key":` in `json`.
+fn field_values(json: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&pat) {
+        rest = &rest[i + pat.len()..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Checks the emitted document against the `BENCH_engine.json` schema:
+/// required top-level keys, balanced braces, `scenarios` rows carrying
+/// one finite positive value for each numeric field.
+fn validate_bench_json(json: &str, scenarios: usize) -> Result<(), String> {
+    for key in [
+        "\"benchmark\"",
+        "\"unit\"",
+        "\"engines\"",
+        "\"fused\"",
+        "\"reference\"",
+        "\"scenarios\"",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    if json.matches('{').count() != json.matches('}').count() {
+        return Err("unbalanced braces".to_string());
+    }
+    let rows = json.matches("\"scenario\":").count();
+    if rows != scenarios {
+        return Err(format!("expected {scenarios} scenario rows, found {rows}"));
+    }
+    if json.matches("\"note\":").count() != scenarios {
+        return Err("every scenario row needs a note".to_string());
+    }
+    for key in [
+        "total_refs",
+        "fused_refs_per_sec",
+        "reference_refs_per_sec",
+        "speedup",
+    ] {
+        let vals = field_values(json, key);
+        if vals.len() != scenarios {
+            return Err(format!(
+                "expected {scenarios} values under \"{key}\", found {}",
+                vals.len()
+            ));
+        }
+        if let Some(bad) = vals.iter().find(|v| !v.is_finite() || **v <= 0.0) {
+            return Err(format!("non-positive value {bad} under \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    // PLACESIM_SCALE multiplies both scenario scales so CI can smoke the
+    // full binary in seconds (e.g. 0.02 runs at 0.002 and 0.02).
+    let mult = placesim::scale_from_env(1.0);
+    let app = spec("gauss").expect("known app");
+    let config = ArchConfig::paper_default()
+        .with_cache_size(app.cache_bytes())
+        .expect("suite cache sizes are powers of two");
+
+    let mut rows = Vec::new();
+    for (label, base_scale) in [("0.1", 0.1), ("1.0", 1.0)] {
+        let scale = base_scale * mult;
+        let opts = GenOptions { scale, seed: 1994 };
+        let total_refs = reference::generate(&app, &opts).total_refs();
+        let refs = total_refs as f64;
+
+        let fused = median_secs(SAMPLES, || drop(frontend_fused(&app, &opts)));
+        let refr = median_secs(SAMPLES, || drop(frontend_reference(&app, &opts)));
+        push_row(
+            &mut rows,
+            format!("gauss-frontend-{label}"),
+            format!(
+                "generate \u{2192} profile \u{2192} place (12 algorithms, {PROCESSORS} processors) at scale {scale}"
+            ),
+            total_refs,
+            refs / fused,
+            refs / refr,
+        );
+
+        let fused = median_secs(SAMPLES, || {
+            let map = frontend_fused(&app, &opts);
+            let (prog, _) = generate_with_access(&app, &opts);
+            drop(simulate(&prog, &map, &config).expect("simulation"));
+        });
+        let refr = median_secs(SAMPLES, || {
+            let map = frontend_reference(&app, &opts);
+            let prog = reference::generate(&app, &opts);
+            drop(machine_reference::simulate(&prog, &map, &config).expect("simulation"));
+        });
+        push_row(
+            &mut rows,
+            format!("gauss-pipeline-{label}"),
+            format!("front end + full simulation of the ShareRefsLb placement at scale {scale}"),
+            total_refs,
+            refs / fused,
+            refs / refr,
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"pipeline-throughput\",\n",
+            "  \"unit\": \"references per second, median of {} runs\",\n",
+            "  \"engines\": {{\n",
+            "    \"fused\": \"skeleton emitter + grouped sharded profile + incremental score cache\",\n",
+            "    \"reference\": \"serial emitter + trace rescan + fresh per-merge rescoring\"\n",
+            "  }},\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SAMPLES,
+        rows.join(",\n")
+    );
+    if let Err(e) = validate_bench_json(&json, rows.len()) {
+        eprintln!("generated document fails schema validation: {e}");
+        std::process::exit(1);
+    }
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(out, &json).expect("write BENCH_pipeline.json");
+    let written = std::fs::read_to_string(out).expect("re-read BENCH_pipeline.json");
+    if let Err(e) = validate_bench_json(&written, rows.len()) {
+        eprintln!("written document fails schema validation: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+fn push_row(
+    rows: &mut Vec<String>,
+    name: String,
+    note: String,
+    total_refs: u64,
+    fused_rps: f64,
+    reference_rps: f64,
+) {
+    let speedup = fused_rps / reference_rps;
+    println!(
+        "{:<20} {:>12.0} refs/s fused | {:>12.0} refs/s reference | {:.2}x",
+        name, fused_rps, reference_rps, speedup
+    );
+    rows.push(format!(
+        concat!(
+            "    {{\n",
+            "      \"scenario\": \"{}\",\n",
+            "      \"note\": \"{}\",\n",
+            "      \"total_refs\": {},\n",
+            "      \"fused_refs_per_sec\": {:.0},\n",
+            "      \"reference_refs_per_sec\": {:.0},\n",
+            "      \"speedup\": {:.3}\n",
+            "    }}"
+        ),
+        name, note, total_refs, fused_rps, reference_rps, speedup
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{field_values, validate_bench_json};
+
+    fn doc(speedup: &str) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"pipeline-throughput\",\n",
+                "  \"unit\": \"references per second, median of 9 runs\",\n",
+                "  \"engines\": {{ \"fused\": \"a\", \"reference\": \"b\" }},\n",
+                "  \"scenarios\": [\n",
+                "    {{\n",
+                "      \"scenario\": \"gauss-frontend-1.0\",\n",
+                "      \"note\": \"x\",\n",
+                "      \"total_refs\": 100,\n",
+                "      \"fused_refs_per_sec\": 200,\n",
+                "      \"reference_refs_per_sec\": 100,\n",
+                "      \"speedup\": {}\n",
+                "    }}\n",
+                "  ]\n",
+                "}}\n"
+            ),
+            speedup
+        )
+    }
+
+    #[test]
+    fn accepts_well_formed_document() {
+        assert_eq!(validate_bench_json(&doc("2.000"), 1), Ok(()));
+    }
+
+    #[test]
+    fn rejects_missing_keys_and_row_miscounts() {
+        let d = doc("2.000");
+        assert!(validate_bench_json(&d.replace("\"unit\"", "\"u\""), 1).is_err());
+        assert!(validate_bench_json(&d, 2).is_err());
+        assert!(validate_bench_json(&d.replace("\"note\"", "\"n\""), 1).is_err());
+    }
+
+    #[test]
+    fn rejects_non_positive_and_malformed_values() {
+        assert!(validate_bench_json(&doc("0"), 1).is_err());
+        assert!(validate_bench_json(&doc("NaN"), 1).is_err());
+        let d = doc("2.000").replace("\"total_refs\": 100,", "\"total_refs\": oops,");
+        assert!(validate_bench_json(&d, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_braces() {
+        let d = doc("2.000");
+        assert!(validate_bench_json(&d[..d.len() - 3], 1).is_err());
+    }
+
+    #[test]
+    fn field_extraction_finds_each_numeric_value() {
+        let d = doc("2.000");
+        assert_eq!(field_values(&d, "total_refs"), vec![100.0]);
+        assert_eq!(field_values(&d, "speedup"), vec![2.0]);
+        assert!(field_values(&d, "absent").is_empty());
+    }
+}

@@ -1,12 +1,12 @@
 //! Prepared applications and placement experiments.
 
 use crate::error::Error;
-use crate::sweep::try_parallel_map;
 use placesim_analysis::{SharingAnalysis, SymMatrix};
 use placesim_machine::{probe_coherence, simulate, ArchConfig, ProbeResult, SimStats};
 use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs, PlacementMap};
+use placesim_trace::par::try_parallel_map;
 use placesim_trace::ProgramTrace;
-use placesim_workloads::{generate, AppSpec, GenOptions};
+use placesim_workloads::{generate_with_access, AppSpec, GenOptions};
 
 /// An application prepared for experimentation: its trace, static
 /// analysis, per-thread lengths, per-app cache configuration and —
@@ -31,15 +31,20 @@ pub struct PreparedApp {
 }
 
 impl PreparedApp {
-    /// Generates and analyzes an application.
+    /// Generates and analyzes an application through the fused front
+    /// end: the generator emits its access profile alongside the trace,
+    /// so the sharing analysis never re-scans the references. The result
+    /// is bit-identical to analyzing the trace (the differential
+    /// proptests in `placesim-workloads` pin this).
     ///
     /// # Panics
     ///
     /// Panics if the spec's cache size is invalid (cannot happen for the
     /// built-in suite).
     pub fn prepare(spec: &AppSpec, opts: &GenOptions) -> Self {
-        let prog = generate(spec, opts);
-        let sharing = SharingAnalysis::measure(&prog);
+        let (prog, access) = generate_with_access(spec, opts);
+        let sharing = SharingAnalysis::measure_access(&access);
+        drop(access);
         let lengths = thread_lengths(&prog);
         let config = ArchConfig::paper_default()
             .with_cache_size(spec.cache_bytes())
@@ -207,6 +212,13 @@ mod tests {
         assert_eq!(app.lengths.len(), 16);
         assert_eq!(app.config.cache_size(), 32 * 1024);
         assert!(app.traffic.is_none());
+    }
+
+    #[test]
+    fn prepare_fused_analysis_matches_trace_analysis() {
+        let app = tiny("gauss");
+        assert_eq!(app.sharing, SharingAnalysis::measure(&app.prog));
+        assert_eq!(app.sharing, SharingAnalysis::measure_reference(&app.prog));
     }
 
     #[test]

@@ -5,9 +5,9 @@
 use crate::error::Error;
 use crate::experiment::{run_placement_with_config, PreparedApp};
 use crate::export::to_csv;
-use crate::sweep::parallel_map;
 use placesim_machine::{ArchConfig, MissBreakdown};
 use placesim_placement::PlacementAlgorithm;
+use placesim_trace::par::parallel_map;
 use serde::Serialize;
 
 /// One cell of an experiment grid.

@@ -38,14 +38,15 @@ pub mod export;
 pub mod figures;
 pub mod grid;
 pub mod report;
-mod sweep;
 pub mod tables;
 
 pub use error::Error;
 pub use experiment::{
     run_placement, run_placement_with_config, run_sweep, ExperimentResult, PreparedApp,
 };
-pub use sweep::{parallel_map, try_parallel_map};
+// The worker pool lives in the trace crate (the bottom of the stack) so
+// the analysis passes can share it; re-exported here for sweep callers.
+pub use placesim_trace::par::{max_workers, parallel_map, try_parallel_map};
 
 /// Reads the global scale factor from the `PLACESIM_SCALE` environment
 /// variable, defaulting to `default` when unset or unparsable.

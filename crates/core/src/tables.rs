@@ -2,10 +2,10 @@
 
 use crate::error::Error;
 use crate::experiment::{run_placement_with_config, PreparedApp};
-use crate::sweep::parallel_map;
 use placesim_analysis::CharacteristicsRow;
 use placesim_machine::ArchConfig;
 use placesim_placement::PlacementAlgorithm;
+use placesim_trace::par::parallel_map;
 use placesim_workloads::{AppSpec, GenOptions, Granularity};
 use serde::Serialize;
 

@@ -1237,7 +1237,7 @@ mod upgrade_tests {
         // have cost anyway) exactly once.
         let delta = slow.execution_time() - fast.execution_time();
         assert!(
-            delta >= 40 && delta <= 60,
+            (40..=60).contains(&delta),
             "stall delta {delta} should be about one memory latency"
         );
     }

@@ -1,6 +1,6 @@
 //! The paper's placement algorithms as a single dispatchable enum.
 
-use crate::engine::{cluster, EngineOptions, LoadConstraint};
+use crate::engine::{cluster, EngineOptions, LoadConstraint, ScoreMode};
 use crate::error::PlacementError;
 use crate::map::PlacementMap;
 use crate::metrics::{
@@ -193,6 +193,23 @@ impl PlacementAlgorithm {
         inputs: &PlacementInputs<'_>,
         processors: usize,
     ) -> Result<PlacementMap, PlacementError> {
+        self.place_with_mode(inputs, processors, ScoreMode::Cached)
+    }
+
+    /// Like [`place`](Self::place) with an explicit engine
+    /// [`ScoreMode`]. [`ScoreMode::Fresh`] recomputes every candidate
+    /// score from the thread matrices — the reference the differential
+    /// tests compare the cached default against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`place`](Self::place).
+    pub fn place_with_mode(
+        self,
+        inputs: &PlacementInputs<'_>,
+        processors: usize,
+        score_mode: ScoreMode,
+    ) -> Result<PlacementMap, PlacementError> {
         inputs.validate()?;
         let t = inputs.thread_count();
         if processors == 0 {
@@ -211,6 +228,7 @@ impl PlacementAlgorithm {
         });
         let options = EngineOptions {
             load,
+            score_mode,
             ..EngineOptions::default()
         };
         let sharing = inputs.sharing;

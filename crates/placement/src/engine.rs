@@ -16,9 +16,11 @@
 //! load").
 
 use crate::error::PlacementError;
-use crate::metrics::PairMetric;
-use crate::partition::{BalanceSpec, Partition};
+use crate::metrics::{MetricCache, PairMetric};
+use crate::partition::{BalanceSpec, Partition, SumId};
 use crate::score::Score;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Load-balance filter for the `+LB` variants.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +32,23 @@ pub struct LoadConstraint<'a> {
     pub tolerance: f64,
 }
 
+/// How the engine evaluates candidate-pair scores.
+///
+/// Both modes produce identical placements: cached aggregates are exact
+/// `u64` sums equal to the fresh ones, so scores — and every
+/// deterministic tie-break downstream of them — are bit-identical. The
+/// differential tests in `tests/differential.rs` assert this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreMode {
+    /// O(1) per-pair scores from cluster aggregates maintained
+    /// incrementally through combines and undos (the default).
+    #[default]
+    Cached,
+    /// Recompute every pair score from the thread matrices. The
+    /// reference path: O(|A|·|B|) per pair.
+    Fresh,
+}
+
 /// Tuning knobs for the engine.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineOptions<'a> {
@@ -39,6 +58,8 @@ pub struct EngineOptions<'a> {
     /// configurations need at most a few times `t`; the budget only
     /// guards adversarial inputs.
     pub node_budget: usize,
+    /// Score evaluation strategy (cached by default).
+    pub score_mode: ScoreMode,
 }
 
 impl Default for EngineOptions<'_> {
@@ -46,6 +67,7 @@ impl Default for EngineOptions<'_> {
         EngineOptions {
             load: None,
             node_budget: 500_000,
+            score_mode: ScoreMode::Cached,
         }
     }
 }
@@ -82,8 +104,23 @@ pub fn cluster<M: PairMetric>(
         let total: u64 = lc.lengths.iter().sum();
         total as f64 / processors as f64 * (1.0 + lc.tolerance)
     });
+    // In cached mode the metric registers its aggregates once on the
+    // fresh singleton partition; the load filter's per-cluster length
+    // sums ride the same machinery.
+    let (cache, load_sum) = match options.score_mode {
+        ScoreMode::Cached => (
+            Some(metric.prepare(&mut part)),
+            options.load.map(|lc| part.register_sum(lc.lengths)),
+        ),
+        ScoreMode::Fresh => (None, None),
+    };
+    let ctx = SearchCtx {
+        cache,
+        load_sum,
+        ideal_load,
+    };
 
-    if search(metric, &spec, &mut part, &options, ideal_load, &mut budget) {
+    if search(metric, &spec, &mut part, &options, &ctx, &mut budget) {
         Ok(part.into_clusters())
     } else if budget == 0 {
         Err(PlacementError::SearchExhausted)
@@ -113,6 +150,13 @@ fn balanced_fill(threads: usize, processors: usize) -> Vec<Vec<usize>> {
     clusters
 }
 
+/// Per-run search context: cached-mode handles and the `+LB` ideal load.
+struct SearchCtx {
+    cache: Option<MetricCache>,
+    load_sum: Option<SumId>,
+    ideal_load: Option<f64>,
+}
+
 /// Depth-first search over combine decisions. Returns `true` when `part`
 /// has been reduced to the target cluster count.
 fn search<M: PairMetric>(
@@ -120,7 +164,7 @@ fn search<M: PairMetric>(
     spec: &BalanceSpec,
     part: &mut Partition,
     options: &EngineOptions<'_>,
-    ideal_load: Option<f64>,
+    ctx: &SearchCtx,
     budget: &mut usize,
 ) -> bool {
     if part.len() == spec.processors() {
@@ -130,8 +174,8 @@ fn search<M: PairMetric>(
         return false;
     }
 
-    let candidates = ranked_candidates(metric, spec, part, options, ideal_load);
-    for (a, b) in candidates {
+    let mut candidates = ranked_candidates(metric, spec, part, options, ctx);
+    while let Some((a, b)) = candidates.next_best() {
         if *budget == 0 {
             return false;
         }
@@ -143,7 +187,7 @@ fn search<M: PairMetric>(
         }
         *budget -= 1;
         let token = part.combine(a, b);
-        if search(metric, spec, part, options, ideal_load, budget) {
+        if search(metric, spec, part, options, ctx, budget) {
             return true;
         }
         part.undo(token);
@@ -197,6 +241,37 @@ fn bfd_completable(part: &Partition, merged: (usize, usize), spec: &BalanceSpec)
     true
 }
 
+/// Candidate ordering key: load-ok before not, higher score first, then
+/// low cluster indices. `Reverse` on the indices makes the natural `Ord`
+/// max order coincide with the sort order below, so a max-heap pops
+/// candidates in exactly the sorted sequence (the key is a strict total
+/// order — `(a, b)` is unique — so the two are interchangeable).
+type CandKey = (bool, Score, Reverse<usize>, Reverse<usize>);
+
+/// Feasible candidate pairs, consumed best first.
+///
+/// Scoring every pair is unavoidable (the maximum must be found), but
+/// *ordering* them fully is not: the greedy search usually takes the
+/// first candidate and never looks back. In cached mode the scored pairs
+/// are therefore heapified (O(n)) and popped on demand (O(log n) each) —
+/// identical order, no full O(n log n) sort. Fresh mode keeps the
+/// original sort; it is the retained reference path that the
+/// differential tests (and the pipeline benchmark's old arm) hold
+/// fixed.
+enum Candidates {
+    Sorted(std::vec::IntoIter<(usize, usize)>),
+    Heap(BinaryHeap<CandKey>),
+}
+
+impl Candidates {
+    fn next_best(&mut self) -> Option<(usize, usize)> {
+        match self {
+            Candidates::Sorted(iter) => iter.next(),
+            Candidates::Heap(heap) => heap.pop().map(|(_, _, a, b)| (a.0, b.0)),
+        }
+    }
+}
+
 /// All feasible candidate pairs, best first: load-satisfying pairs by
 /// descending score, then load-violating pairs by descending score, ties
 /// broken by cluster indices for determinism.
@@ -205,8 +280,8 @@ fn ranked_candidates<M: PairMetric>(
     spec: &BalanceSpec,
     part: &Partition,
     options: &EngineOptions<'_>,
-    ideal_load: Option<f64>,
-) -> Vec<(usize, usize)> {
+    ctx: &SearchCtx,
+) -> Candidates {
     let ceil = spec.ceil_size();
     let floor = spec.floor_size();
     let big_now = if floor == ceil {
@@ -215,7 +290,7 @@ fn ranked_candidates<M: PairMetric>(
         part.count_of_size(ceil)
     };
 
-    let mut scored: Vec<(bool, Score, usize, usize)> = Vec::new();
+    let mut scored: Vec<CandKey> = Vec::new();
     for a in 0..part.len() {
         for b in (a + 1)..part.len() {
             let new_size = part.cluster(a).len() + part.cluster(b).len();
@@ -231,30 +306,48 @@ fn ranked_candidates<M: PairMetric>(
             if !spec.combine_allowed(new_size, big_after) {
                 continue;
             }
-            let load_ok = match (options.load, ideal_load) {
+            let load_ok = match (options.load, ctx.ideal_load) {
                 (Some(lc), Some(ideal)) => {
-                    let combined: u64 = part
-                        .cluster(a)
-                        .iter()
-                        .chain(part.cluster(b))
-                        .map(|&t| lc.lengths[t])
-                        .sum();
+                    // Cached and fresh sums are the same u64 value, so the
+                    // filter decision cannot differ between modes.
+                    let combined: u64 = match ctx.load_sum {
+                        Some(id) => part.sum(id, a) + part.sum(id, b),
+                        None => part
+                            .cluster(a)
+                            .iter()
+                            .chain(part.cluster(b))
+                            .map(|&t| lc.lengths[t])
+                            .sum(),
+                    };
                     (combined as f64) <= ideal
                 }
                 _ => true,
             };
-            scored.push((load_ok, metric.score(part, a, b), a, b));
+            let score = match &ctx.cache {
+                Some(cache) => metric.score_cached(part, cache, a, b),
+                None => metric.score(part, a, b),
+            };
+            scored.push((load_ok, score, Reverse(a), Reverse(b)));
         }
+    }
+    if ctx.cache.is_some() {
+        return Candidates::Heap(BinaryHeap::from(scored));
     }
     // Sort best-first: load-ok before not, then higher score, then low
     // indices. `sort_by` with reversed comparisons keeps this stable.
     scored.sort_by(|x, y| {
         y.0.cmp(&x.0)
             .then_with(|| y.1.cmp(&x.1))
-            .then_with(|| x.2.cmp(&y.2))
-            .then_with(|| x.3.cmp(&y.3))
+            .then_with(|| x.2 .0.cmp(&y.2 .0))
+            .then_with(|| x.3 .0.cmp(&y.3 .0))
     });
-    scored.into_iter().map(|(_, _, a, b)| (a, b)).collect()
+    Candidates::Sorted(
+        scored
+            .into_iter()
+            .map(|(_, _, a, b)| (a.0, b.0))
+            .collect::<Vec<_>>()
+            .into_iter(),
+    )
 }
 
 #[cfg(test)]
@@ -397,6 +490,7 @@ mod tests {
         let opts = EngineOptions {
             load: None,
             node_budget: 0,
+            score_mode: ScoreMode::Cached,
         };
         assert_eq!(
             cluster(&metric, 6, 2, opts).unwrap_err(),
@@ -417,6 +511,7 @@ mod tests {
                 tolerance: 0.10,
             }),
             node_budget: 100_000,
+            score_mode: ScoreMode::Cached,
         };
         let clusters = cluster(&metric, 4, 2, opts).unwrap();
         // Ideal load 105/processor; {0,1} = 200 violates, so the best
@@ -445,6 +540,7 @@ mod tests {
                 tolerance: 0.0,
             }),
             node_budget: 100_000,
+            score_mode: ScoreMode::Cached,
         };
         let clusters = cluster(&metric, 4, 2, opts).unwrap();
         assert_eq!(clusters.len(), 2);

@@ -58,12 +58,13 @@ pub mod quality;
 mod score;
 
 pub use algorithms::{thread_lengths, PlacementAlgorithm, PlacementInputs};
+pub use engine::ScoreMode;
 pub use error::PlacementError;
 pub use map::{PlacementMap, ProcessorId};
 pub use metrics::{
-    CoherenceMetric, MaxWritesMetric, MinInvsMetric, MinPrivMetric, MinShareMetric, PairMetric,
-    ShareAddrMetric, ShareRefsMetric,
+    CoherenceMetric, MaxWritesMetric, MetricCache, MinInvsMetric, MinPrivMetric, MinShareMetric,
+    PairMetric, ShareAddrMetric, ShareRefsMetric,
 };
-pub use partition::{BalanceSpec, Partition};
+pub use partition::{BalanceSpec, CrossId, Partition, SumId};
 pub use quality::PlacementQuality;
 pub use score::Score;

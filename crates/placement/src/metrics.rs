@@ -6,17 +6,49 @@
 //! sharing-based placement algorithms differ from SHARE-REFS only in the
 //! specific sharing metric they compute, i.e., step 2 of the algorithm").
 
-use crate::partition::Partition;
+use crate::partition::{CrossId, Partition, SumId};
 use crate::score::Score;
 use placesim_analysis::SymMatrix;
+
+/// Aggregate-cache handles a metric registered on a [`Partition`] via
+/// [`PairMetric::prepare`]; consumed by [`PairMetric::score_cached`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricCache {
+    /// Cross-sum caches, in the order the metric registered them.
+    pub cross: Vec<CrossId>,
+    /// Per-cluster sum caches, in the order the metric registered them.
+    pub sums: Vec<SumId>,
+}
 
 /// A pairwise cluster-combining metric.
 ///
 /// Implementations receive the current partition and the indices of the
 /// two candidate clusters; higher scores are combined first.
+///
+/// [`prepare`](Self::prepare) / [`score_cached`](Self::score_cached) are
+/// the O(1) fast path: the metric registers its cross-sum and weight-sum
+/// aggregates on the partition once, and each pair score becomes cache
+/// lookups plus the same arithmetic as [`score`](Self::score). Cached
+/// sums are exact `u64` values equal to the fresh ones, so both paths
+/// produce bit-identical [`Score`]s — the engine's tie-breaking, and
+/// therefore the final placement, cannot differ between them.
 pub trait PairMetric {
     /// Scores combining clusters `a` and `b` of `part`.
     fn score(&self, part: &Partition, a: usize, b: usize) -> Score;
+
+    /// Registers this metric's aggregates on `part` for
+    /// [`score_cached`](Self::score_cached). The default registers
+    /// nothing (cached scoring then falls back to the fresh path).
+    fn prepare(&self, _part: &mut Partition) -> MetricCache {
+        MetricCache::default()
+    }
+
+    /// Scores `a`/`b` using aggregates registered by
+    /// [`prepare`](Self::prepare). Must equal [`score`](Self::score)
+    /// bit-for-bit.
+    fn score_cached(&self, part: &Partition, _cache: &MetricCache, a: usize, b: usize) -> Score {
+        self.score(part, a, b)
+    }
 }
 
 /// Averaged cross-cluster sum of a pairwise thread matrix: the paper's
@@ -29,6 +61,13 @@ fn averaged_cross(m: &SymMatrix<u64>, part: &Partition, a: usize, b: usize) -> f
     sum / (ca.len() * cb.len()) as f64
 }
 
+/// [`averaged_cross`] over a registered cache: same sum, same division,
+/// same bits.
+fn averaged_cached(part: &Partition, id: CrossId, a: usize, b: usize) -> f64 {
+    let sum = part.cross(id, a, b) as f64;
+    sum / (part.cluster(a).len() * part.cluster(b).len()) as f64
+}
+
 /// SHARE-REFS: maximize shared references among co-located threads.
 #[derive(Debug, Clone, Copy)]
 pub struct ShareRefsMetric<'a> {
@@ -39,6 +78,17 @@ pub struct ShareRefsMetric<'a> {
 impl PairMetric for ShareRefsMetric<'_> {
     fn score(&self, part: &Partition, a: usize, b: usize) -> Score {
         Score::primary(averaged_cross(self.refs, part, a, b))
+    }
+
+    fn prepare(&self, part: &mut Partition) -> MetricCache {
+        MetricCache {
+            cross: vec![part.register_cross(self.refs)],
+            sums: Vec::new(),
+        }
+    }
+
+    fn score_cached(&self, part: &Partition, cache: &MetricCache, a: usize, b: usize) -> Score {
+        Score::primary(averaged_cached(part, cache.cross[0], a, b))
     }
 }
 
@@ -63,6 +113,27 @@ impl PairMetric for ShareAddrMetric<'_> {
             0.0
         } else {
             self.refs.cross_sum(part.cluster(a), part.cluster(b)) as f64 / addrs
+        };
+        Score::new(refs, density)
+    }
+
+    fn prepare(&self, part: &mut Partition) -> MetricCache {
+        MetricCache {
+            cross: vec![
+                part.register_cross(self.refs),
+                part.register_cross(self.addrs),
+            ],
+            sums: Vec::new(),
+        }
+    }
+
+    fn score_cached(&self, part: &Partition, cache: &MetricCache, a: usize, b: usize) -> Score {
+        let refs = averaged_cached(part, cache.cross[0], a, b);
+        let addrs = part.cross(cache.cross[1], a, b) as f64;
+        let density = if addrs == 0.0 {
+            0.0
+        } else {
+            part.cross(cache.cross[0], a, b) as f64 / addrs
         };
         Score::new(refs, density)
     }
@@ -91,6 +162,19 @@ impl PairMetric for MinPrivMetric<'_> {
             .sum();
         Score::new(refs, -(private as f64))
     }
+
+    fn prepare(&self, part: &mut Partition) -> MetricCache {
+        MetricCache {
+            cross: vec![part.register_cross(self.refs)],
+            sums: vec![part.register_sum(self.private_addrs)],
+        }
+    }
+
+    fn score_cached(&self, part: &Partition, cache: &MetricCache, a: usize, b: usize) -> Score {
+        let refs = averaged_cached(part, cache.cross[0], a, b);
+        let private = part.sum(cache.sums[0], a) + part.sum(cache.sums[0], b);
+        Score::new(refs, -(private as f64))
+    }
 }
 
 /// MIN-INVS: minimize cross-processor invalidation-capable references by
@@ -110,6 +194,17 @@ impl PairMetric for MinInvsMetric<'_> {
         let cost = self.write_refs.cross_sum(part.cluster(a), part.cluster(b));
         Score::primary(cost as f64)
     }
+
+    fn prepare(&self, part: &mut Partition) -> MetricCache {
+        MetricCache {
+            cross: vec![part.register_cross(self.write_refs)],
+            sums: Vec::new(),
+        }
+    }
+
+    fn score_cached(&self, part: &Partition, cache: &MetricCache, a: usize, b: usize) -> Score {
+        Score::primary(part.cross(cache.cross[0], a, b) as f64)
+    }
 }
 
 /// MAX-WRITES: SHARE-REFS restricted to write-shared data, the data
@@ -124,6 +219,17 @@ impl PairMetric for MaxWritesMetric<'_> {
     fn score(&self, part: &Partition, a: usize, b: usize) -> Score {
         Score::primary(averaged_cross(self.write_refs, part, a, b))
     }
+
+    fn prepare(&self, part: &mut Partition) -> MetricCache {
+        MetricCache {
+            cross: vec![part.register_cross(self.write_refs)],
+            sums: Vec::new(),
+        }
+    }
+
+    fn score_cached(&self, part: &Partition, cache: &MetricCache, a: usize, b: usize) -> Score {
+        Score::primary(averaged_cached(part, cache.cross[0], a, b))
+    }
 }
 
 /// MIN-SHARE: the "worst case" sharing schedule — co-locate the threads
@@ -137,6 +243,17 @@ pub struct MinShareMetric<'a> {
 impl PairMetric for MinShareMetric<'_> {
     fn score(&self, part: &Partition, a: usize, b: usize) -> Score {
         Score::primary(-averaged_cross(self.refs, part, a, b))
+    }
+
+    fn prepare(&self, part: &mut Partition) -> MetricCache {
+        MetricCache {
+            cross: vec![part.register_cross(self.refs)],
+            sums: Vec::new(),
+        }
+    }
+
+    fn score_cached(&self, part: &Partition, cache: &MetricCache, a: usize, b: usize) -> Score {
+        Score::primary(-averaged_cached(part, cache.cross[0], a, b))
     }
 }
 
@@ -153,6 +270,17 @@ pub struct CoherenceMetric<'a> {
 impl PairMetric for CoherenceMetric<'_> {
     fn score(&self, part: &Partition, a: usize, b: usize) -> Score {
         Score::primary(averaged_cross(self.traffic, part, a, b))
+    }
+
+    fn prepare(&self, part: &mut Partition) -> MetricCache {
+        MetricCache {
+            cross: vec![part.register_cross(self.traffic)],
+            sums: Vec::new(),
+        }
+    }
+
+    fn score_cached(&self, part: &Partition, cache: &MetricCache, a: usize, b: usize) -> Score {
+        Score::primary(averaged_cached(part, cache.cross[0], a, b))
     }
 }
 
@@ -242,6 +370,61 @@ mod tests {
         let part = Partition::singletons(4);
         // Pair (0,3) has no sharing: best for MIN-SHARE.
         assert!(metric.score(&part, 0, 3) > metric.score(&part, 0, 1));
+    }
+
+    /// Exhaustively checks `score_cached == score` for one metric over a
+    /// few combines and undos.
+    fn assert_cached_matches_fresh<M: PairMetric>(metric: &M, threads: usize) {
+        let mut part = Partition::singletons(threads);
+        let cache = metric.prepare(&mut part);
+        let check = |part: &Partition| {
+            for a in 0..part.len() {
+                for b in (a + 1)..part.len() {
+                    assert_eq!(
+                        metric.score_cached(part, &cache, a, b),
+                        metric.score(part, a, b),
+                        "clusters ({a},{b})"
+                    );
+                }
+            }
+        };
+        check(&part);
+        let t1 = part.combine(0, 2);
+        check(&part);
+        let t2 = part.combine(0, 1);
+        check(&part);
+        part.undo(t2);
+        part.undo(t1);
+        check(&part);
+    }
+
+    #[test]
+    fn cached_scores_match_fresh_for_every_metric() {
+        let refs = refs_matrix();
+        let mut addrs = SymMatrix::new(4, 0u64);
+        addrs.set(0, 1, 3);
+        addrs.set(2, 3, 2);
+        let private = vec![5u64, 100, 1, 7];
+
+        assert_cached_matches_fresh(&ShareRefsMetric { refs: &refs }, 4);
+        assert_cached_matches_fresh(
+            &ShareAddrMetric {
+                refs: &refs,
+                addrs: &addrs,
+            },
+            4,
+        );
+        assert_cached_matches_fresh(
+            &MinPrivMetric {
+                refs: &refs,
+                private_addrs: &private,
+            },
+            4,
+        );
+        assert_cached_matches_fresh(&MinInvsMetric { write_refs: &refs }, 4);
+        assert_cached_matches_fresh(&MaxWritesMetric { write_refs: &refs }, 4);
+        assert_cached_matches_fresh(&MinShareMetric { refs: &refs }, 4);
+        assert_cached_matches_fresh(&CoherenceMetric { traffic: &refs }, 4);
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! Cluster partitions and the thread-balance constraint.
+//! Cluster partitions, the thread-balance constraint, and incrementally
+//! maintained cluster aggregates.
 
+use placesim_analysis::SymMatrix;
 use serde::{Deserialize, Serialize};
 
 /// The thread-balance shape for `t` threads on `p` processors: final
@@ -67,15 +69,63 @@ impl BalanceSpec {
     }
 }
 
+/// Handle to a cluster-pair cross-sum cache registered on a
+/// [`Partition`] via [`Partition::register_cross`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossId(usize);
+
+/// Handle to a per-cluster sum cache registered on a [`Partition`] via
+/// [`Partition::register_sum`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumId(usize);
+
+/// Per-cluster-pair cross-sums of one thread matrix, stored as a strict
+/// lower triangle (`tri[i][j]` with `j < i`) so row/column deletion on
+/// combine is a pair of `Vec::remove`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CrossCache {
+    tri: Vec<Vec<u64>>,
+}
+
+/// Per-cluster sums of one per-thread weight vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SumCache {
+    vals: Vec<u64>,
+}
+
+fn tri_get(tri: &[Vec<u64>], a: usize, b: usize) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    tri[hi][lo]
+}
+
+fn tri_get_mut(tri: &mut [Vec<u64>], a: usize, b: usize) -> &mut u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    &mut tri[hi][lo]
+}
+
 /// A working partition of threads into clusters during cluster combining.
 ///
 /// Clusters are lists of thread indices. Combining removes the
 /// higher-indexed cluster and appends its members to the lower-indexed
 /// one, so an undo log of `(kept, merged_members)` supports the engine's
 /// backtracking.
+///
+/// # Cached aggregates
+///
+/// Callers may register *aggregate caches* — cluster-pair cross-sums of
+/// a thread matrix ([`register_cross`](Self::register_cross)) or
+/// per-cluster sums of a weight vector
+/// ([`register_sum`](Self::register_sum)). The caches are maintained
+/// exactly through [`combine`](Self::combine) / [`undo`](Self::undo) by
+/// row folding: `cross(a ∪ b, c) = cross(a, c) + cross(b, c)`, an exact
+/// `u64` identity, so a cached lookup always equals the freshly computed
+/// sum. This turns the engine's per-pair metric evaluation from
+/// O(|A|·|B|) matrix walks into O(1) lookups.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     clusters: Vec<Vec<usize>>,
+    cross: Vec<CrossCache>,
+    sums: Vec<SumCache>,
 }
 
 impl Partition {
@@ -83,12 +133,75 @@ impl Partition {
     pub fn singletons(t: usize) -> Self {
         Partition {
             clusters: (0..t).map(|i| vec![i]).collect(),
+            cross: Vec::new(),
+            sums: Vec::new(),
         }
     }
 
     /// Builds a partition from explicit clusters (used in tests).
     pub fn from_clusters(clusters: Vec<Vec<usize>>) -> Self {
-        Partition { clusters }
+        Partition {
+            clusters,
+            cross: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+
+    /// Registers a cross-sum cache over the per-thread matrix `m`:
+    /// `cross(id, a, b)` then returns `m.cross_sum(cluster a, cluster b)`
+    /// in O(1), kept exact through combines and undos.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread index in the partition is out of range for `m`.
+    pub fn register_cross(&mut self, m: &SymMatrix<u64>) -> CrossId {
+        let tri = (0..self.clusters.len())
+            .map(|i| {
+                (0..i)
+                    .map(|j| m.cross_sum(&self.clusters[i], &self.clusters[j]))
+                    .collect()
+            })
+            .collect();
+        self.cross.push(CrossCache { tri });
+        CrossId(self.cross.len() - 1)
+    }
+
+    /// Registers a per-cluster sum cache over `per_thread` weights:
+    /// `sum(id, c)` then returns the weight total of cluster `c` in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread index in the partition is out of range for
+    /// `per_thread`.
+    pub fn register_sum(&mut self, per_thread: &[u64]) -> SumId {
+        let vals = self
+            .clusters
+            .iter()
+            .map(|c| c.iter().map(|&t| per_thread[t]).sum())
+            .collect();
+        self.sums.push(SumCache { vals });
+        SumId(self.sums.len() - 1)
+    }
+
+    /// Cached cross-sum between clusters `a` and `b` (0 when `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn cross(&self, id: CrossId, a: usize, b: usize) -> u64 {
+        if a == b {
+            return 0;
+        }
+        tri_get(&self.cross[id.0].tri, a, b)
+    }
+
+    /// Cached weight sum of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn sum(&self, id: SumId, c: usize) -> u64 {
+        self.sums[id.0].vals[c]
     }
 
     /// Number of clusters.
@@ -129,6 +242,36 @@ impl Partition {
     pub fn combine(&mut self, a: usize, b: usize) -> UndoToken {
         assert!(a != b, "cannot combine a cluster with itself");
         let (keep, remove) = if a < b { (a, b) } else { (b, a) };
+        let len = self.clusters.len();
+
+        // Fold the removed cluster's aggregates into the kept one, saving
+        // the removed row so undo can subtract it back out exactly.
+        let mut cross_rows = Vec::with_capacity(self.cross.len());
+        for cache in &mut self.cross {
+            let mut row = vec![0u64; len];
+            for (c, slot) in row.iter_mut().enumerate() {
+                if c != remove {
+                    *slot = tri_get(&cache.tri, remove, c);
+                }
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if c != keep && c != remove {
+                    *tri_get_mut(&mut cache.tri, keep, c) += v;
+                }
+            }
+            cache.tri.remove(remove);
+            for r in cache.tri.iter_mut().skip(remove) {
+                r.remove(remove);
+            }
+            cross_rows.push(row);
+        }
+        let mut sum_vals = Vec::with_capacity(self.sums.len());
+        for cache in &mut self.sums {
+            let removed = cache.vals.remove(remove);
+            cache.vals[keep] += removed;
+            sum_vals.push(removed);
+        }
+
         let moved = self.clusters.remove(remove);
         let moved_len = moved.len();
         self.clusters[keep].extend(moved);
@@ -136,17 +279,41 @@ impl Partition {
             keep,
             removed_at: remove,
             moved_len,
+            cross_rows,
+            sum_vals,
         }
     }
 
     /// Reverts the most recent [`Partition::combine`] described by `token`.
     ///
-    /// Tokens must be undone in LIFO order.
+    /// Tokens must be undone in LIFO order. Registered caches are
+    /// restored exactly: the kept cluster's sums shrink by the saved row
+    /// (`u64` subtraction of what was added), and the removed cluster's
+    /// row is reinserted verbatim.
     pub fn undo(&mut self, token: UndoToken) {
         let keep_cluster = &mut self.clusters[token.keep];
         let split = keep_cluster.len() - token.moved_len;
         let moved: Vec<usize> = keep_cluster.split_off(split);
         self.clusters.insert(token.removed_at, moved);
+
+        let len = self.clusters.len();
+        for (cache, row) in self.cross.iter_mut().zip(&token.cross_rows) {
+            cache
+                .tri
+                .insert(token.removed_at, row[..token.removed_at].to_vec());
+            for (i, r) in cache.tri.iter_mut().enumerate().skip(token.removed_at + 1) {
+                r.insert(token.removed_at, row[i]);
+            }
+            for (c, &v) in row.iter().enumerate().take(len) {
+                if c != token.keep && c != token.removed_at {
+                    *tri_get_mut(&mut cache.tri, token.keep, c) -= v;
+                }
+            }
+        }
+        for (cache, &val) in self.sums.iter_mut().zip(&token.sum_vals) {
+            cache.vals[token.keep] -= val;
+            cache.vals.insert(token.removed_at, val);
+        }
     }
 
     /// Consumes the partition, returning its clusters.
@@ -155,12 +322,16 @@ impl Partition {
     }
 }
 
-/// Undo record for one combine step (LIFO).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Undo record for one combine step (LIFO). Carries the removed
+/// cluster's saved aggregate rows so [`Partition::undo`] restores every
+/// registered cache bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UndoToken {
     keep: usize,
     removed_at: usize,
     moved_len: usize,
+    cross_rows: Vec<Vec<u64>>,
+    sum_vals: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -231,5 +402,70 @@ mod tests {
     fn self_combine_panics() {
         let mut p = Partition::singletons(2);
         p.combine(1, 1);
+    }
+
+    fn demo_matrix(n: usize) -> SymMatrix<u64> {
+        let mut m = SymMatrix::new(n, 0u64);
+        let mut v = 1;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, v);
+                v += 3;
+            }
+        }
+        m
+    }
+
+    /// Every cached cross/sum equals the freshly computed value.
+    fn assert_caches_fresh(p: &Partition, cid: CrossId, sid: SumId, m: &SymMatrix<u64>, w: &[u64]) {
+        for a in 0..p.len() {
+            assert_eq!(
+                p.sum(sid, a),
+                p.cluster(a).iter().map(|&t| w[t]).sum::<u64>(),
+                "sum({a})"
+            );
+            for b in 0..p.len() {
+                if a == b {
+                    continue; // the cache defines the diagonal as 0
+                }
+                assert_eq!(
+                    p.cross(cid, a, b),
+                    m.cross_sum(p.cluster(a), p.cluster(b)),
+                    "cross({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn caches_track_combines_and_undos() {
+        let m = demo_matrix(6);
+        let w = [3u64, 1, 4, 1, 5, 9];
+        let mut p = Partition::singletons(6);
+        let cid = p.register_cross(&m);
+        let sid = p.register_sum(&w);
+        assert_caches_fresh(&p, cid, sid, &m, &w);
+
+        let before = p.clone();
+        let t1 = p.combine(1, 4);
+        assert_caches_fresh(&p, cid, sid, &m, &w);
+        let t2 = p.combine(0, 1); // merges {0} with {1,4}
+        assert_caches_fresh(&p, cid, sid, &m, &w);
+        let t3 = p.combine(2, 3);
+        assert_caches_fresh(&p, cid, sid, &m, &w);
+
+        p.undo(t3);
+        p.undo(t2);
+        p.undo(t1);
+        // Exact restoration, caches included (derived PartialEq covers them).
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn cross_diagonal_is_zero() {
+        let m = demo_matrix(3);
+        let mut p = Partition::singletons(3);
+        let cid = p.register_cross(&m);
+        assert_eq!(p.cross(cid, 1, 1), 0);
     }
 }

@@ -1,0 +1,67 @@
+//! Aggregated per-address access counts.
+//!
+//! [`AddrCounts`] is the currency of the fused generate-and-profile
+//! front end: a producer that already knows its access pattern (the
+//! synthetic workload generator, a trace scanner) summarises each burst
+//! of references as one `(address, reads, writes)` entry instead of
+//! handing downstream passes the full reference stream. Entries are
+//! *unaggregated* — the same address may appear many times in one
+//! thread's list — and carry no ordering guarantees; consumers fold
+//! them with commutative addition, so any grouping of the same
+//! references produces identical totals.
+
+/// Read/write counts of one thread against one address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AddrCounts {
+    /// The byte address accessed (raw, see [`crate::Address`]).
+    pub addr: u64,
+    /// Number of loads.
+    pub reads: u32,
+    /// Number of stores.
+    pub writes: u32,
+}
+
+impl AddrCounts {
+    /// A fresh entry for `addr` with zero counts.
+    #[inline]
+    pub fn new(addr: u64) -> Self {
+        AddrCounts {
+            addr,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Total references (loads + stores).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads as u64 + self.writes as u64
+    }
+
+    /// Counts one access.
+    #[inline]
+    pub fn bump(&mut self, write: bool) {
+        if write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_total() {
+        let mut c = AddrCounts::new(0x8000);
+        c.bump(false);
+        c.bump(false);
+        c.bump(true);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.addr, 0x8000);
+    }
+}

@@ -68,7 +68,7 @@ mod tests {
         };
         assert!(e.to_string().contains("version 9"));
 
-        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = TraceError::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
     }

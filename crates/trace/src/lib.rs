@@ -13,9 +13,13 @@
 //! * [`MemRef`] / [`RefKind`] — a single memory reference,
 //! * [`Address`] / [`ThreadId`] — newtypes for the two identifier domains,
 //! * [`ThreadTrace`] — the packed, append-only trace of one thread,
+//! * [`AddrCounts`] — aggregated per-address access counts, the currency
+//!   of the fused generate-and-profile front end,
 //! * [`ProgramTrace`] — all threads of one application plus metadata,
 //! * [`io`] — a compact binary serialization of program traces,
-//! * [`stats`] — cheap per-trace counting statistics.
+//! * [`stats`] — cheap per-trace counting statistics,
+//! * [`par`] — the worker-pool `parallel_map` shared by the analysis
+//!   passes and the experiment sweeps (honours `PLACESIM_THREADS`).
 //!
 //! # Example
 //!
@@ -36,15 +40,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod access;
 pub mod compress;
 mod error;
 pub mod hash;
 pub mod io;
+pub mod par;
 mod program_trace;
 mod record;
 pub mod stats;
 mod thread_trace;
 
+pub use access::AddrCounts;
 pub use error::TraceError;
 pub use program_trace::ProgramTrace;
 pub use record::{Address, LineAddr, MemRef, RefKind, ThreadId};

@@ -1,13 +1,39 @@
-//! Small parallel-map helpers for experiment sweeps.
+//! Small parallel-map helpers shared by trace analysis and experiment
+//! sweeps.
+//!
+//! This module lives in the trace crate (the bottom of the dependency
+//! stack) so both the analysis passes and the high-level sweep runner
+//! can fan work out over the same pool discipline; `placesim`
+//! re-exports it unchanged.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// Maximum worker threads a [`parallel_map`] call may use.
+///
+/// Defaults to `std::thread::available_parallelism()`; the
+/// `PLACESIM_THREADS` environment variable overrides it (values < 1 or
+/// unparsable are ignored), so benchmark and CI runs can pin the worker
+/// count — `PLACESIM_THREADS=1` forces fully serial execution without
+/// code edits.
+pub fn max_workers() -> usize {
+    std::env::var("PLACESIM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
 /// Applies `f` to every item on a pool of worker threads and returns the
 /// results in input order.
 ///
-/// The worker count is `min(items, available_parallelism)`. `f` must be
+/// The worker count is `min(items, max_workers())` (see
+/// [`max_workers`] for the `PLACESIM_THREADS` override). `f` must be
 /// `Sync` (it runs concurrently); results land in lock-free
 /// [`OnceLock`] slots, so per-item overhead is tiny compared to a
 /// simulation run. If `f` panics, the panic is re-raised on the calling
@@ -46,10 +72,7 @@ where
     if n == 0 {
         return Ok(Vec::new());
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = max_workers().min(n);
     if workers <= 1 {
         // Same contract as the threaded path: errors short-circuit and
         // panics carry the failing item's index.
@@ -143,6 +166,12 @@ fn repanic_with_index(i: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_count_is_positive() {
+        // Whatever PLACESIM_THREADS or the host says, the pool is usable.
+        assert!(max_workers() >= 1);
+    }
 
     #[test]
     fn maps_in_order() {

@@ -1,6 +1,6 @@
 //! The packed, append-only reference trace of a single thread.
 
-use crate::record::{MemRef, RefKind};
+use crate::record::{Address, MemRef, RefKind};
 use serde::{Deserialize, Serialize};
 
 /// The complete memory-reference trace of one thread.
@@ -57,6 +57,97 @@ impl ThreadTrace {
             RefKind::Barrier => self.barriers += 1,
         }
         self.packed.push(r.pack());
+    }
+
+    /// Appends an instruction fetch. Equivalent to
+    /// `push(MemRef::instr(addr))` but monomorphic: no kind dispatch on
+    /// the trace-emission hot path.
+    #[inline]
+    pub fn push_instr(&mut self, addr: Address) {
+        self.instr += 1;
+        // The instruction tag is 0, so the packed word is the address.
+        debug_assert_eq!(RefKind::Instr.to_tag(), 0);
+        self.packed.push(addr.raw());
+    }
+
+    /// Appends a data reference: a store when `write`, else a load.
+    /// Equivalent to pushing `MemRef::write(addr)` / `MemRef::read(addr)`.
+    #[inline]
+    pub fn push_data(&mut self, addr: Address, write: bool) {
+        let kind = if write {
+            self.writes += 1;
+            RefKind::Write
+        } else {
+            self.reads += 1;
+            RefKind::Read
+        };
+        self.packed
+            .push((kind.to_tag() << Address::MAX_BITS) | addr.raw());
+    }
+
+    /// Appends `count` instruction fetches whose addresses cycle through
+    /// `period`, starting at phase `start % period.len()` — exactly what
+    /// pushing `MemRef::instr(period[(start + k) % len])` for each
+    /// `k < count` would produce, but in bulk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is empty or its length is not a power of two
+    /// (the cyclic index must be a mask for this to stay on the fast
+    /// path).
+    pub fn extend_instr_cycle(&mut self, period: &[Address], start: u64, count: u64) {
+        assert!(
+            !period.is_empty() && period.len().is_power_of_two(),
+            "instruction period must be a non-empty power-of-two cycle"
+        );
+        let mask = (period.len() - 1) as u64;
+        self.instr += count;
+        // Range + map is a TrustedLen iterator: one reservation, no
+        // per-element capacity checks.
+        self.packed
+            .extend((start..start + count).map(|i| period[(i & mask) as usize].raw()));
+    }
+
+    /// Builds a trace from pre-packed words and caller-maintained kind
+    /// counts — the bulk-assembly path for emitters that construct the
+    /// packed stream with slice copies instead of per-reference pushes.
+    ///
+    /// Release builds verify only that the counts sum to the word count;
+    /// debug builds recount every word. The workload generator's
+    /// differential tests pin full equality against the push-based path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts do not sum to `packed.len()`, or (debug
+    /// builds) if any word is invalid or a per-kind count is wrong.
+    pub fn from_packed_counts(
+        packed: Vec<u64>,
+        instr: u64,
+        reads: u64,
+        writes: u64,
+        barriers: u64,
+    ) -> Self {
+        assert_eq!(
+            packed.len() as u64,
+            instr + reads + writes + barriers,
+            "kind counts must sum to the packed word count"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let check = Self::from_packed(packed.clone()).expect("valid packed references");
+            assert_eq!(
+                (check.instr, check.reads, check.writes, check.barriers),
+                (instr, reads, writes, barriers),
+                "per-kind counts disagree with the packed words"
+            );
+        }
+        ThreadTrace {
+            packed,
+            instr,
+            reads,
+            writes,
+            barriers,
+        }
     }
 
     /// Total number of references (instruction + data).
@@ -245,7 +336,7 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let refs = vec![
+        let refs = [
             MemRef::instr(Address::new(1)),
             MemRef::read(Address::new(2)),
         ];
@@ -264,6 +355,52 @@ mod tests {
         // Tag 3 is a barrier record.
         let barriers = ThreadTrace::from_packed(vec![3u64 << 62]).unwrap();
         assert_eq!(barriers.barrier_len(), 1);
+    }
+
+    #[test]
+    fn fast_paths_match_push() {
+        let mut fast = ThreadTrace::new();
+        fast.push_instr(Address::new(0x100));
+        fast.push_data(Address::new(0x8000), false);
+        fast.push_data(Address::new(0x8000), true);
+        let mut slow = ThreadTrace::new();
+        slow.push(MemRef::instr(Address::new(0x100)));
+        slow.push(MemRef::read(Address::new(0x8000)));
+        slow.push(MemRef::write(Address::new(0x8000)));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn instr_cycle_matches_pushes() {
+        let period: Vec<Address> = (0..4u64).map(|i| Address::new(i * 4)).collect();
+        let mut bulk = ThreadTrace::new();
+        bulk.extend_instr_cycle(&period, 3, 10);
+        let mut slow = ThreadTrace::new();
+        for k in 0..10u64 {
+            slow.push(MemRef::instr(period[((3 + k) % 4) as usize]));
+        }
+        assert_eq!(bulk, slow);
+        assert_eq!(bulk.instr_len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn instr_cycle_rejects_non_power_of_two() {
+        let period: Vec<Address> = (0..3u64).map(Address::new).collect();
+        ThreadTrace::new().extend_instr_cycle(&period, 0, 1);
+    }
+
+    #[test]
+    fn from_packed_counts_matches_pushes() {
+        let reference = sample();
+        let rebuilt = ThreadTrace::from_packed_counts(reference.packed().to_vec(), 2, 2, 1, 0);
+        assert_eq!(rebuilt, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the packed word count")]
+    fn from_packed_counts_rejects_bad_totals() {
+        ThreadTrace::from_packed_counts(sample().packed().to_vec(), 2, 2, 0, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::gen::patterns::{SharedPlan, WritePolicy};
 use crate::gen::regions::{self, Layout};
 use crate::gen::GenOptions;
 use crate::spec::AppSpec;
-use placesim_trace::{Address, MemRef, ThreadTrace};
+use placesim_trace::{AddrCounts, Address, MemRef, ThreadTrace};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,7 +21,101 @@ pub(crate) fn private_slot_count(spec: &AppSpec, n_instr: u64) -> u64 {
     ((private_refs / PRIVATE_RPA).ceil() as u64).max(1)
 }
 
-/// Emits the full reference trace of one thread.
+/// The emission skeleton of one application, shared by all of its
+/// threads.
+///
+/// The reference emitter decides *when* to emit a data reference (a
+/// fractional accumulator stepped by `data_ratio` per instruction) and
+/// whether it is shared or private (a second accumulator stepped by
+/// `shared_percent / 100` per data reference) with floating-point state
+/// that depends only on the spec and the instruction index — never on
+/// the thread or an rng draw. Instruction-fetch addresses are likewise
+/// positional (`code_addr(i % CODE_WORDS)`). So the entire interleaved
+/// stream *except* the data addresses is identical across threads, and
+/// can be materialized once per application: `skeleton` holds the packed
+/// instruction words with placeholder slots where data references go,
+/// and each thread reproduces its trace with a handful of bulk slice
+/// copies plus one rng-driven word per data reference.
+pub(crate) struct Schedule {
+    /// Packed interleaved stream for the longest thread: instruction
+    /// words in place, `0` placeholders at data-reference slots.
+    skeleton: Vec<u64>,
+    /// `instr_pos[i]` = skeleton index of instruction `i`'s fetch, i.e.
+    /// `i +` (data references scheduled before it); the last entry is
+    /// the full skeleton length. A thread of `n` instructions consumes
+    /// exactly `skeleton[..instr_pos[n]]`.
+    instr_pos: Vec<u32>,
+    /// Skeleton index of each data-reference ordinal.
+    data_pos: Vec<u32>,
+    /// Shared (`true`) or private per data-reference ordinal.
+    shared_at: Vec<bool>,
+}
+
+impl Schedule {
+    /// Replays the reference emitter's accumulator loop for the longest
+    /// thread; shorter threads consume a prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_instr` exceeds `u32::MAX` (a single synthetic
+    /// thread that long is far beyond any paper-scale configuration).
+    pub(crate) fn build(spec: &AppSpec, max_instr: u64) -> Schedule {
+        assert!(
+            max_instr <= u32::MAX as u64,
+            "thread length {max_instr} exceeds the emission schedule's u32 range"
+        );
+        let period = instr_period();
+        let mask = period.len() - 1;
+        let shared_frac = spec.shared_percent / 100.0;
+        let estimate = max_instr as usize + (max_instr as f64 * spec.data_ratio) as usize + 8;
+        let mut skeleton: Vec<u64> = Vec::with_capacity(estimate);
+        let mut instr_pos: Vec<u32> = Vec::with_capacity(max_instr as usize + 1);
+        let mut data_pos: Vec<u32> = Vec::new();
+        let mut shared_at = Vec::new();
+        let mut data_acc = 0.0f64;
+        let mut shared_acc = 0.0f64;
+        for i in 0..max_instr as usize {
+            instr_pos.push(skeleton.len() as u32);
+            skeleton.push(period[i & mask].raw());
+            data_acc += spec.data_ratio;
+            while data_acc >= 1.0 {
+                data_acc -= 1.0;
+                shared_acc += shared_frac;
+                if shared_acc >= 1.0 {
+                    shared_acc -= 1.0;
+                    shared_at.push(true);
+                } else {
+                    shared_at.push(false);
+                }
+                data_pos.push(skeleton.len() as u32);
+                skeleton.push(0);
+            }
+        }
+        instr_pos.push(skeleton.len() as u32);
+        assert!(
+            skeleton.len() <= u32::MAX as usize,
+            "emission skeleton exceeds the u32 position range"
+        );
+        Schedule {
+            skeleton,
+            instr_pos,
+            data_pos,
+            shared_at,
+        }
+    }
+}
+
+/// The packed instruction-address cycle (see [`regions::code_addr`]):
+/// instruction `i` fetches `period[i % CODE_WORDS]`.
+pub(crate) fn instr_period() -> Vec<Address> {
+    (0..regions::CODE_WORDS)
+        .map(|i| Address::new(regions::code_addr(i)))
+        .collect()
+}
+
+/// Emits the full reference trace of one thread, plus its access
+/// profile: one [`AddrCounts`] entry per run, recorded as the run is
+/// generated (so profiling costs no second pass over the trace).
 ///
 /// The stream interleaves one instruction fetch per instruction with
 /// `data_ratio` data references per instruction (fractional accumulator),
@@ -30,6 +124,22 @@ pub(crate) fn private_slot_count(spec: &AppSpec, n_instr: u64) -> u64 {
 /// are visited in *runs* — several consecutive references to the same
 /// address — sized to hit the references-per-address targets. Runs are
 /// what make the sharing *sequential* in the paper's sense.
+///
+/// This is the throughput-tuned emitter; it must stay bit-identical to
+/// [`crate::gen::reference`] (enforced by differential tests there).
+/// The wins over the reference, none of which touch an rng draw:
+///
+/// * everything positional — the data-emission timetable, the cyclic
+///   instruction-fetch addresses, and the stream interleave — is
+///   precomputed once per application in [`Schedule`], so each thread's
+///   packed stream is a few bulk slice copies (one per barrier-separated
+///   phase) instead of one `push` per fetch;
+/// * only the data slots are written per thread, in schedule order, so
+///   the rng draw sequence is exactly the reference's;
+/// * the slot → address region mapping (a non-power-of-two modulo) runs
+///   once per *run* instead of once per reference, since the address is
+///   constant while a run lasts — likewise the `OwnRange` ownership
+///   test.
 pub fn emit_thread(
     spec: &AppSpec,
     tid: usize,
@@ -37,115 +147,191 @@ pub fn emit_thread(
     plan: &SharedPlan,
     layout: &Layout,
     opts: &GenOptions,
-) -> ThreadTrace {
+    schedule: &Schedule,
+) -> (ThreadTrace, Vec<AddrCounts>) {
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ (0xEA17 + tid as u64 * 0x9E37_79B9));
-    let n_data = (n_instr as f64 * spec.data_ratio).round() as u64;
-    let shared_frac = spec.shared_percent / 100.0;
-
-    let mut shared = RunCursor::new(spec.refs_per_shared_addr, plan.policy);
-    let mut private = RunCursor::new(PRIVATE_RPA, WritePolicy::Bernoulli(PRIVATE_WRITE_FRACTION));
-
-    let mut trace = ThreadTrace::with_capacity((n_instr + n_data) as usize + 8);
-    let mut data_acc = 0.0f64;
-    let mut shared_acc = 0.0f64;
-    let mut shared_idx = 0usize;
-    let mut private_slot = 0u64;
+    let end = schedule.instr_pos[n_instr as usize] as usize;
+    let n_data = end - n_instr as usize;
 
     // Barrier-separated phases (paper §4.2: "many of the coarse-grain
     // programs use barriers to separate different phases of work").
     // Every thread emits exactly `phases - 1` barriers, at proportional
-    // positions, so the machine's global barriers always match up.
+    // positions, so the machine's global barriers always match up. The
+    // reference emits barrier `nb - 1` immediately before the fetch of
+    // instruction `nb * n_instr / phases` — i.e. at skeleton position
+    // `instr_pos` of that fetch — which for a zero-length thread
+    // degenerates to all barriers at the stream's end, exactly like the
+    // reference's end-of-thread barrier flush.
     let phases = spec.phases.max(1) as u64;
-    let mut next_barrier = 1u64;
+    let n_barriers = (phases - 1) as usize;
+    let barrier_pos: Vec<usize> = (1..phases)
+        .map(|nb| schedule.instr_pos[(nb * n_instr / phases) as usize] as usize)
+        .collect();
 
-    for i in 0..n_instr {
-        while next_barrier < phases && i == next_barrier * n_instr / phases {
-            trace.push(MemRef::barrier(next_barrier - 1));
+    // Assemble the packed stream: skeleton chunks with barriers spliced
+    // in between. `extend_from_slice` on `u64` words is a memcpy.
+    let mut packed: Vec<u64> = Vec::with_capacity(end + n_barriers);
+    let mut prev = 0usize;
+    for (ordinal, &pb) in barrier_pos.iter().enumerate() {
+        packed.extend_from_slice(&schedule.skeleton[prev..pb]);
+        packed.push(MemRef::barrier(ordinal as u64).pack());
+        prev = pb;
+    }
+    packed.extend_from_slice(&schedule.skeleton[prev..end]);
+
+    // Fill the data slots in schedule order — the reference's rng draw
+    // order. A slot's final position is its skeleton position plus the
+    // number of barriers spliced in before it.
+    let mut shared = RunCursor::new(spec.refs_per_shared_addr, plan.policy);
+    let mut private = RunCursor::new(PRIVATE_RPA, WritePolicy::Bernoulli(PRIVATE_WRITE_FRACTION));
+    let mut shared_idx = 0usize;
+    let mut private_slot = 0u64;
+    let mut shift = 0usize;
+    let mut next_barrier = 0usize;
+    for ref_idx in 0..n_data {
+        let slot = schedule.data_pos[ref_idx] as usize;
+        while next_barrier < n_barriers && barrier_pos[next_barrier] <= slot {
+            shift += 1;
             next_barrier += 1;
         }
-        trace.push(MemRef::instr(Address::new(regions::code_addr(i))));
-        data_acc += spec.data_ratio;
-        while data_acc >= 1.0 {
-            data_acc -= 1.0;
-            shared_acc += shared_frac;
-            if shared_acc >= 1.0 {
-                shared_acc -= 1.0;
-                let (slot, write) = shared.next(&mut rng, || {
+        let word = if schedule.shared_at[ref_idx] {
+            shared.next(
+                &mut rng,
+                || {
                     let s = plan.slots[shared_idx % plan.slots.len()];
                     shared_idx += 1;
                     s
-                });
-                let addr = Address::new(regions::shared_addr(slot));
-                trace.push(if write {
-                    MemRef::write(addr)
-                } else {
-                    MemRef::read(addr)
-                });
-            } else {
-                let (slot, write) = private.next(&mut rng, || {
+                },
+                regions::shared_addr,
+            )
+        } else {
+            private.next(
+                &mut rng,
+                || {
                     let s = private_slot;
                     private_slot += 1;
                     s
-                });
-                let addr = Address::new(layout.private_addr(tid, slot));
-                trace.push(if write {
-                    MemRef::write(addr)
-                } else {
-                    MemRef::read(addr)
-                });
-            }
-        }
+                },
+                |slot| layout.private_addr(tid, slot),
+            )
+        };
+        packed[slot + shift] = word;
     }
-    // Flush barriers a zero-or-tiny-length thread never reached, so all
-    // threads always cross exactly `phases - 1` barriers.
-    while next_barrier < phases {
-        trace.push(MemRef::barrier(next_barrier - 1));
-        next_barrier += 1;
-    }
-    trace
+    let reads = shared.reads + private.reads;
+    let writes = shared.writes + private.writes;
+
+    let trace = ThreadTrace::from_packed_counts(packed, n_instr, reads, writes, n_barriers as u64);
+    let mut access = shared.finish();
+    access.extend(private.finish());
+    (trace, access)
 }
 
 /// Emits run-structured accesses: each new address is referenced for a
-/// run of roughly `refs_per_addr` consecutive data slots.
+/// run of roughly `refs_per_addr` consecutive data slots. Everything
+/// per-run — the mapped address, its pre-packed load/store words, and
+/// the `OwnRange` ownership test — is computed when the run starts and
+/// reused for its length; each finished run is appended to `runs`, the
+/// thread's access profile. Write probabilities are clamped once at
+/// construction (the reference clamps per draw — same value, same
+/// decisions).
 struct RunCursor {
     refs_per_addr: f64,
     policy: WritePolicy,
-    current: u64,
+    read_word: u64,
+    write_word: u64,
+    in_own_range: bool,
     remaining: u64,
     run_is_write: bool,
+    cur: AddrCounts,
+    started: bool,
+    reads: u64,
+    writes: u64,
+    runs: Vec<AddrCounts>,
 }
 
 impl RunCursor {
     fn new(refs_per_addr: f64, policy: WritePolicy) -> Self {
+        let policy = match policy {
+            WritePolicy::Bernoulli(p) => WritePolicy::Bernoulli(p.clamp(0.0, 1.0)),
+            WritePolicy::RunLevel(p) => WritePolicy::RunLevel(p.clamp(0.0, 1.0)),
+            WritePolicy::OwnRange { lo, hi, prob } => WritePolicy::OwnRange {
+                lo,
+                hi,
+                prob: prob.clamp(0.0, 1.0),
+            },
+        };
         RunCursor {
             refs_per_addr: refs_per_addr.max(1.0),
             policy,
-            current: 0,
+            read_word: 0,
+            write_word: 0,
+            in_own_range: false,
             remaining: 0,
             run_is_write: false,
+            cur: AddrCounts::new(0),
+            started: false,
+            reads: 0,
+            writes: 0,
+            runs: Vec::new(),
         }
     }
 
-    /// Returns the next `(slot, is_write)`, pulling a fresh slot from
-    /// `next_slot` when the current run ends.
-    fn next<F: FnMut() -> u64>(&mut self, rng: &mut SmallRng, mut next_slot: F) -> (u64, bool) {
+    /// Returns the next reference's packed word, pulling a fresh slot
+    /// from `next_slot` and mapping it through `map` when the current
+    /// run ends. `map` must be pure — it is skipped while a run lasts.
+    #[inline]
+    fn next<F: FnMut() -> u64, M: Fn(u64) -> u64>(
+        &mut self,
+        rng: &mut SmallRng,
+        mut next_slot: F,
+        map: M,
+    ) -> u64 {
         if self.remaining == 0 {
-            self.current = next_slot();
+            let current = next_slot();
+            let addr = Address::new(map(current));
+            self.read_word = MemRef::read(addr).pack();
+            self.write_word = MemRef::write(addr).pack();
             let jitter = rng.gen_range(0.5..1.5);
             self.remaining = (self.refs_per_addr * jitter).round().max(1.0) as u64;
-            if let WritePolicy::RunLevel(p) = self.policy {
-                self.run_is_write = rng.gen_bool(p.clamp(0.0, 1.0));
+            match self.policy {
+                WritePolicy::RunLevel(p) => {
+                    self.run_is_write = rng.gen_bool(p);
+                }
+                WritePolicy::OwnRange { lo, hi, .. } => {
+                    self.in_own_range = (lo..hi).contains(&current);
+                }
+                WritePolicy::Bernoulli(_) => {}
             }
+            if self.started {
+                self.runs.push(self.cur);
+            }
+            self.started = true;
+            self.cur = AddrCounts::new(addr.raw());
         }
         self.remaining -= 1;
         let write = match self.policy {
-            WritePolicy::Bernoulli(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
-            WritePolicy::OwnRange { lo, hi, prob } => {
-                (lo..hi).contains(&self.current) && rng.gen_bool(prob.clamp(0.0, 1.0))
-            }
+            WritePolicy::Bernoulli(p) => rng.gen_bool(p),
+            // Short-circuit order matches the reference: the rng is
+            // consulted only for slots inside the owned range.
+            WritePolicy::OwnRange { prob, .. } => self.in_own_range && rng.gen_bool(prob),
             WritePolicy::RunLevel(_) => self.run_is_write,
         };
-        (self.current, write)
+        self.cur.bump(write);
+        if write {
+            self.writes += 1;
+            self.write_word
+        } else {
+            self.reads += 1;
+            self.read_word
+        }
+    }
+
+    /// Flushes the active run and returns the access profile.
+    fn finish(mut self) -> Vec<AddrCounts> {
+        if self.started {
+            self.runs.push(self.cur);
+        }
+        self.runs
     }
 }
 
@@ -162,6 +348,11 @@ mod tests {
         }
     }
 
+    fn emit_with(spec: &AppSpec, n_instr: u64, plan: &SharedPlan, layout: &Layout) -> ThreadTrace {
+        let schedule = Schedule::build(spec, n_instr);
+        emit_thread(spec, 0, n_instr, plan, layout, &small_opts(), &schedule).0
+    }
+
     fn emit_one(spec: &AppSpec, n_instr: u64) -> (ThreadTrace, Layout) {
         let plan = SharedPlan {
             slots: (0..100).collect(),
@@ -169,7 +360,7 @@ mod tests {
             target_refs: 0,
         };
         let layout = Layout::new(vec![private_slot_count(spec, n_instr)]);
-        let t = emit_thread(spec, 0, n_instr, &plan, &layout, &small_opts());
+        let t = emit_with(spec, n_instr, &plan, &layout);
         (t, layout)
     }
 
@@ -235,6 +426,36 @@ mod tests {
     }
 
     #[test]
+    fn access_profile_matches_trace_recount() {
+        use std::collections::BTreeMap;
+        let spec = suite::mp3d();
+        let plan = SharedPlan {
+            slots: (0..60).collect(),
+            policy: WritePolicy::Bernoulli(spec.pattern.write_fraction()),
+            target_refs: 0,
+        };
+        let layout = Layout::new(vec![private_slot_count(&spec, 25_000)]);
+        let schedule = Schedule::build(&spec, 25_000);
+        let (t, access) = emit_thread(&spec, 0, 25_000, &plan, &layout, &small_opts(), &schedule);
+        let mut from_trace: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for r in t.iter().filter(|r| r.kind.is_data()) {
+            let e = from_trace.entry(r.addr.raw()).or_default();
+            if r.kind.is_write() {
+                e.1 += 1;
+            } else {
+                e.0 += 1;
+            }
+        }
+        let mut from_access: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for run in &access {
+            let e = from_access.entry(run.addr).or_default();
+            e.0 += run.reads as u64;
+            e.1 += run.writes as u64;
+        }
+        assert_eq!(from_trace, from_access);
+    }
+
+    #[test]
     fn own_range_policy_confines_shared_writes() {
         let spec = suite::barnes_hut();
         let plan = SharedPlan {
@@ -247,7 +468,7 @@ mod tests {
             target_refs: 0,
         };
         let layout = Layout::new(vec![private_slot_count(&spec, 30_000)]);
-        let t = emit_thread(&spec, 0, 30_000, &plan, &layout, &small_opts());
+        let t = emit_with(&spec, 30_000, &plan, &layout);
         for r in t.iter() {
             if r.kind == RefKind::Write && is_shared(r.addr.raw()) {
                 let slot = (r.addr.raw() - regions::SHARED_BASE) / regions::SHARED_STRIDE;
@@ -271,7 +492,8 @@ mod tests {
             private_slot_count(&spec, 5_000),
         ];
         let layout = Layout::new(counts);
-        let t3 = emit_thread(&spec, 3, 5_000, &plan, &layout, &small_opts());
+        let schedule = Schedule::build(&spec, 5_000);
+        let (t3, _) = emit_thread(&spec, 3, 5_000, &plan, &layout, &small_opts(), &schedule);
         for r in t3.iter() {
             let a = r.addr.raw();
             if a >= regions::PRIVATE_BASE {

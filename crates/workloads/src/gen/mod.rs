@@ -3,10 +3,12 @@
 mod emit;
 mod length;
 mod patterns;
+pub mod reference;
 pub(crate) mod regions;
 
 use crate::spec::AppSpec;
-use placesim_trace::ProgramTrace;
+use placesim_trace::par::parallel_map;
+use placesim_trace::{AddrCounts, ProgramTrace};
 use serde::{Deserialize, Serialize};
 
 /// Generation options.
@@ -33,13 +35,35 @@ impl Default for GenOptions {
 /// Generates the synthetic trace of one application.
 ///
 /// Deterministic: the same `spec` and `opts` always produce the same
-/// trace.
+/// trace. Threads are emitted in parallel (each thread's rng is seeded
+/// independently, so the per-thread streams — and hence the program —
+/// are identical at any worker count); [`reference::generate`] keeps
+/// the original serial emitter for differential testing.
 ///
 /// # Panics
 ///
 /// Panics if `opts.scale` is not strictly positive or the spec has zero
 /// threads.
 pub fn generate(spec: &AppSpec, opts: &GenOptions) -> ProgramTrace {
+    generate_with_access(spec, opts).0
+}
+
+/// Generates the synthetic trace *and* its access profile in one pass.
+///
+/// The second component holds, per thread, one [`AddrCounts`] entry per
+/// run the emitter produced (unaggregated: an address recurs once per
+/// run). The emitter already knows every run it emits, so the profile is
+/// free — downstream sharing analysis (`SharingAnalysis::measure_access`
+/// in `placesim-analysis`) can consume it without re-scanning the trace.
+///
+/// # Panics
+///
+/// Panics if `opts.scale` is not strictly positive or the spec has zero
+/// threads.
+pub fn generate_with_access(
+    spec: &AppSpec,
+    opts: &GenOptions,
+) -> (ProgramTrace, Vec<Vec<AddrCounts>>) {
     assert!(opts.scale > 0.0, "scale must be positive");
     assert!(spec.threads > 0, "an application needs at least one thread");
 
@@ -51,13 +75,18 @@ pub fn generate(spec: &AppSpec, opts: &GenOptions) -> ProgramTrace {
             .map(|&n| emit::private_slot_count(spec, n))
             .collect(),
     );
-    let threads = lengths
+    let schedule = emit::Schedule::build(spec, lengths.iter().copied().max().unwrap_or(0));
+    let jobs: Vec<(usize, u64, patterns::SharedPlan)> = lengths
         .iter()
         .zip(plans)
         .enumerate()
-        .map(|(tid, (&n_instr, plan))| emit::emit_thread(spec, tid, n_instr, &plan, &layout, opts))
+        .map(|(tid, (&n_instr, plan))| (tid, n_instr, plan))
         .collect();
-    ProgramTrace::new(spec.name, threads)
+    let results = parallel_map(&jobs, |(tid, n_instr, plan)| {
+        emit::emit_thread(spec, *tid, *n_instr, plan, &layout, opts, &schedule)
+    });
+    let (threads, access): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    (ProgramTrace::new(spec.name, threads), access)
 }
 
 #[cfg(test)]

@@ -39,9 +39,15 @@ mod spec;
 mod suite;
 pub mod validate;
 
-pub use gen::{generate, GenOptions};
+pub use gen::{generate, generate_with_access, GenOptions};
 pub use spec::{AppSpec, Granularity, SharingPattern, TargetStat};
 pub use suite::{spec, suite, SUITE_NAMES};
+
+/// The pre-overhaul serial generator, kept for differential testing and
+/// the pipeline benchmark's "old front-end" timings.
+pub mod reference {
+    pub use crate::gen::reference::generate;
+}
 
 /// Address-space landmarks of the generator, exposed for validation and
 /// analysis tooling (e.g. deciding whether an address is in the shared

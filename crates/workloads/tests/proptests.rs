@@ -2,7 +2,8 @@
 
 use placesim_analysis::SharingAnalysis;
 use placesim_workloads::{
-    gen_internals, generate, AppSpec, GenOptions, Granularity, SharingPattern, TargetStat,
+    gen_internals, generate, generate_with_access, reference, AppSpec, GenOptions, Granularity,
+    SharingPattern, TargetStat,
 };
 use proptest::prelude::*;
 
@@ -134,6 +135,25 @@ proptest! {
             "no sharing generated for {:?}",
             spec.pattern
         );
+    }
+
+    /// The fused front end — generate-with-profile plus the access-list
+    /// analyzer — must be bit-identical to the retained reference
+    /// paths: the serial emitter followed by the full-profile analyzer.
+    /// This is the end-to-end guarantee `bench_pipeline` leans on.
+    #[test]
+    fn fused_front_end_matches_reference(
+        mut spec in arb_spec(),
+        seed in 0u64..1000,
+        phases in 1usize..6,
+    ) {
+        spec.phases = phases;
+        let opts = GenOptions { scale: 0.02, seed };
+        let (prog, access) = generate_with_access(&spec, &opts);
+        prop_assert_eq!(&prog, &reference::generate(&spec, &opts));
+        let fused = SharingAnalysis::measure_access(&access);
+        prop_assert_eq!(&fused, &SharingAnalysis::measure_reference(&prog));
+        prop_assert_eq!(&fused, &SharingAnalysis::measure(&prog));
     }
 
     /// Scale changes length but not structure: the shared fraction is

@@ -366,4 +366,52 @@ mod tests {
         let err = run(&s(&["info", "/nonexistent/x.trace"])).unwrap_err();
         assert!(err.contains("cannot open"));
     }
+
+    /// Archived-trace round-trip through the new sharded front-end: the
+    /// analysis of a loaded trace matches the in-memory original (both
+    /// via the fused path and the reference path), and placements on the
+    /// archive agree between cached and fresh engine scoring — i.e. the
+    /// `analyze`/`place` subcommands see exactly what `gen` measured.
+    #[test]
+    fn archived_trace_analysis_matches_original() {
+        use placesim_placement::ScoreMode;
+
+        let dir = std::env::temp_dir().join("placesim-cli-archive-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("water.trace");
+        let path_s = path.to_str().unwrap().to_string();
+
+        let spec = placesim_workloads::spec("water").unwrap();
+        let opts = GenOptions {
+            scale: 0.002,
+            seed: 11,
+        };
+        let prog = generate(&spec, &opts);
+        let file = File::create(&path).unwrap();
+        compress::write_program(&prog, BufWriter::new(file)).unwrap();
+
+        let loaded = load_trace(&path_s).unwrap();
+        let archived = SharingAnalysis::measure(&loaded);
+        assert_eq!(archived, SharingAnalysis::measure(&prog));
+        assert_eq!(archived, SharingAnalysis::measure_reference(&loaded));
+
+        let lengths = thread_lengths(&loaded);
+        let inputs = PlacementInputs::new(&archived, &lengths);
+        for algo in [
+            PlacementAlgorithm::ShareRefs,
+            PlacementAlgorithm::ShareAddrLb,
+            PlacementAlgorithm::MinPriv,
+        ] {
+            assert_eq!(
+                algo.place_with_mode(&inputs, 4, ScoreMode::Cached).unwrap(),
+                algo.place_with_mode(&inputs, 4, ScoreMode::Fresh).unwrap(),
+                "{algo} diverged on the archived trace"
+            );
+        }
+
+        // The user-facing subcommands run end-to-end on the archive.
+        run(&s(&["analyze", &path_s])).unwrap();
+        run(&s(&["place", &path_s, "SHARE-REFS", "4"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
 }
