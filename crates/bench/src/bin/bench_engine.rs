@@ -15,6 +15,7 @@
 //!
 //! Usage: `cargo run --release -p placesim-bench --bin bench_engine`.
 
+use placesim::manifest::{ManifestEntry, RunManifest};
 use placesim::PreparedApp;
 use placesim_machine::{reference, simulate, ArchConfig};
 use placesim_placement::{PlacementAlgorithm, PlacementMap};
@@ -101,9 +102,18 @@ fn main() {
     }
 
     let samples = 9;
+    let wall = Instant::now();
     let mut rows = Vec::new();
+    let mut entries = Vec::new();
     for s in &scenarios {
         let refs = s.prog.total_refs() as f64;
+        // One untimed run feeds the manifest's per-scenario summary.
+        let stats = simulate(&s.prog, &s.map, &s.config).unwrap();
+        entries.push(ManifestEntry::from_stats(
+            s.name,
+            s.map.processor_count(),
+            &stats,
+        ));
         let batched = median_secs(samples, || {
             drop(simulate(&s.prog, &s.map, &s.config).unwrap())
         });
@@ -155,4 +165,20 @@ fn main() {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(out, json).expect("write BENCH_engine.json");
     println!("wrote {out}");
+
+    // The run manifest: the machine-readable receipt of what this bench
+    // actually simulated (schema-validated and atomically written).
+    let mut manifest = RunManifest::new("bench_engine", "water", &app.config);
+    manifest.scale = Some(opts.scale);
+    manifest.seed = Some(opts.seed);
+    manifest.wall_secs = wall.elapsed().as_secs_f64();
+    manifest.entries = entries;
+    let manifest_out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine.manifest.json"
+    );
+    manifest
+        .write(std::path::Path::new(manifest_out))
+        .expect("write BENCH_engine.manifest.json");
+    println!("wrote {manifest_out}");
 }

@@ -26,6 +26,7 @@
 //!
 //! Usage: `cargo run --release -p placesim-bench --bin bench_pipeline`.
 
+use placesim::manifest::{ManifestEntry, RunManifest};
 use placesim_analysis::SharingAnalysis;
 use placesim_machine::{reference as machine_reference, simulate, ArchConfig};
 use placesim_placement::{
@@ -180,12 +181,26 @@ fn main() {
         .with_cache_size(app.cache_bytes())
         .expect("suite cache sizes are powers of two");
 
+    let wall = Instant::now();
     let mut rows = Vec::new();
+    let mut entries = Vec::new();
     for (label, base_scale) in [("0.1", 0.1), ("1.0", 1.0)] {
         let scale = base_scale * mult;
         let opts = GenOptions { scale, seed: 1994 };
         let total_refs = reference::generate(&app, &opts).total_refs();
         let refs = total_refs as f64;
+
+        // One untimed end-to-end run feeds the manifest's summary row.
+        {
+            let map = frontend_fused(&app, &opts);
+            let (prog, _) = generate_with_access(&app, &opts);
+            let stats = simulate(&prog, &map, &config).expect("simulation");
+            entries.push(ManifestEntry::from_stats(
+                &format!("SHARE-REFS-LB-{label}"),
+                PROCESSORS,
+                &stats,
+            ));
+        }
 
         let fused = median_secs(SAMPLES, || drop(frontend_fused(&app, &opts)));
         let refr = median_secs(SAMPLES, || drop(frontend_reference(&app, &opts)));
@@ -247,6 +262,20 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    let mut manifest = RunManifest::new("bench_pipeline", "gauss", &config);
+    manifest.scale = Some(mult);
+    manifest.seed = Some(1994);
+    manifest.wall_secs = wall.elapsed().as_secs_f64();
+    manifest.entries = entries;
+    let manifest_out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_pipeline.manifest.json"
+    );
+    manifest
+        .write(std::path::Path::new(manifest_out))
+        .expect("write BENCH_pipeline.manifest.json");
+    println!("wrote {manifest_out}");
 }
 
 fn push_row(

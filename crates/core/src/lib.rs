@@ -37,13 +37,16 @@ mod experiment;
 pub mod export;
 pub mod figures;
 pub mod grid;
+pub mod manifest;
 pub mod report;
 pub mod tables;
 
 pub use error::Error;
 pub use experiment::{
-    run_placement, run_placement_with_config, run_sweep, ExperimentResult, PreparedApp,
+    run_placement, run_placement_with_config, run_sweep, run_sweep_manifested, ExperimentResult,
+    PreparedApp,
 };
+pub use manifest::{ManifestEntry, RunManifest, METRICS_SCHEMA};
 // The worker pool lives in the trace crate (the bottom of the stack) so
 // the analysis passes can share it; re-exported here for sweep callers.
 pub use placesim_trace::par::{max_workers, parallel_map, try_parallel_map};

@@ -1,0 +1,271 @@
+//! Run manifests: machine-readable records of what a run executed.
+//!
+//! Every experiment entry point (the CLI's `simulate --metrics`, the
+//! bench binaries, [`crate::run_sweep_manifested`]) can emit a manifest:
+//! a single JSON document recording the architecture configuration,
+//! generation parameters, wall time, per-combination results and — when
+//! the `obs` feature is on — the engine's observability summary. The
+//! schema is versioned via the [`METRICS_SCHEMA`] tag so downstream
+//! tooling can reject documents it does not understand.
+//!
+//! # Example
+//!
+//! ```
+//! use placesim::manifest::{RunManifest, METRICS_SCHEMA};
+//! use placesim_machine::ArchConfig;
+//!
+//! let mut m = RunManifest::new("example", "water", &ArchConfig::paper_default());
+//! m.scale = Some(0.01);
+//! let json = m.to_json();
+//! assert!(json.contains(METRICS_SCHEMA));
+//! RunManifest::validate(&json).unwrap();
+//! ```
+
+use placesim_machine::{ArchConfig, EngineObsReport, SimStats};
+use placesim_obs::json::{self, JsonWriter};
+use placesim_obs::sink;
+use std::path::Path;
+
+/// Schema tag stamped into every manifest; bump when the layout changes.
+pub const METRICS_SCHEMA: &str = "placesim-metrics-v1";
+
+/// Summary of one placement + simulation combination inside a manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Paper name of the placement algorithm (or a tool-defined label).
+    pub algorithm: String,
+    /// Processor count simulated.
+    pub processors: usize,
+    /// Execution time in cycles (max finish over processors).
+    pub execution_time: u64,
+    /// Total references executed.
+    pub total_refs: u64,
+    /// Total cache misses.
+    pub total_misses: u64,
+    /// Data-reference miss rate in [0, 1].
+    pub miss_rate: f64,
+    /// Total coherence traffic (invalidations sent).
+    pub coherence_traffic: u64,
+}
+
+impl ManifestEntry {
+    /// Builds an entry from a simulation's statistics.
+    pub fn from_stats(algorithm: &str, processors: usize, stats: &SimStats) -> Self {
+        ManifestEntry {
+            algorithm: algorithm.to_owned(),
+            processors,
+            execution_time: stats.execution_time(),
+            total_refs: stats.total_refs(),
+            total_misses: stats.total_misses().total(),
+            miss_rate: stats.miss_rate(),
+            coherence_traffic: stats.coherence_traffic(),
+        }
+    }
+}
+
+/// A complete run manifest; see the module docs for the intent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Which entry point produced this manifest (`simulate`, `probe`,
+    /// `run_sweep`, `bench_engine`, ...).
+    pub tool: String,
+    /// Application (or trace) name.
+    pub app: String,
+    /// Trace scale factor, when known (traces loaded from disk lose it).
+    pub scale: Option<f64>,
+    /// Generation seed, when known.
+    pub seed: Option<u64>,
+    /// Architecture the run simulated.
+    pub config: ArchConfig,
+    /// Wall-clock seconds spent in placement + simulation.
+    pub wall_secs: f64,
+    /// One entry per (algorithm, processors) combination.
+    pub entries: Vec<ManifestEntry>,
+    /// Engine observability summary, when one was collected.
+    pub obs: Option<EngineObsReport>,
+}
+
+impl RunManifest {
+    /// Starts an empty manifest for `tool` running `app` on `config`.
+    pub fn new(tool: &str, app: &str, config: &ArchConfig) -> Self {
+        RunManifest {
+            tool: tool.to_owned(),
+            app: app.to_owned(),
+            scale: None,
+            seed: None,
+            config: *config,
+            wall_secs: 0.0,
+            entries: Vec::new(),
+            obs: None,
+        }
+    }
+
+    /// Serializes the manifest to a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", METRICS_SCHEMA);
+        w.field_str("tool", &self.tool);
+        w.field_str("app", &self.app);
+        w.key("scale");
+        match self.scale {
+            Some(s) => w.value_f64(s),
+            None => w.value_null(),
+        }
+        w.key("seed");
+        match self.seed {
+            Some(s) => w.value_u64(s),
+            None => w.value_null(),
+        }
+        w.key("config");
+        w.begin_object();
+        w.field_u64("cache_bytes", self.config.cache_size());
+        w.field_u64("line_bytes", self.config.line_size());
+        w.field_u64("associativity", u64::from(self.config.associativity()));
+        w.field_u64("memory_latency", self.config.memory_latency());
+        w.field_u64("memory_occupancy", self.config.memory_occupancy());
+        w.field_u64("context_switch", self.config.context_switch());
+        w.end_object();
+        w.field_f64("wall_secs", self.wall_secs);
+        w.key("results");
+        w.begin_array();
+        for e in &self.entries {
+            w.begin_object();
+            w.field_str("algorithm", &e.algorithm);
+            w.field_u64("processors", e.processors as u64);
+            w.field_u64("execution_time", e.execution_time);
+            w.field_u64("total_refs", e.total_refs);
+            w.field_u64("total_misses", e.total_misses);
+            w.field_f64("miss_rate", e.miss_rate);
+            w.field_u64("coherence_traffic", e.coherence_traffic);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("obs");
+        match &self.obs {
+            Some(report) => report.write_json(&mut w),
+            None => w.value_null(),
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// Checks that `json` looks like a valid manifest of this schema:
+    /// balanced structure, the schema tag, and every required key.
+    ///
+    /// Every manifest writer in the workspace validates its own output
+    /// through this before touching the filesystem, so a schema drift
+    /// fails the producing run instead of a downstream consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(json: &str) -> Result<(), String> {
+        if !json::balanced(json) {
+            return Err("manifest JSON has unbalanced delimiters".into());
+        }
+        json::require_keys(
+            json,
+            &[
+                "schema",
+                "tool",
+                "app",
+                "scale",
+                "seed",
+                "config",
+                "cache_bytes",
+                "wall_secs",
+                "results",
+                "obs",
+            ],
+        )?;
+        if !json.contains(&format!("\"schema\": \"{METRICS_SCHEMA}\"")) {
+            return Err(format!("manifest is not schema {METRICS_SCHEMA}"));
+        }
+        Ok(())
+    }
+
+    /// Validates and atomically writes the manifest to `path` (tempfile
+    /// sibling + rename, so a crash never leaves a truncated document).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of a schema self-check failure or an I/O
+    /// error.
+    pub fn write(&self, path: &Path) -> Result<(), String> {
+        let json = self.to_json();
+        Self::validate(&json).map_err(|e| format!("manifest self-check failed: {e}"))?;
+        sink::write_atomic(path, json.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("test", "water", &ArchConfig::paper_default());
+        m.scale = Some(0.01);
+        m.seed = Some(1994);
+        m.wall_secs = 1.25;
+        m.entries.push(ManifestEntry {
+            algorithm: "LOAD-BAL".into(),
+            processors: 4,
+            execution_time: 1000,
+            total_refs: 500,
+            total_misses: 50,
+            miss_rate: 0.1,
+            coherence_traffic: 7,
+        });
+        m
+    }
+
+    #[test]
+    fn manifest_json_is_valid_and_complete() {
+        let json = sample().to_json();
+        RunManifest::validate(&json).unwrap();
+        assert!(json.contains("\"algorithm\": \"LOAD-BAL\""));
+        assert!(json.contains("\"cache_bytes\": 65536"));
+        assert!(json.contains("\"seed\": 1994"));
+    }
+
+    #[test]
+    fn unknown_values_serialize_as_null() {
+        let m = RunManifest::new("test", "loaded", &ArchConfig::paper_default());
+        let json = m.to_json();
+        RunManifest::validate(&json).unwrap();
+        assert!(json.contains("\"scale\": null"));
+        assert!(json.contains("\"seed\": null"));
+        assert!(json.contains("\"obs\": null"));
+    }
+
+    #[test]
+    fn obs_report_is_embedded() {
+        let mut m = sample();
+        m.obs = Some(EngineObsReport::default());
+        let json = m.to_json();
+        RunManifest::validate(&json).unwrap();
+        assert!(json.contains("\"enabled\": false"));
+    }
+
+    #[test]
+    fn validation_rejects_drift() {
+        assert!(RunManifest::validate("{}").is_err());
+        assert!(RunManifest::validate("{\"schema\": \"placesim-metrics-v1\"").is_err());
+        let wrong = sample().to_json().replace(METRICS_SCHEMA, "other-schema");
+        assert!(RunManifest::validate(&wrong).is_err());
+    }
+
+    #[test]
+    fn write_is_atomic_and_validated() {
+        let dir = std::env::temp_dir().join("placesim-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        sample().write(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        RunManifest::validate(&body).unwrap();
+        assert!(!placesim_obs::sink::tmp_sibling(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

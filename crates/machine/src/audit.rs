@@ -1,0 +1,239 @@
+//! Post-drain invariant auditor (feature `audit`).
+//!
+//! The paper's results are only as trustworthy as the simulator's cycle
+//! accounting and miss taxonomy, and both engines have been through
+//! aggressive hot-path rewrites. With the `audit` feature on, every
+//! simulation re-derives the laws those rewrites must preserve after
+//! the event queue drains and aborts with a structured diagnostic if
+//! any fails:
+//!
+//! 1. **Cycle conservation** — per processor,
+//!    `busy + switching + idle == finish_time`.
+//! 2. **Reference conservation** — per processor,
+//!    `hits + misses + barrier_ops` equals the references its placed
+//!    threads dispatched.
+//! 3. **Taxonomy vs. cache counts** — per processor, the four-way miss
+//!    breakdown sums to the cache's fill count (every miss fills
+//!    exactly once).
+//! 4. **Owner-state consistency** — every resident cache line agrees
+//!    with the directory in both directions: residents are tracked
+//!    sharers, Modified residents are the directory's exclusive owner,
+//!    and every directory entry points at caches that actually hold the
+//!    line in the matching state.
+//!
+//! Plus the global symmetry `invalidations sent == received`.
+
+use crate::cache::{LineState, ProcessorCache};
+use crate::directory::Directory;
+use crate::stats::ProcStats;
+use placesim_placement::{PlacementMap, ProcessorId};
+use placesim_trace::ProgramTrace;
+
+/// Validates the post-drain machine state against the conservation
+/// laws.
+///
+/// # Panics
+///
+/// Panics with a diagnostic listing every violated invariant; a clean
+/// machine returns silently.
+pub(crate) fn check_drained(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    stats: &[ProcStats],
+    caches: &[ProcessorCache],
+    directory: &Directory,
+) {
+    let mut violations: Vec<String> = Vec::new();
+
+    for (pi, st) in stats.iter().enumerate() {
+        if st.accounted_cycles() != st.finish_time {
+            violations.push(format!(
+                "processor {pi}: busy {} + switching {} + idle {} = {} != finish_time {}",
+                st.busy,
+                st.switching,
+                st.idle,
+                st.accounted_cycles(),
+                st.finish_time
+            ));
+        }
+        let dispatched: u64 = map
+            .threads_on(ProcessorId::from_index(pi))
+            .iter()
+            .map(|&tid| prog.thread(tid).len() as u64)
+            .sum();
+        if st.refs() != dispatched {
+            violations.push(format!(
+                "processor {pi}: hits {} + misses {} + barrier_ops {} = {} != {} refs dispatched",
+                st.hits,
+                st.misses.total(),
+                st.barrier_ops,
+                st.refs(),
+                dispatched
+            ));
+        }
+        if st.misses.total() != caches[pi].fill_count() {
+            violations.push(format!(
+                "processor {pi}: miss taxonomy totals {} but the cache performed {} fills",
+                st.misses.total(),
+                caches[pi].fill_count()
+            ));
+        }
+    }
+
+    let sent: u64 = stats.iter().map(|s| s.invalidations_sent).sum();
+    let received: u64 = stats.iter().map(|s| s.invalidations_received).sum();
+    if sent != received {
+        violations.push(format!(
+            "machine: {sent} invalidations sent but {received} received"
+        ));
+    }
+
+    // Cache → directory: every resident line must be a tracked sharer,
+    // and Modified residents must be the exclusive owner.
+    for (pi, cache) in caches.iter().enumerate() {
+        let me = ProcessorId::from_index(pi);
+        for (line, state) in cache.iter_resident() {
+            if !directory.holds(me, line) {
+                violations.push(format!(
+                    "processor {pi}: line {line:#x} resident {state:?} but untracked by the \
+                     directory"
+                ));
+            } else if state == LineState::Modified && directory.owner(line) != Some(me) {
+                violations.push(format!(
+                    "processor {pi}: line {line:#x} resident Modified but directory owner is \
+                     {:?}",
+                    directory.owner(line)
+                ));
+            }
+        }
+    }
+
+    // Directory → caches: every tracked sharer must hold the line in the
+    // matching state.
+    for (line, sharers, owner) in directory.iter_lines() {
+        match owner {
+            Some(o) => {
+                if sharers.len() != 1 || !sharers.contains(o) {
+                    violations.push(format!(
+                        "directory: Modified line {line:#x} owned by {} has sharer set of {}",
+                        o.index(),
+                        sharers.len()
+                    ));
+                }
+                if caches[o.index()].state_of(line) != Some(LineState::Modified) {
+                    violations.push(format!(
+                        "directory: line {line:#x} Modified by {} but its cache holds {:?}",
+                        o.index(),
+                        caches[o.index()].state_of(line)
+                    ));
+                }
+            }
+            None => {
+                for q in sharers.iter() {
+                    if caches[q.index()].state_of(line) != Some(LineState::Shared) {
+                        violations.push(format!(
+                            "directory: line {line:#x} Shared by {} but its cache holds {:?}",
+                            q.index(),
+                            caches[q.index()].state_of(line)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "invariant audit failed after drain ({} violation{}):\n  - {}",
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" },
+        violations.join("\n  - ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArchConfig;
+    use crate::engine::simulate;
+    use placesim_trace::{Address, MemRef, ThreadTrace};
+
+    fn prog_and_map() -> (ProgramTrace, PlacementMap) {
+        let mk = |base: u64| -> ThreadTrace {
+            (0..40)
+                .map(|i| MemRef::instr(Address::new(base + 4 * (i % 8))))
+                .collect()
+        };
+        let prog = ProgramTrace::new("audited", vec![mk(0), mk(0x4000), mk(0x8000), mk(0)]);
+        let map = PlacementMap::from_clusters(vec![vec![0, 3], vec![1, 2]]).unwrap();
+        (prog, map)
+    }
+
+    #[test]
+    fn clean_run_passes_the_auditor() {
+        // `simulate` itself runs the auditor when this module is
+        // compiled; this pins that a normal run does not trip it.
+        let (prog, map) = prog_and_map();
+        let stats = simulate(&prog, &map, &ArchConfig::paper_default()).unwrap();
+        assert_eq!(stats.total_refs(), prog.total_refs());
+    }
+
+    #[test]
+    fn corrupt_stats_are_caught() {
+        let (prog, map) = prog_and_map();
+        let config = ArchConfig::paper_default();
+        let stats = simulate(&prog, &map, &config).unwrap();
+        let mut forged: Vec<ProcStats> = stats.per_proc().to_vec();
+        forged[0].busy += 1; // break cycle conservation
+        forged[1].hits += 1; // break reference conservation
+        let caches: Vec<ProcessorCache> = (0..2)
+            .map(|_| ProcessorCache::new(config.num_sets()))
+            .collect();
+        let directory = Directory::new();
+        let err = std::panic::catch_unwind(|| {
+            check_drained(&prog, &map, &forged, &caches, &directory);
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("invariant audit failed"), "got: {msg}");
+        assert!(msg.contains("finish_time"), "got: {msg}");
+        assert!(msg.contains("refs dispatched"), "got: {msg}");
+    }
+
+    #[test]
+    fn owner_state_divergence_is_caught() {
+        let (prog, map) = prog_and_map();
+        let config = ArchConfig::paper_default();
+        let mut caches: Vec<ProcessorCache> = (0..2)
+            .map(|_| ProcessorCache::new(config.num_sets()))
+            .collect();
+        let mut directory = Directory::new();
+        // Cache 0 holds line 7 Modified, directory thinks 1 owns it.
+        caches[0].fill(7, LineState::Modified, placesim_trace::ThreadId::new(0));
+        directory.write_fill(ProcessorId::from_index(1), 7);
+        // Zeroed stats for the empty "machine", with refs forged to match
+        // dispatch so only the owner-state checks fire.
+        let mut stats = vec![ProcStats::default(); 2];
+        for (pi, st) in stats.iter_mut().enumerate() {
+            st.hits = map
+                .threads_on(ProcessorId::from_index(pi))
+                .iter()
+                .map(|&tid| prog.thread(tid).len() as u64)
+                .sum();
+        }
+        stats[0].misses.compulsory = caches[0].fill_count();
+        stats[0].hits -= caches[0].fill_count();
+        let err = std::panic::catch_unwind(|| {
+            check_drained(&prog, &map, &stats, &caches, &directory);
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("line 0x7"), "got: {msg}");
+    }
+}

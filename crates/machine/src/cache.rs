@@ -110,6 +110,9 @@ pub struct ProcessorCache {
     /// Doubles as the "ever seen" record: see the module docs.
     gone: FastMap<u64, GoneReason>,
     set_mask: u64,
+    /// Lifetime fill count. Every miss fills exactly once, so this must
+    /// equal the engine's miss-taxonomy total (the auditor checks it).
+    fills: u64,
 }
 
 impl ProcessorCache {
@@ -143,6 +146,7 @@ impl ProcessorCache {
             assoc,
             gone: FastMap::default(),
             set_mask: num_sets - 1,
+            fills: 0,
         }
     }
 
@@ -257,6 +261,7 @@ impl ProcessorCache {
             self.slots[base..base + len].iter().all(|s| s.line != line),
             "fill of resident line"
         );
+        self.fills += 1;
         let victim = if len == self.assoc {
             let lru = self.slots[base + len - 1];
             self.gone.insert(lru.line, GoneReason::EvictedBy(thread));
@@ -347,6 +352,21 @@ impl ProcessorCache {
     /// Number of resident lines (for tests).
     pub fn resident_lines(&self) -> usize {
         self.lens.iter().map(|&l| l as usize).sum()
+    }
+
+    /// Lifetime number of line fills (= misses served by this cache).
+    pub fn fill_count(&self) -> u64 {
+        self.fills
+    }
+
+    /// Iterates over every resident `(line, state)` pair, set by set.
+    pub fn iter_resident(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.lens.iter().enumerate().flat_map(move |(idx, &len)| {
+            let base = idx * self.assoc;
+            self.slots[base..base + len as usize]
+                .iter()
+                .map(|s| (s.line, s.state))
+        })
     }
 }
 

@@ -191,6 +191,23 @@ impl Directory {
     pub fn holds(&self, p: ProcessorId, line: u64) -> bool {
         self.sharers(line).contains(p)
     }
+
+    /// The exclusive Modified owner of a line, if it has one.
+    pub fn owner(&self, line: u64) -> Option<ProcessorId> {
+        match self.lines.get(&line) {
+            Some(DirState::Modified(o)) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Iterates over every tracked line as
+    /// `(line, sharers, modified_owner)`, in map (unspecified) order.
+    pub fn iter_lines(&self) -> impl Iterator<Item = (u64, SharerSet, Option<ProcessorId>)> + '_ {
+        self.lines.iter().map(|(&line, state)| match state {
+            DirState::Shared(s) => (line, *s, None),
+            DirState::Modified(o) => (line, SharerSet::single(*o), Some(*o)),
+        })
+    }
 }
 
 #[cfg(test)]

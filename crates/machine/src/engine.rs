@@ -63,6 +63,7 @@
 use crate::cache::{Access, LineState, ProcessorCache};
 use crate::config::ArchConfig;
 use crate::directory::{Directory, MAX_PROCESSORS};
+use crate::obs::{EngineObs, EngineObsReport};
 use crate::stats::{MissKind, ProcStats, SimStats};
 use placesim_analysis::SymMatrix;
 use placesim_placement::{PlacementMap, ProcessorId};
@@ -144,7 +145,7 @@ pub fn simulate(
     map: &PlacementMap,
     config: &ArchConfig,
 ) -> Result<SimStats, SimError> {
-    let (stats, _) = run(prog, map, config, false)?;
+    let (stats, _) = run(prog, map, config, false, &mut EngineObs::disabled())?;
     Ok(stats)
 }
 
@@ -161,8 +162,30 @@ pub fn simulate_with_traffic(
     map: &PlacementMap,
     config: &ArchConfig,
 ) -> Result<(SimStats, SymMatrix<u64>), SimError> {
-    let (stats, traffic) = run(prog, map, config, true)?;
+    let (stats, traffic) = run(prog, map, config, true, &mut EngineObs::disabled())?;
     Ok((stats, traffic.expect("traffic recording was enabled")))
+}
+
+/// Like [`simulate`], but also returns the engine's instrumentation
+/// report: event-queue depths, hit-run lengths, context-switch stalls
+/// and directory invalidation fan-out.
+///
+/// The statistics are identical to [`simulate`]'s — observation never
+/// perturbs the simulation. Without the `obs` cargo feature the hooks
+/// compile to no-ops and the report comes back with
+/// [`EngineObsReport::enabled`] `false` and empty distributions.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_observed(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+) -> Result<(SimStats, EngineObsReport), SimError> {
+    let mut obs = EngineObs::enabled();
+    let (stats, _) = run(prog, map, config, false, &mut obs)?;
+    Ok((stats, obs.report()))
 }
 
 /// One hardware context: a thread's reference stream plus readiness.
@@ -332,6 +355,7 @@ fn run(
     map: &PlacementMap,
     config: &ArchConfig,
     record_traffic: bool,
+    obs: &mut EngineObs,
 ) -> Result<(SimStats, Option<SymMatrix<u64>>), SimError> {
     let participants = validate(prog, map)?;
     let p = map.processor_count();
@@ -387,6 +411,7 @@ fn run(
         if t == NO_EVENT {
             break;
         }
+        obs.on_pop(&events);
         events[pi] = NO_EVENT;
         // Collapse the (time, processor) horizon into one scalar bound:
         // a tie at the runner-up's time yields only to lower-indexed
@@ -444,6 +469,7 @@ fn run(
                             stats.hits += run_hits;
                             stats.finish_time = now;
                             events[pi] = now;
+                            obs.on_hit_run(run_hits);
                             continue 'events;
                         }
                     }
@@ -468,6 +494,7 @@ fn run(
             // finish_time again below at their own issue end.
             stats.finish_time = now;
         }
+        obs.on_hit_run(run_hits);
 
         let me = ProcessorId::from_index(pi);
         let final_hit = matches!(stop, Stop::HitExhausted);
@@ -541,6 +568,7 @@ fn run(
                 procs[pi].stats.upgrades += 1;
                 let tx = directory.write_fill(me, line);
                 let had_remote = !tx.invalidate.is_empty();
+                obs.on_invalidation_fanout(tx.invalidate.len() as u64);
                 procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                 for victim in tx.invalidate {
                     caches[victim.index()].invalidate(line, me);
@@ -568,6 +596,9 @@ fn run(
                 } else {
                     directory.read_fill(me, line)
                 };
+                if is_write {
+                    obs.on_invalidation_fanout(tx.invalidate.len() as u64);
+                }
                 procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                 for victim in tx.invalidate {
                     caches[victim.index()].invalidate(line, me);
@@ -631,6 +662,9 @@ fn run(
         match proc.next_context(drain_end) {
             Some((idx, dispatch)) => {
                 proc.stats.switching += drained;
+                if missed {
+                    obs.on_switch(drained);
+                }
                 if dispatch > drain_end {
                     proc.stats.idle += dispatch - drain_end;
                 }
@@ -646,6 +680,8 @@ fn run(
     }
 
     let stats = SimStats::new(procs.into_iter().map(|pr| pr.stats).collect());
+    #[cfg(feature = "audit")]
+    crate::audit::check_drained(prog, map, stats.per_proc(), &caches, &directory);
     Ok((stats, traffic))
 }
 
@@ -883,6 +919,8 @@ pub mod reference {
         }
 
         let stats = SimStats::new(procs.into_iter().map(|pr| pr.stats).collect());
+        #[cfg(feature = "audit")]
+        crate::audit::check_drained(prog, map, stats.per_proc(), &caches, &directory);
         Ok((stats, traffic))
     }
 }

@@ -33,11 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+mod audit;
 mod cache;
 mod config;
 mod directory;
 mod engine;
 pub mod model;
+mod obs;
 pub mod probe;
 mod stats;
 
@@ -46,7 +49,8 @@ pub use config::{ArchConfig, ArchConfigBuilder, ConfigError};
 pub use directory::{Directory, SharerSet, MAX_PROCESSORS};
 #[cfg(feature = "reference-engine")]
 pub use engine::reference;
-pub use engine::{simulate, simulate_with_traffic, SimError};
+pub use engine::{simulate, simulate_observed, simulate_with_traffic, SimError};
 pub use model::{simulated_efficiency, EfficiencyModel};
+pub use obs::EngineObsReport;
 pub use probe::{probe_coherence, ProbeResult};
 pub use stats::{MissBreakdown, MissKind, ProcStats, SimStats};

@@ -1,0 +1,233 @@
+//! Engine instrumentation: hook collector and its report.
+//!
+//! The batched engine calls the [`EngineObs`] hooks at the handful of
+//! places where something globally interesting happens — an event-queue
+//! pop, a hit run ending, a context-switch drain, a directory write
+//! transaction. Without the `obs` cargo feature every hook body is
+//! empty and inlined away, so default builds pay nothing; with it,
+//! [`crate::simulate_observed`] returns an [`EngineObsReport`] with the
+//! recorded distributions.
+
+use placesim_obs::json::JsonWriter;
+use placesim_obs::Histogram;
+
+/// Absent-event marker in the engine's slot queue (mirrors the engine's
+/// private `NO_EVENT`). Only the `obs`-gated hook bodies and the tests
+/// read it.
+#[cfg_attr(not(any(test, feature = "obs")), allow(dead_code))]
+const NO_EVENT: u64 = u64::MAX;
+
+#[cfg(feature = "obs")]
+#[derive(Debug, Default)]
+struct ObsInner {
+    events: u64,
+    queue_depth: Histogram,
+    hit_run_hits: Histogram,
+    invalidation_fanout: Histogram,
+    context_switches: u64,
+    switch_stall_cycles: u64,
+}
+
+/// The engine's hook collector. A zero-cost stub unless the crate is
+/// built with the `obs` feature *and* the run was started through
+/// [`crate::simulate_observed`].
+#[derive(Debug, Default)]
+pub(crate) struct EngineObs {
+    #[cfg(feature = "obs")]
+    inner: Option<ObsInner>,
+}
+
+impl EngineObs {
+    /// A collector that records nothing (plain `simulate` runs).
+    pub(crate) fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A recording collector. Falls back to a no-op stub when the `obs`
+    /// feature is off.
+    pub(crate) fn enabled() -> Self {
+        #[cfg(feature = "obs")]
+        {
+            EngineObs {
+                inner: Some(ObsInner::default()),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            Self::default()
+        }
+    }
+
+    /// An event was popped; `events` is the slot queue *before* the
+    /// popped slot is cleared, so the recorded depth includes it.
+    #[inline]
+    pub(crate) fn on_pop(&mut self, events: &[u64]) {
+        let _ = events;
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            inner.events += 1;
+            let depth = events.iter().filter(|&&e| e != NO_EVENT).count();
+            inner.queue_depth.record(depth as u64);
+        }
+    }
+
+    /// A hit run ended after `hits` consecutive cache hits (possibly
+    /// zero, when the dispatched reference immediately missed).
+    #[inline]
+    pub(crate) fn on_hit_run(&mut self, hits: u64) {
+        let _ = hits;
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            inner.hit_run_hits.record(hits);
+        }
+    }
+
+    /// A directory write transaction invalidated `fanout` remote caches.
+    #[inline]
+    pub(crate) fn on_invalidation_fanout(&mut self, fanout: u64) {
+        let _ = fanout;
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            inner.invalidation_fanout.record(fanout);
+        }
+    }
+
+    /// A miss forced a context switch costing `stall_cycles` of drain.
+    #[inline]
+    pub(crate) fn on_switch(&mut self, stall_cycles: u64) {
+        let _ = stall_cycles;
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &mut self.inner {
+            inner.context_switches += 1;
+            inner.switch_stall_cycles += stall_cycles;
+        }
+    }
+
+    /// Finalizes the collector into its report.
+    pub(crate) fn report(self) -> EngineObsReport {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = self.inner {
+            return EngineObsReport {
+                enabled: true,
+                events: inner.events,
+                queue_depth: inner.queue_depth,
+                hit_run_hits: inner.hit_run_hits,
+                invalidation_fanout: inner.invalidation_fanout,
+                context_switches: inner.context_switches,
+                switch_stall_cycles: inner.switch_stall_cycles,
+            };
+        }
+        EngineObsReport::default()
+    }
+}
+
+/// Distributions recorded by an instrumented simulation run.
+///
+/// Always available as a type; `enabled` is `false` (and every
+/// histogram empty) when the crate was built without the `obs` feature.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineObsReport {
+    /// Whether the run actually recorded (feature `obs` on).
+    pub enabled: bool,
+    /// Event-queue pops (batched dispatches, not references).
+    pub events: u64,
+    /// Pending-event count at each pop (including the popped event).
+    pub queue_depth: Histogram,
+    /// Consecutive cache hits per dispatch (the batching win: mean ≫ 1
+    /// means the slot queue is touched far less than once per
+    /// reference).
+    pub hit_run_hits: Histogram,
+    /// Remote caches invalidated per directory write transaction.
+    pub invalidation_fanout: Histogram,
+    /// Miss-induced context switches.
+    pub context_switches: u64,
+    /// Total pipeline-drain cycles paid for those switches.
+    pub switch_stall_cycles: u64,
+}
+
+impl EngineObsReport {
+    /// Writes the report as a JSON object value onto `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_bool("enabled", self.enabled);
+        w.field_u64("events", self.events);
+        w.field_u64("context_switches", self.context_switches);
+        w.field_u64("switch_stall_cycles", self.switch_stall_cycles);
+        w.key("queue_depth");
+        self.queue_depth.write_json(w);
+        w.key("hit_run_hits");
+        self.hit_run_hits.write_json(w);
+        w.key("invalidation_fanout");
+        self.invalidation_fanout.write_json(w);
+        w.end_object();
+    }
+
+    /// The report as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placesim_obs::json;
+
+    #[test]
+    fn disabled_collector_reports_disabled() {
+        let mut obs = EngineObs::disabled();
+        obs.on_pop(&[1, NO_EVENT]);
+        obs.on_hit_run(5);
+        obs.on_invalidation_fanout(2);
+        obs.on_switch(6);
+        let report = obs.report();
+        assert!(!report.enabled);
+        assert_eq!(report, EngineObsReport::default());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn enabled_collector_records() {
+        let mut obs = EngineObs::enabled();
+        obs.on_pop(&[3, NO_EVENT, 7]);
+        obs.on_pop(&[3, NO_EVENT, NO_EVENT]);
+        obs.on_hit_run(0);
+        obs.on_hit_run(12);
+        obs.on_invalidation_fanout(2);
+        obs.on_switch(6);
+        obs.on_switch(6);
+        let report = obs.report();
+        assert!(report.enabled);
+        assert_eq!(report.events, 2);
+        assert_eq!(report.queue_depth.max(), Some(2));
+        assert_eq!(report.queue_depth.min(), Some(1));
+        assert_eq!(report.hit_run_hits.count(), 2);
+        assert_eq!(report.hit_run_hits.sum(), 12);
+        assert_eq!(report.invalidation_fanout.sum(), 2);
+        assert_eq!(report.context_switches, 2);
+        assert_eq!(report.switch_stall_cycles, 12);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = EngineObsReport::default();
+        let s = report.to_json();
+        assert!(json::balanced(&s));
+        json::require_keys(
+            &s,
+            &[
+                "enabled",
+                "events",
+                "context_switches",
+                "switch_stall_cycles",
+                "queue_depth",
+                "hit_run_hits",
+                "invalidation_fanout",
+            ],
+        )
+        .unwrap();
+        assert!(s.contains("\"enabled\": false"));
+    }
+}

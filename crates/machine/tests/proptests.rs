@@ -234,3 +234,87 @@ mod barrier_props {
         }
     }
 }
+
+/// Instrumented runs: the observation layer must never perturb the
+/// simulation, and its recorded distributions must obey the same
+/// conservation laws as the stats they describe. When the crate is
+/// built with `--features audit`, every `simulate*` call here also
+/// executes the internal post-drain auditor.
+mod observed_props {
+    use super::*;
+    use placesim_machine::{simulate_observed, EngineObsReport};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn observation_never_perturbs(prog in arb_program(), seed in 1u64..5000) {
+            let map = arb_placement(prog.thread_count(), seed);
+            let config = tiny_config();
+            let plain = simulate(&prog, &map, &config).unwrap();
+            let (stats, report) = simulate_observed(&prog, &map, &config).unwrap();
+            prop_assert_eq!(&stats, &plain);
+
+            if report.enabled {
+                // Feature `obs` on: the report's own conservation laws.
+                // Hit runs count plain hits; upgrades are accounted as
+                // stat hits outside the runs.
+                let upgrades: u64 = stats.per_proc().iter().map(|p| p.upgrades).sum();
+                prop_assert_eq!(report.hit_run_hits.sum() + upgrades, stats.total_hits());
+                // Read fills never invalidate, so every sent invalidation
+                // appears in the write-transaction fan-out.
+                prop_assert_eq!(
+                    report.invalidation_fanout.sum(),
+                    stats.total_invalidations()
+                );
+                // Switch stalls recorded = drain cycles charged.
+                let switching: u64 = stats.per_proc().iter().map(|p| p.switching).sum();
+                prop_assert_eq!(report.switch_stall_cycles, switching);
+                // Queue depth is bounded by the machine size and at least
+                // 1 at every pop.
+                if let Some(max) = report.queue_depth.max() {
+                    prop_assert!(max <= map.processor_count() as u64);
+                    prop_assert!(report.queue_depth.min() >= Some(1));
+                }
+            } else {
+                // Feature off: the stub records nothing at all.
+                prop_assert_eq!(report, EngineObsReport::default());
+            }
+        }
+    }
+}
+
+/// Both engines, random traces and placements: the conservation laws
+/// the auditor enforces internally, asserted externally against each
+/// engine's output (and, with `--features audit`, re-checked by the
+/// auditor inside every run).
+#[cfg(feature = "reference-engine")]
+mod engine_law_props {
+    use super::*;
+    use placesim_machine::reference;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn laws_hold_in_both_engines(prog in arb_program(), seed in 1u64..5000) {
+            let map = arb_placement(prog.thread_count(), seed);
+            let config = tiny_config();
+            for stats in [
+                simulate(&prog, &map, &config).unwrap(),
+                reference::simulate(&prog, &map, &config).unwrap(),
+            ] {
+                prop_assert_eq!(stats.total_refs(), prog.total_refs());
+                let sent: u64 =
+                    stats.per_proc().iter().map(|p| p.invalidations_sent).sum();
+                let received: u64 =
+                    stats.per_proc().iter().map(|p| p.invalidations_received).sum();
+                prop_assert_eq!(sent, received);
+                for p in stats.per_proc() {
+                    prop_assert_eq!(p.accounted_cycles(), p.finish_time);
+                    prop_assert_eq!(p.hits + p.misses.total() + p.barrier_ops, p.refs());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Hand-rolled JSON writing and validation.
+//!
+//! The workspace's vendored `serde` is an API stand-in with no real
+//! serialization, so every JSON artifact (bench results, run manifests,
+//! `--metrics` output) is built with [`JsonWriter`] and sanity-checked
+//! with the validators here before it is written to disk.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal
+/// (without the surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A minimal streaming JSON writer producing human-readable output
+/// (single-space separators, no indentation).
+///
+/// The writer tracks nesting only to place commas; it does not try to
+/// prevent structurally invalid call sequences — callers pair their
+/// `begin_*`/`end_*` calls and run the result through [`balanced`] /
+/// [`require_keys`] in tests.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once a value has been
+    /// written inside it (so the next value needs a comma).
+    stack: Vec<bool>,
+    /// Set by [`JsonWriter::key`]: the next value belongs to the key
+    /// just written and must not emit its own comma.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(needs_comma) = self.stack.last_mut() {
+            if *needs_comma {
+                self.out.push_str(", ");
+            }
+            *needs_comma = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next write supplies its value.
+    pub fn key(&mut self, k: &str) {
+        self.before_value();
+        let _ = write!(self.out, "\"{}\": ", escape(k));
+        self.pending_key = true;
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.before_value();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a float value (`null` if non-finite).
+    pub fn value_f64(&mut self, v: f64) {
+        self.before_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a `null` value.
+    pub fn value_null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    /// Key + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.value_str(v);
+    }
+
+    /// Key + unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.value_u64(v);
+    }
+
+    /// Key + float value.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.value_f64(v);
+    }
+
+    /// Key + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.value_bool(v);
+    }
+
+    /// Consumes the writer and returns the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Checks that braces and brackets nest and balance, ignoring anything
+/// inside string literals. A cheap structural sanity check for JSON the
+/// workspace emits (mirrors the validator the bench harness uses).
+pub fn balanced(json: &str) -> bool {
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for ch in json.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_string = true,
+            '{' | '[' => stack.push(ch),
+            '}' if stack.pop() != Some('{') => return false,
+            ']' if stack.pop() != Some('[') => return false,
+            _ => {}
+        }
+    }
+    stack.is_empty() && !in_string
+}
+
+/// Checks that every key in `keys` appears (as `"key":`) in `json`.
+///
+/// # Errors
+///
+/// Returns the first missing key.
+pub fn require_keys(json: &str, keys: &[&str]) -> Result<(), String> {
+    for key in keys {
+        let needle = format!("\"{key}\":");
+        if !json.contains(&needle) {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts every numeric value stored under `"key":` in `json`.
+/// Non-numeric values under the key are skipped.
+pub fn field_values(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let value = rest.trim_start();
+        let end = value
+            .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+            .unwrap_or(value.len());
+        if let Ok(v) = value[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn writer_builds_object() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "water");
+        w.field_u64("threads", 16);
+        w.field_f64("scale", 0.25);
+        w.field_bool("ok", true);
+        w.key("list");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_u64(2);
+        w.end_array();
+        w.key("none");
+        w.value_null();
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\"name\": \"water\", \"threads\": 16, \"scale\": 0.25, \
+             \"ok\": true, \"list\": [1, 2], \"none\": null}"
+        );
+        assert!(balanced(&s));
+    }
+
+    #[test]
+    fn writer_nested_objects() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("inner");
+        w.begin_object();
+        w.field_u64("x", 1);
+        w.end_object();
+        w.field_u64("y", 2);
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(s, "{\"inner\": {\"x\": 1}, \"y\": 2}");
+        assert!(balanced(&s));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_f64("bad", f64::NAN);
+        w.end_object();
+        assert_eq!(w.finish(), "{\"bad\": null}");
+    }
+
+    #[test]
+    fn balanced_rejects_mismatches() {
+        assert!(balanced("{\"a\": [1, 2]}"));
+        assert!(!balanced("{\"a\": [1, 2}"));
+        assert!(!balanced("{"));
+        assert!(balanced("{\"brace in string\": \"}}}\"}"));
+        assert!(!balanced("\"unterminated"));
+    }
+
+    #[test]
+    fn require_keys_reports_missing() {
+        let json = "{\"a\": 1, \"b\": 2}";
+        assert!(require_keys(json, &["a", "b"]).is_ok());
+        let err = require_keys(json, &["a", "c"]).unwrap_err();
+        assert!(err.contains("\"c\""));
+    }
+
+    #[test]
+    fn field_values_extracts_numbers() {
+        let json = "{\"t\": 1.5, \"x\": {\"t\": 2}, \"t\": \"str\"}";
+        assert_eq!(field_values(json, "t"), vec![1.5, 2.0]);
+    }
+}

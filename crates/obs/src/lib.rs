@@ -1,0 +1,306 @@
+//! Observability primitives for the placesim workspace.
+//!
+//! This crate deliberately has **no dependencies** and allocates only
+//! when recording strings or serializing. It provides:
+//!
+//! * [`Counter`] — a named monotonic counter.
+//! * [`Histogram`] — a fixed-footprint log2-bucketed histogram of
+//!   `u64` samples (count / sum / min / max / 65 power-of-two buckets).
+//! * [`SpanTimer`] / [`Span`] — wall-clock phase timers.
+//! * [`json`] — a small hand-rolled JSON writer plus validation
+//!   helpers. The workspace's vendored `serde` is a no-op stand-in, so
+//!   every JSON artifact in the repo is built and checked through this
+//!   module.
+//! * [`sink`] — JSONL append sinks and an atomic write-then-rename
+//!   file helper used for manifests and metrics outputs.
+//!
+//! The crate itself is always compiled; *zero-overhead* instrumentation
+//! is achieved by the consumers (e.g. `placesim-machine`) gating their
+//! hook call sites behind their own `obs` cargo feature so the hooks
+//! compile to empty inlined bodies in default builds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod sink;
+
+use std::time::Instant;
+
+/// A named monotonic counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: one for the value `0` plus one
+/// per possible bit length of a non-zero `u64` (1..=64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples with O(1) recording and a
+/// fixed memory footprint.
+///
+/// Bucket `0` counts samples equal to zero; bucket `i` (for `i >= 1`)
+/// counts samples whose bit length is `i`, i.e. values in
+/// `[2^(i-1), 2^i)`. Exact count, sum, min and max are tracked
+/// alongside, so means are exact even though the distribution is
+/// approximate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Records one sample. The running sum saturates at `u64::MAX`
+    /// rather than wrapping.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The raw bucket counts; see the type docs for the bucket → value
+    /// range mapping.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Writes the histogram as a JSON object value onto `w`. Buckets are
+    /// emitted sparsely as `[[bucket_index, count], ...]`.
+    pub fn write_json(&self, w: &mut json::JsonWriter) {
+        w.begin_object();
+        w.field_u64("count", self.count);
+        w.field_u64("sum", self.sum);
+        w.field_u64("min", self.min().unwrap_or(0));
+        w.field_u64("max", self.max().unwrap_or(0));
+        w.field_f64("mean", self.mean().unwrap_or(0.0));
+        w.key("buckets");
+        w.begin_array();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                w.begin_array();
+                w.value_u64(i as u64);
+                w.value_u64(c);
+                w.end_array();
+            }
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// A completed timed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Label given at [`SpanTimer::start`].
+    pub name: String,
+    /// Wall-clock duration in seconds.
+    pub secs: f64,
+}
+
+/// A running wall-clock timer; call [`SpanTimer::stop`] to obtain the
+/// finished [`Span`].
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: String,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing a named span.
+    pub fn start(name: impl Into<String>) -> Self {
+        SpanTimer {
+            name: name.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed seconds without stopping.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stops the timer and returns the completed span.
+    pub fn stop(self) -> Span {
+        Span {
+            secs: self.start.elapsed().as_secs_f64(),
+            name: self.name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[3], 2); // 4, 7
+        assert_eq!(b[4], 1); // 8
+        assert_eq!(b[64], 1); // u64::MAX
+        assert_eq!(b.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), Some(15.0));
+        assert_eq!(h.sum(), 30);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(100);
+        let empty = Histogram::new();
+        a.merge(&empty);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(100));
+        assert_eq!(a.sum(), 101);
+    }
+
+    #[test]
+    fn histogram_json_is_valid() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(9);
+        let mut w = json::JsonWriter::new();
+        h.write_json(&mut w);
+        let s = w.finish();
+        assert!(json::balanced(&s), "unbalanced: {s}");
+        assert!(s.contains("\"count\": 2"));
+        assert!(s.contains("\"buckets\""));
+    }
+
+    #[test]
+    fn span_timer_measures_time() {
+        let t = SpanTimer::start("phase");
+        assert!(t.elapsed_secs() >= 0.0);
+        let span = t.stop();
+        assert_eq!(span.name, "phase");
+        assert!(span.secs >= 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Output sinks: JSONL appenders and atomic single-file writes.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `contents` to `path` atomically: the bytes go to a `.tmp`
+/// sibling first and are renamed over the target only once fully
+/// flushed, so a failure mid-write never leaves a truncated file for a
+/// later reader to trip over.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error; on failure the partial
+/// temporary file is removed (best-effort) and `path` is untouched.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// The `.tmp` sibling path used by [`write_atomic`] (exposed so callers
+/// doing streaming writes can use the same write-then-rename protocol).
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// An append-only JSON-lines sink: one complete JSON document per line.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the sink file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Appends one JSON document as a line. Interior newlines are not
+    /// checked — callers emit single-line JSON (the [`crate::json`]
+    /// writer never emits newlines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn append(&mut self, json: &str) -> io::Result<()> {
+        self.out.write_all(json.as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    /// Flushes buffered lines to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying flush error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("placesim-obs-test-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_roundtrip() {
+        let path = tmp_dir().join("atomic.json");
+        write_atomic(&path, b"{\"a\": 1}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"a\": 1}");
+        assert!(!tmp_sibling(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tmp_sibling_appends_suffix() {
+        let p = Path::new("/x/y/out.json");
+        assert_eq!(tmp_sibling(p), Path::new("/x/y/out.json.tmp"));
+    }
+
+    #[test]
+    fn jsonl_appends_lines() {
+        let path = tmp_dir().join("log.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.append("{\"n\": 1}").unwrap();
+        sink.append("{\"n\": 2}").unwrap();
+        sink.flush().unwrap();
+        drop(sink);
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(crate::json::balanced));
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -169,10 +169,15 @@ pub fn from_bytes(raw: &[u8]) -> Result<ProgramTrace, TraceError> {
     buf = rest;
 
     let thread_count = get_varint(&mut buf)? as usize;
-    let mut threads = Vec::with_capacity(thread_count.min(1 << 20));
+    // Both counts are attacker-controlled. Bound every pre-allocation by
+    // what the remaining input could actually encode — each thread costs
+    // at least its length varint, each reference at least one byte — so
+    // a hostile header can never reserve more than ~the input size; an
+    // honest count above the cap merely grows the vec amortized.
+    let mut threads = Vec::with_capacity(thread_count.min(buf.len() / 8));
     for _ in 0..thread_count {
         let len = get_varint(&mut buf)? as usize;
-        let mut trace = ThreadTrace::with_capacity(len.min(1 << 24));
+        let mut trace = ThreadTrace::with_capacity(len.min(buf.len() / 8));
         let mut prev: i64 = 0;
         for _ in 0..len {
             let word = get_varint(&mut buf)?;

@@ -135,7 +135,12 @@ pub fn from_bytes(raw: &[u8]) -> Result<ProgramTrace, TraceError> {
         .to_owned();
 
     let thread_count = take(&mut buf, 4, "thread count")?.get_u32_le() as usize;
-    let mut threads = Vec::with_capacity(thread_count);
+    // The count is attacker-controlled and precedes the body: a 16-byte
+    // file can claim 4 billion threads. Cap the pre-allocation by what
+    // the remaining bytes could possibly encode (every thread needs at
+    // least its 8-byte length word); a count above the cap either errors
+    // below or grows the vec amortized like any push.
+    let mut threads = Vec::with_capacity(thread_count.min(buf.len() / 8));
     for tid in 0..thread_count {
         let len = take(&mut buf, 8, "thread length")?.get_u64_le() as usize;
         let need = len.checked_mul(8).ok_or_else(|| TraceError::Format {

@@ -1,0 +1,263 @@
+//! Hostile-input tests: no malformed trace file may crash the decoders
+//! or pre-allocate more than a small multiple of its own size.
+//!
+//! A custom global allocator tracks live and peak heap bytes, so every
+//! test can assert a hard bound on the decoder's peak allocation: the
+//! historical bug here was `Vec::with_capacity(thread_count)` on an
+//! attacker-controlled count, which let a 16-byte file reserve ~100 GB.
+//!
+//! The allocator needs `unsafe` (the library itself forbids it; this
+//! integration-test binary is a separate crate and opts in locally).
+
+use placesim_trace::{compress, io, Address, MemRef, ProgramTrace, ThreadTrace, TraceError};
+use proptest::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Wraps the system allocator, tracking current and peak live bytes.
+struct TrackingAlloc {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+// SAFETY: delegates allocation verbatim to `System`; the bookkeeping is
+// plain atomic arithmetic on the side.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            let live = self.current.fetch_add(layout.size(), Ordering::SeqCst) + layout.size();
+            self.peak.fetch_max(live, Ordering::SeqCst);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.current.fetch_sub(layout.size(), Ordering::SeqCst);
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc {
+    current: AtomicUsize::new(0),
+    peak: AtomicUsize::new(0),
+};
+
+/// Serializes measured sections: the test harness runs `#[test]` fns on
+/// parallel threads, and concurrent allocations would pollute the peak.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f`, returning its result and the peak heap growth (bytes above
+/// the live size at entry) during the call.
+fn measured_peak<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let base = ALLOC.current.load(Ordering::SeqCst);
+    ALLOC.peak.store(base, Ordering::SeqCst);
+    let result = f();
+    let peak = ALLOC.peak.load(Ordering::SeqCst);
+    (peak.saturating_sub(base), result)
+}
+
+/// The allocation bound for a decode of `input_len` bytes: a small
+/// multiple of the input (decoded references and per-thread bookkeeping
+/// legitimately outgrow the compressed bytes) plus a fixed constant for
+/// decoder temporaries.
+fn alloc_bound(input_len: usize) -> usize {
+    input_len * 16 + 64 * 1024
+}
+
+fn sample_program() -> ProgramTrace {
+    let mk = |base: u64| -> ThreadTrace {
+        (0..24)
+            .map(|i| match i % 3 {
+                0 => MemRef::instr(Address::new(base + 4 * i)),
+                1 => MemRef::read(Address::new(base + 64 * i)),
+                _ => MemRef::write(Address::new(base)),
+            })
+            .collect()
+    };
+    ProgramTrace::new("hostile-sample", vec![mk(0), mk(0x1000), mk(0x2000)])
+}
+
+/// A v1 header claiming `thread_count` threads with no body at all.
+fn v1_claiming_threads(thread_count: u32) -> Vec<u8> {
+    let mut f = Vec::new();
+    f.extend_from_slice(b"PSIM");
+    f.extend_from_slice(&1u32.to_le_bytes());
+    f.extend_from_slice(&0u32.to_le_bytes()); // empty name
+    f.extend_from_slice(&thread_count.to_le_bytes());
+    f
+}
+
+/// A v2 header claiming `thread_count` threads with no body at all.
+fn v2_claiming_threads(thread_count: u64) -> Vec<u8> {
+    let mut f = Vec::new();
+    f.extend_from_slice(b"PSIM");
+    f.extend_from_slice(&2u32.to_le_bytes());
+    f.push(0); // empty name (varint 0)
+    let mut v = thread_count;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            f.push(byte);
+            break;
+        }
+        f.push(byte | 0x80);
+    }
+    f
+}
+
+#[test]
+fn sixteen_byte_file_claiming_4_billion_threads_stays_small() {
+    let file = v1_claiming_threads(u32::MAX);
+    assert_eq!(file.len(), 16);
+    let (peak, result) = measured_peak(|| io::from_bytes(&file));
+    assert!(matches!(result, Err(TraceError::Format { .. })));
+    assert!(
+        peak <= 64 * 1024,
+        "16-byte hostile file pre-allocated {peak} bytes"
+    );
+}
+
+#[test]
+fn v2_header_claiming_huge_thread_count_stays_small() {
+    let file = v2_claiming_threads(1 << 40);
+    let (peak, result) = measured_peak(|| compress::read_any(&file));
+    assert!(matches!(result, Err(TraceError::Format { .. })));
+    assert!(
+        peak <= 64 * 1024,
+        "hostile v2 header pre-allocated {peak} bytes"
+    );
+}
+
+#[test]
+fn huge_name_length_is_rejected_without_allocation() {
+    for version in [1u32, 2] {
+        let mut f = Vec::new();
+        f.extend_from_slice(b"PSIM");
+        f.extend_from_slice(&version.to_le_bytes());
+        if version == 1 {
+            f.extend_from_slice(&u32::MAX.to_le_bytes());
+        } else {
+            // Varint name length ~2^40.
+            f.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]);
+        }
+        let (peak, result) = measured_peak(|| compress::read_any(&f));
+        assert!(
+            matches!(result, Err(TraceError::Format { .. })),
+            "version {version}"
+        );
+        assert!(peak <= 64 * 1024, "version {version} pre-allocated {peak}");
+    }
+}
+
+#[test]
+fn v1_overflowing_thread_length_is_rejected() {
+    let mut f = v1_claiming_threads(1);
+    f.extend_from_slice(&u64::MAX.to_le_bytes()); // len * 8 overflows
+    let (peak, result) = measured_peak(|| io::from_bytes(&f));
+    assert!(matches!(result, Err(TraceError::Format { .. })));
+    assert!(peak <= 64 * 1024, "overflow length pre-allocated {peak}");
+}
+
+#[test]
+fn v2_huge_per_thread_length_stays_small() {
+    let mut f = v2_claiming_threads(1);
+    // One thread whose length varint claims ~2^40 references.
+    f.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]);
+    let (peak, result) = measured_peak(|| compress::read_any(&f));
+    assert!(matches!(result, Err(TraceError::Format { .. })));
+    assert!(
+        peak <= 64 * 1024,
+        "hostile thread length pre-allocated {peak}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary byte soup: decoding must return (Ok or Err, never
+    /// panic) with bounded peak allocation.
+    #[test]
+    fn arbitrary_bytes_never_overallocate(raw in proptest::collection::vec(0u8..=255, 0..256)) {
+        let (peak, result) = measured_peak(|| compress::read_any(&raw));
+        drop(result);
+        prop_assert!(
+            peak <= alloc_bound(raw.len()),
+            "{} input bytes peaked at {} allocated bytes",
+            raw.len(),
+            peak
+        );
+    }
+
+    /// Valid v1 files with mutated bytes: graceful error or valid
+    /// decode, never a panic or an outsized allocation.
+    #[test]
+    fn mutated_v1_files_never_overallocate(
+        pos in 0usize..512,
+        value in 0u8..=255,
+        cut in 0usize..=512,
+    ) {
+        let mut file = io::to_bytes(&sample_program()).unwrap().to_vec();
+        let idx = pos % file.len();
+        file[idx] = value;
+        if cut < 512 {
+            file.truncate(cut % (file.len() + 1));
+        }
+        let (peak, result) = measured_peak(|| compress::read_any(&file));
+        drop(result);
+        prop_assert!(
+            peak <= alloc_bound(file.len()),
+            "{} input bytes peaked at {} allocated bytes",
+            file.len(),
+            peak
+        );
+    }
+
+    /// Same for the compressed v2 format.
+    #[test]
+    fn mutated_v2_files_never_overallocate(
+        pos in 0usize..512,
+        value in 0u8..=255,
+        cut in 0usize..=512,
+    ) {
+        let mut file = compress::to_bytes(&sample_program()).unwrap().to_vec();
+        let idx = pos % file.len();
+        file[idx] = value;
+        if cut < 512 {
+            file.truncate(cut % (file.len() + 1));
+        }
+        let (peak, result) = measured_peak(|| compress::read_any(&file));
+        drop(result);
+        prop_assert!(
+            peak <= alloc_bound(file.len()),
+            "{} input bytes peaked at {} allocated bytes",
+            file.len(),
+            peak
+        );
+    }
+
+    /// Hostile thread counts over the whole u32 range, with a few real
+    /// body bytes appended: always a graceful error or decode, always
+    /// bounded.
+    #[test]
+    fn claimed_thread_counts_never_overallocate(
+        count in 0u32..=u32::MAX,
+        body in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut file = v1_claiming_threads(count);
+        file.extend_from_slice(&body);
+        let (peak, result) = measured_peak(|| io::from_bytes(&file));
+        drop(result);
+        prop_assert!(
+            peak <= alloc_bound(file.len()),
+            "claimed {} threads, {} input bytes, peaked at {}",
+            count,
+            file.len(),
+            peak
+        );
+    }
+}

@@ -14,13 +14,16 @@
 //! Traces use the `placesim-trace` binary format, so generated traces
 //! can be archived and re-analyzed like MPtrace outputs were.
 
+use placesim::manifest::{ManifestEntry, RunManifest};
 use placesim_analysis::{CharacteristicsRow, SharingAnalysis};
-use placesim_machine::{probe_coherence, simulate, ArchConfig};
+use placesim_machine::{probe_coherence, simulate_observed, ArchConfig};
+use placesim_obs::{sink, SpanTimer};
 use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs};
 use placesim_trace::{compress, io as trace_io, ProgramTrace};
 use placesim_workloads::{generate, suite, GenOptions};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -44,7 +47,8 @@ usage:
   placesim-cli place <trace> <algorithm> <processors>
   placesim-cli simulate <trace> <algorithm> <processors>
                [--cache-kb K] [--assoc W] [--latency L] [--switch C]
-  placesim-cli probe <trace>";
+               [--metrics out.json]
+  placesim-cli probe <trace> [--metrics out.json]";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -60,19 +64,42 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parses `--key value` flags from the tail of an argument list.
-fn flag(args: &[String], name: &str) -> Result<Option<f64>, String> {
+/// Returns the raw value of a `--key value` flag, if present.
+fn raw_flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
     for (i, a) in args.iter().enumerate() {
         if a == name {
             return args
                 .get(i + 1)
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse::<f64>()
-                .map(Some)
-                .map_err(|_| format!("{name} value must be numeric"));
+                .map(|v| Some(v.as_str()))
+                .ok_or_else(|| format!("{name} needs a value"));
         }
     }
     Ok(None)
+}
+
+/// Parses a floating-point `--key value` flag (only `--scale` is
+/// genuinely fractional; every other numeric flag is an integer).
+fn flag(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    raw_flag(args, name)?
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| format!("{name} value must be a finite number, got {v}"))
+        })
+        .transpose()
+}
+
+/// Parses an unsigned-integer `--key value` flag. Unlike the historical
+/// parse-as-f64-then-cast path, this rejects negative, fractional and
+/// out-of-range values instead of silently saturating them.
+fn uint_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    raw_flag(args, name)?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} value must be a non-negative integer, got {v}"))
+        })
+        .transpose()
 }
 
 fn parse_algorithm(name: &str) -> Result<PlacementAlgorithm, String> {
@@ -126,17 +153,31 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let opts = GenOptions {
         // --scale wins; otherwise PLACESIM_SCALE, like the bench harness.
         scale: flag(args, "--scale")?.unwrap_or_else(|| placesim::scale_from_env(0.1)),
-        seed: flag(args, "--seed")?.unwrap_or(1994.0) as u64,
+        seed: uint_flag(args, "--seed")?.unwrap_or(1994),
     };
     let prog = generate(&spec, &opts);
-    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     let flat = args.iter().any(|a| a == "--flat");
-    if flat {
-        trace_io::write_program(&prog, BufWriter::new(file))
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
-    } else {
-        compress::write_program(&prog, BufWriter::new(file))
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
+    // Stream into a temporary sibling and rename into place only once
+    // the write succeeded, so a full disk or crash never leaves a
+    // truncated `.trace` masquerading as a valid one.
+    let out_path = Path::new(out);
+    let tmp = sink::tmp_sibling(out_path);
+    let written = File::create(&tmp)
+        .map_err(|e| format!("cannot create {}: {e}", tmp.display()))
+        .and_then(|file| {
+            let result = if flat {
+                trace_io::write_program(&prog, BufWriter::new(file))
+            } else {
+                compress::write_program(&prog, BufWriter::new(file))
+            };
+            result.map_err(|e| format!("cannot write {out}: {e}"))
+        })
+        .and_then(|()| {
+            std::fs::rename(&tmp, out_path).map_err(|e| format!("cannot finalize {out}: {e}"))
+        });
+    if let Err(e) = written {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
     }
     println!(
         "wrote {out}: {} threads, {} references (scale {}, seed {}, {} format)",
@@ -233,25 +274,43 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .map_err(|_| "processor count must be an integer".to_string())?;
 
     let mut builder = ArchConfig::builder();
-    if let Some(kb) = flag(args, "--cache-kb")? {
-        builder.cache_size(kb as u64 * 1024);
+    if let Some(kb) = uint_flag(args, "--cache-kb")? {
+        builder.cache_size(
+            kb.checked_mul(1024)
+                .ok_or("--cache-kb value overflows bytes")?,
+        );
     }
-    if let Some(w) = flag(args, "--assoc")? {
-        builder.associativity(w as u32);
+    if let Some(w) = uint_flag(args, "--assoc")? {
+        builder
+            .associativity(u32::try_from(w).map_err(|_| format!("--assoc value {w} exceeds u32"))?);
     }
-    if let Some(l) = flag(args, "--latency")? {
-        builder.memory_latency(l as u64);
+    if let Some(l) = uint_flag(args, "--latency")? {
+        builder.memory_latency(l);
     }
-    if let Some(c) = flag(args, "--switch")? {
-        builder.context_switch(c as u64);
+    if let Some(c) = uint_flag(args, "--switch")? {
+        builder.context_switch(c);
     }
     let config = builder.build().map_err(|e| e.to_string())?;
 
+    let timer = SpanTimer::start("simulate");
     let sharing = SharingAnalysis::measure(&prog);
     let lengths = thread_lengths(&prog);
     let inputs = PlacementInputs::new(&sharing, &lengths);
     let map = algo.place(&inputs, processors).map_err(|e| e.to_string())?;
-    let stats = simulate(&prog, &map, &config).map_err(|e| e.to_string())?;
+    let (stats, obs) = simulate_observed(&prog, &map, &config).map_err(|e| e.to_string())?;
+
+    if let Some(metrics) = raw_flag(args, "--metrics")? {
+        let mut manifest = RunManifest::new("simulate", prog.name(), &config);
+        manifest.wall_secs = timer.elapsed_secs();
+        manifest.entries = vec![ManifestEntry::from_stats(
+            algo.paper_name(),
+            processors,
+            &stats,
+        )];
+        manifest.obs = Some(obs);
+        manifest.write(Path::new(metrics))?;
+        println!("metrics:        {metrics}");
+    }
 
     let m = stats.total_misses();
     println!("execution time: {} cycles", stats.execution_time());
@@ -268,7 +327,23 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
 fn cmd_probe(args: &[String]) -> Result<(), String> {
     let prog = load_trace(args.first().ok_or("probe needs a trace path")?)?;
-    let result = probe_coherence(&prog, &ArchConfig::paper_default()).map_err(|e| e.to_string())?;
+    let config = ArchConfig::paper_default();
+    let timer = SpanTimer::start("probe");
+    let result = probe_coherence(&prog, &config).map_err(|e| e.to_string())?;
+
+    if let Some(metrics) = raw_flag(args, "--metrics")? {
+        let mut manifest = RunManifest::new("probe", prog.name(), &config);
+        manifest.wall_secs = timer.elapsed_secs();
+        // The probe places one thread per processor by construction.
+        manifest.entries = vec![ManifestEntry::from_stats(
+            "ONE-PER-PROC",
+            prog.thread_count(),
+            &result.stats,
+        )];
+        manifest.write(Path::new(metrics))?;
+        println!("metrics: {metrics}");
+    }
+
     println!("one-thread-per-processor coherence probe:");
     println!("  compulsory misses: {}", result.compulsory_misses());
     println!("  coherence traffic: {}", result.total_traffic());
@@ -298,10 +373,26 @@ mod tests {
     fn flag_parsing() {
         let args = s(&["gen", "fft", "--scale", "0.25", "--seed", "7"]);
         assert_eq!(flag(&args, "--scale").unwrap(), Some(0.25));
-        assert_eq!(flag(&args, "--seed").unwrap(), Some(7.0));
+        assert_eq!(uint_flag(&args, "--seed").unwrap(), Some(7));
         assert_eq!(flag(&args, "--missing").unwrap(), None);
+        assert_eq!(uint_flag(&args, "--missing").unwrap(), None);
         assert!(flag(&s(&["--scale"]), "--scale").is_err());
         assert!(flag(&s(&["--scale", "abc"]), "--scale").is_err());
+        assert!(flag(&s(&["--scale", "inf"]), "--scale").is_err());
+    }
+
+    #[test]
+    fn integer_flags_reject_non_integers() {
+        // The historical parser accepted any f64 and `as`-cast it, so
+        // `--seed -3` silently became 0 and `--latency 2.7` became 2.
+        for bad in ["-3", "2.7", "abc", "1e3", "99999999999999999999999"] {
+            let args = s(&["--seed", bad]);
+            let err = uint_flag(&args, "--seed").unwrap_err();
+            assert!(err.contains("non-negative integer"), "{bad}: {err}");
+        }
+        assert!(uint_flag(&s(&["--seed"]), "--seed").is_err());
+        // Full-command paths reject too.
+        assert!(run(&s(&["gen", "fft", "/tmp/x.trace", "--seed", "-1"])).is_err());
     }
 
     #[test]
@@ -359,6 +450,64 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_and_probe_emit_valid_metrics() {
+        let dir = std::env::temp_dir().join("placesim-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("fft.trace");
+        let trace_s = trace.to_str().unwrap().to_string();
+        let metrics = dir.join("run.json");
+        let metrics_s = metrics.to_str().unwrap().to_string();
+
+        run(&s(&[
+            "gen", "fft", &trace_s, "--scale", "0.002", "--seed", "3",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "simulate",
+            &trace_s,
+            "LOAD-BAL",
+            "4",
+            "--metrics",
+            &metrics_s,
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&metrics).unwrap();
+        RunManifest::validate(&body).unwrap();
+        assert!(body.contains("\"tool\": \"simulate\""));
+        assert!(body.contains("\"algorithm\": \"LOAD-BAL\""));
+        assert!(!sink::tmp_sibling(&metrics).exists());
+
+        run(&s(&["probe", &trace_s, "--metrics", &metrics_s])).unwrap();
+        let body = std::fs::read_to_string(&metrics).unwrap();
+        RunManifest::validate(&body).unwrap();
+        assert!(body.contains("\"tool\": \"probe\""));
+
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn failed_gen_leaves_no_partial_trace() {
+        let dir = std::env::temp_dir().join("placesim-cli-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A target inside a nonexistent directory: the temporary file
+        // cannot even be created, and nothing may appear at the target.
+        let out = dir.join("no-such-subdir").join("x.trace");
+        let out_s = out.to_str().unwrap().to_string();
+        assert!(run(&s(&["gen", "fft", &out_s, "--scale", "0.002"])).is_err());
+        assert!(!out.exists());
+        assert!(!sink::tmp_sibling(&out).exists());
+
+        // A successful gen cleans up its temporary sibling.
+        let ok = dir.join("ok.trace");
+        let ok_s = ok.to_str().unwrap().to_string();
+        run(&s(&["gen", "fft", &ok_s, "--scale", "0.002"])).unwrap();
+        assert!(ok.exists());
+        assert!(!sink::tmp_sibling(&ok).exists());
+        std::fs::remove_file(&ok).ok();
     }
 
     #[test]

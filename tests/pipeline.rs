@@ -89,3 +89,37 @@ fn context_count_follows_placement() {
         assert_eq!(r.map.max_cluster_size(), app.threads().div_ceil(p));
     }
 }
+
+#[test]
+fn twelve_algorithm_manifested_sweep_emits_valid_metrics() {
+    // The full clustering set (the twelve sharing-based algorithms) on
+    // one app, through the manifested sweep. Under `--features audit`
+    // every simulation in here is re-validated by the engine's
+    // post-drain invariant auditor; the manifest must always pass its
+    // own schema check and agree with the results it summarizes.
+    use placesim::manifest::RunManifest;
+
+    let app = PreparedApp::prepare(&spec("water").unwrap(), &opts());
+    let algos: Vec<PlacementAlgorithm> = PlacementAlgorithm::SHARING_BASED
+        .into_iter()
+        .chain(PlacementAlgorithm::STATIC.into_iter().filter(|a| {
+            matches!(
+                a.paper_name(),
+                n if n.ends_with("+LB") && n != "LOAD-BAL"
+            )
+        }))
+        .collect();
+    assert_eq!(algos.len(), 12, "the paper's twelve clustering algorithms");
+
+    let (results, manifest) = placesim::run_sweep_manifested(&app, &algos, &[4]).unwrap();
+    assert_eq!(results.len(), 12);
+    assert_eq!(manifest.entries.len(), 12);
+    let json = manifest.to_json();
+    RunManifest::validate(&json).unwrap();
+    for (r, e) in results.iter().zip(&manifest.entries) {
+        assert_eq!(e.algorithm, r.algorithm.paper_name());
+        assert_eq!(e.execution_time, r.execution_time());
+        assert_eq!(e.total_refs, r.stats.total_refs());
+        assert!(json.contains(&format!("\"algorithm\": \"{}\"", e.algorithm)));
+    }
+}

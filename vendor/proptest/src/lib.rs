@@ -528,7 +528,7 @@ mod tests {
             let n = s.generate(&mut rng);
             assert!((3..7).contains(&n));
         }
-        let u = prop_oneof![Just(1u32), Just(2u32), (5u32..7)];
+        let u = prop_oneof![Just(1u32), Just(2u32), 5u32..7];
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
             seen.insert(u.generate(&mut rng));
