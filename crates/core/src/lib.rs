@@ -47,6 +47,7 @@ pub use experiment::{
     PreparedApp,
 };
 pub use manifest::{ManifestEntry, RunManifest, METRICS_SCHEMA};
+pub use report::{Regression, Report, ReportGroup, REPORT_SCHEMA};
 // The worker pool lives in the trace crate (the bottom of the stack) so
 // the analysis passes can share it; re-exported here for sweep callers.
 pub use placesim_trace::par::{max_workers, parallel_map, try_parallel_map};

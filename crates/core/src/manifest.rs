@@ -21,8 +21,8 @@
 //! RunManifest::validate(&json).unwrap();
 //! ```
 
-use placesim_machine::{ArchConfig, EngineObsReport, SimStats};
-use placesim_obs::json::{self, JsonWriter};
+use placesim_machine::{ArchConfig, EngineObsReport, MissBreakdown, SimStats};
+use placesim_obs::json::{self, JsonValue, JsonWriter};
 use placesim_obs::sink;
 use std::path::Path;
 
@@ -46,6 +46,9 @@ pub struct ManifestEntry {
     pub miss_rate: f64,
     /// Total coherence traffic (invalidations sent).
     pub coherence_traffic: u64,
+    /// The paper's four-way miss taxonomy (all zero for entries from
+    /// tools that do not simulate, or from pre-taxonomy manifests).
+    pub misses: MissBreakdown,
 }
 
 impl ManifestEntry {
@@ -59,6 +62,7 @@ impl ManifestEntry {
             total_misses: stats.total_misses().total(),
             miss_rate: stats.miss_rate(),
             coherence_traffic: stats.coherence_traffic(),
+            misses: stats.total_misses(),
         }
     }
 }
@@ -138,6 +142,10 @@ impl RunManifest {
             w.field_u64("total_misses", e.total_misses);
             w.field_f64("miss_rate", e.miss_rate);
             w.field_u64("coherence_traffic", e.coherence_traffic);
+            w.field_u64("compulsory", e.misses.compulsory);
+            w.field_u64("intra_thread_conflict", e.misses.intra_thread_conflict);
+            w.field_u64("inter_thread_conflict", e.misses.inter_thread_conflict);
+            w.field_u64("invalidation", e.misses.invalidation);
             w.end_object();
         }
         w.end_array();
@@ -150,8 +158,10 @@ impl RunManifest {
         w.finish()
     }
 
-    /// Checks that `json` looks like a valid manifest of this schema:
-    /// balanced structure, the schema tag, and every required key.
+    /// Checks that `json` is a valid manifest of this schema: a single
+    /// strictly-parsed JSON document (no trailing garbage, no duplicate
+    /// keys), the schema tag, every required key, and the right type on
+    /// each required field.
     ///
     /// Every manifest writer in the workspace validates its own output
     /// through this before touching the filesystem, so a schema drift
@@ -164,6 +174,7 @@ impl RunManifest {
         if !json::balanced(json) {
             return Err("manifest JSON has unbalanced delimiters".into());
         }
+        let doc = json::parse(json).map_err(|e| format!("manifest JSON rejected: {e}"))?;
         json::require_keys(
             json,
             &[
@@ -179,10 +190,136 @@ impl RunManifest {
                 "obs",
             ],
         )?;
-        if !json.contains(&format!("\"schema\": \"{METRICS_SCHEMA}\"")) {
+        if doc.get("schema").and_then(JsonValue::as_str) != Some(METRICS_SCHEMA) {
             return Err(format!("manifest is not schema {METRICS_SCHEMA}"));
         }
+        for key in ["tool", "app"] {
+            if doc.get(key).and_then(JsonValue::as_str).is_none() {
+                return Err(format!("manifest field \"{key}\" is not a string"));
+            }
+        }
+        if doc.get("wall_secs").and_then(JsonValue::as_f64).is_none() {
+            return Err("manifest field \"wall_secs\" is not a number".into());
+        }
+        let results = doc
+            .get("results")
+            .and_then(JsonValue::as_array)
+            .ok_or("manifest field \"results\" is not an array")?;
+        for (i, entry) in results.iter().enumerate() {
+            if entry.get("algorithm").and_then(JsonValue::as_str).is_none() {
+                return Err(format!("results[{i}].algorithm is not a string"));
+            }
+            for key in [
+                "processors",
+                "execution_time",
+                "total_refs",
+                "total_misses",
+                "coherence_traffic",
+            ] {
+                if entry.get(key).and_then(JsonValue::as_u64).is_none() {
+                    return Err(format!("results[{i}].{key} is not an unsigned integer"));
+                }
+            }
+            if entry.get("miss_rate").and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("results[{i}].miss_rate is not a number"));
+            }
+        }
         Ok(())
+    }
+
+    /// Parses a manifest document back into a [`RunManifest`].
+    ///
+    /// Tolerant where tolerance is safe: entries missing the miss
+    /// taxonomy (pre-taxonomy manifests) get zeros, and an embedded
+    /// `obs` report is not reconstructed (`obs` comes back `None` —
+    /// the aggregator only consumes the tabular fields).
+    ///
+    /// # Errors
+    ///
+    /// Anything [`RunManifest::validate`] rejects, plus a config block
+    /// that does not describe a buildable architecture.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        Self::validate(json)?;
+        let doc = json::parse(json).map_err(|e| format!("manifest JSON rejected: {e}"))?;
+        let str_field = |key: &str| -> String {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .expect("validated string field")
+                .to_owned()
+        };
+
+        let cfg = doc.get("config").ok_or("manifest has no config block")?;
+        let cfg_u64 = |key: &str| -> Result<u64, String> {
+            cfg.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("config.{key} is not an unsigned integer"))
+        };
+        let config = ArchConfig::builder()
+            .cache_size(cfg_u64("cache_bytes")?)
+            .line_size(cfg_u64("line_bytes")?)
+            .associativity(
+                u32::try_from(cfg_u64("associativity")?)
+                    .map_err(|_| "config.associativity exceeds u32".to_owned())?,
+            )
+            .memory_latency(cfg_u64("memory_latency")?)
+            .memory_occupancy(cfg_u64("memory_occupancy")?)
+            .context_switch(cfg_u64("context_switch")?)
+            .build()
+            .map_err(|e| format!("manifest config is not buildable: {e}"))?;
+
+        let results = doc
+            .get("results")
+            .and_then(JsonValue::as_array)
+            .expect("validated results array");
+        let entries = results
+            .iter()
+            .map(|entry| {
+                let u = |key: &str| -> u64 {
+                    entry
+                        .get(key)
+                        .and_then(JsonValue::as_u64)
+                        .expect("validated entry integer")
+                };
+                // Taxonomy fields are additive-in-v1: absent means zero.
+                let opt_u = |key: &str| entry.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+                ManifestEntry {
+                    algorithm: entry
+                        .get("algorithm")
+                        .and_then(JsonValue::as_str)
+                        .expect("validated algorithm")
+                        .to_owned(),
+                    processors: u("processors") as usize,
+                    execution_time: u("execution_time"),
+                    total_refs: u("total_refs"),
+                    total_misses: u("total_misses"),
+                    miss_rate: entry
+                        .get("miss_rate")
+                        .and_then(JsonValue::as_f64)
+                        .expect("validated miss_rate"),
+                    coherence_traffic: u("coherence_traffic"),
+                    misses: MissBreakdown {
+                        compulsory: opt_u("compulsory"),
+                        intra_thread_conflict: opt_u("intra_thread_conflict"),
+                        inter_thread_conflict: opt_u("inter_thread_conflict"),
+                        invalidation: opt_u("invalidation"),
+                    },
+                }
+            })
+            .collect();
+
+        Ok(RunManifest {
+            tool: str_field("tool"),
+            app: str_field("app"),
+            scale: doc.get("scale").and_then(JsonValue::as_f64),
+            seed: doc.get("seed").and_then(JsonValue::as_u64),
+            config,
+            wall_secs: doc
+                .get("wall_secs")
+                .and_then(JsonValue::as_f64)
+                .expect("validated wall_secs"),
+            entries,
+            obs: None,
+        })
     }
 
     /// Validates and atomically writes the manifest to `path` (tempfile
@@ -217,6 +354,7 @@ mod tests {
             total_misses: 50,
             miss_rate: 0.1,
             coherence_traffic: 7,
+            misses: MissBreakdown::default(),
         });
         m
     }
@@ -255,6 +393,87 @@ mod tests {
         assert!(RunManifest::validate("{\"schema\": \"placesim-metrics-v1\"").is_err());
         let wrong = sample().to_json().replace(METRICS_SCHEMA, "other-schema");
         assert!(RunManifest::validate(&wrong).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_keys() {
+        let json = sample().to_json();
+        let dup = json.replacen(
+            "\"tool\": \"test\"",
+            "\"tool\": \"test\", \"tool\": \"twice\"",
+            1,
+        );
+        let err = RunManifest::validate(&dup).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_trailing_garbage() {
+        let json = sample().to_json();
+        let err = RunManifest::validate(&format!("{json} trailing")).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+        assert!(RunManifest::validate(&format!("{json}{json}")).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_wrong_type_fields() {
+        let json = sample().to_json();
+        for (good, bad) in [
+            ("\"tool\": \"test\"", "\"tool\": 7"),
+            ("\"wall_secs\": 1.25", "\"wall_secs\": \"fast\""),
+            ("\"execution_time\": 1000", "\"execution_time\": -3"),
+            ("\"execution_time\": 1000", "\"execution_time\": 10.5"),
+            ("\"miss_rate\": 0.1", "\"miss_rate\": null"),
+            ("\"algorithm\": \"LOAD-BAL\"", "\"algorithm\": []"),
+        ] {
+            let mutated = json.replacen(good, bad, 1);
+            assert_ne!(mutated, json, "pattern {good:?} not found");
+            assert!(RunManifest::validate(&mutated).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_everything_the_writer_emits() {
+        let mut m = sample();
+        m.entries.push(ManifestEntry {
+            algorithm: "RANDOM".into(),
+            processors: 8,
+            execution_time: 2000,
+            total_refs: 900,
+            total_misses: 90,
+            miss_rate: 0.15,
+            coherence_traffic: 11,
+            misses: MissBreakdown {
+                compulsory: 40,
+                intra_thread_conflict: 20,
+                inter_thread_conflict: 10,
+                invalidation: 20,
+            },
+        });
+        let back = RunManifest::parse(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        // An embedded obs report is ignored on the way back in, not
+        // rejected.
+        m.obs = Some(EngineObsReport::default());
+        let back = RunManifest::parse(&m.to_json()).unwrap();
+        assert_eq!(back.obs, None);
+        assert_eq!(back.entries, m.entries);
+    }
+
+    #[test]
+    fn parse_tolerates_pre_taxonomy_entries() {
+        // Strip the additive taxonomy fields, as a PR-3-era manifest
+        // would look: the entry parses with a zero breakdown.
+        let json = sample().to_json();
+        let stripped = json
+            .replacen(", \"compulsory\": 0", "", 1)
+            .replacen(", \"intra_thread_conflict\": 0", "", 1)
+            .replacen(", \"inter_thread_conflict\": 0", "", 1)
+            .replacen(", \"invalidation\": 0", "", 1);
+        assert_ne!(stripped, json);
+        let back = RunManifest::parse(&stripped).unwrap();
+        assert_eq!(back.entries[0].misses, MissBreakdown::default());
     }
 
     #[test]

@@ -1,5 +1,17 @@
-//! Plain-text table rendering for the experiment harness.
+//! Plain-text table rendering and the experiment report aggregator.
+//!
+//! [`TextTable`] does the alignment work for every table the workspace
+//! prints. [`Report`] ingests many `placesim-metrics-v1` manifests
+//! (see [`crate::manifest`]), groups their entries by
+//! `(app, algorithm, processors)`, and renders paper-style comparison
+//! tables — execution time, the four-way miss taxonomy, and a
+//! normalized-to-RANDOM column — as aligned text and as JSON
+//! (`placesim-report-v1`). [`Report::compare`] diffs two reports for
+//! the CI regression gate.
 
+use crate::manifest::RunManifest;
+use placesim_obs::json::JsonWriter;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A simple aligned text table.
@@ -139,6 +151,263 @@ pub fn ascii_bar(value: f64, full: f64, width: usize) -> String {
     }
 }
 
+/// Schema tag stamped into every JSON report.
+pub const REPORT_SCHEMA: &str = "placesim-report-v1";
+
+/// Aggregated results for one `(app, algorithm, processors)` cell:
+/// means over every manifest entry that landed in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportGroup {
+    /// Application (trace) name, from the manifest header.
+    pub app: String,
+    /// Placement algorithm label.
+    pub algorithm: String,
+    /// Processor count.
+    pub processors: usize,
+    /// Entries aggregated into this cell.
+    pub runs: u64,
+    /// Mean execution time in cycles.
+    pub execution_time: f64,
+    /// Mean total references.
+    pub total_refs: f64,
+    /// Mean total misses.
+    pub total_misses: f64,
+    /// Mean data-reference miss rate.
+    pub miss_rate: f64,
+    /// Mean coherence traffic.
+    pub coherence_traffic: f64,
+    /// Mean miss taxonomy: `[compulsory, intra-thread conflict,
+    /// inter-thread conflict, invalidation]` (the paper's order).
+    pub miss_taxonomy: [f64; 4],
+    /// Mean execution time divided by the RANDOM group's, within the
+    /// same `(app, processors)`; `None` when no RANDOM group exists.
+    pub vs_random: Option<f64>,
+}
+
+/// One metric that moved past the regression threshold between a
+/// baseline report and the current one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Application name of the regressed group.
+    pub app: String,
+    /// Algorithm of the regressed group.
+    pub algorithm: String,
+    /// Processor count of the regressed group.
+    pub processors: usize,
+    /// Which metric regressed (`execution_time` or `total_misses`).
+    pub metric: &'static str,
+    /// The baseline's mean value.
+    pub baseline: f64,
+    /// The current mean value.
+    pub current: f64,
+    /// Relative increase in percent (positive = worse).
+    pub delta_pct: f64,
+}
+
+/// An aggregated experiment report; see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Groups in deterministic `(app, algorithm, processors)` order.
+    pub groups: Vec<ReportGroup>,
+    /// Manifests ingested.
+    pub manifests: usize,
+}
+
+impl Report {
+    /// Aggregates parsed manifests into grouped means. Entries sharing
+    /// `(app, algorithm, processors)` across (or within) manifests are
+    /// averaged; groups come out sorted by that key.
+    pub fn from_manifests<'a, I>(manifests: I) -> Self
+    where
+        I: IntoIterator<Item = &'a RunManifest>,
+    {
+        #[derive(Default)]
+        struct Acc {
+            runs: u64,
+            execution_time: f64,
+            total_refs: f64,
+            total_misses: f64,
+            miss_rate: f64,
+            coherence_traffic: f64,
+            taxonomy: [f64; 4],
+        }
+        let mut cells: BTreeMap<(String, String, usize), Acc> = BTreeMap::new();
+        let mut count = 0usize;
+        for m in manifests {
+            count += 1;
+            for e in &m.entries {
+                let acc = cells
+                    .entry((m.app.clone(), e.algorithm.clone(), e.processors))
+                    .or_default();
+                acc.runs += 1;
+                acc.execution_time += e.execution_time as f64;
+                acc.total_refs += e.total_refs as f64;
+                acc.total_misses += e.total_misses as f64;
+                acc.miss_rate += e.miss_rate;
+                acc.coherence_traffic += e.coherence_traffic as f64;
+                for (slot, v) in acc.taxonomy.iter_mut().zip([
+                    e.misses.compulsory,
+                    e.misses.intra_thread_conflict,
+                    e.misses.inter_thread_conflict,
+                    e.misses.invalidation,
+                ]) {
+                    *slot += v as f64;
+                }
+            }
+        }
+
+        // The RANDOM baseline mean per (app, processors), for the
+        // paper's normalized columns.
+        let mut random_time: BTreeMap<(String, usize), f64> = BTreeMap::new();
+        for ((app, algo, procs), acc) in &cells {
+            if algo == "RANDOM" && acc.runs > 0 {
+                random_time.insert((app.clone(), *procs), acc.execution_time / acc.runs as f64);
+            }
+        }
+
+        let groups = cells
+            .into_iter()
+            .map(|((app, algorithm, processors), acc)| {
+                let n = acc.runs as f64;
+                let execution_time = acc.execution_time / n;
+                let vs_random = random_time
+                    .get(&(app.clone(), processors))
+                    .filter(|&&r| r > 0.0)
+                    .map(|&r| execution_time / r);
+                ReportGroup {
+                    app,
+                    algorithm,
+                    processors,
+                    runs: acc.runs,
+                    execution_time,
+                    total_refs: acc.total_refs / n,
+                    total_misses: acc.total_misses / n,
+                    miss_rate: acc.miss_rate / n,
+                    coherence_traffic: acc.coherence_traffic / n,
+                    miss_taxonomy: acc.taxonomy.map(|t| t / n),
+                    vs_random,
+                }
+            })
+            .collect();
+        Report {
+            groups,
+            manifests: count,
+        }
+    }
+
+    /// Renders the paper-style comparison table as aligned text.
+    pub fn render_text(&self) -> String {
+        let mut t = TextTable::new([
+            "app",
+            "algorithm",
+            "procs",
+            "runs",
+            "exec-time",
+            "vs-RANDOM",
+            "miss-rate",
+            "compulsory",
+            "intra-conf",
+            "inter-conf",
+            "inval",
+            "traffic",
+        ]);
+        for g in &self.groups {
+            t.row([
+                g.app.clone(),
+                g.algorithm.clone(),
+                g.processors.to_string(),
+                g.runs.to_string(),
+                fmt_f(g.execution_time, 0),
+                g.vs_random.map_or_else(|| "-".to_owned(), |r| fmt_f(r, 3)),
+                fmt_f(g.miss_rate, 4),
+                fmt_f(g.miss_taxonomy[0], 0),
+                fmt_f(g.miss_taxonomy[1], 0),
+                fmt_f(g.miss_taxonomy[2], 0),
+                fmt_f(g.miss_taxonomy[3], 0),
+                fmt_f(g.coherence_traffic, 0),
+            ]);
+        }
+        format!(
+            "{t}({} groups from {} manifests)\n",
+            self.groups.len(),
+            self.manifests
+        )
+    }
+
+    /// The report as a `placesim-report-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", REPORT_SCHEMA);
+        w.field_u64("manifests", self.manifests as u64);
+        w.key("groups");
+        w.begin_array();
+        for g in &self.groups {
+            w.begin_object();
+            w.field_str("app", &g.app);
+            w.field_str("algorithm", &g.algorithm);
+            w.field_u64("processors", g.processors as u64);
+            w.field_u64("runs", g.runs);
+            w.field_f64("execution_time", g.execution_time);
+            w.field_f64("total_refs", g.total_refs);
+            w.field_f64("total_misses", g.total_misses);
+            w.field_f64("miss_rate", g.miss_rate);
+            w.field_f64("coherence_traffic", g.coherence_traffic);
+            w.field_f64("compulsory", g.miss_taxonomy[0]);
+            w.field_f64("intra_thread_conflict", g.miss_taxonomy[1]);
+            w.field_f64("inter_thread_conflict", g.miss_taxonomy[2]);
+            w.field_f64("invalidation", g.miss_taxonomy[3]);
+            w.key("vs_random");
+            match g.vs_random {
+                Some(r) => w.value_f64(r),
+                None => w.value_null(),
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Flags groups whose mean execution time or miss count grew more
+    /// than `threshold_pct` percent over the matching group in
+    /// `baseline`. Groups present on only one side are not compared.
+    pub fn compare(&self, baseline: &Report, threshold_pct: f64) -> Vec<Regression> {
+        let base: BTreeMap<(&str, &str, usize), &ReportGroup> = baseline
+            .groups
+            .iter()
+            .map(|g| ((g.app.as_str(), g.algorithm.as_str(), g.processors), g))
+            .collect();
+        let mut out = Vec::new();
+        for g in &self.groups {
+            let Some(b) = base.get(&(g.app.as_str(), g.algorithm.as_str(), g.processors)) else {
+                continue;
+            };
+            for (metric, base_v, cur_v) in [
+                ("execution_time", b.execution_time, g.execution_time),
+                ("total_misses", b.total_misses, g.total_misses),
+            ] {
+                if base_v <= 0.0 {
+                    continue;
+                }
+                let delta_pct = (cur_v - base_v) / base_v * 100.0;
+                if delta_pct > threshold_pct {
+                    out.push(Regression {
+                        app: g.app.clone(),
+                        algorithm: g.algorithm.clone(),
+                        processors: g.processors,
+                        metric,
+                        baseline: base_v,
+                        current: cur_v,
+                        delta_pct,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +453,137 @@ mod tests {
         assert_eq!(ascii_bar(0.001, 1.0, 10), "#", "tiny values still visible");
         assert_eq!(ascii_bar(0.0, 1.0, 10), "");
         assert_eq!(ascii_bar(f64::NAN, 1.0, 10), "");
+    }
+}
+
+#[cfg(test)]
+mod aggregator_tests {
+    use super::*;
+    use crate::manifest::{ManifestEntry, RunManifest};
+    use placesim_machine::{ArchConfig, MissBreakdown};
+    use placesim_obs::json;
+
+    fn entry(algorithm: &str, processors: usize, time: u64, misses: u64) -> ManifestEntry {
+        ManifestEntry {
+            algorithm: algorithm.into(),
+            processors,
+            execution_time: time,
+            total_refs: 1000,
+            total_misses: misses,
+            miss_rate: misses as f64 / 1000.0,
+            coherence_traffic: misses / 2,
+            misses: MissBreakdown {
+                compulsory: misses,
+                ..MissBreakdown::default()
+            },
+        }
+    }
+
+    fn manifest(app: &str, entries: Vec<ManifestEntry>) -> RunManifest {
+        let mut m = RunManifest::new("test", app, &ArchConfig::paper_default());
+        m.entries = entries;
+        m
+    }
+
+    #[test]
+    fn groups_and_averages_across_manifests() {
+        let a = manifest("water", vec![entry("RANDOM", 4, 1000, 100)]);
+        let b = manifest("water", vec![entry("RANDOM", 4, 2000, 200)]);
+        let c = manifest("water", vec![entry("SHARE-REFS", 4, 900, 90)]);
+        let report = Report::from_manifests([&a, &b, &c]);
+        assert_eq!(report.manifests, 3);
+        assert_eq!(report.groups.len(), 2);
+
+        let random = &report.groups[0];
+        assert_eq!(random.algorithm, "RANDOM");
+        assert_eq!(random.runs, 2);
+        assert_eq!(random.execution_time, 1500.0);
+        assert_eq!(random.vs_random, Some(1.0));
+
+        let share = &report.groups[1];
+        assert_eq!(share.algorithm, "SHARE-REFS");
+        assert_eq!(share.vs_random, Some(0.6));
+        assert_eq!(share.miss_taxonomy[0], 90.0);
+    }
+
+    #[test]
+    fn normalization_needs_matching_app_and_processors() {
+        let a = manifest("water", vec![entry("RANDOM", 4, 1000, 100)]);
+        let b = manifest("water", vec![entry("LOAD-BAL", 8, 500, 50)]);
+        let c = manifest("mp3d", vec![entry("LOAD-BAL", 4, 500, 50)]);
+        let report = Report::from_manifests([&a, &b, &c]);
+        for g in &report.groups {
+            if g.algorithm == "RANDOM" {
+                assert_eq!(g.vs_random, Some(1.0));
+            } else {
+                assert_eq!(g.vs_random, None, "{}/{}p", g.app, g.processors);
+            }
+        }
+    }
+
+    #[test]
+    fn text_and_json_renderings_are_complete() {
+        let a = manifest(
+            "water",
+            vec![
+                entry("RANDOM", 4, 1000, 100),
+                entry("SHARE-REFS", 4, 800, 90),
+            ],
+        );
+        let report = Report::from_manifests([&a]);
+        let text = report.render_text();
+        assert!(text.contains("SHARE-REFS"));
+        assert!(text.contains("vs-RANDOM"));
+        assert!(text.contains("0.800"));
+
+        let js = report.to_json();
+        let doc = json::parse(&js).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(json::JsonValue::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("groups")
+                .and_then(json::JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_past_threshold() {
+        let base = Report::from_manifests([&manifest(
+            "water",
+            vec![
+                entry("RANDOM", 4, 1000, 100),
+                entry("LOAD-BAL", 4, 1000, 100),
+            ],
+        )]);
+        // LOAD-BAL regresses 10% in time; RANDOM improves (never flagged).
+        let cur = Report::from_manifests([&manifest(
+            "water",
+            vec![
+                entry("RANDOM", 4, 900, 100),
+                entry("LOAD-BAL", 4, 1100, 100),
+            ],
+        )]);
+        let regressions = cur.compare(&base, 2.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].algorithm, "LOAD-BAL");
+        assert_eq!(regressions[0].metric, "execution_time");
+        assert!((regressions[0].delta_pct - 10.0).abs() < 1e-9);
+
+        // Identical reports never regress, at any threshold.
+        assert!(cur.compare(&cur, 0.0).is_empty());
+        // Within threshold: not flagged.
+        assert!(cur.compare(&base, 15.0).is_empty());
+    }
+
+    #[test]
+    fn compare_ignores_unmatched_groups() {
+        let base =
+            Report::from_manifests([&manifest("water", vec![entry("RANDOM", 4, 1000, 100)])]);
+        let cur = Report::from_manifests([&manifest("mp3d", vec![entry("RANDOM", 4, 9000, 900)])]);
+        assert!(cur.compare(&base, 2.0).is_empty());
     }
 }

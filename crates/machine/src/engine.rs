@@ -66,6 +66,7 @@ use crate::directory::{Directory, MAX_PROCESSORS};
 use crate::obs::{EngineObs, EngineObsReport};
 use crate::stats::{MissKind, ProcStats, SimStats};
 use placesim_analysis::SymMatrix;
+use placesim_obs::EventTrace;
 use placesim_placement::{PlacementMap, ProcessorId};
 use placesim_trace::{MemRef, ProgramTrace, RefKind, ThreadId, ThreadTraceIter};
 #[cfg(feature = "reference-engine")]
@@ -186,6 +187,31 @@ pub fn simulate_observed(
     let mut obs = EngineObs::enabled();
     let (stats, _) = run(prog, map, config, false, &mut obs)?;
     Ok((stats, obs.report()))
+}
+
+/// Like [`simulate_observed`], but additionally records a cycle-stamped
+/// event timeline retaining up to `capacity` events (ring buffer:
+/// oldest events are overwritten once full, per-kind counts stay
+/// exact). Export it with [`EventTrace::to_chrome_json`] or mine it
+/// with [`EventTrace::sharing_runs`].
+///
+/// The statistics are identical to [`simulate`]'s — tracing never
+/// perturbs the simulation. Without the `obs` cargo feature the trace
+/// comes back empty (and the report disabled).
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_traced(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    capacity: usize,
+) -> Result<(SimStats, EngineObsReport, EventTrace), SimError> {
+    let mut obs = EngineObs::traced(capacity);
+    let (stats, _) = run(prog, map, config, false, &mut obs)?;
+    let (report, trace) = obs.finish();
+    Ok((stats, report, trace.unwrap_or_else(|| EventTrace::new(1))))
 }
 
 /// One hardware context: a thread's reference stream plus readiness.
@@ -423,6 +449,9 @@ fn run(
             horizon.0
         };
         let ctx_idx = procs[pi].current;
+        // Timeline hooks want the dispatched thread; a scheduled event
+        // always has a live current context.
+        let cur_thread = procs[pi].contexts[ctx_idx].thread.index() as u32;
         let mut now = t;
 
         // Fast path: consume the current context's consecutive hitting
@@ -470,6 +499,7 @@ fn run(
                             stats.finish_time = now;
                             events[pi] = now;
                             obs.on_hit_run(run_hits);
+                            obs.on_run_slice(pi, cur_thread, t, now, run_hits);
                             continue 'events;
                         }
                     }
@@ -495,15 +525,18 @@ fn run(
             stats.finish_time = now;
         }
         obs.on_hit_run(run_hits);
+        obs.on_run_slice(pi, cur_thread, t, now, run_hits);
 
         let me = ProcessorId::from_index(pi);
         let final_hit = matches!(stop, Stop::HitExhausted);
-        // Slow path: `Some((missed, exhausted))` falls through to the
-        // shared reschedule tail; `None` arms reschedule themselves.
-        let reschedule: Option<(bool, bool)> = match stop {
+        // Slow path: `Some((missed, exhausted, fill_line))` falls through
+        // to the shared reschedule tail (`fill_line` is `Some` only for
+        // real misses, so upgrade stalls emit no fill event); `None` arms
+        // reschedule themselves.
+        let reschedule: Option<(bool, bool, Option<u64>)> = match stop {
             Stop::HitExhausted => {
                 // Switching away from a completed thread is free.
-                Some((false, true))
+                Some((false, true, None))
             }
             Stop::Barrier { exhausted } => {
                 procs[pi].stats.busy += 1;
@@ -569,14 +602,16 @@ fn run(
                 let tx = directory.write_fill(me, line);
                 let had_remote = !tx.invalidate.is_empty();
                 obs.on_invalidation_fanout(tx.invalidate.len() as u64);
+                obs.on_directory(pi, cur_thread, now, line, tx.invalidate.len() as u64, true);
                 procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                 for victim in tx.invalidate {
                     caches[victim.index()].invalidate(line, me);
                     procs[victim.index()].stats.invalidations_received += 1;
                     record_pair(&mut traffic, victim.index(), pi);
+                    obs.on_invalidation_pair(pi, victim.index(), line, now);
                 }
                 caches[pi].set_modified(line);
-                Some((config.upgrade_stalls() && had_remote, exhausted))
+                Some((config.upgrade_stalls() && had_remote, exhausted, None))
             }
             Stop::Miss {
                 line,
@@ -586,6 +621,7 @@ fn run(
                 exhausted,
             } => {
                 procs[pi].stats.misses.record(kind);
+                obs.on_miss(pi, cur_thread, now, line, kind as u64);
                 if kind == MissKind::Invalidation {
                     if let Some(src) = source {
                         record_pair(&mut traffic, pi, src.index());
@@ -599,11 +635,20 @@ fn run(
                 if is_write {
                     obs.on_invalidation_fanout(tx.invalidate.len() as u64);
                 }
+                obs.on_directory(
+                    pi,
+                    cur_thread,
+                    now,
+                    line,
+                    tx.invalidate.len() as u64,
+                    is_write,
+                );
                 procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                 for victim in tx.invalidate {
                     caches[victim.index()].invalidate(line, me);
                     procs[victim.index()].stats.invalidations_received += 1;
                     record_pair(&mut traffic, victim.index(), pi);
+                    obs.on_invalidation_pair(pi, victim.index(), line, now);
                 }
                 if let Some(owner) = tx.downgrade {
                     caches[owner.index()].downgrade(line);
@@ -617,11 +662,11 @@ fn run(
                 if let Some((vline, _)) = caches[pi].fill(line, fill_state, thread) {
                     directory.evict(me, vline);
                 }
-                Some((true, exhausted))
+                Some((true, exhausted, Some(line)))
             }
         };
 
-        let Some((missed, exhausted)) = reschedule else {
+        let Some((missed, exhausted, fill_line)) = reschedule else {
             continue 'events;
         };
 
@@ -642,6 +687,9 @@ fn run(
                 start
             };
             ctx.ready_at = start + latency;
+            if let Some(fline) = fill_line {
+                obs.on_fill(pi, cur_thread, ctx.ready_at, fline);
+            }
         }
         proc.stats.finish_time = issue_end;
 
@@ -664,6 +712,7 @@ fn run(
                 proc.stats.switching += drained;
                 if missed {
                     obs.on_switch(drained);
+                    obs.on_switch_slice(pi, cur_thread, issue_end, drained);
                 }
                 if dispatch > drain_end {
                     proc.stats.idle += dispatch - drain_end;

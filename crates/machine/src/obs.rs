@@ -9,7 +9,12 @@
 //! recorded distributions.
 
 use placesim_obs::json::JsonWriter;
+#[cfg(feature = "obs")]
+use placesim_obs::timeline::NO_THREAD;
+use placesim_obs::EventTrace;
 use placesim_obs::Histogram;
+#[cfg(feature = "obs")]
+use placesim_obs::{EventKind, TimelineEvent};
 
 /// Absent-event marker in the engine's slot queue (mirrors the engine's
 /// private `NO_EVENT`). Only the `obs`-gated hook bodies and the tests
@@ -26,6 +31,8 @@ struct ObsInner {
     invalidation_fanout: Histogram,
     context_switches: u64,
     switch_stall_cycles: u64,
+    /// Cycle-stamped event ring, present only for traced runs.
+    timeline: Option<EventTrace>,
 }
 
 /// The engine's hook collector. A zero-cost stub unless the crate is
@@ -50,6 +57,26 @@ impl EngineObs {
         {
             EngineObs {
                 inner: Some(ObsInner::default()),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            Self::default()
+        }
+    }
+
+    /// A recording collector that additionally keeps a cycle-stamped
+    /// event timeline retaining up to `capacity` events. Falls back to
+    /// a no-op stub when the `obs` feature is off.
+    pub(crate) fn traced(capacity: usize) -> Self {
+        let _ = capacity;
+        #[cfg(feature = "obs")]
+        {
+            EngineObs {
+                inner: Some(ObsInner {
+                    timeline: Some(EventTrace::new(capacity)),
+                    ..ObsInner::default()
+                }),
             }
         }
         #[cfg(not(feature = "obs"))]
@@ -103,21 +130,173 @@ impl EngineObs {
         }
     }
 
+    /// Records a timeline event, if this collector keeps a timeline.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn record(&mut self, ev: TimelineEvent) {
+        if let Some(timeline) = self.inner.as_mut().and_then(|i| i.timeline.as_mut()) {
+            timeline.record(ev);
+        }
+    }
+
+    /// A hit run completed on processor `pi`: `thread` executed `hits`
+    /// consecutive hits over cycles `[start, end)`. Zero-length slices
+    /// (a dispatch that immediately missed) are not recorded.
+    #[inline]
+    pub(crate) fn on_run_slice(&mut self, pi: usize, thread: u32, start: u64, end: u64, hits: u64) {
+        let _ = (pi, thread, start, end, hits);
+        #[cfg(feature = "obs")]
+        if end > start {
+            self.record(TimelineEvent {
+                cycle: start,
+                dur: end - start,
+                processor: pi as u32,
+                thread,
+                kind: EventKind::RunSlice,
+                line: u64::MAX,
+                detail: hits,
+            });
+        }
+    }
+
+    /// A miss-induced context switch started at `at` on processor `pi`,
+    /// draining for `stall` cycles away from `thread`. Always paired
+    /// with an [`EngineObs::on_switch`] call at the same site.
+    #[inline]
+    pub(crate) fn on_switch_slice(&mut self, pi: usize, thread: u32, at: u64, stall: u64) {
+        let _ = (pi, thread, at, stall);
+        #[cfg(feature = "obs")]
+        self.record(TimelineEvent {
+            cycle: at,
+            dur: stall,
+            processor: pi as u32,
+            thread,
+            kind: EventKind::ContextSwitch,
+            line: u64::MAX,
+            detail: stall,
+        });
+    }
+
+    /// `thread` on processor `pi` missed on `line` at `cycle`;
+    /// `kind_idx` is the [`crate::MissKind`] discriminant.
+    #[inline]
+    pub(crate) fn on_miss(&mut self, pi: usize, thread: u32, cycle: u64, line: u64, kind_idx: u64) {
+        let _ = (pi, thread, cycle, line, kind_idx);
+        #[cfg(feature = "obs")]
+        self.record(TimelineEvent {
+            cycle,
+            dur: 0,
+            processor: pi as u32,
+            thread,
+            kind: EventKind::MissIssue,
+            line,
+            detail: kind_idx,
+        });
+    }
+
+    /// The fill for `thread`'s miss on `line` completes at `ready_at`
+    /// (a future cycle: fills are recorded at issue, so the trace is
+    /// emission-ordered rather than timestamp-sorted).
+    #[inline]
+    pub(crate) fn on_fill(&mut self, pi: usize, thread: u32, ready_at: u64, line: u64) {
+        let _ = (pi, thread, ready_at, line);
+        #[cfg(feature = "obs")]
+        self.record(TimelineEvent {
+            cycle: ready_at,
+            dur: 0,
+            processor: pi as u32,
+            thread,
+            kind: EventKind::MissFill,
+            line,
+            detail: 0,
+        });
+    }
+
+    /// A directory write transaction by processor `sender` invalidated
+    /// `line` in processor `victim`'s cache at `cycle`. Emits the send
+    /// on the sender's track and the receive on the victim's.
+    #[inline]
+    pub(crate) fn on_invalidation_pair(
+        &mut self,
+        sender: usize,
+        victim: usize,
+        line: u64,
+        cycle: u64,
+    ) {
+        let _ = (sender, victim, line, cycle);
+        #[cfg(feature = "obs")]
+        {
+            self.record(TimelineEvent {
+                cycle,
+                dur: 0,
+                processor: sender as u32,
+                thread: NO_THREAD,
+                kind: EventKind::InvalidationSend,
+                line,
+                detail: victim as u64,
+            });
+            self.record(TimelineEvent {
+                cycle,
+                dur: 0,
+                processor: victim as u32,
+                thread: NO_THREAD,
+                kind: EventKind::InvalidationReceive,
+                line,
+                detail: sender as u64,
+            });
+        }
+    }
+
+    /// A directory transaction (fill or upgrade) on `line` by `thread`
+    /// on processor `pi` at `cycle`; `fanout` remote caches were
+    /// invalidated, `is_write` for write transactions.
+    #[inline]
+    pub(crate) fn on_directory(
+        &mut self,
+        pi: usize,
+        thread: u32,
+        cycle: u64,
+        line: u64,
+        fanout: u64,
+        is_write: bool,
+    ) {
+        let _ = (pi, thread, cycle, line, fanout, is_write);
+        #[cfg(feature = "obs")]
+        self.record(TimelineEvent {
+            cycle,
+            dur: 0,
+            processor: pi as u32,
+            thread,
+            kind: EventKind::DirectoryTransition,
+            line,
+            detail: (fanout << 1) | u64::from(is_write),
+        });
+    }
+
     /// Finalizes the collector into its report.
     pub(crate) fn report(self) -> EngineObsReport {
+        self.finish().0
+    }
+
+    /// Finalizes the collector into its report plus the event timeline,
+    /// if this run kept one.
+    pub(crate) fn finish(self) -> (EngineObsReport, Option<EventTrace>) {
         #[cfg(feature = "obs")]
         if let Some(inner) = self.inner {
-            return EngineObsReport {
-                enabled: true,
-                events: inner.events,
-                queue_depth: inner.queue_depth,
-                hit_run_hits: inner.hit_run_hits,
-                invalidation_fanout: inner.invalidation_fanout,
-                context_switches: inner.context_switches,
-                switch_stall_cycles: inner.switch_stall_cycles,
-            };
+            return (
+                EngineObsReport {
+                    enabled: true,
+                    events: inner.events,
+                    queue_depth: inner.queue_depth,
+                    hit_run_hits: inner.hit_run_hits,
+                    invalidation_fanout: inner.invalidation_fanout,
+                    context_switches: inner.context_switches,
+                    switch_stall_cycles: inner.switch_stall_cycles,
+                },
+                inner.timeline,
+            );
         }
-        EngineObsReport::default()
+        (EngineObsReport::default(), None)
     }
 }
 

@@ -224,6 +224,269 @@ pub fn field_values(json: &str, key: &str) -> Vec<f64> {
     out
 }
 
+/// A parsed JSON value.
+///
+/// Object members keep their document order in a `Vec` (the workspace's
+/// documents are small, and order preservation makes diffs and error
+/// messages stable). Numbers are stored as `f64`; integers are exact up
+/// to 2^53, far beyond any counter this workspace emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, members in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a non-negative whole
+    /// number within exact `f64` range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if the value is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if the value is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Maximum container nesting [`parse`] accepts.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a complete JSON document strictly: exactly one value, no
+/// trailing garbage, no duplicate object keys, nesting bounded by a
+/// fixed depth. This is the reader side of [`JsonWriter`] — every
+/// manifest and report the workspace ingests goes through it.
+///
+/// # Errors
+///
+/// Returns a description (with byte offset) of the first problem found.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(input, bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(
+    input: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members: Vec<(String, JsonValue)> = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(input, bytes, pos)?;
+                if members.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate key {key:?} at byte {pos}"));
+                }
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(input, bytes, pos, depth + 1)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(input, bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(input, bytes, pos)?)),
+        Some(b't') if input[*pos..].starts_with("true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if input[*pos..].starts_with("false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if input[*pos..].starts_with("null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && (bytes[*pos].is_ascii_digit() || b".-+eE".contains(&bytes[*pos]))
+            {
+                *pos += 1;
+            }
+            if *pos == start {
+                return Err(format!("unexpected character at byte {start}"));
+            }
+            input[start..*pos]
+                .parse::<f64>()
+                .ok()
+                .filter(|n| n.is_finite())
+                .map(JsonValue::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let rest = &input[*pos..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some((_, '"')) => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some((_, '\\')) => match chars.next() {
+                Some((i, esc)) => {
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex = rest.get(2..6).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                            // Surrogates map to the replacement character;
+                            // the writer never emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        other => return Err(format!("unknown escape \\{other} at byte {pos}")),
+                    }
+                    *pos += i + esc.len_utf8();
+                }
+                None => return Err("unterminated escape".into()),
+            },
+            Some((i, c)) => {
+                out.push(c);
+                *pos += i + c.len_utf8();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +568,100 @@ mod tests {
     fn field_values_extracts_numbers() {
         let json = "{\"t\": 1.5, \"x\": {\"t\": 2}, \"t\": \"str\"}";
         assert_eq!(field_values(json, "t"), vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "wa\"ter\n");
+        w.field_u64("n", 42);
+        w.field_f64("x", 1.5);
+        w.field_bool("ok", true);
+        w.key("xs");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_u64(2);
+        w.end_array();
+        w.key("none");
+        w.value_null();
+        w.end_object();
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("wa\"ter\n"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let xs: Vec<u64> = v
+            .get("xs")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e.as_u64().unwrap())
+            .collect();
+        assert_eq!(xs, vec![1, 2]);
+        assert!(v.get("none").unwrap().is_null());
+        assert!(v.get("absent").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(parse("{\"a\": 1} extra").is_err());
+        assert!(parse("{} {}").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("{\"a\": 1}").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys() {
+        let err = parse("{\"a\": 1, \"a\": 2}").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        // Duplicates in nested objects are caught too.
+        assert!(parse("{\"o\": {\"k\": 1, \"k\": 1}}").is_err());
+        // Same key in sibling objects is fine.
+        assert!(parse("[{\"k\": 1}, {\"k\": 2}]").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\"}",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1, 2,]",
+            "\"unterminated",
+            "truth",
+            "nul",
+            "1e",
+            "--3",
+            "{\"a\": 01x}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_enforces_depth_limit() {
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn as_u64_rejects_non_integers() {
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1e30").unwrap().as_u64(), None);
+        assert_eq!(parse("12").unwrap().as_u64(), Some(12));
+    }
+
+    #[test]
+    fn parse_handles_unicode_escapes() {
+        let v = parse("\"a\\u0041\\u00e9b\"").unwrap();
+        assert_eq!(v.as_str(), Some("aAéb"));
     }
 }

@@ -24,6 +24,9 @@
 
 pub mod json;
 pub mod sink;
+pub mod timeline;
+
+pub use timeline::{EventKind, EventTrace, SharingRun, TimelineEvent};
 
 use std::time::Instant;
 
@@ -140,6 +143,55 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Bucket-interpolated percentile estimate, `p` in `[0, 100]`.
+    ///
+    /// Walks the cumulative bucket counts to the bucket containing the
+    /// rank `p/100 × count`, then interpolates linearly across that
+    /// bucket's value range (`[2^(i-1), 2^i)` for bucket `i ≥ 1`, exactly
+    /// `0` for bucket 0). The estimate is clamped to the exact recorded
+    /// `[min, max]`, so single-valued distributions and the extremes
+    /// (`p = 0`, `p = 100`) come back exact.
+    ///
+    /// Returns `None` for an empty histogram or `p` outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        let target = p / 100.0 * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum;
+            cum += c;
+            if (cum as f64) < target {
+                continue;
+            }
+            // Value range covered by bucket i.
+            let (lo, hi) = if i == 0 {
+                (0.0, 0.0)
+            } else {
+                let lo = (1u64 << (i - 1)) as f64;
+                // Bucket 64 tops out at u64::MAX.
+                let hi = if i >= 64 {
+                    u64::MAX as f64
+                } else {
+                    ((1u64 << i) - 1) as f64
+                };
+                (lo, hi)
+            };
+            let frac = if c == 0 {
+                0.0
+            } else {
+                ((target - before as f64) / c as f64).clamp(0.0, 1.0)
+            };
+            let est = lo + frac * (hi - lo);
+            return Some(est.clamp(self.min as f64, self.max as f64));
+        }
+        Some(self.max as f64)
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -163,6 +215,9 @@ impl Histogram {
         w.field_u64("min", self.min().unwrap_or(0));
         w.field_u64("max", self.max().unwrap_or(0));
         w.field_f64("mean", self.mean().unwrap_or(0.0));
+        w.field_f64("p50", self.percentile(50.0).unwrap_or(0.0));
+        w.field_f64("p95", self.percentile(95.0).unwrap_or(0.0));
+        w.field_f64("p99", self.percentile(99.0).unwrap_or(0.0));
         w.key("buckets");
         w.begin_array();
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -280,6 +335,77 @@ mod tests {
         assert_eq!(a.min(), Some(1));
         assert_eq!(a.max(), Some(100));
         assert_eq!(a.sum(), 101);
+    }
+
+    #[test]
+    fn percentile_on_exact_distributions() {
+        // 1..=100 uniformly: p50 must land in the right bucket and
+        // within the log2 bucket's resolution of the exact median.
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((32.0..=64.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(99.0).unwrap();
+        assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+        // Extremes are exact thanks to the min/max clamp.
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        // Monotone in p.
+        let mut last = 0.0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            assert!(v >= last, "percentile not monotone at p={p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn percentile_single_value_is_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..7 {
+            h.record(42);
+        }
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(42.0), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_all_zeros() {
+        let mut h = Histogram::new();
+        for _ in 0..4 {
+            h.record(0);
+        }
+        assert_eq!(h.percentile(50.0), Some(0.0));
+        assert_eq!(h.percentile(99.0), Some(0.0));
+    }
+
+    #[test]
+    fn percentile_rejects_bad_inputs() {
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(50.0), None);
+        let mut h = Histogram::new();
+        h.record(1);
+        assert_eq!(h.percentile(-1.0), None);
+        assert_eq!(h.percentile(101.0), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_two_cluster_split() {
+        // 90 small samples (value 2) and 10 large ones (value 1024):
+        // p50 sits with the small cluster, p99 with the large one.
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(2);
+        }
+        for _ in 0..10 {
+            h.record(1024);
+        }
+        assert!(h.percentile(50.0).unwrap() <= 3.0);
+        assert!(h.percentile(99.0).unwrap() >= 512.0);
     }
 
     #[test]

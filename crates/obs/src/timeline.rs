@@ -1,0 +1,530 @@
+//! Cycle-level event timeline tracing.
+//!
+//! A [`EventTrace`] is a bounded ring buffer of typed, cycle-stamped
+//! [`TimelineEvent`]s recorded by an instrumented simulation run. The
+//! buffer is allocated once at construction and never grows: recording
+//! in steady state is a store plus two counter bumps, and when the ring
+//! is full the oldest events are overwritten (the per-kind counters keep
+//! counting, so totals stay exact even after drops).
+//!
+//! The trace exports to the Chrome trace-event JSON format
+//! ([`EventTrace::to_chrome_json`]), loadable in `chrome://tracing` and
+//! Perfetto, and supports per-line *sequential-sharing run* extraction
+//! ([`EventTrace::sharing_runs`]): maximal tenures of a single thread
+//! over a shared cache line, the paper's §5 "sharing is sequential"
+//! claim made directly measurable.
+//!
+//! Timestamps are simulation cycles. The Chrome export maps one cycle to
+//! one microsecond of trace time (the format's native unit), which only
+//! affects the axis label, not the shape.
+
+use crate::json::JsonWriter;
+use crate::Histogram;
+use std::collections::HashMap;
+
+/// Number of event kinds (length of [`EventKind::ALL`]).
+pub const EVENT_KINDS: usize = 7;
+
+/// Marker for "no thread" in [`TimelineEvent::thread`].
+pub const NO_THREAD: u32 = u32::MAX;
+
+/// The typed events an instrumented engine emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A processor ran one context for a stretch of consecutive cache
+    /// hits. `dur` spans the slice; `detail` = hits completed.
+    RunSlice,
+    /// A miss-induced context switch (pipeline drain). `dur` = `detail`
+    /// = drained stall cycles.
+    ContextSwitch,
+    /// A cache miss was issued. `line` = missing line, `detail` = miss
+    /// kind index (0 compulsory, 1 intra-thread conflict, 2 inter-thread
+    /// conflict, 3 invalidation).
+    MissIssue,
+    /// The fill for a miss completes and its context becomes ready.
+    /// `cycle` is the (future) readiness cycle; `line` = filled line.
+    MissFill,
+    /// This processor's write transaction invalidated a remote cache.
+    /// `detail` = victim processor.
+    InvalidationSend,
+    /// A remote write invalidated a line in this processor's cache.
+    /// `detail` = sending processor.
+    InvalidationReceive,
+    /// A directory transaction (read or write fill / upgrade).
+    /// `detail` = `(fanout << 1) | is_write`.
+    DirectoryTransition,
+}
+
+impl EventKind {
+    /// All kinds, in declaration order (used to index count arrays).
+    pub const ALL: [EventKind; EVENT_KINDS] = [
+        EventKind::RunSlice,
+        EventKind::ContextSwitch,
+        EventKind::MissIssue,
+        EventKind::MissFill,
+        EventKind::InvalidationSend,
+        EventKind::InvalidationReceive,
+        EventKind::DirectoryTransition,
+    ];
+
+    /// Dense index of this kind (position in [`EventKind::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::RunSlice => 0,
+            EventKind::ContextSwitch => 1,
+            EventKind::MissIssue => 2,
+            EventKind::MissFill => 3,
+            EventKind::InvalidationSend => 4,
+            EventKind::InvalidationReceive => 5,
+            EventKind::DirectoryTransition => 6,
+        }
+    }
+
+    /// Short label used as the Chrome event name.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::RunSlice => "run",
+            EventKind::ContextSwitch => "switch",
+            EventKind::MissIssue => "miss",
+            EventKind::MissFill => "fill",
+            EventKind::InvalidationSend => "inv-send",
+            EventKind::InvalidationReceive => "inv-recv",
+            EventKind::DirectoryTransition => "dir",
+        }
+    }
+
+    /// `true` for kinds exported as Chrome duration (`"X"`) events;
+    /// instant (`"i"`) events otherwise.
+    pub fn is_span(self) -> bool {
+        matches!(self, EventKind::RunSlice | EventKind::ContextSwitch)
+    }
+}
+
+/// One recorded event. `Copy` and fixed-size so the ring buffer never
+/// allocates while recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Cycle the event happened (start cycle for span kinds).
+    pub cycle: u64,
+    /// Duration in cycles for span kinds, 0 for instants.
+    pub dur: u64,
+    /// Processor the event belongs to.
+    pub processor: u32,
+    /// Thread involved, or [`NO_THREAD`].
+    pub thread: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Cache line involved, or `u64::MAX` when not applicable.
+    pub line: u64,
+    /// Kind-specific payload; see the [`EventKind`] variant docs.
+    pub detail: u64,
+}
+
+/// One maximal single-thread tenure over a shared cache line, extracted
+/// from the directory-transition events of a timeline.
+///
+/// A run starts at the thread's first directory transaction on the line
+/// and ends when a *different* thread transacts on it (or at the last
+/// observed transaction, for the final run). Long runs mean sharing is
+/// sequential — threads finish with shared data before others touch it —
+/// which is the paper's §5 explanation for why placement barely moves
+/// miss counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharingRun {
+    /// The shared cache line.
+    pub line: u64,
+    /// The tenant thread.
+    pub thread: u32,
+    /// Processor the thread ran on at the start of the run.
+    pub processor: u32,
+    /// Cycle of the thread's first transaction on the line.
+    pub start_cycle: u64,
+    /// Cycle the tenure ended (next thread's transaction, or the last
+    /// transaction observed).
+    pub end_cycle: u64,
+    /// Directory transactions by the tenant during the run.
+    pub transactions: u64,
+}
+
+impl SharingRun {
+    /// Tenure length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// A bounded, allocation-free-in-steady-state ring buffer of timeline
+/// events plus exact per-kind counters.
+///
+/// The counters ([`EventTrace::count`], [`EventTrace::total_recorded`])
+/// track every event ever recorded; the ring retains only the most
+/// recent `capacity` of them, so the counters are what downstream
+/// reconciliation (against `SimStats` and the invariant auditor) checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTrace {
+    buf: Vec<TimelineEvent>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+    total: u64,
+    counts: [u64; EVENT_KINDS],
+    capacity: usize,
+}
+
+impl EventTrace {
+    /// Creates a trace retaining at most `capacity` events (clamped to
+    /// at least 1). The buffer is reserved up front; recording never
+    /// allocates afterwards.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventTrace {
+            buf: Vec::with_capacity(capacity),
+            next: 0,
+            total: 0,
+            counts: [0; EVENT_KINDS],
+            capacity,
+        }
+    }
+
+    /// Records one event, overwriting the oldest once full.
+    #[inline]
+    pub fn record(&mut self, ev: TimelineEvent) {
+        self.counts[ev.kind.index()] += 1;
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been recorded (or retained).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to ring overwrites.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Exact count of events of `kind` ever recorded (drop-proof).
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Retained events in recording order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &TimelineEvent> {
+        let (tail, head) = self.buf.split_at(self.next.min(self.buf.len()));
+        head.iter().chain(tail.iter())
+    }
+
+    /// Extracts the sequential-sharing runs from the retained
+    /// [`EventKind::DirectoryTransition`] events (see [`SharingRun`]).
+    /// Only lines transacted on by two or more distinct threads — i.e.
+    /// actually shared — produce runs. Returns runs ordered by start
+    /// cycle. If the ring overwrote events, extraction covers the
+    /// retained window only.
+    pub fn sharing_runs(&self) -> Vec<SharingRun> {
+        // First pass: which lines are shared (≥ 2 distinct threads)?
+        let mut first_thread: HashMap<u64, u32> = HashMap::new();
+        let mut shared: HashMap<u64, bool> = HashMap::new();
+        for ev in self.iter() {
+            if ev.kind != EventKind::DirectoryTransition {
+                continue;
+            }
+            match first_thread.get(&ev.line) {
+                None => {
+                    first_thread.insert(ev.line, ev.thread);
+                }
+                Some(&t) if t != ev.thread => {
+                    shared.insert(ev.line, true);
+                }
+                Some(_) => {}
+            }
+        }
+        // Second pass: split each shared line's transaction stream into
+        // maximal same-thread runs.
+        let mut open: HashMap<u64, SharingRun> = HashMap::new();
+        let mut out: Vec<SharingRun> = Vec::new();
+        for ev in self.iter() {
+            if ev.kind != EventKind::DirectoryTransition || !shared.contains_key(&ev.line) {
+                continue;
+            }
+            match open.get_mut(&ev.line) {
+                Some(run) if run.thread == ev.thread => {
+                    run.end_cycle = ev.cycle;
+                    run.transactions += 1;
+                }
+                other => {
+                    if let Some(mut prev) = other.map(|r| *r) {
+                        // The tenure ends when the next thread arrives.
+                        prev.end_cycle = ev.cycle;
+                        out.push(prev);
+                    }
+                    open.insert(
+                        ev.line,
+                        SharingRun {
+                            line: ev.line,
+                            thread: ev.thread,
+                            processor: ev.processor,
+                            start_cycle: ev.cycle,
+                            end_cycle: ev.cycle,
+                            transactions: 1,
+                        },
+                    );
+                }
+            }
+        }
+        out.extend(open.into_values());
+        out.sort_by_key(|r| (r.start_cycle, r.line, r.thread));
+        out
+    }
+
+    /// Histogram of sharing-run tenure lengths in cycles.
+    pub fn sharing_run_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for run in self.sharing_runs() {
+            h.record(run.cycles());
+        }
+        h
+    }
+
+    /// Writes the trace as a complete Chrome trace-event JSON document
+    /// onto `w`: a `traceEvents` array (metadata + one entry per
+    /// retained event) plus an `otherData` block carrying the schema
+    /// tag, totals and drop count. Loadable in `chrome://tracing` and
+    /// Perfetto; span kinds become `"X"` duration events, the rest
+    /// thread-scoped `"i"` instants.
+    pub fn write_chrome_json(&self, w: &mut JsonWriter) {
+        let procs: u64 = self
+            .iter()
+            .map(|e| u64::from(e.processor) + 1)
+            .max()
+            .unwrap_or(0);
+        w.begin_object();
+        w.key("traceEvents");
+        w.begin_array();
+        // Metadata: one trace-viewer "thread" per simulated processor.
+        w.begin_object();
+        w.field_str("name", "process_name");
+        w.field_str("ph", "M");
+        w.field_u64("pid", 1);
+        w.key("args");
+        w.begin_object();
+        w.field_str("name", "placesim");
+        w.end_object();
+        w.end_object();
+        for p in 0..procs {
+            w.begin_object();
+            w.field_str("name", "thread_name");
+            w.field_str("ph", "M");
+            w.field_u64("pid", 1);
+            w.field_u64("tid", p);
+            w.key("args");
+            w.begin_object();
+            w.field_str("name", &format!("P{p}"));
+            w.end_object();
+            w.end_object();
+        }
+        for ev in self.iter() {
+            w.begin_object();
+            w.field_str("name", ev.kind.label());
+            w.field_u64("pid", 1);
+            w.field_u64("tid", u64::from(ev.processor));
+            w.field_u64("ts", ev.cycle);
+            if ev.kind.is_span() {
+                w.field_str("ph", "X");
+                w.field_u64("dur", ev.dur);
+            } else {
+                w.field_str("ph", "i");
+                w.field_str("s", "t");
+            }
+            w.key("args");
+            w.begin_object();
+            if ev.thread != NO_THREAD {
+                w.field_u64("thread", u64::from(ev.thread));
+            }
+            if ev.line != u64::MAX {
+                w.field_str("line", &format!("{:#x}", ev.line));
+            }
+            w.field_u64("detail", ev.detail);
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("otherData");
+        w.begin_object();
+        w.field_str("schema", "placesim-timeline-v1");
+        w.field_str("time_unit", "cycles (1 cycle = 1 us of trace time)");
+        w.field_u64("total_recorded", self.total);
+        w.field_u64("retained", self.buf.len() as u64);
+        w.field_u64("dropped", self.dropped());
+        w.key("counts");
+        w.begin_object();
+        for kind in EventKind::ALL {
+            w.field_u64(kind.label(), self.count(kind));
+        }
+        w.end_object();
+        w.end_object();
+        w.end_object();
+    }
+
+    /// The trace as a standalone Chrome trace-event JSON document.
+    pub fn to_chrome_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_chrome_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(kind: EventKind, cycle: u64, thread: u32, line: u64) -> TimelineEvent {
+        TimelineEvent {
+            cycle,
+            dur: 0,
+            processor: 0,
+            thread,
+            kind,
+            line,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn kind_indices_are_dense() {
+        for (i, kind) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn ring_bounds_retention_but_not_counts() {
+        let mut t = EventTrace::new(4);
+        for i in 0..10 {
+            t.record(ev(EventKind::MissIssue, i, 0, 0x40));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.capacity(), 4);
+        assert_eq!(t.total_recorded(), 10);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.count(EventKind::MissIssue), 10);
+        // Retained events are the newest four, oldest first.
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn iter_before_wrap_is_in_order() {
+        let mut t = EventTrace::new(8);
+        for i in 0..3 {
+            t.record(ev(EventKind::RunSlice, i, 0, u64::MAX));
+        }
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut t = EventTrace::new(0);
+        t.record(ev(EventKind::MissFill, 1, 0, 0));
+        assert_eq!(t.capacity(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sharing_runs_split_on_thread_change() {
+        let mut t = EventTrace::new(64);
+        // Line 0x40: T0 transacts at 0, 10, 20; T1 takes over at 30 and
+        // transacts again at 35; T0 returns at 50.
+        for (cycle, thread) in [(0, 0), (10, 0), (20, 0), (30, 1), (35, 1), (50, 0)] {
+            t.record(ev(EventKind::DirectoryTransition, cycle, thread, 0x40));
+        }
+        // Line 0x80 is private to T2: no runs.
+        t.record(ev(EventKind::DirectoryTransition, 5, 2, 0x80));
+        let runs = t.sharing_runs();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(
+            (runs[0].thread, runs[0].start_cycle, runs[0].end_cycle),
+            (0, 0, 30)
+        );
+        assert_eq!(runs[0].transactions, 3);
+        assert_eq!(runs[0].cycles(), 30);
+        assert_eq!(
+            (runs[1].thread, runs[1].start_cycle, runs[1].end_cycle),
+            (1, 30, 50)
+        );
+        assert_eq!(runs[1].transactions, 2);
+        // Final run closes at its last observed transaction.
+        assert_eq!(
+            (runs[2].thread, runs[2].start_cycle, runs[2].end_cycle),
+            (0, 50, 50)
+        );
+        assert!(runs.iter().all(|r| r.line == 0x40));
+    }
+
+    #[test]
+    fn sharing_run_histogram_counts_runs() {
+        let mut t = EventTrace::new(64);
+        for (cycle, thread) in [(0, 0), (100, 1)] {
+            t.record(ev(EventKind::DirectoryTransition, cycle, thread, 0x40));
+        }
+        let h = t.sharing_run_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(100));
+    }
+
+    #[test]
+    fn chrome_json_is_balanced_and_tagged() {
+        let mut t = EventTrace::new(16);
+        t.record(TimelineEvent {
+            cycle: 3,
+            dur: 7,
+            processor: 1,
+            thread: 2,
+            kind: EventKind::RunSlice,
+            line: u64::MAX,
+            detail: 6,
+        });
+        t.record(ev(EventKind::InvalidationSend, 11, 0, 0x1c0));
+        let s = t.to_chrome_json();
+        assert!(json::balanced(&s), "unbalanced: {s}");
+        json::require_keys(&s, &["traceEvents", "otherData", "schema", "dropped"]).unwrap();
+        assert!(s.contains("\"ph\": \"X\""));
+        assert!(s.contains("\"ph\": \"i\""));
+        assert!(s.contains("\"ph\": \"M\""));
+        assert!(s.contains("placesim-timeline-v1"));
+        assert!(s.contains("\"line\": \"0x1c0\""));
+        // Parses with the strict parser too.
+        json::parse(&s).unwrap();
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let t = EventTrace::new(4);
+        let s = t.to_chrome_json();
+        assert!(json::balanced(&s));
+        assert!(s.contains("\"total_recorded\": 0"));
+    }
+}

@@ -4,19 +4,22 @@
 //! placesim-cli suite
 //! placesim-cli gen <app> <out.trace> [--scale S] [--seed N]
 //! placesim-cli info <trace>
-//! placesim-cli analyze <trace>
-//! placesim-cli place <trace> <algorithm> <processors>
+//! placesim-cli analyze <trace> [--metrics out.json]
+//! placesim-cli place <trace> <algorithm> <processors> [--metrics out.json]
 //! placesim-cli simulate <trace> <algorithm> <processors> [--cache-kb K]
 //!              [--assoc W] [--latency L] [--switch C]
+//!              [--metrics out.json] [--timeline out.json]
 //! placesim-cli probe <trace>
+//! placesim-cli report <manifest-or-dir...> [--baseline F] [--threshold PCT]
 //! ```
 //!
 //! Traces use the `placesim-trace` binary format, so generated traces
 //! can be archived and re-analyzed like MPtrace outputs were.
 
 use placesim::manifest::{ManifestEntry, RunManifest};
+use placesim::report::Report;
 use placesim_analysis::{CharacteristicsRow, SharingAnalysis};
-use placesim_machine::{probe_coherence, simulate_observed, ArchConfig};
+use placesim_machine::{probe_coherence, simulate_observed, simulate_traced, ArchConfig};
 use placesim_obs::{sink, SpanTimer};
 use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs};
 use placesim_trace::{compress, io as trace_io, ProgramTrace};
@@ -43,12 +46,19 @@ usage:
   placesim-cli suite
   placesim-cli gen <app> <out.trace> [--scale S] [--seed N] [--flat]
   placesim-cli info <trace>
-  placesim-cli analyze <trace>
-  placesim-cli place <trace> <algorithm> <processors>
+  placesim-cli analyze <trace> [--metrics out.json]
+  placesim-cli place <trace> <algorithm> <processors> [--metrics out.json]
   placesim-cli simulate <trace> <algorithm> <processors>
                [--cache-kb K] [--assoc W] [--latency L] [--switch C]
-               [--metrics out.json]
-  placesim-cli probe <trace> [--metrics out.json]";
+               [--metrics out.json] [--timeline out.json]
+  placesim-cli probe <trace> [--metrics out.json]
+  placesim-cli report <manifest-or-dir...>
+               [--baseline file-or-dir] [--threshold PCT] [--json out.json]";
+
+/// Ring capacity for `simulate --timeline`: 1M events ≈ 48 MB, enough
+/// to retain every event of a scale-0.002 run and the tail of larger
+/// ones (the export reports how many were dropped).
+const TIMELINE_CAPACITY: usize = 1 << 20;
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -59,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("place") => cmd_place(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("probe") => cmd_probe(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some(other) => Err(format!("unknown command {other}")),
         None => Err("missing command".into()),
     }
@@ -210,8 +221,20 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let prog = load_trace(args.first().ok_or("analyze needs a trace path")?)?;
+    let timer = SpanTimer::start("analyze");
     let sharing = SharingAnalysis::measure(&prog);
     let row = CharacteristicsRow::from_sharing(&prog, &sharing, 1994);
+
+    if let Some(metrics) = raw_flag(args, "--metrics")? {
+        // Analysis runs no simulation: the manifest records the tool,
+        // app and wall time with an empty results array, so sweeps can
+        // account the front-end cost alongside the simulated entries.
+        let mut manifest = RunManifest::new("analyze", prog.name(), &ArchConfig::paper_default());
+        manifest.wall_secs = timer.elapsed_secs();
+        manifest.write(Path::new(metrics))?;
+        println!("metrics: {metrics}");
+    }
+
     println!("app: {}", row.app);
     println!(
         "pairwise sharing:      mean {:.0}  dev {:.1}%",
@@ -253,10 +276,32 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
         .ok_or("place needs a processor count")?
         .parse()
         .map_err(|_| "processor count must be an integer".to_string())?;
+    let timer = SpanTimer::start("place");
     let sharing = SharingAnalysis::measure(&prog);
     let lengths = thread_lengths(&prog);
     let inputs = PlacementInputs::new(&sharing, &lengths);
     let map = algo.place(&inputs, processors).map_err(|e| e.to_string())?;
+
+    if let Some(metrics) = raw_flag(args, "--metrics")? {
+        // Placement runs no simulation either: the entry records which
+        // algorithm placed how many references onto how many
+        // processors; the cycle fields stay zero.
+        let mut manifest = RunManifest::new("place", prog.name(), &ArchConfig::paper_default());
+        manifest.wall_secs = timer.elapsed_secs();
+        manifest.entries = vec![ManifestEntry {
+            algorithm: algo.paper_name().to_owned(),
+            processors,
+            execution_time: 0,
+            total_refs: prog.total_refs(),
+            total_misses: 0,
+            miss_rate: 0.0,
+            coherence_traffic: 0,
+            misses: placesim_machine::MissBreakdown::default(),
+        }];
+        manifest.write(Path::new(metrics))?;
+        println!("metrics: {metrics}");
+    }
+
     println!("{} onto {processors} processors:", algo.paper_name());
     print!("{map}");
     println!("loads: {:?}", map.loads(&lengths));
@@ -297,7 +342,37 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let lengths = thread_lengths(&prog);
     let inputs = PlacementInputs::new(&sharing, &lengths);
     let map = algo.place(&inputs, processors).map_err(|e| e.to_string())?;
-    let (stats, obs) = simulate_observed(&prog, &map, &config).map_err(|e| e.to_string())?;
+
+    let timeline_path = raw_flag(args, "--timeline")?;
+    let (stats, obs, trace) = if timeline_path.is_some() {
+        let (stats, obs, trace) =
+            simulate_traced(&prog, &map, &config, TIMELINE_CAPACITY).map_err(|e| e.to_string())?;
+        (stats, obs, Some(trace))
+    } else {
+        let (stats, obs) = simulate_observed(&prog, &map, &config).map_err(|e| e.to_string())?;
+        (stats, obs, None)
+    };
+
+    if let (Some(path), Some(trace)) = (timeline_path, &trace) {
+        sink::write_atomic(Path::new(path), trace.to_chrome_json().as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "timeline:       {path} ({} events retained, {} dropped)",
+            trace.len(),
+            trace.dropped()
+        );
+        if trace.total_recorded() == 0 {
+            println!("  no events recorded: rebuild with `--features obs` to enable tracing");
+        } else {
+            let runs = trace.sharing_runs();
+            let longest = runs.iter().map(placesim_machine::SharingRun::cycles).max();
+            println!(
+                "  sequential-sharing runs: {}{}",
+                runs.len(),
+                longest.map_or_else(String::new, |c| format!(" (longest {c} cycles)"))
+            );
+        }
+    }
 
     if let Some(metrics) = raw_flag(args, "--metrics")? {
         let mut manifest = RunManifest::new("simulate", prog.name(), &config);
@@ -357,6 +432,100 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
     println!("  hottest thread pairs:");
     for (a, b, v) in pairs.into_iter().take(5) {
         println!("    T{a} <-> T{b}: {v}");
+    }
+    Ok(())
+}
+
+/// Expands each operand into manifest files: a directory contributes
+/// its `*.json` entries in sorted order (unreadable or invalid ones are
+/// skipped with a warning, so a results directory may hold reports or
+/// baselines alongside the manifests), while an explicitly named file
+/// must parse.
+fn collect_manifests(operands: &[&str]) -> Result<Vec<RunManifest>, String> {
+    let mut manifests = Vec::new();
+    for op in operands {
+        let path = Path::new(op);
+        if path.is_dir() {
+            let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot read directory {op}: {e}"))?
+                .filter_map(Result::ok)
+                .map(|entry| entry.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                .collect();
+            files.sort();
+            for file in files {
+                match std::fs::read_to_string(&file)
+                    .map_err(|e| e.to_string())
+                    .and_then(|body| RunManifest::parse(&body))
+                {
+                    Ok(m) => manifests.push(m),
+                    Err(e) => eprintln!("skipping {}: {e}", file.display()),
+                }
+            }
+        } else {
+            let body =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {op}: {e}"))?;
+            manifests.push(RunManifest::parse(&body).map_err(|e| format!("{op}: {e}"))?);
+        }
+    }
+    Ok(manifests)
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    // Split positional manifest paths from `--flag value` pairs.
+    const VALUE_FLAGS: [&str; 3] = ["--baseline", "--threshold", "--json"];
+    let mut operands: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            i += 2; // flag + value, validated by the flag helpers below
+        } else if a.starts_with("--") {
+            return Err(format!("unknown report flag {a}"));
+        } else {
+            operands.push(a);
+            i += 1;
+        }
+    }
+    if operands.is_empty() {
+        return Err("report needs at least one manifest file or directory".into());
+    }
+
+    let manifests = collect_manifests(&operands)?;
+    if manifests.is_empty() {
+        return Err("no valid manifests found".into());
+    }
+    let report = Report::from_manifests(&manifests);
+    print!("{}", report.render_text());
+
+    if let Some(out) = raw_flag(args, "--json")? {
+        sink::write_atomic(Path::new(out), report.to_json().as_bytes())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("report json: {out}");
+    }
+
+    if let Some(base) = raw_flag(args, "--baseline")? {
+        let threshold = flag(args, "--threshold")?.unwrap_or(2.0);
+        let base_manifests = collect_manifests(&[base])?;
+        if base_manifests.is_empty() {
+            return Err(format!("baseline {base} holds no valid manifests"));
+        }
+        let baseline = Report::from_manifests(&base_manifests);
+        let regressions = report.compare(&baseline, threshold);
+        if regressions.is_empty() {
+            println!("baseline check: no regressions beyond {threshold:.1}%");
+        } else {
+            for r in &regressions {
+                eprintln!(
+                    "regression: {} {} p={} {}: {} -> {} (+{:.2}%)",
+                    r.app, r.algorithm, r.processors, r.metric, r.baseline, r.current, r.delta_pct
+                );
+            }
+            return Err(format!(
+                "{} regression(s) beyond {threshold:.1}% vs baseline",
+                regressions.len()
+            ));
+        }
     }
     Ok(())
 }
@@ -508,6 +677,147 @@ mod tests {
         assert!(ok.exists());
         assert!(!sink::tmp_sibling(&ok).exists());
         std::fs::remove_file(&ok).ok();
+    }
+
+    #[test]
+    fn analyze_and_place_emit_valid_metrics() {
+        let dir = std::env::temp_dir().join("placesim-cli-frontend-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("fft.trace");
+        let trace_s = trace.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen", "fft", &trace_s, "--scale", "0.002", "--seed", "3",
+        ]))
+        .unwrap();
+
+        for (cmd, extra) in [("analyze", vec![]), ("place", vec!["LOAD-BAL", "4"])] {
+            let metrics = dir.join(format!("{cmd}.json"));
+            let metrics_s = metrics.to_str().unwrap().to_string();
+            let mut argv = vec![cmd, &trace_s];
+            argv.extend(extra);
+            argv.extend(["--metrics", &metrics_s]);
+            run(&s(&argv)).unwrap();
+            let body = std::fs::read_to_string(&metrics).unwrap();
+            RunManifest::validate(&body).unwrap();
+            assert!(body.contains(&format!("\"tool\": \"{cmd}\"")));
+            std::fs::remove_file(&metrics).ok();
+        }
+        std::fs::remove_file(&trace).ok();
+    }
+
+    /// End-to-end: two simulated manifests aggregate into one report,
+    /// the report survives a `--json` round-trip, an identical baseline
+    /// passes, and an injected regression fails with a nonzero exit.
+    #[test]
+    fn report_aggregates_and_checks_baseline() {
+        let dir = std::env::temp_dir().join("placesim-cli-report-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("fft.trace");
+        let trace_s = trace.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen", "fft", &trace_s, "--scale", "0.002", "--seed", "3",
+        ]))
+        .unwrap();
+
+        let mut paths = Vec::new();
+        for algo in ["RANDOM", "LOAD-BAL"] {
+            let m = dir.join(format!("{algo}.json"));
+            run(&s(&[
+                "simulate",
+                &trace_s,
+                algo,
+                "4",
+                "--metrics",
+                m.to_str().unwrap(),
+            ]))
+            .unwrap();
+            paths.push(m.to_str().unwrap().to_string());
+        }
+
+        // Aggregate explicit files and the directory form identically.
+        let out = dir.join("report.json");
+        let out_s = out.to_str().unwrap().to_string();
+        run(&s(&["report", &paths[0], &paths[1], "--json", &out_s])).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        let doc = placesim_obs::json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(placesim::REPORT_SCHEMA)
+        );
+        std::fs::remove_file(&trace).unwrap();
+        // The directory now holds the two manifests plus report.json,
+        // which is skipped with a warning rather than failing the scan.
+        let dir_s = dir.to_str().unwrap().to_string();
+        run(&s(&["report", &dir_s])).unwrap();
+
+        // Identical baseline: clean pass. Injected 50% slowdown: exit
+        // nonzero via Err.
+        run(&s(&["report", &paths[0], "--baseline", &paths[0]])).unwrap();
+        let slow = std::fs::read_to_string(&paths[0]).unwrap();
+        let fast_time: u64 = {
+            let doc = placesim_obs::json::parse(&slow).unwrap();
+            let results = doc.get("results").and_then(|v| v.as_array()).unwrap();
+            results[0]
+                .get("execution_time")
+                .and_then(|v| v.as_u64())
+                .unwrap()
+        };
+        let injected = slow.replace(
+            &format!("\"execution_time\": {fast_time}"),
+            &format!("\"execution_time\": {}", fast_time + fast_time / 2),
+        );
+        let slow_path = dir.join("slow.json");
+        std::fs::write(&slow_path, injected).unwrap();
+        let err = run(&s(&[
+            "report",
+            slow_path.to_str().unwrap(),
+            "--baseline",
+            &paths[0],
+            "--threshold",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        assert!(run(&s(&["report", &dir_s, "--bogus"])).is_err());
+        assert!(run(&s(&["report"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `simulate --timeline` writes a Chrome trace-event file that the
+    /// strict parser accepts, in every build; with `obs` enabled the
+    /// stream is non-empty.
+    #[test]
+    fn simulate_timeline_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("placesim-cli-timeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("water.trace");
+        let trace_s = trace.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen", "water", &trace_s, "--scale", "0.002", "--seed", "3",
+        ]))
+        .unwrap();
+        let out = dir.join("timeline.json");
+        let out_s = out.to_str().unwrap().to_string();
+        run(&s(&[
+            "simulate",
+            &trace_s,
+            "SHARE-REFS",
+            "4",
+            "--timeline",
+            &out_s,
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        let doc = placesim_obs::json::parse(&body).unwrap();
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        #[cfg(feature = "obs")]
+        assert!(events.len() > 1, "obs build must record events");
+        #[cfg(not(feature = "obs"))]
+        let _ = events;
+        assert!(!sink::tmp_sibling(&out).exists());
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]
