@@ -1,5 +1,6 @@
 //! Unified error type for the experiment runner.
 
+use crate::journal::JournalError;
 use placesim_machine::{ConfigError, SimError};
 use placesim_placement::PlacementError;
 use std::fmt;
@@ -16,6 +17,9 @@ pub enum Error {
     /// The requested experiment needs a coherence-traffic probe that has
     /// not been run on this [`crate::PreparedApp`].
     ProbeMissing,
+    /// The sweep checkpoint journal failed (I/O, corruption, or a
+    /// resume against a different sweep's journal).
+    Journal(JournalError),
 }
 
 impl fmt::Display for Error {
@@ -30,6 +34,7 @@ impl fmt::Display for Error {
                     "coherence-traffic probe required; call PreparedApp::run_probe first"
                 )
             }
+            Error::Journal(e) => write!(f, "sweep journal failed: {e}"),
         }
     }
 }
@@ -41,7 +46,14 @@ impl std::error::Error for Error {
             Error::Sim(e) => Some(e),
             Error::Config(e) => Some(e),
             Error::ProbeMissing => None,
+            Error::Journal(e) => Some(e),
         }
+    }
+}
+
+impl From<JournalError> for Error {
+    fn from(e: JournalError) -> Self {
+        Error::Journal(e)
     }
 }
 
@@ -83,5 +95,9 @@ mod tests {
 
         assert!(Error::ProbeMissing.to_string().contains("probe"));
         assert!(Error::ProbeMissing.source().is_none());
+
+        let e: Error = JournalError::Corrupt("bad header".into()).into();
+        assert!(e.to_string().contains("journal"));
+        assert!(e.source().is_some());
     }
 }

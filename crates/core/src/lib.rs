@@ -32,13 +32,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 mod error;
 mod experiment;
 pub mod export;
 pub mod figures;
 pub mod grid;
+pub mod journal;
 pub mod manifest;
 pub mod report;
+pub mod supervisor;
 pub mod tables;
 
 pub use error::Error;
@@ -46,11 +50,18 @@ pub use experiment::{
     run_placement, run_placement_with_config, run_sweep, run_sweep_manifested, ExperimentResult,
     PreparedApp,
 };
+pub use journal::{JournalError, JournalHeader, JournalRecovery, JOURNAL_SCHEMA};
 pub use manifest::{ManifestEntry, RunManifest, METRICS_SCHEMA};
-pub use report::{Regression, Report, ReportGroup, REPORT_SCHEMA};
+pub use report::{Regression, Report, ReportGroup, ReportHole, REPORT_SCHEMA};
+pub use supervisor::{
+    run_supervised_sweep, sweep_header, SupervisedSweep, SupervisorConfig, SweepHole,
+};
 // The worker pool lives in the trace crate (the bottom of the stack) so
 // the analysis passes can share it; re-exported here for sweep callers.
-pub use placesim_trace::par::{max_workers, parallel_map, try_parallel_map};
+pub use placesim_trace::par::{
+    max_workers, parallel_map, parallel_map_isolated, try_parallel_map, CancelToken, IndexedPanic,
+    IsolatedOutcome,
+};
 
 /// Reads the global scale factor from the `PLACESIM_SCALE` environment
 /// variable, defaulting to `default` when unset or unparsable.

@@ -241,11 +241,13 @@ impl RunManifest {
     pub fn parse(json: &str) -> Result<Self, String> {
         Self::validate(json)?;
         let doc = json::parse(json).map_err(|e| format!("manifest JSON rejected: {e}"))?;
-        let str_field = |key: &str| -> String {
+        // Validation above already type-checked these fields, but parse
+        // stays defensive: no panic paths on externally supplied data.
+        let str_field = |key: &str| -> Result<String, String> {
             doc.get(key)
                 .and_then(JsonValue::as_str)
-                .expect("validated string field")
-                .to_owned()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("manifest field {key:?} is not a string"))
         };
 
         let cfg = doc.get("config").ok_or("manifest has no config block")?;
@@ -270,53 +272,54 @@ impl RunManifest {
         let results = doc
             .get("results")
             .and_then(JsonValue::as_array)
-            .expect("validated results array");
+            .ok_or("manifest field \"results\" is not an array")?;
         let entries = results
             .iter()
-            .map(|entry| {
-                let u = |key: &str| -> u64 {
+            .enumerate()
+            .map(|(i, entry)| {
+                let u = |key: &str| -> Result<u64, String> {
                     entry
                         .get(key)
                         .and_then(JsonValue::as_u64)
-                        .expect("validated entry integer")
+                        .ok_or_else(|| format!("results[{i}].{key} is not an unsigned integer"))
                 };
                 // Taxonomy fields are additive-in-v1: absent means zero.
                 let opt_u = |key: &str| entry.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
-                ManifestEntry {
+                Ok(ManifestEntry {
                     algorithm: entry
                         .get("algorithm")
                         .and_then(JsonValue::as_str)
-                        .expect("validated algorithm")
+                        .ok_or_else(|| format!("results[{i}].algorithm is not a string"))?
                         .to_owned(),
-                    processors: u("processors") as usize,
-                    execution_time: u("execution_time"),
-                    total_refs: u("total_refs"),
-                    total_misses: u("total_misses"),
+                    processors: u("processors")? as usize,
+                    execution_time: u("execution_time")?,
+                    total_refs: u("total_refs")?,
+                    total_misses: u("total_misses")?,
                     miss_rate: entry
                         .get("miss_rate")
                         .and_then(JsonValue::as_f64)
-                        .expect("validated miss_rate"),
-                    coherence_traffic: u("coherence_traffic"),
+                        .ok_or_else(|| format!("results[{i}].miss_rate is not a number"))?,
+                    coherence_traffic: u("coherence_traffic")?,
                     misses: MissBreakdown {
                         compulsory: opt_u("compulsory"),
                         intra_thread_conflict: opt_u("intra_thread_conflict"),
                         inter_thread_conflict: opt_u("inter_thread_conflict"),
                         invalidation: opt_u("invalidation"),
                     },
-                }
+                })
             })
-            .collect();
+            .collect::<Result<Vec<_>, String>>()?;
 
         Ok(RunManifest {
-            tool: str_field("tool"),
-            app: str_field("app"),
+            tool: str_field("tool")?,
+            app: str_field("app")?,
             scale: doc.get("scale").and_then(JsonValue::as_f64),
             seed: doc.get("seed").and_then(JsonValue::as_u64),
             config,
             wall_secs: doc
                 .get("wall_secs")
                 .and_then(JsonValue::as_f64)
-                .expect("validated wall_secs"),
+                .ok_or("manifest field \"wall_secs\" is not a number")?,
             entries,
             obs: None,
         })

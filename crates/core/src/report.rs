@@ -204,6 +204,23 @@ pub struct Regression {
     pub delta_pct: f64,
 }
 
+/// A grid cell that produced no result: a supervised sweep exhausted
+/// its retries (or hit a deterministic error) and degraded the cell
+/// into an annotated hole instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportHole {
+    /// Application name of the missing cell.
+    pub app: String,
+    /// Algorithm of the missing cell.
+    pub algorithm: String,
+    /// Processor count of the missing cell.
+    pub processors: usize,
+    /// Attempts spent before giving up.
+    pub attempts: u64,
+    /// Why the cell failed.
+    pub reason: String,
+}
+
 /// An aggregated experiment report; see the module docs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -211,6 +228,9 @@ pub struct Report {
     pub groups: Vec<ReportGroup>,
     /// Manifests ingested.
     pub manifests: usize,
+    /// Cells that produced no result (additive in `placesim-report-v1`;
+    /// empty for reports built from healthy manifests).
+    pub holes: Vec<ReportHole>,
 }
 
 impl Report {
@@ -292,6 +312,7 @@ impl Report {
         Report {
             groups,
             manifests: count,
+            holes: Vec::new(),
         }
     }
 
@@ -327,11 +348,24 @@ impl Report {
                 fmt_f(g.coherence_traffic, 0),
             ]);
         }
-        format!(
+        let mut out = format!(
             "{t}({} groups from {} manifests)\n",
             self.groups.len(),
             self.manifests
-        )
+        );
+        if !self.holes.is_empty() {
+            out.push_str(&format!(
+                "{} hole(s) — cells with no result:\n",
+                self.holes.len()
+            ));
+            for h in &self.holes {
+                out.push_str(&format!(
+                    "  {} {} p={} after {} attempt(s): {}\n",
+                    h.app, h.algorithm, h.processors, h.attempts, h.reason
+                ));
+            }
+        }
+        out
     }
 
     /// The report as a `placesim-report-v1` JSON document.
@@ -362,6 +396,18 @@ impl Report {
                 Some(r) => w.value_f64(r),
                 None => w.value_null(),
             }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("holes");
+        w.begin_array();
+        for h in &self.holes {
+            w.begin_object();
+            w.field_str("app", &h.app);
+            w.field_str("algorithm", &h.algorithm);
+            w.field_u64("processors", h.processors as u64);
+            w.field_u64("attempts", h.attempts);
+            w.field_str("reason", &h.reason);
             w.end_object();
         }
         w.end_array();
@@ -577,6 +623,43 @@ mod aggregator_tests {
         assert!(cur.compare(&cur, 0.0).is_empty());
         // Within threshold: not flagged.
         assert!(cur.compare(&base, 15.0).is_empty());
+    }
+
+    #[test]
+    fn holes_are_rendered_and_serialized() {
+        let a = manifest("water", vec![entry("RANDOM", 4, 1000, 100)]);
+        let mut report = Report::from_manifests([&a]);
+        // Healthy report: empty holes array, no holes section in text.
+        let js = report.to_json();
+        let doc = json::parse(&js).unwrap();
+        assert_eq!(
+            doc.get("holes")
+                .and_then(json::JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(0)
+        );
+        assert!(!report.render_text().contains("hole"));
+
+        report.holes.push(ReportHole {
+            app: "water".into(),
+            algorithm: "LOAD-BAL".into(),
+            processors: 8,
+            attempts: 3,
+            reason: "worker panicked: chaos: injected worker panic".into(),
+        });
+        let text = report.render_text();
+        assert!(text.contains("1 hole(s)"));
+        assert!(text.contains("LOAD-BAL p=8 after 3 attempt(s)"));
+        let doc = json::parse(&report.to_json()).unwrap();
+        let holes = doc
+            .get("holes")
+            .and_then(json::JsonValue::as_array)
+            .unwrap();
+        assert_eq!(holes.len(), 1);
+        assert_eq!(
+            holes[0].get("reason").and_then(json::JsonValue::as_str),
+            Some("worker panicked: chaos: injected worker panic")
+        );
     }
 
     #[test]

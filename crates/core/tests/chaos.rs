@@ -1,0 +1,185 @@
+//! Chaos-injection integration suite: a supervised sweep under seeded
+//! worker panics, stalls and journal I/O faults must either retry every
+//! fault to success or report it as an annotated hole — and the journal
+//! on disk must never be left torn.
+#![cfg(feature = "chaos")]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use placesim::chaos::ChaosPlan;
+use placesim::journal::read_journal;
+use placesim::{run_supervised_sweep, PreparedApp, SupervisorConfig};
+use placesim_obs::FaultCounters;
+use placesim_placement::PlacementAlgorithm;
+use placesim_workloads::{spec, GenOptions};
+
+const ALGOS: [PlacementAlgorithm; 2] = [PlacementAlgorithm::Random, PlacementAlgorithm::LoadBal];
+const PROCS: [usize; 2] = [2, 4];
+const CELLS: u64 = 4;
+
+fn tiny() -> Arc<PreparedApp> {
+    Arc::new(PreparedApp::prepare(
+        &spec("water").unwrap(),
+        &GenOptions {
+            scale: 0.002,
+            seed: 3,
+        },
+    ))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("placesim-chaos-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The manifest JSON of a fault-free supervised sweep: chaos runs must
+/// converge to exactly this, byte for byte.
+fn healthy_manifest(app: &Arc<PreparedApp>, dir: &std::path::Path) -> String {
+    let path = dir.join("healthy.journal");
+    let sweep =
+        run_supervised_sweep(app, &ALGOS, &PROCS, &path, false, &SupervisorConfig::new()).unwrap();
+    assert!(sweep.is_complete());
+    sweep.manifest().to_json()
+}
+
+/// Asserts the on-disk journal is pristine: full grid, nothing dropped.
+fn assert_journal_clean(path: &std::path::Path) {
+    let rec = read_journal(path).unwrap();
+    assert_eq!(rec.cells.len(), CELLS as usize, "journal missing cells");
+    assert!(
+        rec.dropped.is_empty(),
+        "journal left torn on disk: {:?}",
+        rec.dropped
+    );
+}
+
+#[test]
+fn worker_panics_are_retried_to_identical_results() {
+    let dir = tmp_dir("panics");
+    let app = tiny();
+    let want = healthy_manifest(&app, &dir);
+
+    let path = dir.join("sweep.journal");
+    let sup = SupervisorConfig::new()
+        .with_max_attempts(3)
+        .with_chaos(ChaosPlan::new(7).with_panics(1000));
+    let sweep = run_supervised_sweep(&app, &ALGOS, &PROCS, &path, false, &sup).unwrap();
+
+    assert!(sweep.is_complete());
+    assert!(sweep.holes.is_empty());
+    assert_eq!(sweep.faults.panics, CELLS, "every cell panics once");
+    assert_eq!(sweep.faults.retries, CELLS);
+    for cell in &sweep.cells {
+        assert_eq!(cell.attempts, 2, "cell {} retried exactly once", cell.index);
+    }
+    assert_eq!(sweep.manifest().to_json(), want);
+    assert_journal_clean(&path);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stalled_workers_trip_the_watchdog_and_are_retried() {
+    let dir = tmp_dir("stalls");
+    let app = tiny();
+    let want = healthy_manifest(&app, &dir);
+
+    let path = dir.join("sweep.journal");
+    // Every first attempt stalls far past the watchdog; the abandoned
+    // worker threads are left to die with the process.
+    let sup = SupervisorConfig::new()
+        .with_max_attempts(3)
+        .with_watchdog(Duration::from_millis(250))
+        .with_chaos(ChaosPlan::new(11).with_stalls(1000, 30_000));
+    let sweep = run_supervised_sweep(&app, &ALGOS, &PROCS, &path, false, &sup).unwrap();
+
+    assert!(sweep.is_complete());
+    assert_eq!(sweep.faults.timeouts, CELLS, "every cell times out once");
+    for cell in &sweep.cells {
+        assert_eq!(cell.attempts, 2);
+    }
+    assert_eq!(sweep.manifest().to_json(), want);
+    assert_journal_clean(&path);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_io_faults_are_absorbed_without_tearing_the_file() {
+    let dir = tmp_dir("journal-io");
+    let app = tiny();
+    let want = healthy_manifest(&app, &dir);
+
+    let path = dir.join("sweep.journal");
+    let sup = SupervisorConfig::new().with_chaos(ChaosPlan::new(13).with_journal_faults(1000));
+    let sweep = run_supervised_sweep(&app, &ALGOS, &PROCS, &path, false, &sup).unwrap();
+
+    assert!(sweep.is_complete());
+    assert!(sweep.holes.is_empty());
+    assert_eq!(
+        sweep.faults.io_errors, CELLS,
+        "every commit faults once (short write or error)"
+    );
+    // Short writes leave torn bytes mid-commit; the writer must truncate
+    // them before retrying, so the settled file recovers cleanly.
+    assert_eq!(sweep.manifest().to_json(), want);
+    assert_journal_clean(&path);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistent_failure_becomes_a_hole_and_resume_heals_it() {
+    let dir = tmp_dir("persistent");
+    let app = tiny();
+    let want = healthy_manifest(&app, &dir);
+
+    let path = dir.join("sweep.journal");
+    let sup = SupervisorConfig::new()
+        .with_max_attempts(2)
+        .with_chaos(ChaosPlan::new(17).with_persistent_failure(1));
+    let sweep = run_supervised_sweep(&app, &ALGOS, &PROCS, &path, false, &sup).unwrap();
+
+    assert!(!sweep.is_complete());
+    assert_eq!(sweep.cells.len(), 3, "healthy cells survive the bad one");
+    assert_eq!(sweep.holes.len(), 1);
+    let hole = &sweep.holes[0];
+    assert_eq!(hole.index, 1);
+    assert_eq!(hole.attempts, 2, "exhausted the retry budget");
+    assert!(hole.reason.contains("panic"), "reason: {}", hole.reason);
+    assert_eq!(sweep.faults.panics, 2);
+
+    // The journal holds the three committed cells; resuming without the
+    // fault (the operator fixed the crash) fills the hole and converges
+    // to the uninterrupted manifest.
+    let healed =
+        run_supervised_sweep(&app, &ALGOS, &PROCS, &path, true, &SupervisorConfig::new()).unwrap();
+    assert_eq!(healed.resumed, 3);
+    assert!(healed.is_complete());
+    assert_eq!(healed.manifest().to_json(), want);
+    assert_journal_clean(&path);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mixed_fault_classes_all_converge() {
+    let dir = tmp_dir("mixed");
+    let app = tiny();
+    let want = healthy_manifest(&app, &dir);
+
+    let path = dir.join("sweep.journal");
+    let sup = SupervisorConfig::new().with_max_attempts(3).with_chaos(
+        ChaosPlan::new(23)
+            .with_panics(1000)
+            .with_journal_faults(1000),
+    );
+    let sweep = run_supervised_sweep(&app, &ALGOS, &PROCS, &path, false, &sup).unwrap();
+
+    assert!(sweep.is_complete());
+    assert_eq!(sweep.faults.panics, CELLS);
+    assert_eq!(sweep.faults.io_errors, CELLS);
+    assert!(sweep.faults.total() > FaultCounters::new().total());
+    assert_eq!(sweep.manifest().to_json(), want);
+    assert_journal_clean(&path);
+    std::fs::remove_dir_all(&dir).ok();
+}

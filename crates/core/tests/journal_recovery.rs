@@ -1,0 +1,251 @@
+//! Hostile-input suite for the `placesim-journal-v1` parser: recovery
+//! must keep the longest valid prefix and report exactly what was
+//! dropped — truncated final lines, interleaved garbage, duplicate
+//! cells, bad checksums, invalid UTF-8, CRLF endings.
+
+use placesim::journal::{recover, JournalCell, JournalError, JournalHeader};
+use placesim::manifest::ManifestEntry;
+use placesim_machine::{ArchConfig, MissBreakdown};
+
+fn header() -> JournalHeader {
+    JournalHeader {
+        app: "water".into(),
+        scale: 0.002,
+        seed: 3,
+        config: ArchConfig::paper_default(),
+        algorithms: vec!["RANDOM".into(), "LOAD-BAL".into()],
+        processors: vec![2, 4],
+    }
+}
+
+fn cell(index: usize) -> JournalCell {
+    let h = header();
+    let (algo, procs) = h.cell(index).expect("index in grid");
+    JournalCell {
+        index,
+        attempts: 1,
+        entry: ManifestEntry {
+            algorithm: algo.to_owned(),
+            processors: procs,
+            execution_time: 10_000 + index as u64,
+            total_refs: 5_000,
+            total_misses: 500,
+            miss_rate: 0.1,
+            coherence_traffic: 42,
+            misses: MissBreakdown {
+                compulsory: 200,
+                intra_thread_conflict: 100,
+                inter_thread_conflict: 100,
+                invalidation: 100,
+            },
+        },
+    }
+}
+
+/// A journal holding the header plus the given cells, as bytes.
+fn journal(cells: &[usize]) -> Vec<u8> {
+    let mut text = header().to_line();
+    for &i in cells {
+        text.push_str(&cell(i).to_line());
+    }
+    text.into_bytes()
+}
+
+#[test]
+fn truncated_final_line_is_dropped_and_prefix_kept() {
+    let mut data = journal(&[0, 1]);
+    let good_len = data.len() as u64;
+    let torn = cell(2).to_line();
+    data.extend_from_slice(&torn.as_bytes()[..torn.len() - 7]); // no '\n'
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 2);
+    assert_eq!(rec.valid_bytes, good_len);
+    assert_eq!(rec.dropped.len(), 1);
+    assert_eq!(rec.dropped[0].line, 4);
+    assert!(rec.dropped[0].reason.contains("torn"), "{:?}", rec.dropped);
+}
+
+#[test]
+fn interleaved_garbage_ends_the_prefix_and_survivors_are_reported() {
+    let mut data = journal(&[0]);
+    let good_len = data.len() as u64;
+    data.extend_from_slice(b"!!! interleaved garbage !!!\n");
+    data.extend_from_slice(cell(1).to_line().as_bytes()); // valid, but after garbage
+    data.extend_from_slice(cell(2).to_line().as_bytes());
+    let rec = recover(&data).unwrap();
+    // Longest valid prefix: only cell 0. The two structurally valid
+    // lines after the garbage are NOT resurrected — out-of-prefix data
+    // cannot be trusted to be a crash artifact boundary.
+    assert_eq!(rec.cells.len(), 1);
+    assert_eq!(rec.valid_bytes, good_len);
+    assert_eq!(rec.dropped.len(), 3);
+    assert!(
+        rec.dropped[0].reason.contains("checksum"),
+        "{:?}",
+        rec.dropped[0]
+    );
+    for d in &rec.dropped[1..] {
+        assert!(
+            d.reason.contains("follows invalid line 3"),
+            "dropped line {} reason {:?}",
+            d.line,
+            d.reason
+        );
+    }
+}
+
+#[test]
+fn duplicate_cell_entries_end_the_prefix() {
+    let mut data = journal(&[0, 1]);
+    let good_len = data.len() as u64;
+    data.extend_from_slice(cell(1).to_line().as_bytes()); // duplicate of index 1
+    data.extend_from_slice(cell(2).to_line().as_bytes());
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 2);
+    assert_eq!(rec.valid_bytes, good_len);
+    assert_eq!(rec.dropped.len(), 2);
+    assert!(
+        rec.dropped[0].reason.contains("duplicate entry for cell 1"),
+        "{:?}",
+        rec.dropped[0]
+    );
+}
+
+#[test]
+fn crlf_line_endings_are_tolerated() {
+    let text: String = String::from_utf8(journal(&[0, 1, 2, 3])).unwrap();
+    let crlf = text.replace('\n', "\r\n");
+    let rec = recover(crlf.as_bytes()).unwrap();
+    assert_eq!(rec.cells.len(), 4);
+    assert!(rec.dropped.is_empty());
+    assert_eq!(rec.valid_bytes, crlf.len() as u64);
+}
+
+#[test]
+fn corrupted_checksum_ends_the_prefix() {
+    let mut data = journal(&[0]);
+    let good_len = data.len() as u64;
+    let mut bad = cell(1).to_line().into_bytes();
+    // Flip one payload byte; the CRC no longer matches.
+    let mid = bad.len() / 2;
+    bad[mid] = bad[mid].wrapping_add(1);
+    data.extend_from_slice(&bad);
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 1);
+    assert_eq!(rec.valid_bytes, good_len);
+    assert_eq!(rec.dropped.len(), 1);
+}
+
+#[test]
+fn invalid_utf8_ends_the_prefix() {
+    let mut data = journal(&[0]);
+    let good_len = data.len() as u64;
+    data.extend_from_slice(b"\xff\xfe broken bytes \xff\n");
+    data.extend_from_slice(cell(1).to_line().as_bytes());
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 1);
+    assert_eq!(rec.valid_bytes, good_len);
+    assert_eq!(rec.dropped.len(), 2);
+    assert!(
+        rec.dropped[0].reason.contains("UTF-8"),
+        "{:?}",
+        rec.dropped[0]
+    );
+}
+
+#[test]
+fn empty_line_ends_the_prefix() {
+    let mut data = journal(&[0]);
+    data.extend_from_slice(b"\n");
+    data.extend_from_slice(cell(1).to_line().as_bytes());
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 1);
+    assert!(
+        rec.dropped[0].reason.contains("empty"),
+        "{:?}",
+        rec.dropped[0]
+    );
+}
+
+#[test]
+fn out_of_grid_and_mismatched_cells_end_the_prefix() {
+    // Cell index past the 2x2 grid.
+    let mut rogue = cell(0);
+    rogue.index = 99;
+    let mut data = journal(&[0]);
+    data.extend_from_slice(rogue.to_line().as_bytes());
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 1);
+    assert!(
+        rec.dropped[0].reason.contains("outside the grid"),
+        "{:?}",
+        rec.dropped[0]
+    );
+
+    // Cell whose labels disagree with its index's grid slot.
+    let mut liar = cell(2);
+    liar.entry.algorithm = "RANDOM".into(); // grid says LOAD-BAL at 2
+    let mut data = journal(&[0]);
+    data.extend_from_slice(liar.to_line().as_bytes());
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 1);
+    assert!(
+        rec.dropped[0].reason.contains("grid says"),
+        "{:?}",
+        rec.dropped[0]
+    );
+}
+
+#[test]
+fn wrong_record_kind_in_cell_position_ends_the_prefix() {
+    // A second header line where a cell should be.
+    let mut data = journal(&[0]);
+    data.extend_from_slice(header().to_line().as_bytes());
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 1);
+    assert!(
+        rec.dropped[0].reason.contains("unexpected record kind"),
+        "{:?}",
+        rec.dropped[0]
+    );
+}
+
+#[test]
+fn unreadable_header_is_corrupt_not_recoverable() {
+    // Empty file, plain garbage, torn header, cell-first: all Corrupt.
+    for data in [
+        Vec::new(),
+        b"garbage\n".to_vec(),
+        header().to_line().as_bytes()[..20].to_vec(),
+        cell(0).to_line().into_bytes(),
+    ] {
+        assert!(
+            matches!(recover(&data), Err(JournalError::Corrupt(_))),
+            "{:?} should be corrupt",
+            String::from_utf8_lossy(&data)
+        );
+    }
+}
+
+#[test]
+fn pristine_journal_recovers_fully_with_exact_byte_count() {
+    let data = journal(&[0, 1, 2, 3]);
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.header, header());
+    assert_eq!(rec.cells.len(), 4);
+    assert!(rec.dropped.is_empty());
+    assert_eq!(rec.valid_bytes, data.len() as u64);
+    for (i, c) in rec.cells.iter().enumerate() {
+        assert_eq!(*c, cell(i));
+    }
+}
+
+#[test]
+fn out_of_order_commits_are_valid() {
+    // Parallel sweeps commit cells in completion order, not grid order.
+    let data = journal(&[3, 0, 2, 1]);
+    let rec = recover(&data).unwrap();
+    assert_eq!(rec.cells.len(), 4);
+    assert!(rec.dropped.is_empty());
+    assert_eq!(rec.cell(2), Some(&cell(2)));
+}

@@ -233,6 +233,56 @@ impl Histogram {
     }
 }
 
+/// Per-class fault counters for supervised runs: how many worker
+/// panics, simulation errors, watchdog timeouts and I/O errors a sweep
+/// absorbed, and how many retries it spent doing so. Serializable so
+/// sweep receipts can carry their fault history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Worker closures that panicked (caught and isolated).
+    pub panics: u64,
+    /// Jobs that returned a typed error (not retried: deterministic).
+    pub errors: u64,
+    /// Attempts abandoned by the wall-clock watchdog.
+    pub timeouts: u64,
+    /// I/O failures absorbed while committing durable state.
+    pub io_errors: u64,
+    /// Retry attempts dispatched after an absorbed fault.
+    pub retries: u64,
+}
+
+impl FaultCounters {
+    /// All counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total faults absorbed (excluding the retries spent on them).
+    pub fn total(&self) -> u64 {
+        self.panics + self.errors + self.timeouts + self.io_errors
+    }
+
+    /// Folds another set of counters into this one.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.panics += other.panics;
+        self.errors += other.errors;
+        self.timeouts += other.timeouts;
+        self.io_errors += other.io_errors;
+        self.retries += other.retries;
+    }
+
+    /// Writes the counters as a JSON object value onto `w`.
+    pub fn write_json(&self, w: &mut json::JsonWriter) {
+        w.begin_object();
+        w.field_u64("panics", self.panics);
+        w.field_u64("errors", self.errors);
+        w.field_u64("timeouts", self.timeouts);
+        w.field_u64("io_errors", self.io_errors);
+        w.field_u64("retries", self.retries);
+        w.end_object();
+    }
+}
+
 /// A completed timed span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Span {
@@ -419,6 +469,28 @@ mod tests {
         assert!(json::balanced(&s), "unbalanced: {s}");
         assert!(s.contains("\"count\": 2"));
         assert!(s.contains("\"buckets\""));
+    }
+
+    #[test]
+    fn fault_counters_merge_and_total() {
+        let mut a = FaultCounters::new();
+        a.panics = 2;
+        a.retries = 3;
+        let b = FaultCounters {
+            errors: 1,
+            timeouts: 4,
+            io_errors: 5,
+            ..FaultCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 2 + 1 + 4 + 5);
+        assert_eq!(a.retries, 3);
+
+        let mut w = json::JsonWriter::new();
+        a.write_json(&mut w);
+        let s = w.finish();
+        assert!(json::balanced(&s));
+        assert!(s.contains("\"timeouts\": 4"));
     }
 
     #[test]

@@ -4,10 +4,13 @@ use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-/// Writes `contents` to `path` atomically: the bytes go to a `.tmp`
-/// sibling first and are renamed over the target only once fully
-/// flushed, so a failure mid-write never leaves a truncated file for a
-/// later reader to trip over.
+/// Writes `contents` to `path` atomically **and durably**: the bytes go
+/// to a `.tmp` sibling first, are fsynced, renamed over the target, and
+/// then the parent directory is fsynced too. Without the final
+/// directory fsync a crash shortly after the rename can surface the old
+/// file, an empty file, or no file at all on journaling filesystems —
+/// the rename itself lives in the directory's metadata, which has its
+/// own writeback schedule.
 ///
 /// # Errors
 ///
@@ -19,12 +22,41 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
         let mut f = File::create(&tmp)?;
         f.write_all(contents)?;
         f.sync_all()?;
-        fs::rename(&tmp, path)
+        fs::rename(&tmp, path)?;
+        fsync_dir(parent_dir(path))
     })();
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
     }
     result
+}
+
+/// The directory holding `path` (`.` when the path has no parent
+/// component, e.g. a bare relative filename).
+pub fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Fsyncs a directory, making its entries (newly created files,
+/// renames) durable against power loss. On platforms where directories
+/// cannot be opened for syncing (non-unix), this is a no-op.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error (unix only).
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
 }
 
 /// The `.tmp` sibling path used by [`write_atomic`] (exposed so callers
@@ -99,6 +131,39 @@ mod tests {
     fn tmp_sibling_appends_suffix() {
         let p = Path::new("/x/y/out.json");
         assert_eq!(tmp_sibling(p), Path::new("/x/y/out.json.tmp"));
+    }
+
+    #[test]
+    fn parent_dir_handles_bare_filenames() {
+        assert_eq!(parent_dir(Path::new("/x/y/out.json")), Path::new("/x/y"));
+        assert_eq!(parent_dir(Path::new("out.json")), Path::new("."));
+        assert_eq!(parent_dir(Path::new("/")), Path::new("."));
+    }
+
+    #[test]
+    fn fsync_dir_syncs_real_directories() {
+        fsync_dir(&tmp_dir()).unwrap();
+        #[cfg(unix)]
+        assert!(fsync_dir(Path::new("/nonexistent-placesim-dir")).is_err());
+    }
+
+    /// Regression test for the durability fix: `write_atomic` must
+    /// succeed for a target given as a bare relative filename (the
+    /// parent-directory fsync has to resolve to `.`, not to an empty
+    /// path), and must leave neither a temp sibling nor a torn target.
+    #[test]
+    fn atomic_write_fsyncs_parent_of_bare_filename() {
+        let dir = tmp_dir();
+        let prev = std::env::current_dir().unwrap();
+        // Serialize with other tests mutating cwd (there are none today,
+        // but keep the window tiny regardless).
+        std::env::set_current_dir(&dir).unwrap();
+        let result = write_atomic(Path::new("bare.json"), b"{}");
+        std::env::set_current_dir(prev).unwrap();
+        result.unwrap();
+        assert_eq!(fs::read_to_string(dir.join("bare.json")).unwrap(), "{}");
+        assert!(!dir.join("bare.json.tmp").exists());
+        fs::remove_file(dir.join("bare.json")).ok();
     }
 
     #[test]

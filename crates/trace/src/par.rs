@@ -6,9 +6,65 @@
 //! can fan work out over the same pool discipline; `placesim`
 //! re-exports it unchanged.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A cooperative cancellation flag shared between a job pool and its
+/// supervisor. Cloning is cheap (the flag is reference-counted); once
+/// [`CancelToken::cancel`] is called, workers stop claiming new items
+/// but finish the item they are on — cancellation is cooperative, never
+/// preemptive.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A worker panic captured with the index of the item whose closure
+/// panicked. [`parallel_map`] re-raises non-string payloads wrapped in
+/// this struct so supervising callers can still classify the original
+/// payload (a bare `resume_unwind` would lose the index; stringifying
+/// would lose the payload type).
+#[derive(Debug)]
+pub struct IndexedPanic {
+    /// Index of the input item whose closure panicked.
+    pub index: usize,
+    /// The original panic payload, untouched.
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl IndexedPanic {
+    /// Human-readable description of the payload: the string itself for
+    /// `&str`/`String` payloads, a placeholder otherwise.
+    pub fn summary(&self) -> String {
+        panic_payload_summary(self.payload.as_ref())
+    }
+}
+
+/// Describes a panic payload: string payloads verbatim, anything else
+/// as an opaque marker (the type cannot be named through `dyn Any`).
+pub fn panic_payload_summary(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
 
 /// Maximum worker threads a [`parallel_map`] call may use.
 ///
@@ -150,7 +206,10 @@ where
 }
 
 /// Re-raises a caught worker panic, prefixing string payloads with the
-/// index of the item whose closure panicked.
+/// index of the item whose closure panicked. Non-string payloads are
+/// re-raised wrapped in [`IndexedPanic`], preserving the original
+/// payload alongside the index so supervising catchers can classify it
+/// (the old path stringified to a bare `eprintln!`, losing both).
 fn repanic_with_index(i: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
     if let Some(msg) = payload
         .downcast_ref::<&str>()
@@ -159,8 +218,113 @@ fn repanic_with_index(i: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
     {
         panic!("parallel_map: worker panicked on item {i}: {msg}");
     }
-    eprintln!("parallel_map: worker panicked on item {i}");
-    resume_unwind(payload);
+    panic_any(IndexedPanic { index: i, payload });
+}
+
+/// Outcome of one item under [`parallel_map_isolated`].
+#[derive(Debug)]
+pub enum IsolatedOutcome<R> {
+    /// The closure returned normally.
+    Done(R),
+    /// The closure panicked; the payload is preserved untouched.
+    Panicked(Box<dyn std::any::Any + Send>),
+    /// The item was never claimed because the [`CancelToken`] was
+    /// raised first.
+    Cancelled,
+}
+
+impl<R> IsolatedOutcome<R> {
+    /// The result, if the closure completed.
+    pub fn into_done(self) -> Option<R> {
+        match self {
+            IsolatedOutcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// `true` if the closure panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, IsolatedOutcome::Panicked(_))
+    }
+}
+
+/// Per-item-isolated [`parallel_map`]: applies `f` to every item on the
+/// worker pool, but a panicking item neither stops the sweep nor
+/// poisons its neighbours — the panic is caught, its payload preserved
+/// in the item's slot, and the pool moves on. This is the job-pool
+/// discipline supervised sweeps are built on: one bad grid cell becomes
+/// one annotated hole, not a lost grid.
+///
+/// An optional [`CancelToken`] adds cooperative cancellation: once
+/// raised (typically by the caller reacting to a fault in another
+/// item's result), workers stop claiming and unclaimed items come back
+/// [`IsolatedOutcome::Cancelled`]. In-flight items always finish.
+pub fn parallel_map_isolated<T, R, F>(
+    items: &[T],
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> Vec<IsolatedOutcome<R>>
+where
+    T: Sync,
+    // Only `Send`, not `Sync`: outcomes (which may hold non-`Sync`
+    // panic payloads) live behind a mutex, never shared by reference.
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+    let workers = max_workers().min(n);
+    if workers <= 1 {
+        return items
+            .iter()
+            .map(|item| {
+                if cancelled() {
+                    return IsolatedOutcome::Cancelled;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => IsolatedOutcome::Done(r),
+                    Err(payload) => IsolatedOutcome::Panicked(payload),
+                }
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    // Unlike `try_parallel_map`'s lock-free `OnceLock` slots, outcomes
+    // here can hold panic payloads (`Box<dyn Any + Send>`, not `Sync`),
+    // so the slot vector must live behind a mutex. The lock is taken
+    // once per completed item — noise next to a simulation run.
+    let slots: Mutex<Vec<Option<IsolatedOutcome<R>>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if cancelled() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => IsolatedOutcome::Done(r),
+                    Err(payload) => IsolatedOutcome::Panicked(payload),
+                };
+                let mut slots = slots.lock().unwrap_or_else(|p| p.into_inner());
+                debug_assert!(slots[i].is_none(), "item {i} claimed twice");
+                slots[i] = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
+        .into_iter()
+        .map(|s| s.unwrap_or(IsolatedOutcome::Cancelled))
+        .collect()
 }
 
 #[cfg(test)]
@@ -235,6 +399,101 @@ mod tests {
             executed.load(Ordering::Relaxed) < items.len(),
             "stop flag did not short-circuit the sweep"
         );
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_preserved() {
+        // Panic with a typed (non-string) payload: the re-raised panic
+        // must carry an IndexedPanic holding the original payload, so
+        // retry accounting can still classify it.
+        let items: Vec<usize> = (0..4).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, |&i| {
+                if i == 2 {
+                    panic_any(i as u64);
+                }
+                i
+            })
+        }))
+        .expect_err("worker panic must propagate");
+        let indexed = caught
+            .downcast::<IndexedPanic>()
+            .expect("payload is IndexedPanic");
+        assert_eq!(indexed.index, 2);
+        assert_eq!(indexed.summary(), "<non-string panic payload>");
+        assert_eq!(indexed.payload.downcast_ref::<u64>(), Some(&2));
+    }
+
+    #[test]
+    fn isolated_map_survives_panicking_items() {
+        let items: Vec<usize> = (0..20).collect();
+        let out = parallel_map_isolated(&items, None, |&i| {
+            if i % 5 == 0 {
+                panic!("boom {i}");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 20);
+        for (i, o) in out.iter().enumerate() {
+            if i % 5 == 0 {
+                assert!(o.is_panicked(), "item {i} should have panicked");
+                let IsolatedOutcome::Panicked(p) = o else {
+                    unreachable!()
+                };
+                assert_eq!(panic_payload_summary(p.as_ref()), format!("boom {i}"));
+            } else {
+                match o {
+                    IsolatedOutcome::Done(v) => assert_eq!(*v, i * 2),
+                    other => panic!("item {i}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_empty_input() {
+        let out: Vec<IsolatedOutcome<u64>> = parallel_map_isolated(&[] as &[u64], None, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cancel_token_stops_claiming() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let items: Vec<usize> = (0..10_000).collect();
+        let executed = AtomicUsize::new(0);
+        let out = parallel_map_isolated(&items, Some(&token), |&i| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                token.cancel();
+            }
+            i
+        });
+        assert!(token.is_cancelled());
+        // Item 0 always runs; with 10k items, cancellation must leave
+        // some unclaimed.
+        let done = out
+            .iter()
+            .filter(|o| matches!(o, IsolatedOutcome::Done(_)))
+            .count();
+        let cancelled = out
+            .iter()
+            .filter(|o| matches!(o, IsolatedOutcome::Cancelled))
+            .count();
+        assert_eq!(done + cancelled, items.len());
+        assert!(done >= 1);
+        assert!(cancelled > 0, "cancellation did not stop the sweep");
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_everything_serially() {
+        // PLACESIM_THREADS is not forced here; with a pre-raised token
+        // both the serial and pooled paths must claim nothing.
+        let token = CancelToken::new();
+        token.cancel();
+        let items: Vec<usize> = (0..8).collect();
+        let out = parallel_map_isolated(&items, Some(&token), |&i| i);
+        assert!(out.iter().all(|o| matches!(o, IsolatedOutcome::Cancelled)));
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! Traces use the `placesim-trace` binary format, so generated traces
 //! can be archived and re-analyzed like MPtrace outputs were.
 
+use placesim::journal::JournalError;
 use placesim::manifest::{ManifestEntry, RunManifest};
-use placesim::report::Report;
+use placesim::report::{Report, ReportHole};
+use placesim::supervisor::SupervisorConfig;
+use placesim::{Error, PreparedApp};
 use placesim_analysis::{CharacteristicsRow, SharingAnalysis};
 use placesim_machine::{probe_coherence, simulate_observed, simulate_traced, ArchConfig};
 use placesim_obs::{sink, SpanTimer};
@@ -28,15 +31,66 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A CLI failure carrying its process exit code. The taxonomy (documented
+/// in the README):
+///
+/// * 1 — a runtime failure (I/O, simulation) after arguments parsed fine
+/// * 2 — a usage error; the usage text is printed
+/// * 3 — a sweep finished but with holes (partial results were written)
+/// * 4 — a corrupt journal, or a resume against a different sweep's journal
+#[derive(Debug)]
+enum CliError {
+    /// Bad arguments or an unusable command line (exit 2).
+    Usage(String),
+    /// The command ran and failed (exit 1).
+    Runtime(String),
+    /// A supervised sweep completed with annotated holes (exit 3).
+    PartialSweep(String),
+    /// The checkpoint journal is corrupt or mismatched (exit 4).
+    CorruptJournal(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Runtime(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::PartialSweep(_) => 3,
+            CliError::CorruptJournal(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Runtime(m)
+            | CliError::PartialSweep(m)
+            | CliError::CorruptJournal(m) => m,
+        }
+    }
+}
+
+// Legacy command paths still produce bare `String` errors; they keep
+// their historical exit code 2 (and the usage print) via this mapping.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("{USAGE}");
-            ExitCode::from(2)
+            eprintln!("error: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.code())
         }
     }
 }
@@ -53,25 +107,31 @@ usage:
                [--metrics out.json] [--timeline out.json]
   placesim-cli probe <trace> [--metrics out.json]
   placesim-cli report <manifest-or-dir...>
-               [--baseline file-or-dir] [--threshold PCT] [--json out.json]";
+               [--baseline file-or-dir] [--threshold PCT] [--json out.json]
+  placesim-cli sweep <app> --journal <file> [--resume]
+               [--scale S] [--seed N] [--algos A,B,...] [--procs 2,4,...]
+               [--max-attempts N] [--timeout-ms T] [--report out.json]
+exit codes: 0 ok; 1 runtime failure; 2 usage error;
+            3 sweep finished with holes; 4 corrupt/mismatched journal";
 
 /// Ring capacity for `simulate --timeline`: 1M events ≈ 48 MB, enough
 /// to retain every event of a scale-0.002 run and the tail of larger
 /// ones (the export reports how many were dropped).
 const TIMELINE_CAPACITY: usize = 1 << 20;
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
-        Some("suite") => cmd_suite(),
-        Some("gen") => cmd_gen(&args[1..]),
-        Some("info") => cmd_info(&args[1..]),
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("place") => cmd_place(&args[1..]),
-        Some("simulate") => cmd_simulate(&args[1..]),
-        Some("probe") => cmd_probe(&args[1..]),
-        Some("report") => cmd_report(&args[1..]),
-        Some(other) => Err(format!("unknown command {other}")),
-        None => Err("missing command".into()),
+        Some("suite") => Ok(cmd_suite()?),
+        Some("gen") => Ok(cmd_gen(&args[1..])?),
+        Some("info") => Ok(cmd_info(&args[1..])?),
+        Some("analyze") => Ok(cmd_analyze(&args[1..])?),
+        Some("place") => Ok(cmd_place(&args[1..])?),
+        Some("simulate") => Ok(cmd_simulate(&args[1..])?),
+        Some("probe") => Ok(cmd_probe(&args[1..])?),
+        Some("report") => Ok(cmd_report(&args[1..])?),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other}"))),
+        None => Err(CliError::Usage("missing command".into())),
     }
 }
 
@@ -530,6 +590,138 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a comma-separated `--procs` list into processor counts.
+fn parse_procs(list: &str) -> Result<Vec<usize>, String> {
+    let procs: Vec<usize> = list
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--procs entries must be positive integers, got {p:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if procs.is_empty() {
+        return Err("--procs list is empty".into());
+    }
+    Ok(procs)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    let app_name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("sweep needs an app name".into()))?;
+    let spec = placesim_workloads::spec(app_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown app {app_name}")))?;
+    let journal = raw_flag(args, "--journal")?
+        .ok_or_else(|| CliError::Usage("sweep needs --journal <file>".into()))?
+        .to_owned();
+    let resume = args.iter().any(|a| a == "--resume");
+
+    let opts = GenOptions {
+        scale: flag(args, "--scale")?.unwrap_or_else(|| placesim::scale_from_env(0.1)),
+        seed: uint_flag(args, "--seed")?.unwrap_or(1994),
+    };
+    let algorithms: Vec<PlacementAlgorithm> = match raw_flag(args, "--algos")? {
+        Some(list) => list
+            .split(',')
+            .map(|name| parse_algorithm(name.trim()))
+            .collect::<Result<_, _>>()?,
+        None => PlacementAlgorithm::STATIC.to_vec(),
+    };
+    let processors = match raw_flag(args, "--procs")? {
+        Some(list) => parse_procs(list)?,
+        None => vec![2, 4, 8, 16],
+    };
+
+    let mut sup = SupervisorConfig::new();
+    if let Some(n) = uint_flag(args, "--max-attempts")? {
+        sup.max_attempts =
+            u32::try_from(n).map_err(|_| format!("--max-attempts value {n} exceeds u32"))?;
+    }
+    if let Some(ms) = uint_flag(args, "--timeout-ms")? {
+        sup.watchdog = Some(Duration::from_millis(ms));
+    }
+
+    let mut app = PreparedApp::prepare(&spec, &opts);
+    if algorithms.contains(&PlacementAlgorithm::CoherenceTraffic) {
+        app.run_probe()
+            .map_err(|e| CliError::Runtime(format!("coherence probe failed: {e}")))?;
+    }
+    let app = Arc::new(app);
+
+    let sweep = placesim::run_supervised_sweep(
+        &app,
+        &algorithms,
+        &processors,
+        Path::new(&journal),
+        resume,
+        &sup,
+    )
+    .map_err(|e| match e {
+        // A journal the supervisor cannot trust or even read gets its
+        // own exit code so orchestration can tell "fix the journal"
+        // from "re-run the sweep".
+        Error::Journal(JournalError::Corrupt(_)) | Error::Journal(JournalError::Mismatch(_)) => {
+            CliError::CorruptJournal(e.to_string())
+        }
+        other => CliError::Runtime(other.to_string()),
+    })?;
+
+    for d in &sweep.dropped {
+        eprintln!("journal recovery dropped {d}");
+    }
+    if sweep.resumed > 0 {
+        println!(
+            "resumed: {} of {} cells recovered from {journal}",
+            sweep.resumed,
+            sweep.header.cell_count()
+        );
+    }
+
+    let manifest = sweep.manifest();
+    let mut report = Report::from_manifests([&manifest]);
+    report.holes = sweep
+        .holes
+        .iter()
+        .map(|h| ReportHole {
+            app: sweep.header.app.clone(),
+            algorithm: h.algorithm.clone(),
+            processors: h.processors,
+            attempts: u64::from(h.attempts),
+            reason: h.reason.clone(),
+        })
+        .collect();
+    print!("{}", report.render_text());
+    let f = &sweep.faults;
+    if f.total() > 0 {
+        println!(
+            "faults absorbed: {} panics, {} timeouts, {} errors, {} journal I/O errors, {} retries",
+            f.panics, f.timeouts, f.errors, f.io_errors, f.retries
+        );
+    }
+    if let Some(out) = raw_flag(args, "--report")? {
+        sink::write_atomic(Path::new(out), report.to_json().as_bytes())
+            .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
+        println!("report json: {out}");
+    }
+    println!("journal: {journal}");
+
+    if sweep.is_complete() {
+        Ok(())
+    } else {
+        // Outputs above were still written: healthy cells survive; the
+        // exit code flags the holes for orchestration.
+        Err(CliError::PartialSweep(format!(
+            "sweep finished with {} hole(s) out of {} cells",
+            sweep.holes.len(),
+            sweep.header.cell_count()
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -778,7 +970,7 @@ mod tests {
             "2",
         ]))
         .unwrap_err();
-        assert!(err.contains("regression"), "{err}");
+        assert!(err.message().contains("regression"), "{err:?}");
         assert!(run(&s(&["report", &dir_s, "--bogus"])).is_err());
         assert!(run(&s(&["report"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -823,7 +1015,121 @@ mod tests {
     #[test]
     fn missing_file_is_reported() {
         let err = run(&s(&["info", "/nonexistent/x.trace"])).unwrap_err();
-        assert!(err.contains("cannot open"));
+        assert!(err.message().contains("cannot open"));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        assert_eq!(CliError::Runtime("x".into()).code(), 1);
+        assert_eq!(CliError::Usage("x".into()).code(), 2);
+        assert_eq!(CliError::PartialSweep("x".into()).code(), 3);
+        assert_eq!(CliError::CorruptJournal("x".into()).code(), 4);
+        // Legacy String errors keep their historical usage classification.
+        let legacy: CliError = String::from("old-style").into();
+        assert!(matches!(legacy, CliError::Usage(_)));
+        assert_eq!(legacy.message(), "old-style");
+    }
+
+    #[test]
+    fn sweep_usage_errors() {
+        // Missing journal, unknown app, bad lists: all usage (exit 2).
+        for argv in [
+            vec!["sweep"],
+            vec!["sweep", "water"],
+            vec!["sweep", "no-such-app", "--journal", "/tmp/x.journal"],
+            vec![
+                "sweep",
+                "water",
+                "--journal",
+                "/tmp/x.journal",
+                "--procs",
+                "0",
+            ],
+            vec![
+                "sweep",
+                "water",
+                "--journal",
+                "/tmp/x.journal",
+                "--algos",
+                "BOGUS",
+            ],
+        ] {
+            let err = run(&s(&argv)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{argv:?} -> {err:?}");
+        }
+        assert!(parse_procs("2,4,8").unwrap() == vec![2, 4, 8]);
+        assert!(parse_procs("").is_err());
+        assert!(parse_procs("2,x").is_err());
+    }
+
+    /// End-to-end sweep → kill-free resume → byte-identical report: a
+    /// full sweep writes a report; the journal is truncated to simulate
+    /// an interrupted run; `--resume` completes the grid and the second
+    /// report is byte-identical to the first.
+    #[test]
+    fn sweep_resume_reproduces_report_bit_identically() {
+        let dir = std::env::temp_dir().join("placesim-cli-sweep-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("sweep.journal");
+        let journal_s = journal.to_str().unwrap().to_string();
+        let report1 = dir.join("full.json");
+        let report2 = dir.join("resumed.json");
+
+        let base = [
+            "sweep",
+            "water",
+            "--journal",
+            &journal_s,
+            "--scale",
+            "0.002",
+            "--seed",
+            "3",
+            "--algos",
+            "RANDOM,LOAD-BAL",
+            "--procs",
+            "2,4",
+        ];
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--report", report1.to_str().unwrap()]);
+        run(&s(&argv)).unwrap();
+
+        // Chop the journal down to the header + 2 committed cells, as a
+        // mid-sweep SIGKILL would leave it (plus a torn half-line).
+        let text = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(text.lines().count(), 5, "header + 4 cells");
+        let mut prefix: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        prefix.push_str("deadbeef"); // torn tail
+        std::fs::write(&journal, prefix).unwrap();
+
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--resume", "--report", report2.to_str().unwrap()]);
+        run(&s(&argv)).unwrap();
+
+        let a = std::fs::read(&report1).unwrap();
+        let b = std::fs::read(&report2).unwrap();
+        assert_eq!(a, b, "resumed report must be byte-identical");
+
+        // Resuming under a different grid is a corrupt-journal error
+        // (exit 4), not a silent mixed report.
+        let err = run(&s(&[
+            "sweep",
+            "water",
+            "--journal",
+            &journal_s,
+            "--scale",
+            "0.002",
+            "--seed",
+            "3",
+            "--algos",
+            "RANDOM",
+            "--procs",
+            "2,4",
+            "--resume",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::CorruptJournal(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Archived-trace round-trip through the new sharded front-end: the
