@@ -23,7 +23,8 @@ use crate::manifest::{ManifestEntry, RunManifest};
 use placesim_obs::FaultCounters;
 use placesim_placement::PlacementAlgorithm;
 use placesim_trace::par::{
-    panic_payload_summary, parallel_map_isolated, CancelToken, IsolatedOutcome,
+    max_workers, panic_payload_summary, parallel_map_isolated_bounded, sim_workers,
+    split_worker_budget, CancelToken, IsolatedOutcome,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -224,7 +225,15 @@ pub fn run_supervised_sweep(
     let writer = Mutex::new(writer);
     let faults = Mutex::new(FaultCounters::new());
     let cancel = CancelToken::new();
-    let outcomes = parallel_map_isolated(&pending, Some(&cancel), |&index| {
+    // Division of labor between the two pools: `PLACESIM_THREADS` is the
+    // single machine-wide budget. Each grid cell may itself fan out over
+    // `PLACESIM_SIM_THREADS` intra-simulation workers (the parallel
+    // engine), so the cell pool is clamped to budget / sim-threads —
+    // otherwise a 16-core sweep with 4 sim threads per cell would spawn
+    // 64 runnable threads and thrash. One cell always runs, even when
+    // sim-threads exceeds the whole budget.
+    let cell_workers = split_worker_budget(max_workers(), sim_workers());
+    let outcomes = parallel_map_isolated_bounded(&pending, Some(&cancel), cell_workers, |&index| {
         supervise_cell(
             app, algorithms, &header, index, sup, &writer, &faults, &cancel,
         )

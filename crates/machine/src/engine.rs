@@ -137,6 +137,11 @@ impl std::error::Error for SimError {}
 /// Simulates `prog` on the machine described by `config`, with threads
 /// placed per `map`. See the module docs for the execution model.
 ///
+/// When `PLACESIM_SIM_THREADS` is set above 1 the work-sharded parallel
+/// engine ([`crate::parallel::simulate_parallel`]) runs instead; its
+/// results are bit-identical to the serial engine's (differential
+/// proptests enforce this), so the switch is purely a wall-clock knob.
+///
 /// # Errors
 ///
 /// Returns [`SimError`] if the placement does not match the trace or
@@ -146,6 +151,10 @@ pub fn simulate(
     map: &PlacementMap,
     config: &ArchConfig,
 ) -> Result<SimStats, SimError> {
+    let workers = placesim_trace::par::sim_workers();
+    if workers > 1 {
+        return crate::parallel::simulate_parallel(prog, map, config, workers);
+    }
     let (stats, _) = run(prog, map, config, false, &mut EngineObs::disabled())?;
     Ok(stats)
 }
@@ -159,6 +168,27 @@ pub fn simulate(
 ///
 /// Same as [`simulate`].
 pub fn simulate_with_traffic(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+) -> Result<(SimStats, SymMatrix<u64>), SimError> {
+    let workers = placesim_trace::par::sim_workers();
+    if workers > 1 {
+        return crate::parallel::simulate_parallel_with_traffic(prog, map, config, workers);
+    }
+    let (stats, traffic) = run(prog, map, config, true, &mut EngineObs::disabled())?;
+    Ok((stats, traffic.expect("traffic recording was enabled")))
+}
+
+/// [`simulate_with_traffic`] pinned to the serial batched engine,
+/// ignoring `PLACESIM_SIM_THREADS`. This is the differential baseline
+/// the parallel engine is tested against, and must stay reachable even
+/// when the environment opts the normal entry points into parallelism.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_serial_with_traffic(
     prog: &ProgramTrace,
     map: &PlacementMap,
     config: &ArchConfig,
@@ -215,20 +245,24 @@ pub fn simulate_traced(
 }
 
 /// One hardware context: a thread's reference stream plus readiness.
-struct Context<'a> {
-    thread: ThreadId,
-    refs: ThreadTraceIter<'a>,
-    ready_at: u64,
-    done: bool,
+/// `Clone` exists for the parallel engine's per-window snapshots (the
+/// iterator is a slice cursor, so a clone is two pointers).
+#[derive(Clone)]
+pub(crate) struct Context<'a> {
+    pub(crate) thread: ThreadId,
+    pub(crate) refs: ThreadTraceIter<'a>,
+    pub(crate) ready_at: u64,
+    pub(crate) done: bool,
     /// Arrived at a barrier and waiting for the release.
-    waiting: bool,
+    pub(crate) waiting: bool,
 }
 
 /// One processor: its contexts and the round-robin cursor.
-struct Processor<'a> {
-    contexts: Vec<Context<'a>>,
-    current: usize,
-    stats: ProcStats,
+#[derive(Clone)]
+pub(crate) struct Processor<'a> {
+    pub(crate) contexts: Vec<Context<'a>>,
+    pub(crate) current: usize,
+    pub(crate) stats: ProcStats,
 }
 
 impl Processor<'_> {
@@ -238,7 +272,7 @@ impl Processor<'_> {
     ///
     /// Returns `(index, dispatch_time)` or `None` when all contexts are
     /// done.
-    fn next_context(&self, deadline: u64) -> Option<(usize, u64)> {
+    pub(crate) fn next_context(&self, deadline: u64) -> Option<(usize, u64)> {
         let n = self.contexts.len();
         let mut best_later: Option<(u64, usize)> = None;
         for step in 1..=n {
@@ -261,7 +295,7 @@ impl Processor<'_> {
 
 /// Validates placement shape, processor count and barrier participation.
 /// Returns the barrier participant count.
-fn validate(prog: &ProgramTrace, map: &PlacementMap) -> Result<u64, SimError> {
+pub(crate) fn validate(prog: &ProgramTrace, map: &PlacementMap) -> Result<u64, SimError> {
     if map.thread_count() != prog.thread_count() {
         return Err(SimError::PlacementMismatch {
             trace_threads: prog.thread_count(),
@@ -295,7 +329,7 @@ fn validate(prog: &ProgramTrace, map: &PlacementMap) -> Result<u64, SimError> {
 }
 
 /// Builds the per-processor contexts and seeds the event queue.
-fn build_processors<'a>(
+pub(crate) fn build_processors<'a>(
     prog: &'a ProgramTrace,
     map: &PlacementMap,
     mut schedule: impl FnMut(usize, u64),
@@ -331,7 +365,7 @@ fn build_processors<'a>(
 }
 
 /// Absent event marker in the batched engine's slot queue.
-const NO_EVENT: u64 = u64::MAX;
+pub(crate) const NO_EVENT: u64 = u64::MAX;
 
 fn record_pair(traffic: &mut Option<SymMatrix<u64>>, a: usize, b: usize) {
     if let Some(m) = traffic {
@@ -376,7 +410,7 @@ enum Stop {
 }
 
 #[allow(clippy::too_many_lines)]
-fn run(
+pub(crate) fn run(
     prog: &ProgramTrace,
     map: &PlacementMap,
     config: &ArchConfig,

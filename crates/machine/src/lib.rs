@@ -41,6 +41,7 @@ mod directory;
 mod engine;
 pub mod model;
 mod obs;
+pub mod parallel;
 pub mod probe;
 mod stats;
 
@@ -49,9 +50,13 @@ pub use config::{ArchConfig, ArchConfigBuilder, ConfigError};
 pub use directory::{Directory, SharerSet, MAX_PROCESSORS};
 #[cfg(feature = "reference-engine")]
 pub use engine::reference;
-pub use engine::{simulate, simulate_observed, simulate_traced, simulate_with_traffic, SimError};
+pub use engine::{
+    simulate, simulate_observed, simulate_serial_with_traffic, simulate_traced,
+    simulate_with_traffic, SimError,
+};
 pub use model::{simulated_efficiency, EfficiencyModel};
 pub use obs::EngineObsReport;
+pub use parallel::{simulate_parallel, simulate_parallel_with_traffic, ParConfig};
 pub use placesim_obs::{EventKind, EventTrace, SharingRun, TimelineEvent};
 pub use probe::{probe_coherence, ProbeResult};
 pub use stats::{MissBreakdown, MissKind, ProcStats, SimStats};

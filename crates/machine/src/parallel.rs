@@ -1,0 +1,1085 @@
+//! Work-sharded parallel simulation engine.
+//!
+//! Partitions the simulated processors across a fixed pool of worker
+//! threads and advances them through conservative *time windows*. The
+//! results are **bit-identical** to the serial batched engine in
+//! [`crate::engine`] — same [`SimStats`] down to every counter, same
+//! coherence-traffic matrix — enforced by differential property tests
+//! at 1/2/4/8 worker threads (`tests/parallel_differential.rs`).
+//!
+//! # Execution model (DESIGN.md §10 has the full protocol)
+//!
+//! The serial engine interleaves processors through a `(time, processor)`
+//! event queue; a reference's only *global* effects are its directory
+//! transaction and the invalidations/downgrades it sends. The parallel
+//! engine exploits that the vast majority of references are cache hits
+//! with *no* global effects:
+//!
+//! 1. **Window execution (parallel).** Each window covers event keys in
+//!    `[W, bound)`. Every processor with a pending event inside the
+//!    window is snapshotted and shipped (by move) to a worker, which
+//!    advances it *optimistically* to the window bound using only its
+//!    own cache, logging every globally-visible action (miss, upgrade,
+//!    barrier arrival) and applying a list of *foreign events*
+//!    (invalidations/downgrades from other shards) in exact
+//!    `(time, processor)` key order.
+//! 2. **Validation (serial, cheap).** The coordinator merges all action
+//!    logs in `(time, processor)` order — the serial engine's exact pop
+//!    order — and replays them against the (journaled) directory. This
+//!    yields the foreign events each processor *should* have seen. A
+//!    processor whose consumed list is a prefix of the computed one and
+//!    whose remaining events *commute* (it never touched the event's
+//!    cache set at or after the event key) is clean; otherwise it is
+//!    restored from its snapshot and re-executed with the computed
+//!    list. The first divergent key strictly advances each iteration,
+//!    so the fixed point is reached in finitely many passes (typically
+//!    one: cross-window sharing is rare at paper scales).
+//! 3. **Barriers.** A window in which the `participants`-th barrier
+//!    arrival occurs at key `(t, p)` is re-run truncated to bound
+//!    `(t, p + 1)`, with the arriving processor told to perform the
+//!    serial engine's release (wake its own waiting contexts) in-line;
+//!    all other processors' waits, wakes and park re-arms are applied
+//!    by the coordinator between windows, exactly mirroring the serial
+//!    release loop.
+//!
+//! # Memory ordering
+//!
+//! Shard state moves through `std::sync::mpsc` channels with full move
+//! semantics: a `ShardProc` is owned by exactly one thread at any time,
+//! so there are no shared mutable locations at all and therefore no
+//! data races by construction. The channel's internal release/acquire
+//! pair guarantees the receiver observes every write the sender made
+//! before `send` (idle workers park futex-style inside `recv`). The
+//! directory is only ever touched by the coordinator thread.
+//!
+//! # Serial fallbacks
+//!
+//! Two configurations couple processors *between* the window boundaries
+//! the protocol relies on and are delegated to the serial engine
+//! unchanged: `memory_occupancy > 0` (a single global memory channel
+//! serializes every miss's ready time) and `upgrade_stalls` (an
+//! upgrade's latency depends on remote sharer state at issue time).
+//! `obs` instrumentation (`simulate_observed`/`simulate_traced`) also
+//! stays serial — timeline ordering within a window is not preserved.
+
+use crate::cache::{Access, LineState, ProcessorCache};
+use crate::config::ArchConfig;
+use crate::directory::Directory;
+use crate::engine::{build_processors, run, validate, Processor, SimError, NO_EVENT};
+use crate::obs::EngineObs;
+use crate::stats::{MissKind, SimStats};
+use placesim_analysis::SymMatrix;
+use placesim_placement::{PlacementMap, ProcessorId};
+use placesim_trace::par::CancelToken;
+use placesim_trace::ProgramTrace;
+use placesim_trace::{MemRef, RefKind};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+/// Tuning knobs for the parallel engine.
+#[derive(Debug, Clone)]
+pub struct ParConfig {
+    /// Worker threads to shard the simulated processors across. The
+    /// effective pool is `min(threads, simulated processors)`; 1 runs
+    /// the windowed engine inline (no threads spawned).
+    pub threads: usize,
+    /// Fixed window length in cycles, or 0 for the adaptive default
+    /// (start near `4 × (latency + switch)`, grow ×2 on clean windows,
+    /// halve when validation iterates). Tests pin tiny windows to force
+    /// boundary crossings.
+    pub window: u64,
+}
+
+impl ParConfig {
+    /// Adaptive-window configuration with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ParConfig { threads, window: 0 }
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig::new(1)
+    }
+}
+
+/// [`crate::simulate`] on the work-sharded parallel engine.
+///
+/// Bit-identical to the serial engine for every input (differentially
+/// tested); only wall-clock time changes with `threads`.
+///
+/// # Errors
+///
+/// Same as [`crate::simulate`].
+pub fn simulate_parallel(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    threads: usize,
+) -> Result<SimStats, SimError> {
+    let (stats, _) = run_parallel(prog, map, config, false, &ParConfig::new(threads))?;
+    Ok(stats)
+}
+
+/// [`crate::simulate_with_traffic`] on the parallel engine.
+///
+/// # Errors
+///
+/// Same as [`crate::simulate`].
+pub fn simulate_parallel_with_traffic(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    threads: usize,
+) -> Result<(SimStats, SymMatrix<u64>), SimError> {
+    let (stats, traffic) = run_parallel(prog, map, config, true, &ParConfig::new(threads))?;
+    Ok((stats, traffic.expect("traffic recording was enabled")))
+}
+
+/// [`simulate_parallel_with_traffic`] with explicit [`ParConfig`]
+/// (fixed windows for boundary-edge tests).
+///
+/// # Errors
+///
+/// Same as [`crate::simulate`].
+pub fn simulate_parallel_configured(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    par: &ParConfig,
+) -> Result<(SimStats, SymMatrix<u64>), SimError> {
+    let (stats, traffic) = run_parallel(prog, map, config, true, par)?;
+    Ok((stats, traffic.expect("traffic recording was enabled")))
+}
+
+/// A cross-shard coherence event, keyed by the issuing action's
+/// `(time, processor)` — the serial engine's interleaving order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Foreign {
+    t: u64,
+    from: usize,
+    line: u64,
+    kind: ForeignKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForeignKind {
+    Invalidate,
+    Downgrade,
+}
+
+impl Foreign {
+    fn key(self) -> (u64, usize) {
+        (self.t, self.from)
+    }
+}
+
+/// One globally-visible action logged by a shard during a window.
+#[derive(Debug, Clone, Copy)]
+struct Act {
+    t: u64,
+    p: usize,
+    kind: ActKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ActKind {
+    Miss {
+        line: u64,
+        is_write: bool,
+        kind: MissKind,
+        source: Option<ProcessorId>,
+        victim: Option<u64>,
+    },
+    Upgrade {
+        line: u64,
+    },
+    Barrier,
+}
+
+/// One simulated processor's complete movable state: the serial
+/// engine's per-processor pieces plus the window-protocol bookkeeping.
+struct ShardProc<'a> {
+    proc: Processor<'a>,
+    cache: ProcessorCache,
+    /// Pending event time ([`NO_EVENT`] if none) — the slot-queue entry.
+    slot: u64,
+    /// `Some(park_time)` while parked with every context at a barrier.
+    parked: Option<u64>,
+    /// Per-cache-set `(execution stamp, issue cycle + 1)` of this
+    /// processor's latest access, for the event-commute test. Entries
+    /// whose stamp is not the latest `exec_id` are from a rolled-back
+    /// or earlier execution and read as "never touched".
+    touch: Vec<(u32, u64)>,
+    exec_id: u32,
+    /// Actions logged by the latest execution of the current window.
+    log: Vec<Act>,
+    /// Foreign events handed to the latest execution, in key order.
+    consumed: Vec<Foreign>,
+}
+
+/// Restore point taken at window entry.
+struct Snap<'a> {
+    proc: Processor<'a>,
+    cache: ProcessorCache,
+    slot: u64,
+    parked: Option<u64>,
+}
+
+impl<'a> ShardProc<'a> {
+    fn snapshot(&self) -> Snap<'a> {
+        Snap {
+            proc: self.proc.clone(),
+            cache: self.cache.clone(),
+            slot: self.slot,
+            parked: self.parked,
+        }
+    }
+
+    fn restore(&mut self, snap: &Snap<'a>) {
+        self.proc = snap.proc.clone();
+        self.cache = snap.cache.clone();
+        self.slot = snap.slot;
+        self.parked = snap.parked;
+    }
+}
+
+/// Per-run constants shared with workers.
+struct Consts {
+    line_size: u64,
+    set_mask: u64,
+    latency: u64,
+    switch_cost: u64,
+}
+
+/// Applies a foreign event to a shard's cache. Residency-guarded:
+/// during a mis-speculated iteration the line may already be gone (or
+/// not Modified), and the serial engine never sends an event a cache
+/// cannot honor, so skipping is always safe — the iteration that
+/// matters (the fixed point) has consistent state.
+fn apply_foreign(cache: &mut ProcessorCache, e: Foreign) {
+    match e.kind {
+        ForeignKind::Invalidate => {
+            if cache.state_of(e.line).is_some() {
+                cache.invalidate(e.line, ProcessorId::from_index(e.from));
+            }
+        }
+        ForeignKind::Downgrade => {
+            if cache.state_of(e.line) == Some(LineState::Modified) {
+                cache.downgrade(e.line);
+            }
+        }
+    }
+}
+
+/// Why `run_window`'s hit loop stopped (the serial engine's `Stop` plus
+/// the window-bound yield).
+enum PStop {
+    HitExhausted,
+    Barrier {
+        exhausted: bool,
+    },
+    Upgrade {
+        line: u64,
+        exhausted: bool,
+    },
+    Miss {
+        line: u64,
+        is_write: bool,
+        kind: MissKind,
+        source: Option<ProcessorId>,
+        exhausted: bool,
+    },
+    Yield,
+}
+
+/// Advances one shard to the exclusive `(time, processor)` key `bound`,
+/// mirroring the serial engine's event loop cycle-for-cycle for this
+/// processor. Global effects are logged, not applied; `consumed`
+/// foreign events are applied in key order exactly where the serial
+/// interleaving would, with leftovers drained at the window edge.
+///
+/// `self_release == Some(t)` marks this processor's barrier arrival at
+/// cycle `t` as the global release (the window is truncated just past
+/// it): the arrival wakes this processor's own waiting contexts exactly
+/// like the serial release loop; the coordinator wakes everyone else.
+#[allow(clippy::too_many_lines)]
+fn run_window(
+    sp: &mut ShardProc<'_>,
+    pi: usize,
+    bound: (u64, usize),
+    self_release: Option<u64>,
+    c: &Consts,
+) {
+    sp.exec_id = sp.exec_id.wrapping_add(1);
+    sp.log.clear();
+    let ShardProc {
+        proc,
+        cache,
+        slot,
+        parked,
+        touch,
+        exec_id,
+        log,
+        consumed,
+    } = sp;
+    let exec_id = *exec_id;
+    let events: &[Foreign] = consumed;
+    let mut ei = 0usize;
+
+    'dispatch: loop {
+        if *slot == NO_EVENT || (*slot, pi) >= bound {
+            // Window edge: every undelivered foreign event lands now.
+            // All of them commute with this execution (the validator
+            // re-checks and dirties us otherwise), so "at the edge" and
+            // "at their serial position" are indistinguishable.
+            while ei < events.len() {
+                apply_foreign(cache, events[ei]);
+                ei += 1;
+            }
+            break;
+        }
+        let t = *slot;
+        *slot = NO_EVENT;
+        let ctx_idx = proc.current;
+        let mut now = t;
+        let mut run_busy = 0u64;
+        let mut run_hits = 0u64;
+        let stop = {
+            let ctx = &mut proc.contexts[ctx_idx];
+            debug_assert!(!ctx.done && !ctx.waiting);
+            debug_assert!(ctx.ready_at <= t);
+            let thread = ctx.thread;
+            loop {
+                // Deliver foreign events that the serial engine would
+                // have interleaved before this issue position.
+                while ei < events.len() && events[ei].key() < (now, pi) {
+                    apply_foreign(cache, events[ei]);
+                    ei += 1;
+                }
+                let r: MemRef = ctx
+                    .refs
+                    .next()
+                    .expect("dispatched context has a next reference");
+                let exhausted = ctx.refs.len() == 0;
+                if r.kind == RefKind::Barrier {
+                    break PStop::Barrier { exhausted };
+                }
+                let line = r.addr.line(c.line_size).raw();
+                let is_write = r.kind.is_write();
+                touch[(line & c.set_mask) as usize] = (exec_id, now + 1);
+                run_busy += 1;
+                match cache.access(line, is_write, thread) {
+                    Access::Hit => {
+                        run_hits += 1;
+                        now += 1;
+                        if exhausted {
+                            ctx.done = true;
+                            break PStop::HitExhausted;
+                        }
+                        if (now, pi) >= bound {
+                            break PStop::Yield;
+                        }
+                    }
+                    Access::UpgradeHit => break PStop::Upgrade { line, exhausted },
+                    Access::Miss { kind, source } => {
+                        break PStop::Miss {
+                            line,
+                            is_write,
+                            kind,
+                            source,
+                            exhausted,
+                        }
+                    }
+                }
+            }
+        };
+        // Flush the hit run (same accounting points as the serial
+        // engine's run flush).
+        proc.stats.busy += run_busy;
+        proc.stats.hits += run_hits;
+        proc.stats.finish_time = now;
+
+        let final_hit = matches!(stop, PStop::HitExhausted);
+        let reschedule: Option<(bool, bool)> = match stop {
+            PStop::Yield => {
+                *slot = now;
+                continue 'dispatch;
+            }
+            PStop::HitExhausted => Some((false, true)),
+            PStop::Barrier { exhausted } => {
+                proc.stats.busy += 1;
+                proc.stats.barrier_ops += 1;
+                let issue_end = now + 1;
+                proc.stats.finish_time = issue_end;
+                if exhausted {
+                    proc.contexts[ctx_idx].done = true;
+                }
+                log.push(Act {
+                    t: now,
+                    p: pi,
+                    kind: ActKind::Barrier,
+                });
+                if self_release == Some(now) {
+                    // This arrival is the global release: wake own
+                    // waiting contexts exactly as the serial release
+                    // loop does (the coordinator handles other
+                    // processors between windows).
+                    for ctx in &mut proc.contexts {
+                        if ctx.waiting {
+                            ctx.waiting = false;
+                            ctx.ready_at = issue_end;
+                        }
+                    }
+                } else if !exhausted {
+                    proc.contexts[ctx_idx].waiting = true;
+                }
+                match proc.next_context(issue_end) {
+                    Some((idx, dispatch)) => {
+                        if dispatch > issue_end {
+                            proc.stats.idle += dispatch - issue_end;
+                        }
+                        proc.current = idx;
+                        *slot = dispatch;
+                    }
+                    None => {
+                        let any_waiting = proc.contexts.iter().any(|ctx| ctx.waiting);
+                        if any_waiting {
+                            *parked = Some(issue_end);
+                        }
+                    }
+                }
+                None
+            }
+            PStop::Upgrade { line, exhausted } => {
+                proc.stats.hits += 1;
+                proc.stats.upgrades += 1;
+                log.push(Act {
+                    t: now,
+                    p: pi,
+                    kind: ActKind::Upgrade { line },
+                });
+                cache.set_modified(line);
+                // upgrade_stalls configs run serial (fallback), so the
+                // upgrade never pays the miss path here.
+                Some((false, exhausted))
+            }
+            PStop::Miss {
+                line,
+                is_write,
+                kind,
+                source,
+                exhausted,
+            } => {
+                proc.stats.misses.record(kind);
+                let fill_state = if is_write {
+                    LineState::Modified
+                } else {
+                    LineState::Shared
+                };
+                let thread = proc.contexts[ctx_idx].thread;
+                let victim = cache.fill(line, fill_state, thread).map(|(vline, _)| vline);
+                log.push(Act {
+                    t: now,
+                    p: pi,
+                    kind: ActKind::Miss {
+                        line,
+                        is_write,
+                        kind,
+                        source,
+                        victim,
+                    },
+                });
+                Some((true, exhausted))
+            }
+        };
+        let Some((missed, exhausted)) = reschedule else {
+            continue 'dispatch;
+        };
+
+        let issue_end = if final_hit { now } else { now + 1 };
+        let ctx = &mut proc.contexts[ctx_idx];
+        if exhausted {
+            ctx.done = true;
+        }
+        if missed {
+            // memory_occupancy > 0 runs serial (fallback): the fill
+            // starts at issue with the contention-free latency.
+            ctx.ready_at = now + c.latency;
+        }
+        proc.stats.finish_time = issue_end;
+
+        if !missed && !exhausted {
+            *slot = issue_end;
+            continue 'dispatch;
+        }
+
+        let (drain_end, drained) = if missed {
+            (issue_end + c.switch_cost, c.switch_cost)
+        } else {
+            (issue_end, 0)
+        };
+        if let Some((idx, dispatch)) = proc.next_context(drain_end) {
+            proc.stats.switching += drained;
+            if dispatch > drain_end {
+                proc.stats.idle += dispatch - drain_end;
+            }
+            proc.current = idx;
+            *slot = dispatch;
+        }
+        // else: all contexts done (or waiting without a barrier park) —
+        // the processor stops, exactly like the serial engine.
+    }
+}
+
+/// Validator output for one pass over a window's merged action logs.
+struct Scratch {
+    sent: Vec<u64>,
+    received: Vec<u64>,
+    pairs: Vec<(usize, usize)>,
+    computed: Vec<Vec<Foreign>>,
+    /// Barrier arrivals outstanding after this pass.
+    arrivals: u64,
+    /// First release found at a key other than `basis` (phase A: any
+    /// release; phase B: an unexpected earlier one).
+    release: Option<(u64, usize)>,
+    /// Whether the expected `basis` release arrival was replayed.
+    confirmed: bool,
+}
+
+/// Replays the merged window logs against the journaled directory in
+/// global `(time, processor)` order — the serial engine's pop order —
+/// computing the foreign events every shard should have seen plus the
+/// window's invalidation/traffic accounting.
+fn validate_window(
+    shards: &[Option<ShardProc<'_>>],
+    directory: &mut Directory,
+    arrivals_in: u64,
+    participants: u64,
+    basis: Option<(u64, usize)>,
+) -> Scratch {
+    let p = shards.len();
+    directory.journal_rollback();
+    let mut scratch = Scratch {
+        sent: vec![0; p],
+        received: vec![0; p],
+        pairs: Vec::new(),
+        computed: vec![Vec::new(); p],
+        arrivals: arrivals_in,
+        release: None,
+        confirmed: false,
+    };
+
+    let mut acts: Vec<Act> = shards
+        .iter()
+        .flat_map(|s| {
+            s.as_ref()
+                .expect("shard in flight during validation")
+                .log
+                .iter()
+                .copied()
+        })
+        .collect();
+    acts.sort_unstable_by_key(|a| (a.t, a.p));
+
+    for act in &acts {
+        let actor = ProcessorId::from_index(act.p);
+        match act.kind {
+            ActKind::Barrier => {
+                scratch.arrivals += 1;
+                if scratch.arrivals == participants {
+                    scratch.arrivals = 0;
+                    if basis == Some((act.t, act.p)) {
+                        scratch.confirmed = true;
+                    } else if scratch.release.is_none() {
+                        scratch.release = Some((act.t, act.p));
+                    }
+                }
+            }
+            ActKind::Upgrade { line } => {
+                let tx = directory.write_fill(actor, line);
+                scratch.sent[act.p] += tx.invalidate.len() as u64;
+                debug_assert!(tx.downgrade.is_none());
+                for victim in tx.invalidate {
+                    scratch.received[victim.index()] += 1;
+                    scratch.pairs.push((victim.index(), act.p));
+                    scratch.computed[victim.index()].push(Foreign {
+                        t: act.t,
+                        from: act.p,
+                        line,
+                        kind: ForeignKind::Invalidate,
+                    });
+                }
+            }
+            ActKind::Miss {
+                line,
+                is_write,
+                kind,
+                source,
+                victim,
+            } => {
+                if kind == MissKind::Invalidation {
+                    if let Some(src) = source {
+                        scratch.pairs.push((act.p, src.index()));
+                    }
+                }
+                let tx = if is_write {
+                    directory.write_fill(actor, line)
+                } else {
+                    directory.read_fill(actor, line)
+                };
+                scratch.sent[act.p] += tx.invalidate.len() as u64;
+                for v in tx.invalidate {
+                    scratch.received[v.index()] += 1;
+                    scratch.pairs.push((v.index(), act.p));
+                    scratch.computed[v.index()].push(Foreign {
+                        t: act.t,
+                        from: act.p,
+                        line,
+                        kind: ForeignKind::Invalidate,
+                    });
+                }
+                if let Some(owner) = tx.downgrade {
+                    scratch.computed[owner.index()].push(Foreign {
+                        t: act.t,
+                        from: act.p,
+                        line,
+                        kind: ForeignKind::Downgrade,
+                    });
+                }
+                if let Some(vline) = victim {
+                    directory.evict(actor, vline);
+                }
+            }
+        }
+    }
+    scratch
+}
+
+/// Shards whose execution is inconsistent with the computed event lists
+/// and must be restored and re-run. Clean means: consumed is exactly a
+/// prefix of computed, and every event beyond the prefix commutes —
+/// the shard never touched the event's cache set at or after the
+/// event's key *in its latest execution* (stale stamps read as "never").
+fn dirty_shards(shards: &[Option<ShardProc<'_>>], scratch: &Scratch, set_mask: u64) -> Vec<usize> {
+    let mut dirty = Vec::new();
+    for (qi, slot) in shards.iter().enumerate() {
+        let sp = slot.as_ref().expect("shard in flight during validation");
+        let comp = &scratch.computed[qi];
+        let cons = &sp.consumed;
+        if comp.len() < cons.len() || comp[..cons.len()] != cons[..] {
+            dirty.push(qi);
+            continue;
+        }
+        for e in &comp[cons.len()..] {
+            let (stamp, tc) = sp.touch[(e.line & set_mask) as usize];
+            if stamp == sp.exec_id && tc > 0 && (tc - 1, qi) > (e.t, e.from) {
+                dirty.push(qi);
+                break;
+            }
+        }
+    }
+    dirty
+}
+
+/// A unit of work shipped to (and back from) a worker thread.
+struct Job<'a> {
+    pi: usize,
+    sp: ShardProc<'a>,
+    bound: (u64, usize),
+    self_release: Option<u64>,
+}
+
+// The size skew is deliberate: Done moves the whole shard back by
+// value (the ownership-transfer design §10.2 relies on), and Panicked
+// happens at most once per run.
+#[allow(clippy::large_enum_variant)]
+enum Reply<'a> {
+    Done(usize, ShardProc<'a>),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+const MIN_WINDOW: u64 = 64;
+const MAX_WINDOW: u64 = 1 << 16;
+
+/// The coordinator: window loop, worker pool, validation fixed point,
+/// barrier truncation and final stats assembly.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_parallel(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    record_traffic: bool,
+    par: &ParConfig,
+) -> Result<(SimStats, Option<SymMatrix<u64>>), SimError> {
+    if config.memory_occupancy() > 0 || config.upgrade_stalls() {
+        // Globally-coupled timing (see module docs): serial engine.
+        return run(
+            prog,
+            map,
+            config,
+            record_traffic,
+            &mut EngineObs::disabled(),
+        );
+    }
+    let participants = validate(prog, map)?;
+    let p = map.processor_count();
+
+    let c = Consts {
+        line_size: config.line_size(),
+        set_mask: config.num_sets() - 1,
+        latency: config.memory_latency(),
+        switch_cost: config.context_switch(),
+    };
+    let num_sets = config.num_sets() as usize;
+
+    let mut slots = vec![NO_EVENT; p];
+    let procs = build_processors(prog, map, |pi, at| slots[pi] = at);
+    let mut shards: Vec<Option<ShardProc<'_>>> = procs
+        .into_iter()
+        .zip(&slots)
+        .map(|(proc, &slot)| {
+            Some(ShardProc {
+                proc,
+                cache: ProcessorCache::with_associativity(
+                    config.num_sets(),
+                    config.associativity() as usize,
+                ),
+                slot,
+                parked: None,
+                touch: vec![(0, 0); num_sets],
+                exec_id: 0,
+                log: Vec::new(),
+                consumed: Vec::new(),
+            })
+        })
+        .collect();
+
+    let mut directory = Directory::new();
+    // Journaling is active for the whole run: each window's validation
+    // passes roll back to the last commit point and replay.
+    directory.journal_begin();
+    let mut traffic = record_traffic.then(|| SymMatrix::new(p, 0u64));
+    let mut barrier_arrivals = 0u64;
+    let mut sent = vec![0u64; p];
+    let mut received = vec![0u64; p];
+
+    let fixed_window = par.window > 0;
+    let mut window = if fixed_window {
+        par.window
+    } else {
+        (4 * (c.latency + c.switch_cost + 2)).clamp(MIN_WINDOW, MAX_WINDOW)
+    };
+
+    let workers = par.threads.max(1).min(p.max(1));
+    let cancel = CancelToken::new();
+
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = mpsc::channel::<Reply<'_>>();
+        let mut job_txs: Vec<mpsc::Sender<Job<'_>>> = Vec::new();
+        if workers > 1 {
+            for _ in 0..workers {
+                let (tx, rx) = mpsc::channel::<Job<'_>>();
+                job_txs.push(tx);
+                let res_tx = res_tx.clone();
+                let cancel = cancel.clone();
+                let c = &c;
+                scope.spawn(move || {
+                    while let Ok(mut job) = rx.recv() {
+                        if cancel.is_cancelled() {
+                            // A sibling worker panicked: hand state back
+                            // untouched so the coordinator can unwind.
+                            let _ = res_tx.send(Reply::Done(job.pi, job.sp));
+                            continue;
+                        }
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            run_window(&mut job.sp, job.pi, job.bound, job.self_release, c);
+                            job.sp
+                        }));
+                        let reply = match outcome {
+                            Ok(sp) => Reply::Done(job.pi, sp),
+                            Err(payload) => {
+                                cancel.cancel();
+                                Reply::Panicked(payload)
+                            }
+                        };
+                        let _ = res_tx.send(reply);
+                    }
+                });
+            }
+        }
+
+        // Runs one batch of window executions, inline or on the pool.
+        // A named function (not a closure) so the shard lifetime 'env
+        // unifies with the channels' payload lifetime.
+        fn execute<'env>(
+            shards: &mut [Option<ShardProc<'env>>],
+            jobs: &[(usize, Option<u64>)],
+            bound: (u64, usize),
+            workers: usize,
+            job_txs: &[mpsc::Sender<Job<'env>>],
+            res_rx: &mpsc::Receiver<Reply<'env>>,
+            c: &Consts,
+        ) {
+            if workers <= 1 {
+                for &(pi, self_release) in jobs {
+                    let sp = shards[pi].as_mut().expect("shard present for inline run");
+                    run_window(sp, pi, bound, self_release, c);
+                }
+                return;
+            }
+            let mut pending = 0usize;
+            for &(pi, self_release) in jobs {
+                let sp = shards[pi].take().expect("shard present for dispatch");
+                let job = Job {
+                    pi,
+                    sp,
+                    bound,
+                    self_release,
+                };
+                job_txs[pi % workers]
+                    .send(job)
+                    .expect("worker alive while coordinator runs");
+                pending += 1;
+            }
+            while pending > 0 {
+                match res_rx.recv().expect("workers alive while jobs pending") {
+                    Reply::Done(pi, sp) => {
+                        shards[pi] = Some(sp);
+                        pending -= 1;
+                    }
+                    Reply::Panicked(payload) => resume_unwind(payload),
+                }
+            }
+        }
+
+        'windows: loop {
+            let w_start = shards
+                .iter()
+                .map(|s| s.as_ref().expect("all shards home between windows").slot)
+                .min()
+                .unwrap_or(NO_EVENT);
+            if w_start == NO_EVENT {
+                break 'windows;
+            }
+            let full_bound = (w_start.saturating_add(window), 0usize);
+
+            // Window entry: snapshot the executing shards, clear stale
+            // per-window state everywhere.
+            let mut snaps: Vec<Option<Snap<'_>>> = (0..p).map(|_| None).collect();
+            let mut exec_list: Vec<(usize, Option<u64>)> = Vec::new();
+            for (qi, slot) in shards.iter_mut().enumerate() {
+                let sp = slot.as_mut().expect("all shards home between windows");
+                sp.consumed.clear();
+                sp.log.clear();
+                if sp.slot != NO_EVENT && (sp.slot, qi) < full_bound {
+                    snaps[qi] = Some(sp.snapshot());
+                    exec_list.push((qi, None));
+                }
+            }
+            if exec_list.is_empty() {
+                // Only parked/stopped processors remain: like the serial
+                // engine's drained queue, the simulation is over (a
+                // parked processor with no future release never runs).
+                break 'windows;
+            }
+
+            // Phase A: speculate to the full bound ignoring releases,
+            // iterating to the validation fixed point.
+            execute(
+                &mut shards,
+                &exec_list,
+                full_bound,
+                workers,
+                &job_txs,
+                &res_rx,
+                &c,
+            );
+            let mut iterations = 0u32;
+            let mut scratch = loop {
+                let scratch = validate_window(
+                    &shards,
+                    &mut directory,
+                    barrier_arrivals,
+                    participants,
+                    None,
+                );
+                let dirty = dirty_shards(&shards, &scratch, c.set_mask);
+                if dirty.is_empty() {
+                    break scratch;
+                }
+                iterations += 1;
+                assert!(
+                    iterations < 100_000,
+                    "parallel window validation failed to converge (bug)"
+                );
+                let rerun: Vec<(usize, Option<u64>)> = dirty
+                    .iter()
+                    .map(|&qi| {
+                        let sp = shards[qi].as_mut().expect("dirty shard present");
+                        sp.restore(snaps[qi].as_ref().expect("dirty shard was snapshotted"));
+                        sp.consumed = scratch.computed[qi].clone();
+                        (qi, None)
+                    })
+                    .collect();
+                execute(
+                    &mut shards,
+                    &rerun,
+                    full_bound,
+                    workers,
+                    &job_txs,
+                    &res_rx,
+                    &c,
+                );
+            };
+
+            // Phase B: a release inside the window truncates it to just
+            // past the releasing arrival; the stable prefix re-executes
+            // deterministically (seeded with the fixed point's events),
+            // so this converges in one pass.
+            let mut release = scratch.release;
+            if let Some((t_r, p_r)) = release {
+                loop {
+                    let bound = (t_r, p_r + 1);
+                    let rerun: Vec<(usize, Option<u64>)> = snaps
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(qi, snap)| snap.as_ref().map(|s| (qi, s)))
+                        .map(|(qi, snap)| {
+                            let sp = shards[qi].as_mut().expect("shard present for truncation");
+                            sp.restore(snap);
+                            sp.log.clear();
+                            sp.consumed = scratch.computed[qi]
+                                .iter()
+                                .copied()
+                                .filter(|e| e.key() < bound)
+                                .collect();
+                            (qi, (qi == p_r).then_some(t_r))
+                        })
+                        .collect();
+                    execute(&mut shards, &rerun, bound, workers, &job_txs, &res_rx, &c);
+                    scratch = loop {
+                        let s = validate_window(
+                            &shards,
+                            &mut directory,
+                            barrier_arrivals,
+                            participants,
+                            Some((t_r, p_r)),
+                        );
+                        let dirty = dirty_shards(&shards, &s, c.set_mask);
+                        if dirty.is_empty() {
+                            break s;
+                        }
+                        iterations += 1;
+                        assert!(
+                            iterations < 100_000,
+                            "parallel window validation failed to converge (bug)"
+                        );
+                        let rerun: Vec<(usize, Option<u64>)> = dirty
+                            .iter()
+                            .map(|&qi| {
+                                let sp = shards[qi].as_mut().expect("dirty shard present");
+                                sp.restore(snaps[qi].as_ref().expect("dirty shard snapshotted"));
+                                sp.consumed = s.computed[qi].clone();
+                                (qi, (qi == p_r).then_some(t_r))
+                            })
+                            .collect();
+                        execute(&mut shards, &rerun, bound, workers, &job_txs, &res_rx, &c);
+                    };
+                    if let Some(earlier) = scratch.release {
+                        // An even earlier release surfaced (only possible
+                        // while the prefix was still unstable): truncate
+                        // again to it.
+                        release = Some(earlier);
+                        let (t_r, p_r) = earlier;
+                        let _ = (t_r, p_r);
+                        continue;
+                    }
+                    if !scratch.confirmed {
+                        // The truncated fixed point no longer reaches the
+                        // release: commit it as a plain (short) window;
+                        // the arrivals carry over to the next one.
+                        release = None;
+                    }
+                    break;
+                }
+            }
+
+            // Commit: the directory keeps the replayed transactions, the
+            // accounting scratch lands in the accumulators, and events
+            // beyond each shard's consumed prefix (all commuting, or the
+            // shard would have been dirty) are applied at the edge.
+            directory.journal_commit();
+            directory.journal_begin();
+            barrier_arrivals = scratch.arrivals;
+            for qi in 0..p {
+                sent[qi] += scratch.sent[qi];
+                received[qi] += scratch.received[qi];
+                let sp = shards[qi].as_mut().expect("all shards home at commit");
+                for e in &scratch.computed[qi][sp.consumed.len()..] {
+                    apply_foreign(&mut sp.cache, *e);
+                }
+            }
+            if let Some(m) = &mut traffic {
+                for &(a, b) in &scratch.pairs {
+                    if a != b {
+                        m.add(a, b, 1);
+                    }
+                }
+            }
+
+            // Barrier release between windows: the serial release loop,
+            // minus the arriving processor (already handled in-window).
+            if let Some((t_r, _)) = release {
+                let wake = t_r + 1;
+                for slot in shards.iter_mut() {
+                    let sp = slot.as_mut().expect("all shards home at release");
+                    let mut woke = false;
+                    for ctx in &mut sp.proc.contexts {
+                        if ctx.waiting {
+                            ctx.waiting = false;
+                            ctx.ready_at = wake;
+                            woke = true;
+                        }
+                    }
+                    if woke {
+                        if let Some(park_time) = sp.parked.take() {
+                            if let Some((idx, dispatch)) = sp.proc.next_context(wake) {
+                                sp.proc.stats.idle += dispatch - park_time;
+                                sp.proc.current = idx;
+                                sp.slot = dispatch;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !fixed_window {
+                if iterations == 0 && release.is_none() {
+                    window = (window * 2).min(MAX_WINDOW);
+                } else if iterations > 3 {
+                    window = (window / 2).max(MIN_WINDOW);
+                }
+            }
+        }
+        directory.journal_commit();
+        drop(job_txs); // workers exit their recv loops
+    });
+
+    let mut per_proc = Vec::with_capacity(p);
+    let mut caches = Vec::with_capacity(p);
+    for (qi, slot) in shards.into_iter().enumerate() {
+        let sp = slot.expect("all shards home at the end");
+        let mut stats = sp.proc.stats;
+        stats.invalidations_sent += sent[qi];
+        stats.invalidations_received += received[qi];
+        per_proc.push(stats);
+        caches.push(sp.cache);
+    }
+    let stats = SimStats::new(per_proc);
+    #[cfg(feature = "audit")]
+    crate::audit::check_drained(prog, map, stats.per_proc(), &caches, &directory);
+    #[cfg(not(feature = "audit"))]
+    let _ = &caches;
+    Ok((stats, traffic))
+}

@@ -1,0 +1,309 @@
+//! Differential tests: the work-sharded parallel engine must be
+//! bit-for-bit equivalent to the serial batched engine — identical
+//! [`placesim_machine::SimStats`] (every counter, every processor) and
+//! identical coherence-traffic matrices — at 1, 2, 4 and 8 worker
+//! threads, over randomized programs, placements, configurations and
+//! window lengths.
+//!
+//! The serial baseline is [`simulate_serial_with_traffic`], which is
+//! pinned to the serial engine regardless of `PLACESIM_SIM_THREADS`
+//! (CI runs this suite with that variable set).
+
+use placesim_machine::parallel::simulate_parallel_configured;
+use placesim_machine::{simulate_serial_with_traffic, ArchConfig, ParConfig};
+use placesim_placement::PlacementMap;
+use placesim_trace::{Address, MemRef, ProgramTrace, ThreadTrace};
+use proptest::prelude::*;
+
+/// Random program over a small address universe to provoke sharing,
+/// conflicts, invalidations and upgrades across shards.
+fn arb_program() -> impl Strategy<Value = ProgramTrace> {
+    let r#ref = (0u8..3, 0u64..64);
+    let thread = proptest::collection::vec(r#ref, 0..150);
+    proptest::collection::vec(thread, 1..6).prop_map(|threads| {
+        let traces: Vec<ThreadTrace> = threads
+            .into_iter()
+            .map(|refs| {
+                refs.into_iter()
+                    .map(|(kind, slot)| {
+                        let addr = Address::new(slot * 16); // overlapping lines
+                        match kind {
+                            0 => MemRef::instr(addr),
+                            1 => MemRef::read(addr),
+                            _ => MemRef::write(addr),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        ProgramTrace::new("par-diff-prop", traces)
+    })
+}
+
+/// Programs with barrier phases (equal barrier counts per thread), so
+/// the differential covers parks, releases and window truncation.
+fn arb_barrier_program() -> impl Strategy<Value = ProgramTrace> {
+    let segment = proptest::collection::vec((0u8..3, 0u64..48), 0..30);
+    (
+        1usize..4,
+        proptest::collection::vec(proptest::collection::vec(segment, 3), 1..5),
+    )
+        .prop_map(|(phases, threads)| {
+            let traces: Vec<ThreadTrace> = threads
+                .into_iter()
+                .map(|segments| {
+                    let mut t = ThreadTrace::new();
+                    for (pi, seg) in segments.into_iter().take(phases).enumerate() {
+                        for (kind, slot) in seg {
+                            let addr = Address::new(0x100 + slot * 16);
+                            t.push(match kind {
+                                0 => MemRef::instr(addr),
+                                1 => MemRef::read(addr),
+                                _ => MemRef::write(addr),
+                            });
+                        }
+                        if pi + 1 < phases {
+                            t.push(MemRef::barrier(pi as u64));
+                        }
+                    }
+                    t
+                })
+                .collect();
+            ProgramTrace::new("par-diff-barrier-prop", traces)
+        })
+}
+
+fn arb_placement(t: usize, seed: u64) -> PlacementMap {
+    // Deterministic pseudo-random balanced clustering.
+    let p = 1 + (seed as usize % t.max(1));
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); p.min(t).max(1)];
+    for i in 0..t {
+        let k = (seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64) >> 7) as usize
+            % clusters.len();
+        clusters[k].push(i);
+    }
+    PlacementMap::from_clusters(clusters).expect("valid clusters")
+}
+
+/// Randomized machine. Includes occupancy/upgrade-stall configurations
+/// (which exercise the parallel entry point's serial fallback) alongside
+/// the contention-free ones the windowed protocol actually shards.
+fn arb_config() -> impl Strategy<Value = ArchConfig> {
+    (0u8..4, 0u8..2, 0u64..4, 0u64..3, 0u8..2).prop_map(|(geom, assoc, switch, occ, stalls)| {
+        let (cache, line) = match geom {
+            0 => (256, 32),
+            1 => (512, 32),
+            2 => (1024, 64),
+            _ => (4096, 64),
+        };
+        ArchConfig::builder()
+            .cache_size(cache)
+            .line_size(line)
+            .associativity(1 << (assoc * 2)) // 1- or 4-way
+            .context_switch(1 + switch * 5) // 1, 6, 11, 16
+            .memory_latency(20 + occ * 30)
+            .memory_occupancy(occ * 7) // 0 = contention-free
+            .upgrade_stalls(stalls == 1)
+            .build()
+            .expect("valid random config")
+    })
+}
+
+/// Serial vs parallel full-state equality on one scenario, across the
+/// worker-thread counts the issue pins (1/2/4/8) and the given window.
+fn assert_parallel_agrees(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    window: u64,
+) {
+    let (serial, serial_traffic) =
+        simulate_serial_with_traffic(prog, map, config).expect("serial engine");
+    for threads in [1usize, 2, 4, 8] {
+        let par = ParConfig { threads, window };
+        let (stats, traffic) =
+            simulate_parallel_configured(prog, map, config, &par).expect("parallel engine");
+        assert_eq!(
+            serial,
+            stats,
+            "serial and parallel SimStats diverge (threads={threads}, window={window}, p={}, t={})",
+            map.processor_count(),
+            prog.thread_count()
+        );
+        assert_eq!(
+            serial_traffic, traffic,
+            "serial and parallel traffic matrices diverge (threads={threads}, window={window})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parallel_agrees_on_random_programs(
+        prog in arb_program(),
+        seed in 1u64..5000,
+        config in arb_config(),
+    ) {
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_parallel_agrees(&prog, &map, &config, 0); // adaptive window
+    }
+
+    #[test]
+    fn parallel_agrees_on_barrier_programs(
+        prog in arb_barrier_program(),
+        seed in 1u64..5000,
+        config in arb_config(),
+    ) {
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_parallel_agrees(&prog, &map, &config, 0);
+    }
+
+    #[test]
+    fn parallel_agrees_under_tiny_windows(
+        prog in arb_barrier_program(),
+        seed in 1u64..5000,
+        config in arb_config(),
+        window in 1u64..9,
+    ) {
+        // Tiny fixed windows force every protocol edge: yields mid hit
+        // run, foreign events draining at window boundaries, barrier
+        // truncation, parks spanning many windows.
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_parallel_agrees(&prog, &map, &config, window);
+    }
+}
+
+/// Satellite edge case: a single simulated processor with more workers
+/// than shards — every thread of the program lands in one shard and the
+/// pool's surplus workers never receive a job.
+#[test]
+fn single_processor_shard_with_surplus_workers() {
+    let t0: ThreadTrace = (0..300)
+        .map(|i| MemRef::instr(Address::new(4 * i)))
+        .collect();
+    let t1: ThreadTrace = (0..200)
+        .map(|i| MemRef::write(Address::new(64 * (i % 17))))
+        .collect();
+    let prog = ProgramTrace::new("one-proc", vec![t0, t1]);
+    let map = PlacementMap::from_clusters(vec![vec![0, 1]]).unwrap();
+    for window in [0u64, 3, 64] {
+        assert_parallel_agrees(&prog, &map, &ArchConfig::paper_default(), window);
+    }
+}
+
+/// Satellite edge case: fewer simulated processors than requested
+/// workers (p < threads), including processors whose thread exhausts
+/// almost immediately — "empty" shards that spend most windows idle.
+#[test]
+fn more_workers_than_processors() {
+    let long: ThreadTrace = (0..400)
+        .map(|i| MemRef::read(Address::new(64 * (i % 23))))
+        .collect();
+    let short: ThreadTrace = (0..2).map(|i| MemRef::instr(Address::new(4 * i))).collect();
+    let empty = ThreadTrace::new();
+    let prog = ProgramTrace::new("uneven", vec![long, short, empty]);
+    let map = PlacementMap::from_clusters(vec![vec![0], vec![1], vec![2]]).unwrap();
+    for window in [0u64, 2, 16] {
+        assert_parallel_agrees(&prog, &map, &ArchConfig::paper_default(), window);
+    }
+}
+
+/// Satellite edge case: the window bound landing exactly on (and one
+/// cycle either side of) the barrier-release cycle. Sweeping every
+/// window length in 1..=48 guarantees some bound coincides with the
+/// release key however the cycle arithmetic works out.
+#[test]
+fn barrier_exactly_on_window_boundary() {
+    let mk = |n: u64, base: u64| -> ThreadTrace {
+        let mut t: ThreadTrace = (0..n)
+            .map(|i| MemRef::read(Address::new(base + 64 * (i % 5))))
+            .collect();
+        t.push(MemRef::barrier(0));
+        for i in 0..n {
+            t.push(MemRef::write(Address::new(base + 64 * (i % 5))));
+        }
+        t
+    };
+    let prog = ProgramTrace::new("barrier-edge", vec![mk(7, 0), mk(23, 0x1000), mk(40, 0)]);
+    let map = PlacementMap::from_clusters(vec![vec![0], vec![1], vec![2]]).unwrap();
+    let config = ArchConfig::paper_default();
+    for window in 1..=48u64 {
+        assert_parallel_agrees(&prog, &map, &config, window);
+    }
+}
+
+/// Satellite edge case: contexts exhausting mid-window at staggered
+/// times — on the same processor (context count shrinks while others
+/// keep running) and across processors (a shard goes quiet while its
+/// peers still generate foreign events against its cache).
+#[test]
+fn context_exhaustion_mid_window() {
+    let lens = [5u64, 37, 120, 11, 260, 1];
+    let threads: Vec<ThreadTrace> = lens
+        .iter()
+        .enumerate()
+        .map(|(ti, &n)| {
+            (0..n)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        MemRef::write(Address::new(64 * (i % 7)))
+                    } else {
+                        MemRef::read(Address::new(64 * ((i + ti as u64) % 7)))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let prog = ProgramTrace::new("staggered-exhaustion", threads);
+    for clusters in [
+        vec![vec![0, 1, 2], vec![3, 4, 5]],
+        vec![vec![0, 3], vec![1, 4], vec![2, 5]],
+    ] {
+        let map = PlacementMap::from_clusters(clusters).unwrap();
+        for window in [0u64, 1, 5, 4096] {
+            assert_parallel_agrees(&prog, &map, &ArchConfig::paper_default(), window);
+        }
+    }
+}
+
+/// Mailbox stress: maximum workers, minimum window — every shard
+/// crosses a channel round-trip roughly once per simulated cycle, and
+/// heavy write sharing keeps the validator finding cross-shard events.
+/// Repeated to shake out any ordering sensitivity in the handoff.
+#[test]
+fn mailbox_handoff_stress() {
+    let threads: Vec<ThreadTrace> = (0..8)
+        .map(|ti: u64| {
+            (0..150)
+                .map(|i| {
+                    let line = (i + ti) % 4; // four hot lines, all shards
+                    if (i + ti).is_multiple_of(2) {
+                        MemRef::write(Address::new(64 * line))
+                    } else {
+                        MemRef::read(Address::new(64 * line))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let prog = ProgramTrace::new("mailbox-stress", threads);
+    let map = PlacementMap::from_clusters((0..8).map(|i| vec![i]).collect()).unwrap();
+    let config = ArchConfig::paper_default();
+    let (serial, serial_traffic) =
+        simulate_serial_with_traffic(&prog, &map, &config).expect("serial engine");
+    let par = ParConfig {
+        threads: 8,
+        window: 2,
+    };
+    for round in 0..20 {
+        let (stats, traffic) =
+            simulate_parallel_configured(&prog, &map, &config, &par).expect("parallel engine");
+        assert_eq!(serial, stats, "stress round {round}: SimStats diverged");
+        assert_eq!(
+            serial_traffic, traffic,
+            "stress round {round}: traffic diverged"
+        );
+    }
+}

@@ -104,13 +104,14 @@ usage:
   placesim-cli place <trace> <algorithm> <processors> [--metrics out.json]
   placesim-cli simulate <trace> <algorithm> <processors>
                [--cache-kb K] [--assoc W] [--latency L] [--switch C]
-               [--metrics out.json] [--timeline out.json]
+               [--sim-threads N] [--metrics out.json] [--timeline out.json]
   placesim-cli probe <trace> [--metrics out.json]
   placesim-cli report <manifest-or-dir...>
                [--baseline file-or-dir] [--threshold PCT] [--json out.json]
   placesim-cli sweep <app> --journal <file> [--resume]
                [--scale S] [--seed N] [--algos A,B,...] [--procs 2,4,...]
-               [--max-attempts N] [--timeout-ms T] [--report out.json]
+               [--max-attempts N] [--timeout-ms T] [--sim-threads N]
+               [--report out.json]
 exit codes: 0 ok; 1 runtime failure; 2 usage error;
             3 sweep finished with holes; 4 corrupt/mismatched journal";
 
@@ -171,6 +172,17 @@ fn uint_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
                 .map_err(|_| format!("{name} value must be a non-negative integer, got {v}"))
         })
         .transpose()
+}
+
+/// Parses `--sim-threads`, the intra-simulation worker-thread count.
+/// 1 (the default) is the serial engine; 0 is rejected as a usage error
+/// rather than silently meaning "serial".
+fn sim_threads_flag(args: &[String]) -> Result<usize, String> {
+    match uint_flag(args, "--sim-threads")? {
+        Some(0) => Err("--sim-threads must be at least 1".into()),
+        Some(n) => usize::try_from(n).map_err(|_| format!("--sim-threads value {n} exceeds usize")),
+        None => Ok(1),
+    }
 }
 
 fn parse_algorithm(name: &str) -> Result<PlacementAlgorithm, String> {
@@ -370,6 +382,8 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    // Validate pure arguments before touching the filesystem.
+    let sim_threads = sim_threads_flag(args)?;
     let prog = load_trace(args.first().ok_or("simulate needs a trace path")?)?;
     let algo = parse_algorithm(args.get(1).ok_or("simulate needs an algorithm")?)?;
     let processors: usize = args
@@ -405,12 +419,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     let timeline_path = raw_flag(args, "--timeline")?;
     let (stats, obs, trace) = if timeline_path.is_some() {
+        if sim_threads > 1 {
+            println!(
+                "note: --timeline needs the serial engine's cycle ordering; --sim-threads ignored"
+            );
+        }
         let (stats, obs, trace) =
             simulate_traced(&prog, &map, &config, TIMELINE_CAPACITY).map_err(|e| e.to_string())?;
-        (stats, obs, Some(trace))
+        (stats, Some(obs), Some(trace))
+    } else if sim_threads > 1 {
+        // The parallel engine is bit-identical to the serial one (see
+        // DESIGN.md §10); only the engine-internal obs report is
+        // unavailable, so `--metrics` output simply omits it.
+        let stats = placesim_machine::simulate_parallel(&prog, &map, &config, sim_threads)
+            .map_err(|e| e.to_string())?;
+        (stats, None, None)
     } else {
         let (stats, obs) = simulate_observed(&prog, &map, &config).map_err(|e| e.to_string())?;
-        (stats, obs, None)
+        (stats, Some(obs), None)
     };
 
     if let (Some(path), Some(trace)) = (timeline_path, &trace) {
@@ -442,7 +468,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             processors,
             &stats,
         )];
-        manifest.obs = Some(obs);
+        manifest.obs = obs;
         manifest.write(Path::new(metrics))?;
         println!("metrics:        {metrics}");
     }
@@ -636,6 +662,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         None => vec![2, 4, 8, 16],
     };
 
+    // The sweep's cells call `simulate`, which reads
+    // PLACESIM_SIM_THREADS; the supervisor also reads it to shrink its
+    // cell pool so cell-level and simulation-level parallelism stay
+    // within the PLACESIM_THREADS budget.
+    let sim_threads = sim_threads_flag(args)?;
+    if sim_threads > 1 {
+        std::env::set_var("PLACESIM_SIM_THREADS", sim_threads.to_string());
+    }
+
     let mut sup = SupervisorConfig::new();
     if let Some(n) = uint_flag(args, "--max-attempts")? {
         sup.max_attempts =
@@ -754,6 +789,83 @@ mod tests {
         assert!(uint_flag(&s(&["--seed"]), "--seed").is_err());
         // Full-command paths reject too.
         assert!(run(&s(&["gen", "fft", "/tmp/x.trace", "--seed", "-1"])).is_err());
+    }
+
+    #[test]
+    fn sim_threads_flag_parses_strictly() {
+        assert_eq!(sim_threads_flag(&s(&[])).unwrap(), 1);
+        assert_eq!(sim_threads_flag(&s(&["--sim-threads", "4"])).unwrap(), 4);
+        for bad in ["0", "-2", "2.5", "junk", ""] {
+            let args = s(&["--sim-threads", bad]);
+            assert!(sim_threads_flag(&args).is_err(), "{bad:?} must be rejected");
+        }
+        assert!(sim_threads_flag(&s(&["--sim-threads"])).is_err());
+    }
+
+    #[test]
+    fn sim_threads_junk_is_a_usage_error() {
+        // Exit-code taxonomy: a bad --sim-threads is a usage error (2),
+        // even before the trace is touched.
+        let err = run(&s(&[
+            "simulate",
+            "/nonexistent.trace",
+            "LOAD-BAL",
+            "4",
+            "--sim-threads",
+            "zero",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code(), 2);
+        assert!(err.message().contains("--sim-threads"));
+        let err = run(&s(&[
+            "sweep",
+            "fft",
+            "--journal",
+            "/tmp/never-written.journal",
+            "--sim-threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code(), 2);
+    }
+
+    /// Round-trip: the same simulation through `--sim-threads 1` and
+    /// `--sim-threads 4` writes identical result entries (bit-identical
+    /// engines), differing only in wall time and the obs report.
+    #[test]
+    fn sim_threads_roundtrip_identical_results() {
+        let dir = std::env::temp_dir().join("placesim-cli-simthreads-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("fft.trace");
+        let trace_s = trace.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen", "fft", &trace_s, "--scale", "0.002", "--seed", "3",
+        ]))
+        .unwrap();
+
+        let results = |n: &str| -> String {
+            let metrics = dir.join(format!("run-{n}.json"));
+            let metrics_s = metrics.to_str().unwrap().to_string();
+            run(&s(&[
+                "simulate",
+                &trace_s,
+                "LOAD-BAL",
+                "4",
+                "--sim-threads",
+                n,
+                "--metrics",
+                &metrics_s,
+            ]))
+            .unwrap();
+            let body = std::fs::read_to_string(&metrics).unwrap();
+            RunManifest::validate(&body).unwrap();
+            std::fs::remove_file(&metrics).ok();
+            let start = body.find("\"results\"").expect("results key");
+            let end = body.find("\"obs\"").expect("obs key");
+            body[start..end].to_string()
+        };
+        assert_eq!(results("1"), results("4"));
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]
