@@ -46,6 +46,7 @@ pub mod nway;
 mod profile;
 mod shard;
 mod sharing;
+mod stream;
 mod summary;
 pub mod write_runs;
 
@@ -53,4 +54,5 @@ pub use locality::{LocalityProfile, WorkingSetSummary};
 pub use matrix::SymMatrix;
 pub use profile::{AddressProfile, PerAddress, PerThreadCount};
 pub use sharing::{SharingAnalysis, ThreadSharing};
+pub use stream::SpillBudget;
 pub use summary::CharacteristicsRow;

@@ -186,6 +186,38 @@ impl AddressProfile {
         }
     }
 
+    /// Builds the same profile out-of-core from a streaming (v3) trace
+    /// file, with stage-1 memory bounded by `budget` (see
+    /// [`crate::SpillBudget`]). Bit-identical to [`Self::build_parallel`]
+    /// on the decoded trace for any budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format errors from the trace file and the
+    /// spill files.
+    pub fn build_parallel_streamed(
+        reader: &placesim_trace::stream::FileReader,
+        budget: &crate::SpillBudget,
+    ) -> Result<Self, placesim_trace::TraceError> {
+        let shards = crate::stream::sharded_scan_streamed(
+            reader,
+            budget,
+            Vec::new,
+            |acc: &mut Vec<(u64, PerAddress)>, addr, counts| {
+                acc.push((addr, PerAddress::from_sorted_counts(counts.to_vec())));
+            },
+        )?;
+        let mut map: AddrMap<PerAddress> = AddrMap::default();
+        map.reserve(shards.iter().map(Vec::len).sum());
+        for shard in shards {
+            map.extend(shard);
+        }
+        Ok(AddressProfile {
+            map,
+            threads: reader.thread_count(),
+        })
+    }
+
     /// Number of threads in the profiled program.
     pub fn thread_count(&self) -> usize {
         self.threads

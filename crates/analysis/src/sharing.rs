@@ -303,6 +303,38 @@ impl SharingAnalysis {
         )
     }
 
+    /// Computes all sharing metrics from a streaming (v3) trace file
+    /// without materializing it: the out-of-core analogue of
+    /// [`Self::measure`].
+    ///
+    /// Stage-1 memory is bounded by `budget` (sorted run segments spill
+    /// to disk past the cap, see [`crate::SpillBudget`]); every
+    /// accumulated quantity is a commutative sum over per-address
+    /// per-thread totals, so the result is bit-identical to
+    /// [`Self::measure`] on the decoded trace for *any* budget — the
+    /// differential proptests force spill-heavy tiny budgets to pin
+    /// this down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format errors from the trace file and the
+    /// spill files.
+    pub fn measure_streamed(
+        reader: &placesim_trace::stream::FileReader,
+        budget: &crate::SpillBudget,
+    ) -> Result<Self, placesim_trace::TraceError> {
+        let threads = reader.thread_count();
+        Ok(Self::from_grouped_shards(
+            threads,
+            crate::stream::sharded_scan_streamed(
+                reader,
+                budget,
+                || GroupedAccum::new(threads),
+                |acc, _addr, counts| acc.record(counts),
+            )?,
+        ))
+    }
+
     /// Computes all sharing metrics straight from per-thread access
     /// lists — the fused front end's profile-during-generation path.
     ///

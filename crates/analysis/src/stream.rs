@@ -1,0 +1,689 @@
+//! Out-of-core sharded address scanning over streaming (v3) trace
+//! files: the engine behind [`crate::AddressProfile::build_parallel_streamed`]
+//! and [`crate::SharingAnalysis::measure_streamed`].
+//!
+//! The in-memory pipeline in [`crate::shard`] folds each thread's data
+//! references into a sorted distinct-address run list, then k-way merges
+//! those lists per address shard. This module keeps the same three
+//! stages but bounds stage 1's memory: each thread's fold reads chunk
+//! iterators from a [`FileReader`] instead of a `&ThreadTrace`, and
+//! whenever the thread's distinct-address map exceeds the
+//! [`SpillBudget`], the sorted entries are flushed as one *segment* of a
+//! per-thread spill file and the map restarts empty. Stage 3's merge
+//! then treats every segment (file-backed, buffered, sequentially read)
+//! like one more sorted run list; entries for the same `(thread,
+//! address)` split across segments are summed back together before the
+//! visitor sees them.
+//!
+//! Every accumulated quantity downstream is a commutative integer sum,
+//! and the merge delivers exactly the same per-address, per-thread
+//! totals in the same `(addr, thread)` order as the in-memory pipeline
+//! — so results are bit-identical to `build_parallel` / `measure`
+//! regardless of the budget (the differential proptests force tiny,
+//! many-segment budgets to pin this down).
+//!
+//! Peak memory per worker is `O(budget)` for stage 1 and `O(segments ×
+//! read-buffer)` for stage 3, independent of trace length.
+
+use crate::profile::PerThreadCount;
+use placesim_trace::hash::FastMap;
+use placesim_trace::par::{max_workers, try_parallel_map};
+use placesim_trace::stream::FileReader;
+use placesim_trace::{AddrCounts, ThreadId, TraceError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-thread addresses sampled per sorted segment for splitter
+/// selection (mirrors `shard::SAMPLES_PER_THREAD`).
+const SAMPLES_PER_SEGMENT: usize = 32;
+
+/// Entries per file-cursor read buffer. 512 × 16 B = 8 KiB per cursor:
+/// large enough for sequential read throughput, small enough that a
+/// shard merge over many segments stays within a few MiB.
+const CURSOR_BUF_ENTRIES: usize = 512;
+
+/// Bytes of one spill-file entry: `addr u64 · reads u32 · writes u32`,
+/// little-endian.
+const ENTRY_BYTES: u64 = 16;
+
+/// Process-unique suffix for spill file names.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Memory budget for the out-of-core scan.
+///
+/// `max_resident_addrs` caps the number of distinct addresses one
+/// thread's stage-1 fold keeps resident before spilling a sorted
+/// segment to disk. Spill files live in `dir` (the system temp
+/// directory by default) and are deleted when the scan finishes.
+#[derive(Debug, Clone)]
+pub struct SpillBudget {
+    max_resident_addrs: usize,
+    dir: PathBuf,
+}
+
+impl SpillBudget {
+    /// Default distinct-address cap per thread: 1 Mi entries, ≈ 40 MiB
+    /// of fold state per stage-1 worker.
+    pub const DEFAULT_RESIDENT_ADDRS: usize = 1 << 20;
+
+    /// Environment variable overriding the distinct-address cap.
+    pub const ENV_VAR: &'static str = "PLACESIM_SPILL_ADDRS";
+
+    /// A budget capping each thread's resident distinct addresses,
+    /// spilling to the system temp directory.
+    #[must_use]
+    pub fn new(max_resident_addrs: usize) -> Self {
+        SpillBudget {
+            // A zero budget would spill before holding anything.
+            max_resident_addrs: max_resident_addrs.max(1),
+            dir: std::env::temp_dir(),
+        }
+    }
+
+    /// Redirects spill files to `dir` (which must exist).
+    #[must_use]
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = dir.into();
+        self
+    }
+
+    /// Reads the cap from [`Self::ENV_VAR`], falling back to
+    /// [`Self::DEFAULT_RESIDENT_ADDRS`] when unset or unparsable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let cap = std::env::var(Self::ENV_VAR)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(Self::DEFAULT_RESIDENT_ADDRS);
+        Self::new(cap)
+    }
+
+    /// The distinct-address cap.
+    #[must_use]
+    pub fn max_resident_addrs(&self) -> usize {
+        self.max_resident_addrs
+    }
+}
+
+impl Default for SpillBudget {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_RESIDENT_ADDRS)
+    }
+}
+
+/// A spill file opened for shared positioned reads.
+#[derive(Debug)]
+struct SharedFile(File);
+
+impl SharedFile {
+    #[cfg(unix)]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        std::os::unix::fs::FileExt::read_exact_at(&self.0, buf, offset)
+    }
+
+    #[cfg(windows)]
+    fn read_exact_at(&self, mut buf: &mut [u8], mut offset: u64) -> std::io::Result<()> {
+        use std::os::windows::fs::FileExt;
+        while !buf.is_empty() {
+            let n = self.0.seek_read(buf, offset)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            buf = &mut buf[n..];
+            offset += n as u64;
+        }
+        Ok(())
+    }
+}
+
+/// One sorted spilled segment: a contiguous entry range of the thread's
+/// spill file plus evenly spaced address samples taken at spill time.
+#[derive(Debug)]
+struct Segment {
+    /// First entry index in the spill file.
+    start: u64,
+    /// Entry count.
+    len: u64,
+    /// Up to [`SAMPLES_PER_SEGMENT`] evenly spaced addresses.
+    samples: Vec<u64>,
+}
+
+/// Stage-1 output for one thread.
+#[derive(Debug)]
+enum ThreadRuns {
+    /// The fold never exceeded the budget: plain sorted runs in memory.
+    Mem(Vec<AddrCounts>),
+    /// Sorted segments in a spill file (including the final residue).
+    Spilled(SpilledRuns),
+}
+
+#[derive(Debug)]
+struct SpilledRuns {
+    file: SharedFile,
+    path: PathBuf,
+    segments: Vec<Segment>,
+}
+
+impl Drop for SpilledRuns {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Sorts the folded entries, appends them to the spill writer and
+/// records the segment.
+fn spill_segment(
+    runs: &mut Vec<AddrCounts>,
+    w: &mut BufWriter<File>,
+    segments: &mut Vec<Segment>,
+    next_entry: &mut u64,
+) -> Result<(), TraceError> {
+    runs.sort_unstable_by_key(|r| r.addr);
+    let take = runs.len().min(SAMPLES_PER_SEGMENT);
+    let mut samples = Vec::with_capacity(take);
+    for k in 0..take {
+        samples.push(runs[k * runs.len() / take].addr);
+    }
+    for r in runs.iter() {
+        let mut entry = [0u8; ENTRY_BYTES as usize];
+        entry[..8].copy_from_slice(&r.addr.to_le_bytes());
+        entry[8..12].copy_from_slice(&r.reads.to_le_bytes());
+        entry[12..].copy_from_slice(&r.writes.to_le_bytes());
+        w.write_all(&entry)?;
+    }
+    segments.push(Segment {
+        start: *next_entry,
+        len: runs.len() as u64,
+        samples,
+    });
+    *next_entry += runs.len() as u64;
+    runs.clear();
+    Ok(())
+}
+
+/// Stage 1 for one thread: fold chunk iterators into distinct-address
+/// runs, spilling a sorted segment whenever the budget is exceeded.
+fn extract_runs_streamed(
+    reader: &FileReader,
+    tid: ThreadId,
+    budget: &SpillBudget,
+) -> Result<ThreadRuns, TraceError> {
+    let mut chunks = reader.chunks(tid)?;
+    let mut runs: Vec<AddrCounts> = Vec::new();
+    let mut index: FastMap<u64, u32> = FastMap::default();
+    let mut last: Option<(u64, usize)> = None;
+    let mut spill: Option<(BufWriter<File>, PathBuf, Vec<Segment>, u64)> = None;
+
+    while let Some(refs) = chunks.next_chunk()? {
+        for r in refs {
+            if !r.kind.is_data() {
+                continue;
+            }
+            let addr = r.addr.raw();
+            let slot = match last {
+                Some((a, slot)) if a == addr => slot,
+                _ => {
+                    let slot = *index.entry(addr).or_insert_with(|| {
+                        runs.push(AddrCounts::new(addr));
+                        (runs.len() - 1) as u32
+                    }) as usize;
+                    last = Some((addr, slot));
+                    slot
+                }
+            };
+            runs[slot].bump(r.kind.is_write());
+        }
+        // Budget check at chunk granularity: the overshoot is bounded by
+        // one chunk's worth of distinct addresses.
+        if runs.len() >= budget.max_resident_addrs {
+            let (w, _, segments, next_entry) = match &mut spill {
+                Some(s) => (&mut s.0, &s.1, &mut s.2, &mut s.3),
+                None => {
+                    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+                    let path = budget.dir.join(format!(
+                        "placesim-spill-{}-{seq}-t{}.run",
+                        std::process::id(),
+                        tid.index()
+                    ));
+                    let file = File::create(&path)?;
+                    spill = Some((BufWriter::new(file), path, Vec::new(), 0));
+                    let s = spill.as_mut().expect("just set");
+                    (&mut s.0, &s.1, &mut s.2, &mut s.3)
+                }
+            };
+            spill_segment(&mut runs, w, segments, next_entry)?;
+            index.clear();
+            last = None;
+        }
+    }
+
+    match spill {
+        None => {
+            runs.sort_unstable_by_key(|r| r.addr);
+            Ok(ThreadRuns::Mem(runs))
+        }
+        Some((mut w, path, mut segments, mut next_entry)) => {
+            // Spill the residue too, so the merge sees only segments.
+            if !runs.is_empty() {
+                spill_segment(&mut runs, &mut w, &mut segments, &mut next_entry)?;
+            }
+            w.flush()?;
+            drop(w);
+            let file = SharedFile(File::open(&path)?);
+            Ok(ThreadRuns::Spilled(SpilledRuns {
+                file,
+                path,
+                segments,
+            }))
+        }
+    }
+}
+
+/// Splitter selection over the stage-1 outputs, mirroring
+/// `shard::splitters`: evenly spaced samples, then quantile cuts.
+fn splitters_streamed(sources: &[ThreadRuns], shards: usize) -> Vec<u64> {
+    if shards <= 1 {
+        return Vec::new();
+    }
+    let mut samples: Vec<u64> = Vec::new();
+    for src in sources {
+        match src {
+            ThreadRuns::Mem(runs) => {
+                let take = runs.len().min(SAMPLES_PER_SEGMENT);
+                for k in 0..take {
+                    samples.push(runs[k * runs.len() / take].addr);
+                }
+            }
+            ThreadRuns::Spilled(s) => {
+                for seg in &s.segments {
+                    samples.extend_from_slice(&seg.samples);
+                }
+            }
+        }
+    }
+    samples.sort_unstable();
+    samples.dedup();
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut cuts: Vec<u64> = (1..shards)
+        .map(|s| samples[(s * samples.len() / shards).min(samples.len() - 1)])
+        .collect();
+    cuts.dedup();
+    cuts
+}
+
+/// A sorted entry stream for the merge: either a slice of in-memory
+/// runs or a buffered window over one spill-file segment.
+enum Cursor<'a> {
+    Mem {
+        entries: &'a [AddrCounts],
+        pos: usize,
+        end: usize,
+    },
+    File {
+        file: &'a SharedFile,
+        next: u64,
+        end: u64,
+        buf: Vec<AddrCounts>,
+        buf_pos: usize,
+    },
+}
+
+impl Cursor<'_> {
+    /// The entry the cursor currently points at (must not be exhausted).
+    fn current(&self) -> AddrCounts {
+        match self {
+            Cursor::Mem { entries, pos, .. } => entries[*pos],
+            Cursor::File { buf, buf_pos, .. } => buf[*buf_pos],
+        }
+    }
+
+    /// Steps past the current entry; returns the next entry's address,
+    /// or `None` when exhausted.
+    fn advance(&mut self) -> Result<Option<u64>, TraceError> {
+        match self {
+            Cursor::Mem { entries, pos, end } => {
+                *pos += 1;
+                Ok((*pos < *end).then(|| entries[*pos].addr))
+            }
+            Cursor::File {
+                file,
+                next,
+                end,
+                buf,
+                buf_pos,
+            } => {
+                *buf_pos += 1;
+                *next += 1;
+                if *buf_pos >= buf.len() {
+                    if *next >= *end {
+                        return Ok(None);
+                    }
+                    refill(file, *next, *end, buf)?;
+                    *buf_pos = 0;
+                }
+                Ok(Some(buf[*buf_pos].addr))
+            }
+        }
+    }
+}
+
+/// Reads the next buffer-full of entries starting at entry `next`.
+fn refill(
+    file: &SharedFile,
+    next: u64,
+    end: u64,
+    buf: &mut Vec<AddrCounts>,
+) -> Result<(), TraceError> {
+    let want = ((end - next) as usize).min(CURSOR_BUF_ENTRIES);
+    let mut raw = vec![0u8; want * ENTRY_BYTES as usize];
+    file.read_exact_at(&mut raw, next * ENTRY_BYTES)?;
+    buf.clear();
+    for e in raw.chunks_exact(ENTRY_BYTES as usize) {
+        buf.push(AddrCounts {
+            addr: u64::from_le_bytes(e[..8].try_into().expect("8 bytes")),
+            reads: u32::from_le_bytes(e[8..12].try_into().expect("4 bytes")),
+            writes: u32::from_le_bytes(e[12..].try_into().expect("4 bytes")),
+        });
+    }
+    Ok(())
+}
+
+/// First entry index in `[seg.start, seg.start + seg.len)` whose address
+/// is `>= bound` (binary search over the fixed-size file records).
+fn segment_lower_bound(
+    file: &SharedFile,
+    seg: &Segment,
+    bound: Option<u64>,
+) -> Result<u64, TraceError> {
+    let Some(bound) = bound else {
+        return Ok(seg.start);
+    };
+    let (mut lo, mut hi) = (0u64, seg.len);
+    let mut word = [0u8; 8];
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        file.read_exact_at(&mut word, (seg.start + mid) * ENTRY_BYTES)?;
+        if u64::from_le_bytes(word) < bound {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(seg.start + lo)
+}
+
+/// Merges every thread's sorted streams within `[lo, hi)` in ascending
+/// address order, summing same-`(addr, thread)` entries split across
+/// segments, and invokes `visit` once per address with per-thread
+/// counts in thread-id order — exactly like `shard::merge_shard`.
+fn merge_shard_streamed<A>(
+    sources: &[ThreadRuns],
+    lo: Option<u64>,
+    hi: Option<u64>,
+    acc: &mut A,
+    visit: &impl Fn(&mut A, u64, &[PerThreadCount]),
+) -> Result<(), TraceError> {
+    // One cursor per in-memory run list or file segment; heap keys are
+    // (addr, thread, cursor index), so ties on addr pop in thread order
+    // and same-thread duplicates pop adjacently.
+    let mut cursors: Vec<(usize, Cursor<'_>)> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    for (t, src) in sources.iter().enumerate() {
+        match src {
+            ThreadRuns::Mem(runs) => {
+                let start = lo.map_or(0, |l| runs.partition_point(|r| r.addr < l));
+                let end = hi.map_or(runs.len(), |h| runs.partition_point(|r| r.addr < h));
+                if start < end {
+                    let ci = cursors.len();
+                    heap.push(Reverse((runs[start].addr, t, ci)));
+                    cursors.push((
+                        t,
+                        Cursor::Mem {
+                            entries: runs,
+                            pos: start,
+                            end,
+                        },
+                    ));
+                }
+            }
+            ThreadRuns::Spilled(s) => {
+                for seg in &s.segments {
+                    let start = segment_lower_bound(&s.file, seg, lo)?;
+                    let end = segment_lower_bound(&s.file, seg, hi)?
+                        .max(start)
+                        .min(seg.start + seg.len);
+                    let end = if hi.is_none() {
+                        seg.start + seg.len
+                    } else {
+                        end
+                    };
+                    if start < end {
+                        let mut buf = Vec::with_capacity(CURSOR_BUF_ENTRIES);
+                        refill(&s.file, start, end, &mut buf)?;
+                        let ci = cursors.len();
+                        heap.push(Reverse((buf[0].addr, t, ci)));
+                        cursors.push((
+                            t,
+                            Cursor::File {
+                                file: &s.file,
+                                next: start,
+                                end,
+                                buf,
+                                buf_pos: 0,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut counts: Vec<PerThreadCount> = Vec::new();
+    while let Some(&Reverse((addr, _, _))) = heap.peek() {
+        counts.clear();
+        while let Some(&Reverse((a, t, ci))) = heap.peek() {
+            if a != addr {
+                break;
+            }
+            heap.pop();
+            let entry = cursors[ci].1.current();
+            // Entries for one (addr, thread) split across segments pop
+            // adjacently; sum them back into a single count.
+            match counts.last_mut() {
+                Some(last) if last.thread.index() == t => {
+                    last.reads += entry.reads;
+                    last.writes += entry.writes;
+                }
+                _ => counts.push(PerThreadCount {
+                    thread: ThreadId::from_index(t),
+                    reads: entry.reads,
+                    writes: entry.writes,
+                }),
+            }
+            if let Some(next_addr) = cursors[ci].1.advance()? {
+                heap.push(Reverse((next_addr, t, ci)));
+            }
+        }
+        visit(acc, addr, &counts);
+    }
+    Ok(())
+}
+
+/// Out-of-core analogue of `shard::sharded_scan`: scans every distinct
+/// data address of the v3 trace behind `reader` exactly once, in
+/// parallel over disjoint address shards, with stage-1 memory bounded
+/// by `budget`.
+pub(crate) fn sharded_scan_streamed<A, I, V>(
+    reader: &FileReader,
+    budget: &SpillBudget,
+    init: I,
+    visit: V,
+) -> Result<Vec<A>, TraceError>
+where
+    A: Send + Sync,
+    I: Fn() -> A + Sync,
+    V: Fn(&mut A, u64, &[PerThreadCount]) + Sync,
+{
+    let tids: Vec<ThreadId> = (0..reader.thread_count())
+        .map(ThreadId::from_index)
+        .collect();
+    let sources = try_parallel_map(&tids, |&tid| extract_runs_streamed(reader, tid, budget))?;
+
+    let cuts = splitters_streamed(&sources, max_workers().saturating_mul(2).max(1));
+    let mut bounds: Vec<(Option<u64>, Option<u64>)> = Vec::with_capacity(cuts.len() + 1);
+    let mut prev: Option<u64> = None;
+    for &c in &cuts {
+        bounds.push((prev, Some(c)));
+        prev = Some(c);
+    }
+    bounds.push((prev, None));
+
+    try_parallel_map(&bounds, |&(lo, hi)| {
+        let mut acc = init();
+        merge_shard_streamed(&sources, lo, hi, &mut acc, &visit)?;
+        Ok(acc)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddressProfile, SharingAnalysis};
+    use placesim_trace::stream::StreamWriter;
+    use placesim_trace::{Address, MemRef, ProgramTrace, ThreadTrace};
+
+    fn write_v3(prog: &ProgramTrace, chunk_bytes: usize) -> PathBuf {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "placesim-stream-analysis-{}-{seq}.trace",
+            std::process::id()
+        ));
+        let file = File::create(&path).unwrap();
+        let mut w =
+            StreamWriter::with_chunk_bytes(file, prog.name(), prog.thread_count(), chunk_bytes)
+                .unwrap();
+        for (tid, thread) in prog.iter() {
+            w.append_thread(tid, thread.iter()).unwrap();
+        }
+        w.finish().unwrap();
+        path
+    }
+
+    fn prog() -> ProgramTrace {
+        // Enough distinct addresses per thread to force several spill
+        // segments under a tiny budget, with heavy cross-thread sharing.
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            let mut tt = ThreadTrace::new();
+            for i in 0..400u64 {
+                tt.push(MemRef::instr(Address::new(4 * i)));
+                tt.push(MemRef::read(Address::new(0x1_0000 + 8 * (i % 97))));
+                if i % 3 == 0 {
+                    tt.push(MemRef::write(Address::new(0x1_0000 + 8 * ((i + t) % 97))));
+                }
+                tt.push(MemRef::read(Address::new(
+                    0x10_0000 + (t << 12) + 8 * (i % 51),
+                )));
+            }
+            threads.push(tt);
+        }
+        ProgramTrace::new(
+            "spilly",
+            vec![
+                threads.remove(0),
+                threads.remove(0),
+                threads.remove(0),
+                threads.remove(0),
+            ],
+        )
+    }
+
+    #[test]
+    fn streamed_profile_matches_in_memory_without_spill() {
+        let p = prog();
+        let path = write_v3(&p, 1 << 20);
+        let reader = FileReader::open(&path).unwrap();
+        let streamed =
+            AddressProfile::build_parallel_streamed(&reader, &SpillBudget::default()).unwrap();
+        assert_eq!(streamed, AddressProfile::build_parallel(&p));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streamed_profile_matches_with_forced_spills() {
+        let p = prog();
+        let path = write_v3(&p, 256); // many chunks
+        let reader = FileReader::open(&path).unwrap();
+        for budget in [1, 7, 50] {
+            let streamed =
+                AddressProfile::build_parallel_streamed(&reader, &SpillBudget::new(budget))
+                    .unwrap();
+            assert_eq!(
+                streamed,
+                AddressProfile::build_parallel(&p),
+                "budget {budget}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streamed_measure_matches_in_memory() {
+        let p = prog();
+        let path = write_v3(&p, 512);
+        let reader = FileReader::open(&path).unwrap();
+        for budget in [3, 1000] {
+            let streamed =
+                SharingAnalysis::measure_streamed(&reader, &SpillBudget::new(budget)).unwrap();
+            assert_eq!(streamed, SharingAnalysis::measure(&p), "budget {budget}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up() {
+        let p = prog();
+        let trace = write_v3(&p, 256);
+        let dir = std::env::temp_dir().join(format!(
+            "placesim-spill-dir-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reader = FileReader::open(&trace).unwrap();
+        let budget = SpillBudget::new(5).with_dir(&dir);
+        SharingAnalysis::measure_streamed(&reader, &budget).unwrap();
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "spill files must be deleted after the scan"
+        );
+        std::fs::remove_dir(&dir).unwrap();
+        std::fs::remove_file(&trace).unwrap();
+    }
+
+    #[test]
+    fn empty_threads_and_programs() {
+        let p = ProgramTrace::new("holes", vec![ThreadTrace::new(), ThreadTrace::new()]);
+        let path = write_v3(&p, 64);
+        let reader = FileReader::open(&path).unwrap();
+        let streamed = SharingAnalysis::measure_streamed(&reader, &SpillBudget::new(2)).unwrap();
+        assert_eq!(streamed, SharingAnalysis::measure(&p));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn budget_env_parsing() {
+        // from_env falls back to the default on junk; direct construction
+        // clamps zero to one.
+        assert_eq!(SpillBudget::new(0).max_resident_addrs(), 1);
+        assert!(SpillBudget::default().max_resident_addrs() >= 1);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::nway::{nway_stats, pairwise_stats};
 use crate::sharing::SharingAnalysis;
 use placesim_trace::stats::MeanDev;
-use placesim_trace::ProgramTrace;
+use placesim_trace::{ProgramTrace, ThreadTrace};
 use serde::{Deserialize, Serialize};
 
 /// One row of the paper's Table 2 ("Measured Characteristics"):
@@ -46,10 +46,29 @@ impl CharacteristicsRow {
     /// Same as [`CharacteristicsRow::measure`] but reuses a pre-computed
     /// sharing analysis.
     pub fn from_sharing(prog: &ProgramTrace, sharing: &SharingAnalysis, seed: u64) -> Self {
-        let t = prog.thread_count();
+        Self::from_sharing_parts(
+            prog.name(),
+            prog.threads().iter().map(ThreadTrace::instr_len),
+            sharing,
+            seed,
+        )
+    }
+
+    /// Builds the row from the raw parts a streaming reader can supply
+    /// without materializing the trace: the application name, per-thread
+    /// instruction counts (e.g. from the v3 footer totals), and a
+    /// pre-computed sharing analysis. [`Self::from_sharing`] delegates
+    /// here, so the two paths cannot diverge.
+    pub fn from_sharing_parts(
+        app: &str,
+        instr_lengths: impl IntoIterator<Item = u64>,
+        sharing: &SharingAnalysis,
+        seed: u64,
+    ) -> Self {
+        let t = sharing.thread_count();
         let nway_cluster = t.div_ceil(2).max(1);
         CharacteristicsRow {
-            app: prog.name().to_owned(),
+            app: app.to_owned(),
             threads: t,
             pairwise_sharing: pairwise_stats(sharing),
             nway_sharing: nway_stats(sharing, nway_cluster, Self::NWAY_SAMPLES, seed),
@@ -62,9 +81,7 @@ impl CharacteristicsRow {
             shared_refs_percent: MeanDev::from_values(
                 sharing.per_thread().iter().map(|s| s.shared_percent()),
             ),
-            thread_length: MeanDev::from_values(
-                prog.threads().iter().map(|t| t.instr_len() as f64),
-            ),
+            thread_length: MeanDev::from_values(instr_lengths.into_iter().map(|n| n as f64)),
         }
     }
 }

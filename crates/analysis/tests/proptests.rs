@@ -1,8 +1,29 @@
 //! Property-based tests for the static sharing analysis.
 
-use placesim_analysis::{nway, AddressProfile, CharacteristicsRow, SharingAnalysis};
+use placesim_analysis::{nway, AddressProfile, CharacteristicsRow, SharingAnalysis, SpillBudget};
+use placesim_trace::stream::{FileReader, StreamWriter};
 use placesim_trace::{Address, MemRef, ProgramTrace, ThreadId, ThreadTrace};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes `prog` as a v3 stream with the given chunk size to a unique
+/// temp file, returning its path. Caller removes the file.
+fn write_v3_temp(prog: &ProgramTrace, chunk_bytes: usize) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "placesim-proptest-{}-{}.trace",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let file = std::fs::File::create(&path).expect("create temp trace");
+    let mut w = StreamWriter::with_chunk_bytes(file, prog.name(), prog.thread_count(), chunk_bytes)
+        .expect("stream header");
+    for (tid, t) in prog.iter() {
+        w.append_thread(tid, t.iter()).expect("stream chunk");
+    }
+    w.finish().expect("stream footer");
+    path
+}
 
 fn arb_program() -> impl Strategy<Value = ProgramTrace> {
     let r#ref = (0u8..3, 0u64..32);
@@ -122,6 +143,26 @@ proptest! {
         prop_assert_eq!(fused.total_address_count(), reference.total_address_count());
         // Derived equality covers any future field.
         prop_assert_eq!(fused, reference);
+    }
+
+    /// Differential: the out-of-core streamed scan over a v3 file is
+    /// bit-identical to the in-memory analyses, across chunk sizes that
+    /// force many chunks per thread and resident-address budgets tiny
+    /// enough to force spill files and their k-way merge.
+    #[test]
+    fn streamed_scan_matches_in_memory(
+        prog in arb_program(),
+        budget in 1usize..40,
+        chunk in 16usize..256,
+    ) {
+        let path = write_v3_temp(&prog, chunk);
+        let reader = FileReader::open(&path).expect("open v3");
+        let budget = SpillBudget::new(budget);
+        let streamed_sharing = SharingAnalysis::measure_streamed(&reader, &budget);
+        let streamed_profile = AddressProfile::build_parallel_streamed(&reader, &budget);
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(streamed_sharing.expect("streamed measure"), SharingAnalysis::measure(&prog));
+        prop_assert_eq!(streamed_profile.expect("streamed profile"), AddressProfile::build_parallel(&prog));
     }
 
     /// Cluster sharing sums: the group metric over the full thread set

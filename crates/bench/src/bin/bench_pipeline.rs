@@ -19,6 +19,14 @@
 //!   the ShareRefsLb placement (batched engine vs. the per-reference
 //!   reference engine).
 //!
+//! A third group, `streaming`, exercises the out-of-core path: the
+//! Gauss trace is generated straight to a v3 streaming file (never
+//! materialized in memory), then profiled and placed from chunk
+//! iterators under the [`SpillBudget`] resident-address cap. The
+//! section records generation and profiling throughput alongside the
+//! peak bytes live during the bounded-memory stage, measured by a
+//! tracking allocator wrapping the system allocator.
+//!
 //! The emitted JSON follows the `BENCH_engine.json` schema and is
 //! validated before the process exits (non-zero on malformed output),
 //! so CI can run this binary at a tiny `PLACESIM_SCALE` as a release
@@ -27,13 +35,68 @@
 //! Usage: `cargo run --release -p placesim-bench --bin bench_pipeline`.
 
 use placesim::manifest::{ManifestEntry, RunManifest};
-use placesim_analysis::SharingAnalysis;
+use placesim_analysis::{SharingAnalysis, SpillBudget};
 use placesim_machine::{reference as machine_reference, simulate, ArchConfig};
 use placesim_placement::{
     thread_lengths, PlacementAlgorithm, PlacementInputs, PlacementMap, ScoreMode,
 };
-use placesim_workloads::{generate_with_access, reference, spec, AppSpec, GenOptions};
+use placesim_trace::stream::FileReader;
+use placesim_workloads::{
+    generate_streamed, generate_with_access, reference, spec, AppSpec, GenOptions,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Wraps the system allocator to track live and peak heap bytes, so the
+/// `streaming` section can report the memory ceiling of the out-of-core
+/// stage as a measured number rather than a claim.
+struct TrackingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Resets the peak-bytes watermark to the current live total.
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
 
 /// Every clustering algorithm the paper's tables sweep (CoherenceTraffic
 /// needs a machine probe and Random/LoadBal are trivial, so none of the
@@ -111,6 +174,72 @@ fn frontend_reference(app: &AppSpec, opts: &GenOptions) -> PlacementMap {
     keep.expect("ShareRefsLb is in the algorithm set")
 }
 
+/// Runs the out-of-core arm: stream-generate a large Gauss trace to a
+/// v3 file, then profile and place it from chunk iterators under the
+/// resident-address spill budget, reporting throughput and the peak
+/// heap bytes live during the bounded-memory stage.
+fn streaming_section(app: &AppSpec, mult: f64) -> String {
+    // Scale 34 puts Gauss past a billion references at mult 1.0 — a
+    // trace far larger than the resident budget allows in memory.
+    let scale = 34.0 * mult;
+    let opts = GenOptions { scale, seed: 1994 };
+    let budget = SpillBudget::from_env();
+    let path = std::env::temp_dir().join(format!(
+        "placesim-bench-stream-{}.trace",
+        std::process::id()
+    ));
+
+    let start = Instant::now();
+    let file = std::fs::File::create(&path).expect("create streaming trace");
+    let summary =
+        generate_streamed(app, &opts, std::io::BufWriter::new(file)).expect("stream generation");
+    let gen_secs = start.elapsed().as_secs_f64();
+    let refs = summary.total_refs as f64;
+
+    reset_peak();
+    let start = Instant::now();
+    let reader = FileReader::open(&path).expect("open streaming trace");
+    let sharing = SharingAnalysis::measure_streamed(&reader, &budget).expect("streamed profile");
+    let lengths = reader.instr_lengths();
+    let inputs = PlacementInputs::new(&sharing, &lengths).with_seed(opts.seed);
+    let map = PlacementAlgorithm::ShareRefsLb
+        .place_with_mode(&inputs, PROCESSORS, ScoreMode::Cached)
+        .expect("placement");
+    let profile_secs = start.elapsed().as_secs_f64();
+    let peak = peak_bytes();
+    std::fs::remove_file(&path).ok();
+
+    println!(
+        "gauss-streaming-{scale:<6} {:>12.0} refs/s gen | {:>12.0} refs/s profile+place | peak {:.1} MiB, {} clusters",
+        refs / gen_secs,
+        refs / profile_secs,
+        peak as f64 / (1024.0 * 1024.0),
+        map.processor_count(),
+    );
+    format!(
+        concat!(
+            "  \"streaming\": {{\n",
+            "    \"name\": \"gauss-streaming-{}\",\n",
+            "    \"detail\": \"stream-generate v3 \\u2192 out-of-core profile \\u2192 ShareRefsLb placement under a {}-address resident budget\",\n",
+            "    \"trace_refs\": {},\n",
+            "    \"trace_bytes\": {},\n",
+            "    \"gen_refs_per_sec\": {:.0},\n",
+            "    \"profile_refs_per_sec\": {:.0},\n",
+            "    \"peak_bytes\": {},\n",
+            "    \"budget_resident_addrs\": {}\n",
+            "  }},"
+        ),
+        scale,
+        budget.max_resident_addrs(),
+        summary.total_refs,
+        summary.bytes_written,
+        refs / gen_secs,
+        refs / profile_secs,
+        peak,
+        budget.max_resident_addrs(),
+    )
+}
+
 /// Extracts every numeric value stored under `"key":` in `json`.
 fn field_values(json: &str, key: &str) -> Vec<f64> {
     let pat = format!("\"{key}\":");
@@ -128,7 +257,8 @@ fn field_values(json: &str, key: &str) -> Vec<f64> {
 
 /// Checks the emitted document against the `BENCH_engine.json` schema:
 /// required top-level keys, balanced braces, `scenarios` rows carrying
-/// one finite positive value for each numeric field.
+/// one finite positive value for each numeric field, and a `streaming`
+/// section with one finite positive value per out-of-core metric.
 fn validate_bench_json(json: &str, scenarios: usize) -> Result<(), String> {
     for key in [
         "\"benchmark\"",
@@ -136,6 +266,7 @@ fn validate_bench_json(json: &str, scenarios: usize) -> Result<(), String> {
         "\"engines\"",
         "\"fused\"",
         "\"reference\"",
+        "\"streaming\"",
         "\"scenarios\"",
     ] {
         if !json.contains(key) {
@@ -167,6 +298,25 @@ fn validate_bench_json(json: &str, scenarios: usize) -> Result<(), String> {
         }
         if let Some(bad) = vals.iter().find(|v| !v.is_finite() || **v <= 0.0) {
             return Err(format!("non-positive value {bad} under \"{key}\""));
+        }
+    }
+    for key in [
+        "trace_refs",
+        "trace_bytes",
+        "gen_refs_per_sec",
+        "profile_refs_per_sec",
+        "peak_bytes",
+        "budget_resident_addrs",
+    ] {
+        let vals = field_values(json, key);
+        if vals.len() != 1 {
+            return Err(format!(
+                "expected one streaming value under \"{key}\", found {}",
+                vals.len()
+            ));
+        }
+        if !vals[0].is_finite() || vals[0] <= 0.0 {
+            return Err(format!("non-positive value {} under \"{key}\"", vals[0]));
         }
     }
     Ok(())
@@ -235,6 +385,8 @@ fn main() {
         );
     }
 
+    let streaming = streaming_section(&app, mult);
+
     let json = format!(
         concat!(
             "{{\n",
@@ -244,10 +396,12 @@ fn main() {
             "    \"fused\": \"skeleton emitter + grouped sharded profile + incremental score cache\",\n",
             "    \"reference\": \"serial emitter + trace rescan + fresh per-merge rescoring\"\n",
             "  }},\n",
+            "{}\n",
             "  \"scenarios\": [\n{}\n  ]\n",
             "}}\n"
         ),
         SAMPLES,
+        streaming,
         rows.join(",\n")
     );
     if let Err(e) = validate_bench_json(&json, rows.len()) {
@@ -317,6 +471,16 @@ mod tests {
                 "  \"benchmark\": \"pipeline-throughput\",\n",
                 "  \"unit\": \"references per second, median of 9 runs\",\n",
                 "  \"engines\": {{ \"fused\": \"a\", \"reference\": \"b\" }},\n",
+                "  \"streaming\": {{\n",
+                "    \"name\": \"gauss-streaming-30\",\n",
+                "    \"detail\": \"d\",\n",
+                "    \"trace_refs\": 1000,\n",
+                "    \"trace_bytes\": 500,\n",
+                "    \"gen_refs_per_sec\": 10,\n",
+                "    \"profile_refs_per_sec\": 20,\n",
+                "    \"peak_bytes\": 4096,\n",
+                "    \"budget_resident_addrs\": 8\n",
+                "  }},\n",
                 "  \"scenarios\": [\n",
                 "    {{\n",
                 "      \"scenario\": \"gauss-frontend-1.0\",\n",
@@ -352,6 +516,20 @@ mod tests {
         assert!(validate_bench_json(&doc("NaN"), 1).is_err());
         let d = doc("2.000").replace("\"total_refs\": 100,", "\"total_refs\": oops,");
         assert!(validate_bench_json(&d, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_or_bad_streaming_section() {
+        let d = doc("2.000");
+        assert!(validate_bench_json(&d.replace("\"streaming\"", "\"s\""), 1).is_err());
+        assert!(
+            validate_bench_json(&d.replace("\"peak_bytes\": 4096", "\"peak_bytes\": 0"), 1)
+                .is_err()
+        );
+        assert!(
+            validate_bench_json(&d.replace("\"trace_refs\": 1000,\n", ""), 1).is_err(),
+            "a streaming section without trace_refs must fail"
+        );
     }
 
     #[test]

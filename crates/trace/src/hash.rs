@@ -52,6 +52,19 @@ impl Hasher for FastHasher {
     }
 }
 
+/// FNV-1a over a byte slice, the checksum used by the streaming trace
+/// format and the sweep journal. Stable across platforms and releases:
+/// checksums written by one build must verify under every other.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A `HashMap` using [`FastHasher`].
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 /// A `HashSet` using [`FastHasher`].

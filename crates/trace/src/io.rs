@@ -210,6 +210,32 @@ mod tests {
         assert_eq!(from_bytes(&bytes).unwrap(), prog);
     }
 
+    /// Empty threads at every boundary position (first, middle, last)
+    /// and a zero-thread program with a non-empty name: the writer must
+    /// emit them and the reader restore them exactly — an empty thread
+    /// is a zero length word, not an omitted one.
+    #[test]
+    fn empty_threads_roundtrip_at_boundaries() {
+        let empty = ThreadTrace::new();
+        let busy: ThreadTrace = (0..10u64)
+            .map(|i| MemRef::read(Address::new(0x100 + 8 * i)))
+            .collect();
+        for threads in [
+            vec![empty.clone()],
+            vec![empty.clone(), busy.clone()],
+            vec![busy.clone(), empty.clone()],
+            vec![empty.clone(), busy.clone(), empty.clone()],
+        ] {
+            let prog = ProgramTrace::new("holes", threads);
+            let back = from_bytes(&to_bytes(&prog).unwrap()).unwrap();
+            assert_eq!(back, prog);
+        }
+        let named_zero = ProgramTrace::new("nothing", vec![]);
+        let back = from_bytes(&to_bytes(&named_zero).unwrap()).unwrap();
+        assert_eq!(back, named_zero);
+        assert_eq!(back.name(), "nothing");
+    }
+
     #[test]
     fn rejects_bad_magic() {
         let mut bytes = to_bytes(&sample()).unwrap().to_vec();

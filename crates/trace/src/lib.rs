@@ -49,6 +49,7 @@ pub mod par;
 mod program_trace;
 mod record;
 pub mod stats;
+pub mod stream;
 mod thread_trace;
 
 pub use access::AddrCounts;

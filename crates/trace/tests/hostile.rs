@@ -9,7 +9,10 @@
 //! The allocator needs `unsafe` (the library itself forbids it; this
 //! integration-test binary is a separate crate and opts in locally).
 
-use placesim_trace::{compress, io, Address, MemRef, ProgramTrace, ThreadTrace, TraceError};
+use placesim_trace::hash::fnv1a64;
+use placesim_trace::{
+    compress, io, stream, Address, MemRef, ProgramTrace, ThreadTrace, TraceError,
+};
 use proptest::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -108,6 +111,184 @@ fn v2_claiming_threads(thread_count: u64) -> Vec<u8> {
         f.push(byte | 0x80);
     }
     f
+}
+
+/// Appends a LEB128 varint (the v2/v3 wire integer).
+fn vp(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A hand-built v3 file whose single chunk carries ONE real record but
+/// whose headers and index claim `claimed_refs` references. The chunk
+/// index is internally consistent (checksums verify, totals match the
+/// index when `total_instr == claimed_refs`), so decoding proceeds all
+/// the way into the chunk before the lie surfaces — the worst case for
+/// count-driven preallocation.
+fn v3_lying_ref_count(claimed_refs: u64, total_instr: u64) -> Vec<u8> {
+    let mut f = Vec::new();
+    f.extend_from_slice(b"PSIM");
+    f.extend_from_slice(&stream::VERSION.to_le_bytes());
+    vp(&mut f, 0); // empty name
+    vp(&mut f, 1); // one thread
+    let data_start = f.len() as u64;
+    let payload = [0u8]; // one record: instr at address 0
+    vp(&mut f, 0); // thread
+    vp(&mut f, claimed_refs);
+    vp(&mut f, payload.len() as u64);
+    f.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    f.extend_from_slice(&payload);
+
+    let mut footer = Vec::new();
+    vp(&mut footer, 1); // chunk count
+    vp(&mut footer, data_start); // first offset is absolute
+    vp(&mut footer, claimed_refs);
+    vp(&mut footer, payload.len() as u64);
+    vp(&mut footer, total_instr); // instr
+    vp(&mut footer, 0); // reads
+    vp(&mut footer, 0); // writes
+    vp(&mut footer, 0); // barriers
+    f.extend_from_slice(&footer);
+    f.extend_from_slice(&fnv1a64(&footer).to_le_bytes());
+    f.extend_from_slice(&(footer.len() as u64).to_le_bytes());
+    f.extend_from_slice(&stream::TRAILER_MAGIC);
+    f
+}
+
+/// Lying chunk ref-count (2^40 claimed, 1 present): the decode must hit
+/// "truncated chunk" territory, never abort, and never preallocate
+/// anywhere near the claimed count.
+#[test]
+fn v3_lying_ref_count_is_rejected_with_clamped_prealloc() {
+    let file = v3_lying_ref_count(1 << 40, 1 << 40);
+    let (peak, result) = measured_peak(|| compress::read_any(&file));
+    assert!(
+        matches!(result, Err(TraceError::Format { .. })),
+        "{result:?}"
+    );
+    assert!(
+        peak <= alloc_bound(file.len()),
+        "claimed 2^40 refs in {} bytes, peaked at {peak}",
+        file.len()
+    );
+}
+
+/// Footer totals disagreeing with the chunk index must be called out as
+/// a footer/index mismatch before any chunk is decoded.
+#[test]
+fn v3_footer_index_mismatch_is_rejected() {
+    let file = v3_lying_ref_count(7, 5);
+    let (peak, result) = measured_peak(|| stream::from_bytes(&file));
+    match result {
+        Err(TraceError::Format { reason }) => {
+            assert!(reason.contains("footer/index mismatch"), "{reason}")
+        }
+        other => panic!("expected footer/index mismatch, got {other:?}"),
+    }
+    assert!(peak <= alloc_bound(file.len()));
+}
+
+/// A footer whose per-chunk payload length reaches past the data region
+/// is rejected at index-parse time.
+#[test]
+fn v3_lying_payload_length_is_rejected() {
+    let mut file = v3_lying_ref_count(1, 1);
+    // Rewrite the footer with a payload_len pointing far past the file.
+    file.truncate(file.len() - 20 - 9); // drop trailer + 9-byte footer tail
+    let data_start = 10u64;
+    let mut footer = Vec::new();
+    vp(&mut footer, 1);
+    vp(&mut footer, data_start);
+    vp(&mut footer, 1);
+    vp(&mut footer, 1 << 40); // payload allegedly a terabyte
+    for _ in 0..4 {
+        vp(&mut footer, 0);
+    }
+    let footer_start = file.len();
+    file.truncate(footer_start);
+    file.extend_from_slice(&footer);
+    file.extend_from_slice(&fnv1a64(&footer).to_le_bytes());
+    file.extend_from_slice(&(footer.len() as u64).to_le_bytes());
+    file.extend_from_slice(&stream::TRAILER_MAGIC);
+    let (peak, result) = measured_peak(|| stream::from_bytes(&file));
+    assert!(
+        matches!(result, Err(TraceError::Format { .. })),
+        "{result:?}"
+    );
+    assert!(peak <= alloc_bound(file.len()));
+}
+
+/// A footer claiming 2^40 chunks for a thread, with no entries behind
+/// it: the truncated varint errors out and the chunk-index vector's
+/// preallocation is clamped by the remaining footer bytes.
+#[test]
+fn v3_hostile_chunk_count_stays_small() {
+    let mut f = Vec::new();
+    f.extend_from_slice(b"PSIM");
+    f.extend_from_slice(&stream::VERSION.to_le_bytes());
+    vp(&mut f, 0);
+    vp(&mut f, 1);
+    let mut footer = Vec::new();
+    vp(&mut footer, 1 << 40); // chunk count, nothing follows
+    f.extend_from_slice(&footer);
+    f.extend_from_slice(&fnv1a64(&footer).to_le_bytes());
+    f.extend_from_slice(&(footer.len() as u64).to_le_bytes());
+    f.extend_from_slice(&stream::TRAILER_MAGIC);
+    let (peak, result) = measured_peak(|| stream::from_bytes(&f));
+    assert!(matches!(result, Err(TraceError::Format { .. })));
+    assert!(
+        peak <= 64 * 1024,
+        "hostile chunk count pre-allocated {peak} bytes"
+    );
+}
+
+/// Flipping a chunk-payload byte in a valid v3 file trips the per-chunk
+/// checksum, not an abort or a silent wrong decode.
+#[test]
+fn v3_corrupted_payload_is_detected_by_checksum() {
+    let file = stream::to_bytes(&sample_program()).unwrap();
+    // Header is 24 bytes (magic 4 + version 4 + name varint+14 + count
+    // varint); the first chunk header is 11 more. Flip a byte safely
+    // inside the first chunk's payload.
+    let mut bad = file.clone();
+    bad[40] ^= 0xff;
+    let (peak, result) = measured_peak(|| stream::from_bytes(&bad));
+    match result {
+        Err(TraceError::Format { reason }) => assert!(reason.contains("checksum"), "{reason}"),
+        other => panic!("expected checksum failure, got {other:?}"),
+    }
+    assert!(peak <= alloc_bound(bad.len()));
+}
+
+/// Truncating a v3 file anywhere must produce a clean error under the
+/// allocation cap: the trailer, footer or chunk tiling breaks first.
+#[test]
+fn v3_truncations_never_overallocate() {
+    let file = stream::to_bytes(&sample_program()).unwrap();
+    for cut in [
+        0,
+        7,
+        10,
+        24,
+        40,
+        file.len() / 2,
+        file.len() - 21,
+        file.len() - 1,
+    ] {
+        let (peak, result) = measured_peak(|| compress::read_any(&file[..cut]));
+        assert!(result.is_err(), "cut {cut} decoded");
+        assert!(
+            peak <= alloc_bound(cut),
+            "cut {cut} peaked at {peak} allocated bytes"
+        );
+    }
 }
 
 #[test]
@@ -228,6 +409,31 @@ proptest! {
         let idx = pos % file.len();
         file[idx] = value;
         if cut < 512 {
+            file.truncate(cut % (file.len() + 1));
+        }
+        let (peak, result) = measured_peak(|| compress::read_any(&file));
+        drop(result);
+        prop_assert!(
+            peak <= alloc_bound(file.len()),
+            "{} input bytes peaked at {} allocated bytes",
+            file.len(),
+            peak
+        );
+    }
+
+    /// Same for the streaming v3 format: mutate and/or truncate a valid
+    /// file anywhere (header, chunks, footer, trailer) — graceful error
+    /// or valid decode, never a panic or an outsized allocation.
+    #[test]
+    fn mutated_v3_files_never_overallocate(
+        pos in 0usize..4096,
+        value in 0u8..=255,
+        cut in 0usize..=4096,
+    ) {
+        let mut file = stream::to_bytes(&sample_program()).unwrap();
+        let idx = pos % file.len();
+        file[idx] = value;
+        if cut < 4096 {
             file.truncate(cut % (file.len() + 1));
         }
         let (peak, result) = measured_peak(|| compress::read_any(&file));

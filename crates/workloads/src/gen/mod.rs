@@ -89,6 +89,53 @@ pub fn generate_with_access(
     (ProgramTrace::new(spec.name, threads), access)
 }
 
+/// Generates the synthetic trace straight into a streaming (v3) trace
+/// writer, one thread at a time, without ever holding the whole program
+/// in memory.
+///
+/// Produces a byte stream whose decoded contents are bit-identical to
+/// [`generate`] with the same `spec` and `opts`: every thread's rng is
+/// seeded independently, so emitting threads serially (and dropping each
+/// [`placesim_trace::ThreadTrace`] after appending it) changes nothing
+/// about the reference streams. Peak memory is the generation skeleton
+/// (lengths, plans, layout, schedule) plus a single thread's trace,
+/// independent of thread count × thread length.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+///
+/// # Panics
+///
+/// Panics if `opts.scale` is not strictly positive or the spec has zero
+/// threads.
+pub fn generate_streamed<W: std::io::Write>(
+    spec: &AppSpec,
+    opts: &GenOptions,
+    w: W,
+) -> Result<placesim_trace::stream::StreamSummary, placesim_trace::TraceError> {
+    assert!(opts.scale > 0.0, "scale must be positive");
+    assert!(spec.threads > 0, "an application needs at least one thread");
+
+    let lengths = length::sample_lengths(spec, opts);
+    let plans = patterns::assign_addresses(spec, &lengths, opts);
+    let layout = regions::Layout::new(
+        lengths
+            .iter()
+            .map(|&n| emit::private_slot_count(spec, n))
+            .collect(),
+    );
+    let schedule = emit::Schedule::build(spec, lengths.iter().copied().max().unwrap_or(0));
+
+    let mut writer = placesim_trace::stream::StreamWriter::new(w, spec.name, spec.threads)?;
+    for (tid, (&n_instr, plan)) in lengths.iter().zip(&plans).enumerate() {
+        let (thread, _access) =
+            emit::emit_thread(spec, tid, n_instr, plan, &layout, opts, &schedule);
+        writer.append_thread(placesim_trace::ThreadId::from_index(tid), thread.iter())?;
+    }
+    writer.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +195,22 @@ mod tests {
         );
         let ratio = large.total_instrs() as f64 / small.total_instrs() as f64;
         assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn streamed_generation_is_bit_identical() {
+        let spec = suite::fft();
+        let opts = GenOptions {
+            scale: 0.01,
+            seed: 42,
+        };
+        let mut bytes = Vec::new();
+        let summary = generate_streamed(&spec, &opts, &mut bytes).unwrap();
+        let expected = generate(&spec, &opts);
+        assert_eq!(summary.total_refs, expected.total_refs());
+        assert_eq!(summary.bytes_written as usize, bytes.len());
+        let decoded = placesim_trace::stream::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, expected);
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod spec;
 mod suite;
 pub mod validate;
 
-pub use gen::{generate, generate_with_access, GenOptions};
+pub use gen::{generate, generate_streamed, generate_with_access, GenOptions};
 pub use spec::{AppSpec, Granularity, SharingPattern, TargetStat};
 pub use suite::{spec, suite, SUITE_NAMES};
 

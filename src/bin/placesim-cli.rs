@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! placesim-cli suite
-//! placesim-cli gen <app> <out.trace> [--scale S] [--seed N]
+//! placesim-cli gen <app> <out.trace> [--scale S] [--seed N] [--format v1|v2|v3]
 //! placesim-cli info <trace>
 //! placesim-cli analyze <trace> [--metrics out.json]
 //! placesim-cli place <trace> <algorithm> <processors> [--metrics out.json]
@@ -21,12 +21,12 @@ use placesim::manifest::{ManifestEntry, RunManifest};
 use placesim::report::{Report, ReportHole};
 use placesim::supervisor::SupervisorConfig;
 use placesim::{Error, PreparedApp};
-use placesim_analysis::{CharacteristicsRow, SharingAnalysis};
+use placesim_analysis::{CharacteristicsRow, SharingAnalysis, SpillBudget};
 use placesim_machine::{probe_coherence, simulate_observed, simulate_traced, ArchConfig};
 use placesim_obs::{sink, SpanTimer};
 use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs};
-use placesim_trace::{compress, io as trace_io, ProgramTrace};
-use placesim_workloads::{generate, suite, GenOptions};
+use placesim_trace::{compress, io as trace_io, stream, ProgramTrace};
+use placesim_workloads::{generate, generate_streamed, suite, GenOptions};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
@@ -98,7 +98,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   placesim-cli suite
-  placesim-cli gen <app> <out.trace> [--scale S] [--seed N] [--flat]
+  placesim-cli gen <app> <out.trace> [--scale S] [--seed N]
+               [--format v1|v2|v3] [--flat]
   placesim-cli info <trace>
   placesim-cli analyze <trace> [--metrics out.json]
   placesim-cli place <trace> <algorithm> <processors> [--metrics out.json]
@@ -207,8 +208,29 @@ fn load_trace(path: &str) -> Result<ProgramTrace, String> {
     let mut raw = Vec::new();
     std::io::Read::read_to_end(&mut file, &mut raw)
         .map_err(|e| format!("cannot read {path}: {e}"))?;
-    // Accepts both the flat v1 and compressed v2 formats.
+    // Accepts the flat v1, compressed v2 and streaming v3 formats.
     compress::read_any(&raw).map_err(|e| format!("cannot decode {path}: {e}"))
+}
+
+/// Reads the trace file's version field without loading the body, so
+/// commands can route v3 files through the streaming readers. Returns
+/// `None` when the file is not a placesim trace (the full decoder then
+/// produces the proper error).
+fn trace_version(path: &str) -> Result<Option<u32>, String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut head = [0u8; 8];
+    match std::io::Read::read_exact(&mut file, &mut head) {
+        Ok(()) if head[..4] == compress::MAGIC => Ok(Some(u32::from_le_bytes(
+            head[4..].try_into().expect("4 bytes"),
+        ))),
+        Ok(()) => Ok(None),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Opens a v3 trace for streaming access.
+fn open_streamed(path: &str) -> Result<stream::FileReader, String> {
+    stream::FileReader::open(path).map_err(|e| format!("cannot open {path} for streaming: {e}"))
 }
 
 fn cmd_suite() -> Result<(), String> {
@@ -238,8 +260,20 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         scale: flag(args, "--scale")?.unwrap_or_else(|| placesim::scale_from_env(0.1)),
         seed: uint_flag(args, "--seed")?.unwrap_or(1994),
     };
-    let prog = generate(&spec, &opts);
     let flat = args.iter().any(|a| a == "--flat");
+    let format = match raw_flag(args, "--format")? {
+        Some("v1") => 1u32,
+        Some("v2") => 2,
+        Some("v3") => 3,
+        Some(other) => return Err(format!("--format must be v1, v2 or v3, got {other}")),
+        // --flat predates --format and stays as a v1 alias.
+        None if flat => 1,
+        None => 2,
+    };
+    if flat && format != 1 {
+        return Err("--flat means v1 and contradicts the given --format".into());
+    }
+
     // Stream into a temporary sibling and rename into place only once
     // the write succeeded, so a full disk or crash never leaves a
     // truncated `.trace` masquerading as a valid one.
@@ -248,33 +282,77 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let written = File::create(&tmp)
         .map_err(|e| format!("cannot create {}: {e}", tmp.display()))
         .and_then(|file| {
-            let result = if flat {
-                trace_io::write_program(&prog, BufWriter::new(file))
+            // v3 streams thread-at-a-time and never materializes the
+            // program; v1/v2 build it in memory as before.
+            let result = if format == 3 {
+                generate_streamed(&spec, &opts, BufWriter::new(file))
+                    .map(|summary: stream::StreamSummary| (spec.threads, summary.total_refs))
             } else {
-                compress::write_program(&prog, BufWriter::new(file))
+                let prog = generate(&spec, &opts);
+                let counts = (prog.thread_count(), prog.total_refs());
+                if format == 1 {
+                    trace_io::write_program(&prog, BufWriter::new(file))
+                } else {
+                    compress::write_program(&prog, BufWriter::new(file))
+                }
+                .map(|()| counts)
             };
             result.map_err(|e| format!("cannot write {out}: {e}"))
         })
-        .and_then(|()| {
-            std::fs::rename(&tmp, out_path).map_err(|e| format!("cannot finalize {out}: {e}"))
+        .and_then(|counts| {
+            std::fs::rename(&tmp, out_path)
+                .map(|()| counts)
+                .map_err(|e| format!("cannot finalize {out}: {e}"))
         });
-    if let Err(e) = written {
-        std::fs::remove_file(&tmp).ok();
-        return Err(e);
-    }
+    let (threads, total_refs) = match written {
+        Ok(counts) => counts,
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+    };
     println!(
-        "wrote {out}: {} threads, {} references (scale {}, seed {}, {} format)",
-        prog.thread_count(),
-        prog.total_refs(),
+        "wrote {out}: {threads} threads, {total_refs} references (scale {}, seed {}, {} format)",
         opts.scale,
         opts.seed,
-        if flat { "flat v1" } else { "compressed v2" }
+        match format {
+            1 => "flat v1",
+            2 => "compressed v2",
+            _ => "streaming v3",
+        }
     );
     Ok(())
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    let prog = load_trace(args.first().ok_or("info needs a trace path")?)?;
+    let path = args.first().ok_or("info needs a trace path")?;
+    if trace_version(path)? == Some(stream::VERSION) {
+        // v3 answers everything from the footer index: no decode, no
+        // memory proportional to the trace.
+        let reader = open_streamed(path)?;
+        let per_thread: Vec<stream::KindTotals> = (0..reader.thread_count())
+            .map(|t| reader.totals(placesim_trace::ThreadId::from_index(t)))
+            .collect();
+        println!("program:      {}", reader.name());
+        println!("threads:      {}", reader.thread_count());
+        println!("references:   {}", reader.total_refs());
+        println!(
+            "instructions: {}",
+            per_thread.iter().map(|k| k.instr).sum::<u64>()
+        );
+        println!(
+            "data refs:    {}",
+            per_thread.iter().map(|k| k.reads + k.writes).sum::<u64>()
+        );
+        for (t, k) in per_thread.iter().enumerate() {
+            println!(
+                "  T{t}: {} instrs, {} reads, {} writes",
+                k.instr, k.reads, k.writes
+            );
+        }
+        return Ok(());
+    }
+    let prog = load_trace(path)?;
     println!("program:      {}", prog.name());
     println!("threads:      {}", prog.thread_count());
     println!("references:   {}", prog.total_refs());
@@ -292,16 +370,35 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let prog = load_trace(args.first().ok_or("analyze needs a trace path")?)?;
+    let path = args.first().ok_or("analyze needs a trace path")?;
     let timer = SpanTimer::start("analyze");
-    let sharing = SharingAnalysis::measure(&prog);
-    let row = CharacteristicsRow::from_sharing(&prog, &sharing, 1994);
+    // v3 traces are profiled out-of-core: the sharded scan reads chunk
+    // iterators and spills past the PLACESIM_SPILL_ADDRS budget, so the
+    // trace never has to fit in memory. Results are bit-identical to
+    // the in-memory path.
+    let (sharing, row) = if trace_version(path)? == Some(stream::VERSION) {
+        let reader = open_streamed(path)?;
+        let sharing = SharingAnalysis::measure_streamed(&reader, &SpillBudget::from_env())
+            .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+        let row = CharacteristicsRow::from_sharing_parts(
+            reader.name(),
+            reader.instr_lengths(),
+            &sharing,
+            1994,
+        );
+        (sharing, row)
+    } else {
+        let prog = load_trace(path)?;
+        let sharing = SharingAnalysis::measure(&prog);
+        let row = CharacteristicsRow::from_sharing(&prog, &sharing, 1994);
+        (sharing, row)
+    };
 
     if let Some(metrics) = raw_flag(args, "--metrics")? {
         // Analysis runs no simulation: the manifest records the tool,
         // app and wall time with an empty results array, so sweeps can
         // account the front-end cost alongside the simulated entries.
-        let mut manifest = RunManifest::new("analyze", prog.name(), &ArchConfig::paper_default());
+        let mut manifest = RunManifest::new("analyze", &row.app, &ArchConfig::paper_default());
         manifest.wall_secs = timer.elapsed_secs();
         manifest.write(Path::new(metrics))?;
         println!("metrics: {metrics}");
@@ -341,7 +438,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_place(args: &[String]) -> Result<(), String> {
-    let prog = load_trace(args.first().ok_or("place needs a trace path")?)?;
+    let path = args.first().ok_or("place needs a trace path")?;
     let algo = parse_algorithm(args.get(1).ok_or("place needs an algorithm")?)?;
     let processors: usize = args
         .get(2)
@@ -349,8 +446,26 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "processor count must be an integer".to_string())?;
     let timer = SpanTimer::start("place");
-    let sharing = SharingAnalysis::measure(&prog);
-    let lengths = thread_lengths(&prog);
+    // Placement needs only the sharing matrices and per-thread lengths;
+    // for v3 both come from the streaming scan and the footer, so the
+    // trace is never materialized.
+    let (name, total_refs, sharing, lengths) = if trace_version(path)? == Some(stream::VERSION) {
+        let reader = open_streamed(path)?;
+        let sharing = SharingAnalysis::measure_streamed(&reader, &SpillBudget::from_env())
+            .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+        let lengths = reader.instr_lengths();
+        (
+            reader.name().to_owned(),
+            reader.total_refs(),
+            sharing,
+            lengths,
+        )
+    } else {
+        let prog = load_trace(path)?;
+        let sharing = SharingAnalysis::measure(&prog);
+        let lengths = thread_lengths(&prog);
+        (prog.name().to_owned(), prog.total_refs(), sharing, lengths)
+    };
     let inputs = PlacementInputs::new(&sharing, &lengths);
     let map = algo.place(&inputs, processors).map_err(|e| e.to_string())?;
 
@@ -358,13 +473,13 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
         // Placement runs no simulation either: the entry records which
         // algorithm placed how many references onto how many
         // processors; the cycle fields stay zero.
-        let mut manifest = RunManifest::new("place", prog.name(), &ArchConfig::paper_default());
+        let mut manifest = RunManifest::new("place", &name, &ArchConfig::paper_default());
         manifest.wall_secs = timer.elapsed_secs();
         manifest.entries = vec![ManifestEntry {
             algorithm: algo.paper_name().to_owned(),
             processors,
             execution_time: 0,
-            total_refs: prog.total_refs(),
+            total_refs,
             total_misses: 0,
             miss_rate: 0.0,
             coherence_traffic: 0,
@@ -923,6 +1038,62 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    /// `gen --format v3` writes a streaming trace that decodes to the
+    /// exact program v2 stores, and every subcommand accepts it — the
+    /// analysis commands without materializing it.
+    #[test]
+    fn gen_v3_roundtrips_and_all_commands_accept_it() {
+        let dir = std::env::temp_dir().join("placesim-cli-v3-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let v2 = dir.join("fft-v2.trace");
+        let v3 = dir.join("fft-v3.trace");
+        let v2_s = v2.to_str().unwrap().to_string();
+        let v3_s = v3.to_str().unwrap().to_string();
+        let base = ["gen", "fft", "", "--scale", "0.002", "--seed", "3"];
+        let mut argv = base;
+        argv[2] = &v2_s;
+        run(&s(&argv)).unwrap();
+        let mut argv: Vec<&str> = base.to_vec();
+        argv[2] = &v3_s;
+        argv.extend(["--format", "v3"]);
+        run(&s(&argv)).unwrap();
+
+        assert_eq!(trace_version(&v3_s).unwrap(), Some(stream::VERSION));
+        assert_eq!(
+            load_trace(&v3_s).unwrap(),
+            load_trace(&v2_s).unwrap(),
+            "v3 must decode to the identical program"
+        );
+
+        run(&s(&["info", &v3_s])).unwrap();
+        run(&s(&["analyze", &v3_s])).unwrap();
+        run(&s(&["place", &v3_s, "SHARE-REFS", "4"])).unwrap();
+        run(&s(&["simulate", &v3_s, "LOAD-BAL", "4"])).unwrap();
+
+        // The streamed analysis feeds placement the same inputs.
+        let prog = load_trace(&v2_s).unwrap();
+        let reader = stream::FileReader::open(&v3).unwrap();
+        let streamed =
+            SharingAnalysis::measure_streamed(&reader, &SpillBudget::from_env()).unwrap();
+        assert_eq!(streamed, SharingAnalysis::measure(&prog));
+        assert_eq!(reader.instr_lengths(), thread_lengths(&prog));
+
+        std::fs::remove_file(&v2).ok();
+        std::fs::remove_file(&v3).ok();
+    }
+
+    #[test]
+    fn gen_format_flag_is_strict() {
+        for argv in [
+            vec!["gen", "fft", "/tmp/x.trace", "--format", "v9"],
+            vec!["gen", "fft", "/tmp/x.trace", "--format", "3"],
+            vec!["gen", "fft", "/tmp/x.trace", "--format"],
+            vec!["gen", "fft", "/tmp/x.trace", "--flat", "--format", "v3"],
+        ] {
+            assert!(run(&s(&argv)).is_err(), "{argv:?} must be rejected");
+        }
     }
 
     #[test]
