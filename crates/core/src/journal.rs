@@ -23,7 +23,7 @@
 //! exactly the set of cells whose commits are provably durable.
 
 use crate::manifest::ManifestEntry;
-use placesim_machine::{ArchConfig, MissBreakdown};
+use placesim_machine::{ArchConfig, MissBreakdown, Protocol};
 use placesim_obs::json::{self, JsonValue, JsonWriter};
 use placesim_obs::sink;
 use placesim_obs::FaultCounters;
@@ -148,6 +148,7 @@ impl JournalHeader {
         w.field_u64("memory_latency", self.config.memory_latency());
         w.field_u64("memory_occupancy", self.config.memory_occupancy());
         w.field_u64("context_switch", self.config.context_switch());
+        w.field_str("protocol", self.config.protocol().as_str());
         w.end_object();
         w.key("algorithms");
         w.begin_array();
@@ -178,6 +179,17 @@ impl JournalHeader {
                 .and_then(JsonValue::as_u64)
                 .ok_or_else(|| format!("config.{key} is not an unsigned integer"))
         };
+        // Additive field: headers written before protocols existed have
+        // no config.protocol and mean the paper's write-invalidate
+        // machine; a present-but-unknown value is corruption.
+        let protocol = match cfg.get("protocol") {
+            None => Protocol::Wi,
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| "config.protocol is not a string".to_owned())?
+                .parse::<Protocol>()
+                .map_err(|e| e.to_string())?,
+        };
         let config = ArchConfig::builder()
             .cache_size(cfg_u64("cache_bytes")?)
             .line_size(cfg_u64("line_bytes")?)
@@ -188,6 +200,7 @@ impl JournalHeader {
             .memory_latency(cfg_u64("memory_latency")?)
             .memory_occupancy(cfg_u64("memory_occupancy")?)
             .context_switch(cfg_u64("context_switch")?)
+            .protocol(protocol)
             .build()
             .map_err(|e| format!("header config is not buildable: {e}"))?;
         let algorithms = doc
@@ -262,6 +275,7 @@ impl JournalCell {
         w.field_u64("total_misses", e.total_misses);
         w.field_f64("miss_rate", e.miss_rate);
         w.field_u64("coherence_traffic", e.coherence_traffic);
+        w.field_u64("update_traffic", e.update_traffic);
         w.field_u64("compulsory", e.misses.compulsory);
         w.field_u64("intra_thread_conflict", e.misses.intra_thread_conflict);
         w.field_u64("inter_thread_conflict", e.misses.inter_thread_conflict);
@@ -295,6 +309,12 @@ impl JournalCell {
                     .and_then(JsonValue::as_f64)
                     .ok_or("cell field \"miss_rate\" is not a number")?,
                 coherence_traffic: u("coherence_traffic")?,
+                // Additive-in-v1: journals written before write-update
+                // protocols existed carry no update_traffic.
+                update_traffic: doc
+                    .get("update_traffic")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
                 misses: MissBreakdown {
                     compulsory: u("compulsory")?,
                     intra_thread_conflict: u("intra_thread_conflict")?,
@@ -549,11 +569,12 @@ impl JournalWriter {
         let recovery = read_journal(path)?;
         if &recovery.header != expected {
             return Err(JournalError::Mismatch(format!(
-                "journal records a different sweep (journal app {:?} seed {} scale {} over \
-                 {}x{} cells); refusing to mix results",
+                "journal records a different sweep (journal app {:?} seed {} scale {} protocol \
+                 {} over {}x{} cells); refusing to mix results",
                 recovery.header.app,
                 recovery.header.seed,
                 recovery.header.scale,
+                recovery.header.config.protocol(),
                 recovery.header.algorithms.len(),
                 recovery.header.processors.len(),
             )));
@@ -692,6 +713,7 @@ mod tests {
                 total_misses: 50,
                 miss_rate: 0.1,
                 coherence_traffic: 7,
+                update_traffic: 0,
                 misses: MissBreakdown::default(),
             },
         }
@@ -787,6 +809,61 @@ mod tests {
             Err(JournalError::Mismatch(_))
         ));
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_protocol() {
+        // The header pins the coherence protocol: resuming a wi sweep
+        // with a dragon config must refuse rather than mix results.
+        let dir = tmp_dir("protocol-mismatch");
+        let path = dir.join("sweep.journal");
+        let h = sample_header();
+        drop(JournalWriter::create(&path, &h).unwrap());
+        let mut other = sample_header();
+        let mut builder = ArchConfig::builder();
+        builder.protocol(Protocol::Dragon);
+        other.config = builder.build().unwrap();
+        let err = JournalWriter::resume(&path, &other)
+            .err()
+            .expect("resume must refuse a protocol mismatch");
+        match err {
+            JournalError::Mismatch(msg) => assert!(msg.contains("protocol wi"), "{msg}"),
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_round_trips_non_default_protocol() {
+        let mut h = sample_header();
+        let mut builder = ArchConfig::builder();
+        builder.protocol(Protocol::Mesi);
+        h.config = builder.build().unwrap();
+        let rec = recover(h.to_line().as_bytes()).unwrap();
+        assert_eq!(rec.header, h);
+        assert_eq!(rec.header.config.protocol(), Protocol::Mesi);
+    }
+
+    #[test]
+    fn pre_protocol_header_defaults_to_write_invalidate() {
+        // A header without config.protocol (written before protocols
+        // existed) parses as the paper's machine; a junk protocol is
+        // corruption.
+        let h = sample_header();
+        let line = h.to_line();
+        let (_, payload) = line.split_once(' ').unwrap();
+        let payload = payload.trim_end(); // drop the newline before re-checksumming
+        let stripped = payload.replacen(", \"protocol\": \"wi\"", "", 1);
+        assert_ne!(&stripped, payload);
+        let reline = to_line(&stripped);
+        let rec = recover(reline.as_bytes()).unwrap();
+        assert_eq!(rec.header.config.protocol(), Protocol::Wi);
+
+        let junk = payload.replacen("\"protocol\": \"wi\"", "\"protocol\": \"moesi\"", 1);
+        assert!(matches!(
+            recover(to_line(&junk).as_bytes()),
+            Err(JournalError::Corrupt(msg)) if msg.contains("unknown protocol")
+        ));
     }
 
     #[test]

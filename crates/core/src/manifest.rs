@@ -21,7 +21,7 @@
 //! RunManifest::validate(&json).unwrap();
 //! ```
 
-use placesim_machine::{ArchConfig, EngineObsReport, MissBreakdown, SimStats};
+use placesim_machine::{ArchConfig, EngineObsReport, MissBreakdown, Protocol, SimStats};
 use placesim_obs::json::{self, JsonValue, JsonWriter};
 use placesim_obs::sink;
 use std::path::Path;
@@ -44,8 +44,12 @@ pub struct ManifestEntry {
     pub total_misses: u64,
     /// Data-reference miss rate in [0, 1].
     pub miss_rate: f64,
-    /// Total coherence traffic (invalidations sent).
+    /// Total coherence traffic (invalidations + invalidation misses +
+    /// updates; each transaction counted once).
     pub coherence_traffic: u64,
+    /// Write-update messages sent (Dragon; structurally zero under the
+    /// write-invalidate protocols and in pre-protocol manifests).
+    pub update_traffic: u64,
     /// The paper's four-way miss taxonomy (all zero for entries from
     /// tools that do not simulate, or from pre-taxonomy manifests).
     pub misses: MissBreakdown,
@@ -62,6 +66,7 @@ impl ManifestEntry {
             total_misses: stats.total_misses().total(),
             miss_rate: stats.miss_rate(),
             coherence_traffic: stats.coherence_traffic(),
+            update_traffic: stats.total_updates(),
             misses: stats.total_misses(),
         }
     }
@@ -129,6 +134,7 @@ impl RunManifest {
         w.field_u64("memory_latency", self.config.memory_latency());
         w.field_u64("memory_occupancy", self.config.memory_occupancy());
         w.field_u64("context_switch", self.config.context_switch());
+        w.field_str("protocol", self.config.protocol().as_str());
         w.end_object();
         w.field_f64("wall_secs", self.wall_secs);
         w.key("results");
@@ -142,6 +148,7 @@ impl RunManifest {
             w.field_u64("total_misses", e.total_misses);
             w.field_f64("miss_rate", e.miss_rate);
             w.field_u64("coherence_traffic", e.coherence_traffic);
+            w.field_u64("update_traffic", e.update_traffic);
             w.field_u64("compulsory", e.misses.compulsory);
             w.field_u64("intra_thread_conflict", e.misses.intra_thread_conflict);
             w.field_u64("inter_thread_conflict", e.misses.inter_thread_conflict);
@@ -256,6 +263,16 @@ impl RunManifest {
                 .and_then(JsonValue::as_u64)
                 .ok_or_else(|| format!("config.{key} is not an unsigned integer"))
         };
+        // Additive field: pre-protocol manifests have no config.protocol
+        // and mean the paper's write-invalidate machine.
+        let protocol = match cfg.get("protocol") {
+            None => Protocol::Wi,
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| "config.protocol is not a string".to_owned())?
+                .parse::<Protocol>()
+                .map_err(|e| e.to_string())?,
+        };
         let config = ArchConfig::builder()
             .cache_size(cfg_u64("cache_bytes")?)
             .line_size(cfg_u64("line_bytes")?)
@@ -266,6 +283,7 @@ impl RunManifest {
             .memory_latency(cfg_u64("memory_latency")?)
             .memory_occupancy(cfg_u64("memory_occupancy")?)
             .context_switch(cfg_u64("context_switch")?)
+            .protocol(protocol)
             .build()
             .map_err(|e| format!("manifest config is not buildable: {e}"))?;
 
@@ -300,6 +318,7 @@ impl RunManifest {
                         .and_then(JsonValue::as_f64)
                         .ok_or_else(|| format!("results[{i}].miss_rate is not a number"))?,
                     coherence_traffic: u("coherence_traffic")?,
+                    update_traffic: opt_u("update_traffic"),
                     misses: MissBreakdown {
                         compulsory: opt_u("compulsory"),
                         intra_thread_conflict: opt_u("intra_thread_conflict"),
@@ -357,6 +376,7 @@ mod tests {
             total_misses: 50,
             miss_rate: 0.1,
             coherence_traffic: 7,
+            update_traffic: 0,
             misses: MissBreakdown::default(),
         });
         m
@@ -446,6 +466,7 @@ mod tests {
             total_misses: 90,
             miss_rate: 0.15,
             coherence_traffic: 11,
+            update_traffic: 6,
             misses: MissBreakdown {
                 compulsory: 40,
                 intra_thread_conflict: 20,

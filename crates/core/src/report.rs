@@ -3,9 +3,11 @@
 //! [`TextTable`] does the alignment work for every table the workspace
 //! prints. [`Report`] ingests many `placesim-metrics-v1` manifests
 //! (see [`crate::manifest`]), groups their entries by
-//! `(app, algorithm, processors)`, and renders paper-style comparison
-//! tables — execution time, the four-way miss taxonomy, and a
-//! normalized-to-RANDOM column — as aligned text and as JSON
+//! `(app, protocol, algorithm, processors)`, and renders paper-style
+//! comparison tables — execution time, the four-way miss taxonomy,
+//! update traffic, and a normalized-to-RANDOM column (computed within
+//! each protocol, so the per-protocol vs-RANDOM sections answer whether
+//! the 1994 result survives MESI/Dragon) — as aligned text and as JSON
 //! (`placesim-report-v1`). [`Report::compare`] diffs two reports for
 //! the CI regression gate.
 
@@ -154,12 +156,15 @@ pub fn ascii_bar(value: f64, full: f64, width: usize) -> String {
 /// Schema tag stamped into every JSON report.
 pub const REPORT_SCHEMA: &str = "placesim-report-v1";
 
-/// Aggregated results for one `(app, algorithm, processors)` cell:
-/// means over every manifest entry that landed in it.
+/// Aggregated results for one `(app, protocol, algorithm, processors)`
+/// cell: means over every manifest entry that landed in it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportGroup {
     /// Application (trace) name, from the manifest header.
     pub app: String,
+    /// Coherence protocol the manifest's config simulated
+    /// (`wi`/`mesi`/`dragon`).
+    pub protocol: String,
     /// Placement algorithm label.
     pub algorithm: String,
     /// Processor count.
@@ -176,11 +181,15 @@ pub struct ReportGroup {
     pub miss_rate: f64,
     /// Mean coherence traffic.
     pub coherence_traffic: f64,
+    /// Mean write-update traffic (Dragon's `UpdateTraffic` column; zero
+    /// under the write-invalidate protocols).
+    pub update_traffic: f64,
     /// Mean miss taxonomy: `[compulsory, intra-thread conflict,
     /// inter-thread conflict, invalidation]` (the paper's order).
     pub miss_taxonomy: [f64; 4],
     /// Mean execution time divided by the RANDOM group's, within the
-    /// same `(app, processors)`; `None` when no RANDOM group exists.
+    /// same `(app, protocol, processors)`; `None` when no RANDOM group
+    /// exists there.
     pub vs_random: Option<f64>,
 }
 
@@ -235,8 +244,8 @@ pub struct Report {
 
 impl Report {
     /// Aggregates parsed manifests into grouped means. Entries sharing
-    /// `(app, algorithm, processors)` across (or within) manifests are
-    /// averaged; groups come out sorted by that key.
+    /// `(app, protocol, algorithm, processors)` across (or within)
+    /// manifests are averaged; groups come out sorted by that key.
     pub fn from_manifests<'a, I>(manifests: I) -> Self
     where
         I: IntoIterator<Item = &'a RunManifest>,
@@ -249,15 +258,22 @@ impl Report {
             total_misses: f64,
             miss_rate: f64,
             coherence_traffic: f64,
+            update_traffic: f64,
             taxonomy: [f64; 4],
         }
-        let mut cells: BTreeMap<(String, String, usize), Acc> = BTreeMap::new();
+        let mut cells: BTreeMap<(String, String, String, usize), Acc> = BTreeMap::new();
         let mut count = 0usize;
         for m in manifests {
             count += 1;
+            let protocol = m.config.protocol().as_str();
             for e in &m.entries {
                 let acc = cells
-                    .entry((m.app.clone(), e.algorithm.clone(), e.processors))
+                    .entry((
+                        m.app.clone(),
+                        protocol.to_owned(),
+                        e.algorithm.clone(),
+                        e.processors,
+                    ))
                     .or_default();
                 acc.runs += 1;
                 acc.execution_time += e.execution_time as f64;
@@ -265,6 +281,7 @@ impl Report {
                 acc.total_misses += e.total_misses as f64;
                 acc.miss_rate += e.miss_rate;
                 acc.coherence_traffic += e.coherence_traffic as f64;
+                acc.update_traffic += e.update_traffic as f64;
                 for (slot, v) in acc.taxonomy.iter_mut().zip([
                     e.misses.compulsory,
                     e.misses.intra_thread_conflict,
@@ -276,26 +293,32 @@ impl Report {
             }
         }
 
-        // The RANDOM baseline mean per (app, processors), for the
-        // paper's normalized columns.
-        let mut random_time: BTreeMap<(String, usize), f64> = BTreeMap::new();
-        for ((app, algo, procs), acc) in &cells {
+        // The RANDOM baseline mean per (app, protocol, processors), for
+        // the paper's normalized columns. Keying by protocol keeps the
+        // vs-RANDOM ratios meaningful per protocol: a Dragon run is
+        // normalized against Dragon's RANDOM baseline, not MESI's.
+        let mut random_time: BTreeMap<(String, String, usize), f64> = BTreeMap::new();
+        for ((app, protocol, algo, procs), acc) in &cells {
             if algo == "RANDOM" && acc.runs > 0 {
-                random_time.insert((app.clone(), *procs), acc.execution_time / acc.runs as f64);
+                random_time.insert(
+                    (app.clone(), protocol.clone(), *procs),
+                    acc.execution_time / acc.runs as f64,
+                );
             }
         }
 
         let groups = cells
             .into_iter()
-            .map(|((app, algorithm, processors), acc)| {
+            .map(|((app, protocol, algorithm, processors), acc)| {
                 let n = acc.runs as f64;
                 let execution_time = acc.execution_time / n;
                 let vs_random = random_time
-                    .get(&(app.clone(), processors))
+                    .get(&(app.clone(), protocol.clone(), processors))
                     .filter(|&&r| r > 0.0)
                     .map(|&r| execution_time / r);
                 ReportGroup {
                     app,
+                    protocol,
                     algorithm,
                     processors,
                     runs: acc.runs,
@@ -304,6 +327,7 @@ impl Report {
                     total_misses: acc.total_misses / n,
                     miss_rate: acc.miss_rate / n,
                     coherence_traffic: acc.coherence_traffic / n,
+                    update_traffic: acc.update_traffic / n,
                     miss_taxonomy: acc.taxonomy.map(|t| t / n),
                     vs_random,
                 }
@@ -320,6 +344,7 @@ impl Report {
     pub fn render_text(&self) -> String {
         let mut t = TextTable::new([
             "app",
+            "protocol",
             "algorithm",
             "procs",
             "runs",
@@ -331,10 +356,12 @@ impl Report {
             "inter-conf",
             "inval",
             "traffic",
+            "updates",
         ]);
         for g in &self.groups {
             t.row([
                 g.app.clone(),
+                g.protocol.clone(),
                 g.algorithm.clone(),
                 g.processors.to_string(),
                 g.runs.to_string(),
@@ -346,6 +373,7 @@ impl Report {
                 fmt_f(g.miss_taxonomy[2], 0),
                 fmt_f(g.miss_taxonomy[3], 0),
                 fmt_f(g.coherence_traffic, 0),
+                fmt_f(g.update_traffic, 0),
             ]);
         }
         let mut out = format!(
@@ -379,6 +407,7 @@ impl Report {
         for g in &self.groups {
             w.begin_object();
             w.field_str("app", &g.app);
+            w.field_str("protocol", &g.protocol);
             w.field_str("algorithm", &g.algorithm);
             w.field_u64("processors", g.processors as u64);
             w.field_u64("runs", g.runs);
@@ -387,6 +416,7 @@ impl Report {
             w.field_f64("total_misses", g.total_misses);
             w.field_f64("miss_rate", g.miss_rate);
             w.field_f64("coherence_traffic", g.coherence_traffic);
+            w.field_f64("update_traffic", g.update_traffic);
             w.field_f64("compulsory", g.miss_taxonomy[0]);
             w.field_f64("intra_thread_conflict", g.miss_taxonomy[1]);
             w.field_f64("inter_thread_conflict", g.miss_taxonomy[2]);
@@ -419,14 +449,29 @@ impl Report {
     /// than `threshold_pct` percent over the matching group in
     /// `baseline`. Groups present on only one side are not compared.
     pub fn compare(&self, baseline: &Report, threshold_pct: f64) -> Vec<Regression> {
-        let base: BTreeMap<(&str, &str, usize), &ReportGroup> = baseline
+        let base: BTreeMap<(&str, &str, &str, usize), &ReportGroup> = baseline
             .groups
             .iter()
-            .map(|g| ((g.app.as_str(), g.algorithm.as_str(), g.processors), g))
+            .map(|g| {
+                (
+                    (
+                        g.app.as_str(),
+                        g.protocol.as_str(),
+                        g.algorithm.as_str(),
+                        g.processors,
+                    ),
+                    g,
+                )
+            })
             .collect();
         let mut out = Vec::new();
         for g in &self.groups {
-            let Some(b) = base.get(&(g.app.as_str(), g.algorithm.as_str(), g.processors)) else {
+            let Some(b) = base.get(&(
+                g.app.as_str(),
+                g.protocol.as_str(),
+                g.algorithm.as_str(),
+                g.processors,
+            )) else {
                 continue;
             };
             for (metric, base_v, cur_v) in [
@@ -506,7 +551,7 @@ mod tests {
 mod aggregator_tests {
     use super::*;
     use crate::manifest::{ManifestEntry, RunManifest};
-    use placesim_machine::{ArchConfig, MissBreakdown};
+    use placesim_machine::{ArchConfig, MissBreakdown, Protocol};
     use placesim_obs::json;
 
     fn entry(algorithm: &str, processors: usize, time: u64, misses: u64) -> ManifestEntry {
@@ -518,6 +563,7 @@ mod aggregator_tests {
             total_misses: misses,
             miss_rate: misses as f64 / 1000.0,
             coherence_traffic: misses / 2,
+            update_traffic: 0,
             misses: MissBreakdown {
                 compulsory: misses,
                 ..MissBreakdown::default()
@@ -527,6 +573,19 @@ mod aggregator_tests {
 
     fn manifest(app: &str, entries: Vec<ManifestEntry>) -> RunManifest {
         let mut m = RunManifest::new("test", app, &ArchConfig::paper_default());
+        m.entries = entries;
+        m
+    }
+
+    fn manifest_with_protocol(
+        app: &str,
+        protocol: Protocol,
+        entries: Vec<ManifestEntry>,
+    ) -> RunManifest {
+        let mut builder = ArchConfig::builder();
+        builder.protocol(protocol);
+        let config = builder.build().unwrap();
+        let mut m = RunManifest::new("test", app, &config);
         m.entries = entries;
         m
     }
@@ -660,6 +719,79 @@ mod aggregator_tests {
             holes[0].get("reason").and_then(json::JsonValue::as_str),
             Some("worker panicked: chaos: injected worker panic")
         );
+    }
+
+    #[test]
+    fn protocols_group_separately_with_per_protocol_random_baselines() {
+        // Same app/algorithm/processors under three protocols: each
+        // protocol gets its own group and its own RANDOM baseline.
+        let mut dragon_random = entry("RANDOM", 4, 2000, 100);
+        dragon_random.update_traffic = 64;
+        let mut dragon_share = entry("SHARE-REFS", 4, 1000, 90);
+        dragon_share.update_traffic = 32;
+        let manifests = [
+            manifest_with_protocol(
+                "water",
+                Protocol::Wi,
+                vec![
+                    entry("RANDOM", 4, 1000, 100),
+                    entry("SHARE-REFS", 4, 900, 90),
+                ],
+            ),
+            manifest_with_protocol(
+                "water",
+                Protocol::Mesi,
+                vec![
+                    entry("RANDOM", 4, 800, 100),
+                    entry("SHARE-REFS", 4, 600, 90),
+                ],
+            ),
+            manifest_with_protocol("water", Protocol::Dragon, vec![dragon_random, dragon_share]),
+        ];
+        let report = Report::from_manifests(manifests.iter());
+        assert_eq!(report.groups.len(), 6);
+
+        let vs = |protocol: &str, algorithm: &str| {
+            report
+                .groups
+                .iter()
+                .find(|g| g.protocol == protocol && g.algorithm == algorithm)
+                .unwrap_or_else(|| panic!("missing group {protocol}/{algorithm}"))
+                .vs_random
+                .unwrap()
+        };
+        assert_eq!(vs("wi", "RANDOM"), 1.0);
+        assert_eq!(vs("wi", "SHARE-REFS"), 0.9);
+        assert_eq!(vs("mesi", "SHARE-REFS"), 0.75);
+        // Dragon normalizes against Dragon's RANDOM (2000), not WI's.
+        assert_eq!(vs("dragon", "SHARE-REFS"), 0.5);
+
+        let dragon = report
+            .groups
+            .iter()
+            .find(|g| g.protocol == "dragon" && g.algorithm == "SHARE-REFS")
+            .unwrap();
+        assert_eq!(dragon.update_traffic, 32.0);
+
+        // Renderings carry the protocol column and update traffic.
+        let text = report.render_text();
+        assert!(text.contains("protocol"));
+        assert!(text.contains("dragon"));
+        let doc = json::parse(&report.to_json()).unwrap();
+        let groups = doc
+            .get("groups")
+            .and_then(json::JsonValue::as_array)
+            .unwrap();
+        assert!(groups.iter().any(|g| {
+            g.get("protocol").and_then(json::JsonValue::as_str) == Some("dragon")
+                && g.get("update_traffic").and_then(json::JsonValue::as_f64) == Some(32.0)
+        }));
+
+        // compare() never crosses protocols: WI's slower times against a
+        // MESI baseline would flag regressions if the key conflated them.
+        let wi_only = Report::from_manifests([&manifests[0]]);
+        let mesi_only = Report::from_manifests([&manifests[1]]);
+        assert!(wi_only.compare(&mesi_only, 0.0).is_empty());
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn cell(index: usize) -> JournalCell {
             total_misses: 500,
             miss_rate: 0.1,
             coherence_traffic: 42,
+            update_traffic: 0,
             misses: MissBreakdown {
                 compulsory: 200,
                 intra_thread_conflict: 100,

@@ -17,14 +17,27 @@
 //!    exactly once).
 //! 4. **Owner-state consistency** — every resident cache line agrees
 //!    with the directory in both directions: residents are tracked
-//!    sharers, Modified residents are the directory's exclusive owner,
-//!    and every directory entry points at caches that actually hold the
-//!    line in the matching state.
+//!    sharers, exclusively-held residents are the directory's sole
+//!    owner, and every directory entry points at caches that actually
+//!    hold the line in a state the active protocol allows.
 //!
-//! Plus the global symmetry `invalidations sent == received`.
+//! Plus the global symmetries `invalidations sent == received` and
+//! `updates sent == received`, and per-protocol laws:
+//!
+//! * **Write-invalidate** — only Shared/Modified states appear and the
+//!   update counters are structurally zero.
+//! * **MESI** — update counters are zero, and E-state exclusivity: a
+//!   cache holding a line Exclusive or Modified is the directory's sole
+//!   owner, and a directory owner's cache holds E or M.
+//! * **Dragon** — no invalidations exist anywhere (counters and the
+//!   invalidation-miss taxonomy bucket are zero), upgrades are zero
+//!   (shared writes update instead), and no-stale-sharer: every sharer
+//!   of a shared line holds it Shared or SharedDirty with at most one
+//!   SharedDirty owner per line.
 
 use crate::cache::{LineState, ProcessorCache};
 use crate::directory::Directory;
+use crate::protocol::Protocol;
 use crate::stats::ProcStats;
 use placesim_placement::{PlacementMap, ProcessorId};
 use placesim_trace::ProgramTrace;
@@ -87,56 +100,154 @@ pub(crate) fn check_drained(
             "machine: {sent} invalidations sent but {received} received"
         ));
     }
+    let upd_sent: u64 = stats.iter().map(|s| s.updates_sent).sum();
+    let upd_received: u64 = stats.iter().map(|s| s.updates_received).sum();
+    if upd_sent != upd_received {
+        violations.push(format!(
+            "machine: {upd_sent} updates sent but {upd_received} received"
+        ));
+    }
 
-    // Cache → directory: every resident line must be a tracked sharer,
-    // and Modified residents must be the exclusive owner.
-    for (pi, cache) in caches.iter().enumerate() {
-        let me = ProcessorId::from_index(pi);
-        for (line, state) in cache.iter_resident() {
-            if !directory.holds(me, line) {
+    // Every cache in one machine runs the same protocol.
+    let protocol = caches
+        .first()
+        .map_or(Protocol::Wi, ProcessorCache::protocol);
+    debug_assert!(caches.iter().all(|c| c.protocol() == protocol));
+
+    // Per-protocol traffic laws.
+    match protocol {
+        Protocol::Wi | Protocol::Mesi => {
+            if upd_sent != 0 {
                 violations.push(format!(
-                    "processor {pi}: line {line:#x} resident {state:?} but untracked by the \
-                     directory"
+                    "machine: {upd_sent} updates sent under {protocol}, which never updates"
                 ));
-            } else if state == LineState::Modified && directory.owner(line) != Some(me) {
+            }
+        }
+        Protocol::Dragon => {
+            if sent != 0 {
                 violations.push(format!(
-                    "processor {pi}: line {line:#x} resident Modified but directory owner is \
-                     {:?}",
-                    directory.owner(line)
+                    "machine: {sent} invalidations sent under dragon, which never invalidates"
+                ));
+            }
+            let inv_misses: u64 = stats.iter().map(|s| s.misses.invalidation).sum();
+            if inv_misses != 0 {
+                violations.push(format!(
+                    "machine: {inv_misses} invalidation misses under dragon, which never \
+                     invalidates"
+                ));
+            }
+            let upgrades: u64 = stats.iter().map(|s| s.upgrades).sum();
+            if upgrades != 0 {
+                violations.push(format!(
+                    "machine: {upgrades} upgrades under dragon, whose shared writes update \
+                     instead"
                 ));
             }
         }
     }
 
-    // Directory → caches: every tracked sharer must hold the line in the
-    // matching state.
+    // Cache → directory: every resident line must be a tracked sharer;
+    // exclusive states (M, and E under MESI/Dragon) require sole
+    // directory ownership; a SharedDirty resident must *not* be an
+    // exclusive owner (it shares the line by definition). States outside
+    // the protocol's lattice are violations outright.
+    let lattice = protocol.semantics().lattice();
+    for (pi, cache) in caches.iter().enumerate() {
+        let me = ProcessorId::from_index(pi);
+        for (line, state) in cache.iter_resident() {
+            if !lattice.contains(&state) {
+                violations.push(format!(
+                    "processor {pi}: line {line:#x} resident {state:?}, outside the {protocol} \
+                     lattice"
+                ));
+            }
+            if !directory.holds(me, line) {
+                violations.push(format!(
+                    "processor {pi}: line {line:#x} resident {state:?} but untracked by the \
+                     directory"
+                ));
+            } else {
+                match state {
+                    LineState::Modified | LineState::Exclusive => {
+                        if directory.owner(line) != Some(me) {
+                            violations.push(format!(
+                                "processor {pi}: line {line:#x} resident {state:?} but directory \
+                                 owner is {:?}",
+                                directory.owner(line)
+                            ));
+                        }
+                    }
+                    LineState::SharedDirty => {
+                        if directory.owner(line).is_some() {
+                            violations.push(format!(
+                                "processor {pi}: line {line:#x} resident SharedDirty but the \
+                                 directory records an exclusive owner"
+                            ));
+                        }
+                    }
+                    LineState::Shared => {}
+                }
+            }
+        }
+    }
+
+    // Directory → caches: every tracked sharer must hold the line in a
+    // state the protocol allows for its directory role.
     for (line, sharers, owner) in directory.iter_lines() {
         match owner {
             Some(o) => {
                 if sharers.len() != 1 || !sharers.contains(o) {
                     violations.push(format!(
-                        "directory: Modified line {line:#x} owned by {} has sharer set of {}",
+                        "directory: exclusive line {line:#x} owned by {} has sharer set of {}",
                         o.index(),
                         sharers.len()
                     ));
                 }
-                if caches[o.index()].state_of(line) != Some(LineState::Modified) {
+                // WI has no clean-exclusive state; MESI/Dragon owners may
+                // hold E (clean) or M (dirty) — the silent E→M upgrade is
+                // invisible to the directory.
+                let held = caches[o.index()].state_of(line);
+                let ok = match protocol {
+                    Protocol::Wi => held == Some(LineState::Modified),
+                    Protocol::Mesi | Protocol::Dragon => {
+                        matches!(held, Some(LineState::Modified | LineState::Exclusive))
+                    }
+                };
+                if !ok {
                     violations.push(format!(
-                        "directory: line {line:#x} Modified by {} but its cache holds {:?}",
-                        o.index(),
-                        caches[o.index()].state_of(line)
+                        "directory: line {line:#x} exclusively owned by {} but its cache holds \
+                         {held:?}",
+                        o.index()
                     ));
                 }
             }
             None => {
+                let mut dirty_sharers = 0u32;
                 for q in sharers.iter() {
-                    if caches[q.index()].state_of(line) != Some(LineState::Shared) {
+                    let held = caches[q.index()].state_of(line);
+                    if held == Some(LineState::SharedDirty) {
+                        dirty_sharers += 1;
+                    }
+                    let ok = match protocol {
+                        Protocol::Wi | Protocol::Mesi => held == Some(LineState::Shared),
+                        Protocol::Dragon => {
+                            matches!(held, Some(LineState::Shared | LineState::SharedDirty))
+                        }
+                    };
+                    if !ok {
                         violations.push(format!(
-                            "directory: line {line:#x} Shared by {} but its cache holds {:?}",
-                            q.index(),
-                            caches[q.index()].state_of(line)
+                            "directory: line {line:#x} shared by {} but its cache holds {held:?}",
+                            q.index()
                         ));
                     }
+                }
+                // Dragon no-stale-sharer: one dirty owner at most; every
+                // other copy was refreshed by its updates.
+                if dirty_sharers > 1 {
+                    violations.push(format!(
+                        "directory: line {line:#x} has {dirty_sharers} SharedDirty holders \
+                         (at most one dirty owner is legal)"
+                    ));
                 }
             }
         }
@@ -176,6 +287,39 @@ mod tests {
         let (prog, map) = prog_and_map();
         let stats = simulate(&prog, &map, &ArchConfig::paper_default()).unwrap();
         assert_eq!(stats.total_refs(), prog.total_refs());
+    }
+
+    #[test]
+    fn mesi_and_dragon_clean_runs_pass_the_auditor() {
+        // A read/write mix over a shared region so every protocol path
+        // (exclusive fills, silent upgrades, updates) is exercised under
+        // the auditor.
+        let mk = |base: u64| -> ThreadTrace {
+            (0..60)
+                .map(|i| {
+                    let addr = Address::new(base + 4 * (i % 16));
+                    if i % 5 == 0 {
+                        MemRef::write(addr)
+                    } else {
+                        MemRef::read(addr)
+                    }
+                })
+                .collect()
+        };
+        let prog = ProgramTrace::new("audited", vec![mk(0), mk(0x4000), mk(0), mk(0x100)]);
+        let map = PlacementMap::from_clusters(vec![vec![0, 1], vec![2, 3]]).unwrap();
+        for protocol in Protocol::ALL {
+            let mut builder = ArchConfig::builder();
+            builder.protocol(protocol);
+            let config = builder.build().unwrap();
+            let stats = simulate(&prog, &map, &config).unwrap();
+            assert_eq!(stats.total_refs(), prog.total_refs(), "{protocol}");
+            if protocol == Protocol::Dragon {
+                assert_eq!(stats.total_invalidations(), 0, "dragon invalidated");
+            } else {
+                assert_eq!(stats.total_updates(), 0, "{protocol} sent updates");
+            }
+        }
     }
 
     #[test]

@@ -28,18 +28,29 @@
 //! has a `gone` entry. A miss therefore classifies with a single map
 //! lookup — `None` means compulsory.
 
+use crate::protocol::{Protocol, WriteHit};
 use crate::stats::MissKind;
 use placesim_placement::ProcessorId;
 use placesim_trace::hash::FastMap;
 use placesim_trace::ThreadId;
 
-/// Local MSI state of a resident line (Invalid is "not resident").
+/// Local coherence state of a resident line (Invalid is "not
+/// resident"). Which states are reachable depends on the protocol
+/// lattice ([`crate::CoherenceProtocol::lattice`]): the paper's
+/// write-invalidate machine uses only Shared/Modified; MESI adds
+/// Exclusive; Dragon adds SharedDirty.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LineState {
     /// Clean copy, possibly shared with other caches.
     Shared,
     /// Exclusive dirty copy.
     Modified,
+    /// Exclusive *clean* copy (MESI's E, Dragon's E): no other cache
+    /// holds the line, so a write upgrades to Modified silently.
+    Exclusive,
+    /// Dragon's Sm: shared with other caches but this copy is the dirty
+    /// owner responsible for propagating updates.
+    SharedDirty,
 }
 
 /// Why a previously-resident line is no longer in the cache.
@@ -67,6 +78,10 @@ pub enum AccessOutcome {
     /// The line is resident Shared but the access is a write: the
     /// directory must invalidate remote sharers (a coherence *upgrade*).
     UpgradeHit,
+    /// Dragon: the line is resident shared and written, so the directory
+    /// must propagate a write-update to the remote sharers (the line
+    /// stays resident everywhere).
+    UpdateHit,
     /// The line is not resident. Classification comes from
     /// [`ProcessorCache::miss_provenance`], which needs the missing
     /// thread's identity.
@@ -87,6 +102,9 @@ pub enum Access {
     /// Resident Shared but written: the directory must invalidate remote
     /// sharers. LRU order updated.
     UpgradeHit,
+    /// Dragon: resident shared and written; the directory must send
+    /// updates to remote sharers. LRU order updated.
+    UpdateHit,
     /// Not resident; classified at lookup time.
     Miss {
         /// The paper's four-way miss classification.
@@ -114,10 +132,15 @@ pub struct ProcessorCache {
     /// Lifetime fill count. Every miss fills exactly once, so this must
     /// equal the engine's miss-taxonomy total (the auditor checks it).
     fills: u64,
+    /// Protocol whose hit table classifies write hits. Only the local
+    /// (cache-side) half of the protocol lives here; the directory-side
+    /// half lives in the engine's miss path.
+    protocol: Protocol,
 }
 
 impl ProcessorCache {
-    /// Creates a direct-mapped cache with `num_sets` line slots.
+    /// Creates a direct-mapped write-invalidate cache with `num_sets`
+    /// line slots.
     ///
     /// # Panics
     ///
@@ -126,12 +149,23 @@ impl ProcessorCache {
         Self::with_associativity(num_sets, 1)
     }
 
-    /// Creates a cache with `num_sets` sets of `assoc` ways each.
+    /// Creates a write-invalidate cache with `num_sets` sets of `assoc`
+    /// ways each.
     ///
     /// # Panics
     ///
     /// Panics if `num_sets` is not a power of two or `assoc` is zero.
     pub fn with_associativity(num_sets: u64, assoc: usize) -> Self {
+        Self::with_protocol(num_sets, assoc, Protocol::Wi)
+    }
+
+    /// Creates a cache whose write-hit classification follows
+    /// `protocol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two or `assoc` is zero.
+    pub fn with_protocol(num_sets: u64, assoc: usize, protocol: Protocol) -> Self {
         assert!(
             num_sets.is_power_of_two(),
             "set count must be a power of two"
@@ -148,7 +182,13 @@ impl ProcessorCache {
             gone: FastMap::default(),
             set_mask: num_sets - 1,
             fills: 0,
+            protocol,
         }
+    }
+
+    /// The protocol this cache classifies write hits under.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
     }
 
     /// The cache's associativity.
@@ -173,14 +213,23 @@ impl ProcessorCache {
         let len = self.lens[idx] as usize;
         let set = &mut self.slots[base..base + len];
         if let Some(pos) = set.iter().position(|s| s.line == line) {
-            let slot = set[pos];
+            let mut slot = set[pos];
             set.copy_within(..pos, 1); // MRU to front
-            set[0] = slot;
-            return if is_write && slot.state == LineState::Shared {
-                Access::UpgradeHit
+            let outcome = if is_write {
+                match self.protocol.write_hit(slot.state) {
+                    WriteHit::Hit => Access::Hit,
+                    WriteHit::Silent(next) => {
+                        slot.state = next; // MESI/Dragon E→M, no bus traffic
+                        Access::Hit
+                    }
+                    WriteHit::Upgrade => Access::UpgradeHit,
+                    WriteHit::Update => Access::UpdateHit,
+                }
             } else {
                 Access::Hit
             };
+            set[0] = slot;
+            return outcome;
         }
         let (kind, source) = self.classify_gone(line, thread);
         Access::Miss { kind, source }
@@ -196,14 +245,23 @@ impl ProcessorCache {
         let len = self.lens[idx] as usize;
         let set = &mut self.slots[base..base + len];
         if let Some(pos) = set.iter().position(|s| s.line == line) {
-            let slot = set[pos];
+            let mut slot = set[pos];
             set.copy_within(..pos, 1); // MRU to front
-            set[0] = slot;
-            return if is_write && slot.state == LineState::Shared {
-                AccessOutcome::UpgradeHit
+            let outcome = if is_write {
+                match self.protocol.write_hit(slot.state) {
+                    WriteHit::Hit => AccessOutcome::Hit,
+                    WriteHit::Silent(next) => {
+                        slot.state = next; // MESI/Dragon E→M, no bus traffic
+                        AccessOutcome::Hit
+                    }
+                    WriteHit::Upgrade => AccessOutcome::UpgradeHit,
+                    WriteHit::Update => AccessOutcome::UpdateHit,
+                }
             } else {
                 AccessOutcome::Hit
             };
+            set[0] = slot;
+            return outcome;
         }
         let victim = if len == self.assoc {
             set.last().map(|s| (s.line, s.state))
@@ -302,11 +360,15 @@ impl ProcessorCache {
         }
     }
 
-    /// Downgrades a resident Modified line to Shared (remote read).
+    /// Downgrades a resident exclusively-held line after a remote read.
+    /// Under the paper's protocol and MESI the line becomes Shared;
+    /// under Dragon a Modified owner keeps dirty ownership as
+    /// SharedDirty (see [`Protocol::downgrade_target`]).
     ///
     /// # Panics
     ///
-    /// Panics (debug builds) if the line is not resident Modified.
+    /// Panics (debug builds) if the line is not resident in an exclusive
+    /// state (Modified, or Exclusive under MESI/Dragon).
     pub fn downgrade(&mut self, line: u64) {
         let (idx, base) = self.set_bounds(line);
         let len = self.lens[idx] as usize;
@@ -315,10 +377,51 @@ impl ProcessorCache {
             .find(|s| s.line == line)
         {
             Some(slot) => {
-                debug_assert_eq!(slot.state, LineState::Modified);
-                slot.state = LineState::Shared;
+                debug_assert!(
+                    matches!(slot.state, LineState::Modified | LineState::Exclusive),
+                    "downgrade of non-exclusive line {line:#x} in state {:?}",
+                    slot.state
+                );
+                slot.state = self.protocol.downgrade_target(slot.state);
             }
             None => debug_assert!(false, "downgrade for non-resident line {line:#x}"),
+        }
+    }
+
+    /// Applies a remote write-update (Dragon): the line stays resident
+    /// and becomes a clean Shared copy. LRU order is *not* touched —
+    /// the local processor did not reference the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the line is not resident.
+    pub fn receive_update(&mut self, line: u64) {
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        match self.slots[base..base + len]
+            .iter_mut()
+            .find(|s| s.line == line)
+        {
+            Some(slot) => slot.state = LineState::Shared,
+            None => debug_assert!(false, "update for non-resident line {line:#x}"),
+        }
+    }
+
+    /// Marks a resident line SharedDirty (Dragon: after an update the
+    /// writer keeps dirty ownership of a still-shared line).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the line is not resident.
+    pub fn set_shared_dirty(&mut self, line: u64) {
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        match self.slots[base..base + len]
+            .iter_mut()
+            .find(|s| s.line == line)
+        {
+            Some(slot) => slot.state = LineState::SharedDirty,
+            None => debug_assert!(false, "shared-dirty mark for non-resident line {line:#x}"),
         }
     }
 
@@ -548,6 +651,7 @@ mod tests {
             let b = match split.probe(line, is_write) {
                 AccessOutcome::Hit => Access::Hit,
                 AccessOutcome::UpgradeHit => Access::UpgradeHit,
+                AccessOutcome::UpdateHit => Access::UpdateHit,
                 AccessOutcome::Miss { .. } => {
                     let (kind, source) = split.miss_provenance(line, t(tid));
                     Access::Miss { kind, source }
@@ -568,6 +672,56 @@ mod tests {
             }
         }
         assert_eq!(fused.resident_lines(), split.resident_lines());
+    }
+
+    #[test]
+    fn mesi_silent_exclusive_to_modified() {
+        let mut c = ProcessorCache::with_protocol(8, 1, Protocol::Mesi);
+        c.fill(4, LineState::Exclusive, t(0));
+        // Write hit on E upgrades silently — no UpgradeHit, no directory.
+        assert_eq!(c.access(4, true, t(0)), Access::Hit);
+        assert_eq!(c.state_of(4), Some(LineState::Modified));
+        // A write hit on Shared still needs the upgrade transaction.
+        c.fill(5, LineState::Shared, t(0));
+        assert_eq!(c.access(5, true, t(0)), Access::UpgradeHit);
+    }
+
+    #[test]
+    fn dragon_update_hit_and_receive_update() {
+        let mut writer = ProcessorCache::with_protocol(8, 1, Protocol::Dragon);
+        let mut sharer = ProcessorCache::with_protocol(8, 1, Protocol::Dragon);
+        writer.fill(4, LineState::Shared, t(0));
+        sharer.fill(4, LineState::Shared, t(1));
+        // Writing a shared line sends updates instead of invalidations.
+        assert_eq!(writer.access(4, true, t(0)), Access::UpdateHit);
+        writer.set_shared_dirty(4);
+        sharer.receive_update(4);
+        assert_eq!(writer.state_of(4), Some(LineState::SharedDirty));
+        assert_eq!(sharer.state_of(4), Some(LineState::Shared));
+        // The sharer's copy never left: the next read hits.
+        assert_eq!(sharer.access(4, false, t(1)), Access::Hit);
+        // Writing the SharedDirty copy again is another update.
+        assert_eq!(writer.access(4, true, t(0)), Access::UpdateHit);
+    }
+
+    #[test]
+    fn dragon_downgrade_keeps_dirty_ownership() {
+        let mut c = ProcessorCache::with_protocol(8, 1, Protocol::Dragon);
+        c.fill(7, LineState::Modified, t(0));
+        c.downgrade(7);
+        assert_eq!(c.state_of(7), Some(LineState::SharedDirty));
+        // An Exclusive (clean) copy downgrades to plain Shared.
+        c.fill(9, LineState::Exclusive, t(0));
+        c.downgrade(9);
+        assert_eq!(c.state_of(9), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn wi_protocol_is_the_default() {
+        let c = ProcessorCache::new(8);
+        assert_eq!(c.protocol(), Protocol::Wi);
+        let c = ProcessorCache::with_associativity(8, 2);
+        assert_eq!(c.protocol(), Protocol::Wi);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Architectural parameters (the paper's Table 3).
 
+use crate::protocol::Protocol;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -20,6 +21,25 @@ pub enum ConfigError {
         /// Line size requested.
         line: u64,
     },
+    /// `cache_size / line_size / associativity` does not divide exactly:
+    /// the truncated quotient would silently drop part of the cache.
+    InexactGeometry {
+        /// Cache size requested.
+        cache: u64,
+        /// Line size requested.
+        line: u64,
+        /// Associativity requested.
+        ways: u32,
+    },
+    /// The geometry yields zero cache sets.
+    ZeroSets {
+        /// Cache size requested.
+        cache: u64,
+        /// Line size requested.
+        line: u64,
+        /// Associativity requested.
+        ways: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -30,6 +50,19 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::CacheTooSmall { cache, line } => {
                 write!(f, "cache of {cache} bytes cannot hold a {line}-byte line")
+            }
+            ConfigError::InexactGeometry { cache, line, ways } => {
+                write!(
+                    f,
+                    "cache geometry {cache} B / {line} B lines / {ways} ways does not divide \
+                     exactly (the truncated set count would drop part of the cache)"
+                )
+            }
+            ConfigError::ZeroSets { cache, line, ways } => {
+                write!(
+                    f,
+                    "cache geometry {cache} B / {line} B lines / {ways} ways yields zero sets"
+                )
             }
         }
     }
@@ -53,6 +86,7 @@ pub struct ArchConfig {
     memory_occupancy: u64,
     context_switch: u64,
     upgrade_stalls: bool,
+    protocol: Protocol,
 }
 
 impl ArchConfig {
@@ -68,6 +102,7 @@ impl ArchConfig {
             memory_occupancy: 0,
             context_switch: 6,
             upgrade_stalls: false,
+            protocol: Protocol::Wi,
         }
     }
 
@@ -90,6 +125,15 @@ impl ArchConfig {
         ArchConfigBuilder::from(self).cache_size(bytes).build()
     }
 
+    /// Returns a copy simulating a different coherence protocol. The
+    /// protocol does not participate in geometry validation, so this
+    /// cannot fail.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
     /// Starts building a configuration from the paper defaults.
     pub fn builder() -> ArchConfigBuilder {
         ArchConfigBuilder::from(Self::paper_default())
@@ -106,8 +150,38 @@ impl ArchConfig {
     }
 
     /// Number of cache sets (`cache_size / line_size / associativity`).
+    ///
+    /// The division is exact by construction: [`ArchConfigBuilder::build`]
+    /// rejects inexact or zero-set geometry
+    /// ([`ConfigError::InexactGeometry`] / [`ConfigError::ZeroSets`]), so
+    /// this can no longer silently truncate.
     pub fn num_sets(&self) -> u64 {
-        self.cache_size / self.line_size / self.associativity as u64
+        debug_assert_eq!(
+            self.cache_size % (self.line_size * u64::from(self.associativity)),
+            0,
+            "validated config has exact geometry"
+        );
+        self.cache_size / self.line_size / u64::from(self.associativity)
+    }
+
+    /// Validates this configuration's cache geometry and returns the set
+    /// count. [`ArchConfigBuilder::build`] enforces this, so a built
+    /// config always passes; the check exists for values constructed by
+    /// deserialization or future non-builder paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InexactGeometry`] if
+    /// `cache_size / line_size / associativity` does not divide exactly
+    /// (the pre-fix code silently truncated here), or
+    /// [`ConfigError::ZeroSets`] if the quotient is zero.
+    pub fn check_geometry(&self) -> Result<u64, ConfigError> {
+        check_geometry(self.cache_size, self.line_size, self.associativity)
+    }
+
+    /// The coherence protocol the machine runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
     }
 
     /// Cache associativity: 1 (direct-mapped, the paper's configuration)
@@ -150,6 +224,20 @@ impl Default for ArchConfig {
     }
 }
 
+/// The geometry validation behind [`ArchConfig::check_geometry`] and
+/// [`ArchConfigBuilder::build`].
+fn check_geometry(cache: u64, line: u64, ways: u32) -> Result<u64, ConfigError> {
+    let span = line.saturating_mul(u64::from(ways));
+    if span == 0 || !cache.is_multiple_of(span) {
+        return Err(ConfigError::InexactGeometry { cache, line, ways });
+    }
+    let sets = cache / span;
+    if sets == 0 {
+        return Err(ConfigError::ZeroSets { cache, line, ways });
+    }
+    Ok(sets)
+}
+
 /// Builder for [`ArchConfig`].
 #[derive(Debug, Clone, Copy)]
 pub struct ArchConfigBuilder {
@@ -160,6 +248,7 @@ pub struct ArchConfigBuilder {
     memory_occupancy: u64,
     context_switch: u64,
     upgrade_stalls: bool,
+    protocol: Protocol,
 }
 
 impl From<ArchConfig> for ArchConfigBuilder {
@@ -172,6 +261,7 @@ impl From<ArchConfig> for ArchConfigBuilder {
             memory_occupancy: c.memory_occupancy,
             context_switch: c.context_switch,
             upgrade_stalls: c.upgrade_stalls,
+            protocol: c.protocol,
         }
     }
 }
@@ -219,12 +309,21 @@ impl ArchConfigBuilder {
         self
     }
 
+    /// Sets the coherence protocol.
+    pub fn protocol(&mut self, protocol: Protocol) -> &mut Self {
+        self.protocol = protocol;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if a size is not a power of two or the
-    /// cache cannot hold one line.
+    /// Returns [`ConfigError`] if a size is not a power of two, the
+    /// cache cannot hold one line, or the set-count division
+    /// `cache_size / line_size / associativity` is inexact or zero
+    /// (which [`ArchConfig::num_sets`] would previously have silently
+    /// truncated).
     pub fn build(&self) -> Result<ArchConfig, ConfigError> {
         if !self.cache_size.is_power_of_two() {
             return Err(ConfigError::NotPowerOfTwo {
@@ -250,6 +349,7 @@ impl ArchConfigBuilder {
                 line: self.line_size,
             });
         }
+        check_geometry(self.cache_size, self.line_size, self.associativity)?;
         Ok(ArchConfig {
             cache_size: self.cache_size,
             line_size: self.line_size,
@@ -258,6 +358,7 @@ impl ArchConfigBuilder {
             memory_occupancy: self.memory_occupancy,
             context_switch: self.context_switch,
             upgrade_stalls: self.upgrade_stalls,
+            protocol: self.protocol,
         })
     }
 }
@@ -369,5 +470,108 @@ mod tests {
             line: 32,
         };
         assert!(e.to_string().contains("cannot hold"));
+        let e = ConfigError::InexactGeometry {
+            cache: 1000,
+            line: 48,
+            ways: 3,
+        };
+        assert!(e.to_string().contains("does not divide"));
+        let e = ConfigError::ZeroSets {
+            cache: 0,
+            line: 32,
+            ways: 1,
+        };
+        assert!(e.to_string().contains("zero sets"));
+    }
+
+    #[test]
+    fn protocol_defaults_to_write_invalidate_and_builds() {
+        assert_eq!(ArchConfig::paper_default().protocol(), Protocol::Wi);
+        let c = ArchConfig::builder()
+            .protocol(Protocol::Dragon)
+            .build()
+            .unwrap();
+        assert_eq!(c.protocol(), Protocol::Dragon);
+        // Protocol selection is orthogonal to geometry.
+        assert_eq!(c.num_sets(), ArchConfig::paper_default().num_sets());
+        let m = ArchConfigBuilder::from(c).protocol(Protocol::Mesi).build();
+        assert_eq!(m.unwrap().protocol(), Protocol::Mesi);
+    }
+
+    /// Regression: these geometries used to flow straight into
+    /// `num_sets`'s truncating division. `ArchConfig { cache_size: 1000,
+    /// line_size: 48, associativity: 3, .. }` would have reported
+    /// `1000 / 48 / 3 = 6` sets, silently modeling a 864-byte cache.
+    /// Every non-builder construction path must now be caught by
+    /// `check_geometry`.
+    #[test]
+    fn inexact_geometry_rejected_not_truncated() {
+        let truncating = ArchConfig {
+            cache_size: 1000,
+            line_size: 48,
+            associativity: 3,
+            ..ArchConfig::paper_default()
+        };
+        assert_eq!(
+            truncating.check_geometry(),
+            Err(ConfigError::InexactGeometry {
+                cache: 1000,
+                line: 48,
+                ways: 3,
+            })
+        );
+        // 2^7 lines over 3 ways: pow2 everywhere except the way count,
+        // the exact shape the old code truncated to 42 sets.
+        let uneven_ways = ArchConfig {
+            cache_size: 4096,
+            line_size: 32,
+            associativity: 3,
+            ..ArchConfig::paper_default()
+        };
+        assert_eq!(
+            uneven_ways.check_geometry(),
+            Err(ConfigError::InexactGeometry {
+                cache: 4096,
+                line: 32,
+                ways: 3,
+            })
+        );
+        // A zeroed cache yields zero sets instead of the old `0 / n = 0`
+        // silently flowing into the cache constructor's pow2 assert.
+        let zeroed = ArchConfig {
+            cache_size: 0,
+            ..ArchConfig::paper_default()
+        };
+        assert!(matches!(
+            zeroed.check_geometry(),
+            Err(ConfigError::ZeroSets { cache: 0, .. })
+        ));
+        // A zero line size can no longer divide-by-zero or truncate.
+        let zero_line = ArchConfig {
+            line_size: 0,
+            ..ArchConfig::paper_default()
+        };
+        assert!(matches!(
+            zero_line.check_geometry(),
+            Err(ConfigError::InexactGeometry { line: 0, .. })
+        ));
+        // Valid geometry reports the exact set count.
+        assert_eq!(ArchConfig::paper_default().check_geometry(), Ok(2048));
+    }
+
+    /// `build()` enforces the same geometry law, so configurations that
+    /// reach an engine always have an exact set count.
+    #[test]
+    fn build_enforces_exact_geometry() {
+        // Power-of-two inputs large enough to hold a line always divide
+        // exactly; sweep a sample to pin that build() and check_geometry
+        // agree (no false rejections).
+        for shift in 5..22 {
+            let c = ArchConfig::builder().cache_size(1 << shift).build();
+            match c {
+                Ok(cfg) => assert_eq!(cfg.check_geometry().unwrap(), cfg.num_sets()),
+                Err(e) => assert!(matches!(e, ConfigError::CacheTooSmall { .. })),
+            }
+        }
     }
 }

@@ -1,9 +1,17 @@
-//! Full-map directory for the write-invalidate (MSI) coherence protocol.
+//! Full-map directory shared by all three coherence protocols.
 //!
 //! The directory tracks, per cache line, which processors hold a copy and
-//! whether one holds it modified. Caches send replacement hints on
-//! eviction, so sharer sets are exact — invalidations only ever target
-//! caches that actually hold the line.
+//! whether one holds it exclusively. Caches send replacement hints on
+//! eviction, so sharer sets are exact — invalidations and updates only
+//! ever target caches that actually hold the line.
+//!
+//! The base [`Directory::read_fill`]/[`Directory::write_fill`] pair is
+//! the paper's write-invalidate machine and serves MESI unchanged (the
+//! directory's `Modified` state means "sole holder", which covers both
+//! MESI's E and M — the silent E→M upgrade is invisible to the
+//! directory). MESI additionally uses [`Directory::grant_exclusive`] for
+//! exclusive-clean read fills, and Dragon replaces the invalidating
+//! write path with [`Directory::update_fill`].
 
 use placesim_placement::ProcessorId;
 use placesim_trace::hash::FastMap;
@@ -82,7 +90,8 @@ pub struct Transaction {
 }
 
 impl Transaction {
-    fn none() -> Self {
+    /// The empty transaction (no remote action required).
+    pub(crate) fn none() -> Self {
         Transaction {
             invalidate: Vec::new(),
             downgrade: None,
@@ -211,6 +220,68 @@ impl Directory {
             }
         }
         tx
+    }
+
+    /// Records `p` as the sole (exclusive) holder of an untracked line.
+    ///
+    /// MESI/Dragon read-miss path: when a read fill finds no other
+    /// holder, the line fills Exclusive and the directory tracks the
+    /// filler as owner, reusing the `Modified` representation — for the
+    /// directory both mean "exactly one cache holds the line and must be
+    /// consulted on remote access". A later remote read downgrades it
+    /// via the ordinary [`Directory::read_fill`] path.
+    pub fn grant_exclusive(&mut self, p: ProcessorId, line: u64) {
+        self.journal_record(line);
+        let journaling = self.journal.is_some();
+        let prev = self.lines.insert(line, DirState::Modified(p));
+        // See read_fill: journaled replays may be speculative.
+        debug_assert!(
+            journaling || prev.is_none(),
+            "exclusive grant for a line with existing holders"
+        );
+    }
+
+    /// Processor `p` writes line `line` under a write-update protocol
+    /// (Dragon): remote copies are refreshed in place, never removed.
+    ///
+    /// Returns the remote sharers that must apply the update. The
+    /// directory keeps every copy resident; if `p` ends up the sole
+    /// holder the line is recorded as Modified, otherwise the sharer set
+    /// (including `p`, who holds it SharedDirty) stays Shared.
+    pub fn update_fill(&mut self, p: ProcessorId, line: u64) -> Vec<ProcessorId> {
+        self.journal_record(line);
+        let journaling = self.journal.is_some();
+        let mut others = Vec::new();
+        let state = self
+            .lines
+            .entry(line)
+            .or_insert(DirState::Shared(SharerSet::empty()));
+        match state {
+            DirState::Shared(sharers) => {
+                others.extend(sharers.iter().filter(|&s| s != p));
+                if others.is_empty() {
+                    *state = DirState::Modified(p);
+                } else {
+                    sharers.insert(p);
+                }
+            }
+            DirState::Modified(owner) => {
+                // A write hit on an exclusively-held line is silent in the
+                // cache (E/M → M), so serial Dragon never sends the owner
+                // back here; only speculative journaled replays can.
+                debug_assert!(
+                    journaling || *owner != p,
+                    "owner re-updating must upgrade silently in its own cache"
+                );
+                if *owner != p {
+                    others.push(*owner);
+                    let mut sharers = SharerSet::single(*owner);
+                    sharers.insert(p);
+                    *state = DirState::Shared(sharers);
+                }
+            }
+        }
+        others
     }
 
     /// Replacement hint: processor `p` evicted its copy of `line`.
@@ -398,5 +469,69 @@ mod tests {
         // p0 upgrades its own Shared copy.
         let tx = d.write_fill(p(0), 60);
         assert_eq!(tx.invalidate, vec![p(1)]);
+    }
+
+    #[test]
+    fn exclusive_grant_then_remote_read_downgrades() {
+        let mut d = Directory::new();
+        d.grant_exclusive(p(0), 70);
+        assert_eq!(d.owner(70), Some(p(0)));
+        // MESI: remote read of an E/M line goes through read_fill and
+        // downgrades the sole holder.
+        let tx = d.read_fill(p(1), 70);
+        assert_eq!(tx.downgrade, Some(p(0)));
+        assert_eq!(d.sharers(70).len(), 2);
+    }
+
+    #[test]
+    fn update_fill_refreshes_sharers_in_place() {
+        let mut d = Directory::new();
+        d.read_fill(p(0), 80);
+        d.read_fill(p(1), 80);
+        d.read_fill(p(2), 80);
+        // p1 writes: p0 and p2 get updates and *stay* sharers.
+        let mut others = d.update_fill(p(1), 80);
+        others.sort_unstable_by_key(|x| x.index());
+        assert_eq!(others, vec![p(0), p(2)]);
+        assert_eq!(d.sharers(80).len(), 3);
+        assert_eq!(d.owner(80), None);
+    }
+
+    #[test]
+    fn update_fill_sole_holder_becomes_owner() {
+        let mut d = Directory::new();
+        // Write miss on an untracked line: no updates, exclusive owner.
+        assert!(d.update_fill(p(0), 90).is_empty());
+        assert_eq!(d.owner(90), Some(p(0)));
+        // A remote write update steals nothing: both stay resident.
+        let others = d.update_fill(p(1), 90);
+        assert_eq!(others, vec![p(0)]);
+        assert_eq!(d.sharers(90).len(), 2);
+        assert_eq!(d.owner(90), None);
+    }
+
+    #[test]
+    fn update_fill_sole_sharer_collapses_to_owner() {
+        let mut d = Directory::new();
+        d.read_fill(p(0), 95);
+        d.read_fill(p(1), 95);
+        d.evict(p(1), 95);
+        // p0 is the only sharer left; its update promotes to ownership.
+        assert!(d.update_fill(p(0), 95).is_empty());
+        assert_eq!(d.owner(95), Some(p(0)));
+    }
+
+    #[test]
+    fn journal_rolls_back_new_fill_paths() {
+        let mut d = Directory::new();
+        d.read_fill(p(0), 10);
+        d.journal_begin();
+        d.grant_exclusive(p(1), 11);
+        d.update_fill(p(2), 10);
+        d.journal_rollback();
+        assert_eq!(d.sharers(11), SharerSet::empty());
+        assert!(d.holds(p(0), 10));
+        assert!(!d.holds(p(2), 10));
+        d.journal_commit();
     }
 }

@@ -62,8 +62,9 @@
 
 use crate::cache::{Access, LineState, ProcessorCache};
 use crate::config::ArchConfig;
-use crate::directory::{Directory, MAX_PROCESSORS};
+use crate::directory::{Directory, Transaction, MAX_PROCESSORS};
 use crate::obs::{EngineObs, EngineObsReport};
+use crate::protocol::Protocol;
 use crate::stats::{MissKind, ProcStats, SimStats};
 use placesim_analysis::SymMatrix;
 use placesim_obs::EventTrace;
@@ -394,6 +395,13 @@ enum Stop {
         /// The upgrade was the context's final reference.
         exhausted: bool,
     },
+    /// Dragon: a write hit on a shared line propagating updates at `now`.
+    Update {
+        /// The written line.
+        line: u64,
+        /// The update was the context's final reference.
+        exhausted: bool,
+    },
     /// A miss, already classified by the fused cache access.
     Miss {
         /// The missing line.
@@ -437,9 +445,14 @@ pub(crate) fn run(
     // fast path needs anyway.
     let mut events: Vec<u64> = vec![NO_EVENT; p];
     let mut procs = build_processors(prog, map, |pi, at| events[pi] = at);
+    let protocol = config.protocol();
     let mut caches: Vec<ProcessorCache> = (0..p)
         .map(|_| {
-            ProcessorCache::with_associativity(config.num_sets(), config.associativity() as usize)
+            ProcessorCache::with_protocol(
+                config.num_sets(),
+                config.associativity() as usize,
+                protocol,
+            )
         })
         .collect();
     let mut directory = Directory::new();
@@ -538,6 +551,7 @@ pub(crate) fn run(
                         }
                     }
                     Access::UpgradeHit => break Stop::Upgrade { line, exhausted },
+                    Access::UpdateHit => break Stop::Update { line, exhausted },
                     Access::Miss { kind, source } => {
                         break Stop::Miss {
                             line,
@@ -647,6 +661,28 @@ pub(crate) fn run(
                 caches[pi].set_modified(line);
                 Some((config.upgrade_stalls() && had_remote, exhausted, None))
             }
+            Stop::Update { line, exhausted } => {
+                // Dragon write hit on a shared line: refresh remote
+                // copies in place. Counted as a hit (the writer never
+                // loses the line); the messages land in the dedicated
+                // update counters, not the invalidation ones.
+                procs[pi].stats.hits += 1;
+                let others = directory.update_fill(me, line);
+                let had_remote = !others.is_empty();
+                procs[pi].stats.updates_sent += others.len() as u64;
+                obs.on_directory(pi, cur_thread, now, line, others.len() as u64, true);
+                for sharer in &others {
+                    caches[sharer.index()].receive_update(line);
+                    procs[sharer.index()].stats.updates_received += 1;
+                    record_pair(&mut traffic, sharer.index(), pi);
+                }
+                if had_remote {
+                    caches[pi].set_shared_dirty(line);
+                } else {
+                    caches[pi].set_modified(line);
+                }
+                Some((config.upgrade_stalls() && had_remote, exhausted, None))
+            }
             Stop::Miss {
                 line,
                 is_write,
@@ -661,10 +697,41 @@ pub(crate) fn run(
                         record_pair(&mut traffic, pi, src.index());
                     }
                 }
-                let tx = if is_write {
-                    directory.write_fill(me, line)
-                } else {
-                    directory.read_fill(me, line)
+                // Directory transaction + fill state, per protocol. The
+                // `Wi` arms are the paper's machine, byte-for-byte.
+                let (tx, fill_state) = match (protocol, is_write) {
+                    (Protocol::Wi, true) => (directory.write_fill(me, line), LineState::Modified),
+                    (Protocol::Wi, false) => (directory.read_fill(me, line), LineState::Shared),
+                    (Protocol::Mesi | Protocol::Dragon, false) => {
+                        // Exclusive-clean fill: a read with no other
+                        // holder takes E, so a later private write
+                        // upgrades silently.
+                        if directory.sharers(line).is_empty() {
+                            directory.grant_exclusive(me, line);
+                            (Transaction::none(), LineState::Exclusive)
+                        } else {
+                            (directory.read_fill(me, line), LineState::Shared)
+                        }
+                    }
+                    (Protocol::Mesi, true) => (directory.write_fill(me, line), LineState::Modified),
+                    (Protocol::Dragon, true) => {
+                        // Write-update: remote copies are refreshed, not
+                        // invalidated, and the writer fills as dirty
+                        // owner of a still-shared line.
+                        let others = directory.update_fill(me, line);
+                        procs[pi].stats.updates_sent += others.len() as u64;
+                        for sharer in &others {
+                            caches[sharer.index()].receive_update(line);
+                            procs[sharer.index()].stats.updates_received += 1;
+                            record_pair(&mut traffic, sharer.index(), pi);
+                        }
+                        let fill_state = if others.is_empty() {
+                            LineState::Modified
+                        } else {
+                            LineState::SharedDirty
+                        };
+                        (Transaction::none(), fill_state)
+                    }
                 };
                 if is_write {
                     obs.on_invalidation_fanout(tx.invalidate.len() as u64);
@@ -687,11 +754,6 @@ pub(crate) fn run(
                 if let Some(owner) = tx.downgrade {
                     caches[owner.index()].downgrade(line);
                 }
-                let fill_state = if is_write {
-                    LineState::Modified
-                } else {
-                    LineState::Shared
-                };
                 let thread = procs[pi].contexts[ctx_idx].thread;
                 if let Some((vline, _)) = caches[pi].fill(line, fill_state, thread) {
                     directory.evict(me, vline);
@@ -825,11 +887,13 @@ pub mod reference {
         // one reference of the processor's current context.
         let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
         let mut procs = build_processors(prog, map, |pi, at| queue.push(Reverse((at, pi))));
+        let protocol = config.protocol();
         let mut caches: Vec<ProcessorCache> = (0..p)
             .map(|_| {
-                ProcessorCache::with_associativity(
+                ProcessorCache::with_protocol(
                     config.num_sets(),
                     config.associativity() as usize,
+                    protocol,
                 )
             })
             .collect();
@@ -929,6 +993,25 @@ pub mod reference {
                     caches[pi].set_modified(line);
                     config.upgrade_stalls() && had_remote
                 }
+                AccessOutcome::UpdateHit => {
+                    // Dragon write hit on a shared line (see the batched
+                    // engine's Stop::Update arm).
+                    procs[pi].stats.hits += 1;
+                    let others = directory.update_fill(me, line);
+                    let had_remote = !others.is_empty();
+                    procs[pi].stats.updates_sent += others.len() as u64;
+                    for sharer in &others {
+                        caches[sharer.index()].receive_update(line);
+                        procs[sharer.index()].stats.updates_received += 1;
+                        record_pair(&mut traffic, sharer.index(), pi);
+                    }
+                    if had_remote {
+                        caches[pi].set_shared_dirty(line);
+                    } else {
+                        caches[pi].set_modified(line);
+                    }
+                    config.upgrade_stalls() && had_remote
+                }
                 AccessOutcome::Miss { victim: _ } => {
                     let (kind, source) = caches[pi].miss_provenance(line, thread);
                     procs[pi].stats.misses.record(kind);
@@ -937,10 +1020,38 @@ pub mod reference {
                             record_pair(&mut traffic, pi, src.index());
                         }
                     }
-                    let tx = if is_write {
-                        directory.write_fill(me, line)
-                    } else {
-                        directory.read_fill(me, line)
+                    // Same per-protocol fill logic as the batched engine.
+                    let (tx, fill_state) = match (protocol, is_write) {
+                        (Protocol::Wi, true) => {
+                            (directory.write_fill(me, line), LineState::Modified)
+                        }
+                        (Protocol::Wi, false) => (directory.read_fill(me, line), LineState::Shared),
+                        (Protocol::Mesi | Protocol::Dragon, false) => {
+                            if directory.sharers(line).is_empty() {
+                                directory.grant_exclusive(me, line);
+                                (Transaction::none(), LineState::Exclusive)
+                            } else {
+                                (directory.read_fill(me, line), LineState::Shared)
+                            }
+                        }
+                        (Protocol::Mesi, true) => {
+                            (directory.write_fill(me, line), LineState::Modified)
+                        }
+                        (Protocol::Dragon, true) => {
+                            let others = directory.update_fill(me, line);
+                            procs[pi].stats.updates_sent += others.len() as u64;
+                            for sharer in &others {
+                                caches[sharer.index()].receive_update(line);
+                                procs[sharer.index()].stats.updates_received += 1;
+                                record_pair(&mut traffic, sharer.index(), pi);
+                            }
+                            let fill_state = if others.is_empty() {
+                                LineState::Modified
+                            } else {
+                                LineState::SharedDirty
+                            };
+                            (Transaction::none(), fill_state)
+                        }
                     };
                     procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                     for victim in tx.invalidate {
@@ -951,11 +1062,6 @@ pub mod reference {
                     if let Some(owner) = tx.downgrade {
                         caches[owner.index()].downgrade(line);
                     }
-                    let fill_state = if is_write {
-                        LineState::Modified
-                    } else {
-                        LineState::Shared
-                    };
                     if let Some((vline, _)) = caches[pi].fill(line, fill_state, thread) {
                         directory.evict(me, vline);
                     }

@@ -9,6 +9,13 @@
 //! [`placesim_placement::PlacementMap`] and produces cycle and miss
 //! statistics ([`SimStats`]).
 //!
+//! The coherence protocol is pluggable ([`Protocol`]): the paper's
+//! write-invalidate machine is the default, with MESI (exclusive-clean
+//! fills eliminating upgrade traffic on private lines) and Dragon
+//! write-update (sharers refreshed in place, counted in the dedicated
+//! update-traffic statistics) selectable through
+//! [`ArchConfig`]'s builder.
+//!
 //! Cache misses are classified exactly as the paper requires
 //! ([`MissKind`]): compulsory, intra-thread conflict, inter-thread
 //! conflict, and invalidation misses.
@@ -43,6 +50,7 @@ pub mod model;
 mod obs;
 pub mod parallel;
 pub mod probe;
+mod protocol;
 mod stats;
 
 pub use cache::{Access, AccessOutcome, GoneReason, LineState, ProcessorCache};
@@ -59,4 +67,8 @@ pub use obs::EngineObsReport;
 pub use parallel::{simulate_parallel, simulate_parallel_with_traffic, ParConfig};
 pub use placesim_obs::{EventKind, EventTrace, SharingRun, TimelineEvent};
 pub use probe::{probe_coherence, ProbeResult};
+pub use protocol::{
+    CoherenceProtocol, Dragon, Mesi, Protocol, RemoteAction, UnknownProtocol, WriteHit,
+    WriteInvalidate,
+};
 pub use stats::{MissBreakdown, MissKind, ProcStats, SimStats};

@@ -54,11 +54,16 @@
 //!
 //! # Serial fallbacks
 //!
-//! Two configurations couple processors *between* the window boundaries
-//! the protocol relies on and are delegated to the serial engine
-//! unchanged: `memory_occupancy > 0` (a single global memory channel
-//! serializes every miss's ready time) and `upgrade_stalls` (an
-//! upgrade's latency depends on remote sharer state at issue time).
+//! Configurations that couple processors *between* the window boundaries
+//! the protocol relies on are delegated to the serial engine unchanged:
+//! `memory_occupancy > 0` (a single global memory channel serializes
+//! every miss's ready time), `upgrade_stalls` (an upgrade's latency
+//! depends on remote sharer state at issue time), and any coherence
+//! protocol other than the paper's write-invalidate — MESI's
+//! exclusive-clean fill decision and Dragon's update fan-out both need
+//! the global directory at issue time, which shard-local speculation
+//! cannot provide (and `ForeignKind` has no update message). Dragon and
+//! MESI stay serial until a cross-shard update mailbox is validated.
 //! `obs` instrumentation (`simulate_observed`/`simulate_traced`) also
 //! stays serial — timeline ordering within a window is not preserved.
 
@@ -67,6 +72,7 @@ use crate::config::ArchConfig;
 use crate::directory::Directory;
 use crate::engine::{build_processors, run, validate, Processor, SimError, NO_EVENT};
 use crate::obs::EngineObs;
+use crate::protocol::Protocol;
 use crate::stats::{MissKind, SimStats};
 use placesim_analysis::SymMatrix;
 use placesim_placement::{PlacementMap, ProcessorId};
@@ -382,6 +388,11 @@ fn run_window(
                         }
                     }
                     Access::UpgradeHit => break PStop::Upgrade { line, exhausted },
+                    Access::UpdateHit => {
+                        // Dragon runs serial (run_parallel falls back
+                        // before any window executes).
+                        unreachable!("write-update hit in the parallel engine")
+                    }
                     Access::Miss { kind, source } => {
                         break PStop::Miss {
                             line,
@@ -712,8 +723,10 @@ pub(crate) fn run_parallel(
     record_traffic: bool,
     par: &ParConfig,
 ) -> Result<(SimStats, Option<SymMatrix<u64>>), SimError> {
-    if config.memory_occupancy() > 0 || config.upgrade_stalls() {
-        // Globally-coupled timing (see module docs): serial engine.
+    if config.memory_occupancy() > 0 || config.upgrade_stalls() || config.protocol() != Protocol::Wi
+    {
+        // Globally-coupled timing or a protocol whose fill decisions
+        // need the global directory (see module docs): serial engine.
         return run(
             prog,
             map,

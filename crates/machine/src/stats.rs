@@ -134,8 +134,15 @@ pub struct ProcStats {
     pub invalidations_sent: u64,
     /// Invalidations received (lines removed from this cache).
     pub invalidations_received: u64,
-    /// Write hits on Shared lines (coherence upgrades).
+    /// Write hits on Shared lines (coherence upgrades). Always zero
+    /// under Dragon, whose shared writes send updates instead.
     pub upgrades: u64,
+    /// Write-update messages this processor's writes sent to remote
+    /// sharers (Dragon only; structurally zero under write-invalidate
+    /// protocols, never double-counted as invalidations).
+    pub updates_sent: u64,
+    /// Write-update messages received (lines refreshed in place).
+    pub updates_received: u64,
     /// Barrier operations executed (arrivals at global barriers).
     pub barrier_ops: u64,
 }
@@ -203,10 +210,20 @@ impl SimStats {
         self.per_proc.iter().map(|p| p.invalidations_sent).sum()
     }
 
-    /// The paper's "coherence traffic": invalidations plus invalidation
-    /// misses.
+    /// Total write-update messages sent (Dragon's `UpdateTraffic`
+    /// column; zero under write-invalidate protocols).
+    pub fn total_updates(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.updates_sent).sum()
+    }
+
+    /// The paper's "coherence traffic" generalized across protocols:
+    /// invalidations plus invalidation misses (write-invalidate family)
+    /// plus update messages (write-update family). Each transaction
+    /// lands in exactly one bucket, so the buckets sum without double
+    /// counting; under the paper's protocol updates are structurally
+    /// zero and this reduces to the original definition.
     pub fn coherence_traffic(&self) -> u64 {
-        self.total_invalidations() + self.total_misses().invalidation
+        self.total_invalidations() + self.total_misses().invalidation + self.total_updates()
     }
 
     /// Miss rate over all references (0–1).
@@ -267,6 +284,8 @@ mod tests {
             invalidations_sent: 1,
             invalidations_received: 0,
             upgrades: 1,
+            updates_sent: 0,
+            updates_received: 0,
             barrier_ops: 0,
         };
         let p1 = ProcStats {
@@ -295,6 +314,29 @@ mod tests {
         let s = SimStats::new(vec![]);
         assert_eq!(s.execution_time(), 0);
         assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.total_updates(), 0);
+    }
+
+    /// Updates are their own coherence-traffic bucket: they add to
+    /// `coherence_traffic` without inflating the invalidation counters
+    /// or the miss taxonomy (the satellite no-double-counting law).
+    #[test]
+    fn updates_count_once_in_coherence_traffic() {
+        let writer = ProcStats {
+            hits: 4,
+            updates_sent: 3,
+            ..Default::default()
+        };
+        let sharer = ProcStats {
+            hits: 2,
+            updates_received: 3,
+            ..Default::default()
+        };
+        let s = SimStats::new(vec![writer, sharer]);
+        assert_eq!(s.total_updates(), 3);
+        assert_eq!(s.total_invalidations(), 0);
+        assert_eq!(s.total_misses().invalidation, 0);
+        assert_eq!(s.coherence_traffic(), 3);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! placesim-cli place <trace> <algorithm> <processors> [--metrics out.json]
 //! placesim-cli simulate <trace> <algorithm> <processors> [--cache-kb K]
 //!              [--assoc W] [--latency L] [--switch C]
+//!              [--protocol wi|mesi|dragon]
 //!              [--metrics out.json] [--timeline out.json]
 //! placesim-cli probe <trace>
 //! placesim-cli report <manifest-or-dir...> [--baseline F] [--threshold PCT]
@@ -22,7 +23,7 @@ use placesim::report::{Report, ReportHole};
 use placesim::supervisor::SupervisorConfig;
 use placesim::{Error, PreparedApp};
 use placesim_analysis::{CharacteristicsRow, SharingAnalysis, SpillBudget};
-use placesim_machine::{probe_coherence, simulate_observed, simulate_traced, ArchConfig};
+use placesim_machine::{probe_coherence, simulate_observed, simulate_traced, ArchConfig, Protocol};
 use placesim_obs::{sink, SpanTimer};
 use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs};
 use placesim_trace::{compress, io as trace_io, stream, ProgramTrace};
@@ -104,13 +105,15 @@ usage:
   placesim-cli analyze <trace> [--metrics out.json]
   placesim-cli place <trace> <algorithm> <processors> [--metrics out.json]
   placesim-cli simulate <trace> <algorithm> <processors>
-               [--cache-kb K] [--assoc W] [--latency L] [--switch C]
-               [--sim-threads N] [--metrics out.json] [--timeline out.json]
+               [--protocol wi|mesi|dragon] [--cache-kb K] [--assoc W]
+               [--latency L] [--switch C] [--sim-threads N]
+               [--metrics out.json] [--timeline out.json]
   placesim-cli probe <trace> [--metrics out.json]
-  placesim-cli report <manifest-or-dir...>
+  placesim-cli report <manifest-or-dir...> [--protocol wi|mesi|dragon]
                [--baseline file-or-dir] [--threshold PCT] [--json out.json]
   placesim-cli sweep <app> --journal <file> [--resume]
-               [--scale S] [--seed N] [--algos A,B,...] [--procs 2,4,...]
+               [--protocol wi|mesi|dragon] [--scale S] [--seed N]
+               [--algos A,B,...] [--procs 2,4,...]
                [--max-attempts N] [--timeout-ms T] [--sim-threads N]
                [--report out.json]
 exit codes: 0 ok; 1 runtime failure; 2 usage error;
@@ -184,6 +187,15 @@ fn sim_threads_flag(args: &[String]) -> Result<usize, String> {
         Some(n) => usize::try_from(n).map_err(|_| format!("--sim-threads value {n} exceeds usize")),
         None => Ok(1),
     }
+}
+
+/// Parses the `--protocol` flag into a coherence protocol. Junk values
+/// are usage errors (exit 2) carrying the valid names, like the other
+/// strict flag parsers.
+fn protocol_flag(args: &[String]) -> Result<Option<Protocol>, String> {
+    raw_flag(args, "--protocol")?
+        .map(|v| v.parse::<Protocol>().map_err(|e| e.to_string()))
+        .transpose()
 }
 
 fn parse_algorithm(name: &str) -> Result<PlacementAlgorithm, String> {
@@ -483,6 +495,7 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
             total_misses: 0,
             miss_rate: 0.0,
             coherence_traffic: 0,
+            update_traffic: 0,
             misses: placesim_machine::MissBreakdown::default(),
         }];
         manifest.write(Path::new(metrics))?;
@@ -499,6 +512,7 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     // Validate pure arguments before touching the filesystem.
     let sim_threads = sim_threads_flag(args)?;
+    let protocol = protocol_flag(args)?;
     let prog = load_trace(args.first().ok_or("simulate needs a trace path")?)?;
     let algo = parse_algorithm(args.get(1).ok_or("simulate needs an algorithm")?)?;
     let processors: usize = args
@@ -523,6 +537,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     }
     if let Some(c) = uint_flag(args, "--switch")? {
         builder.context_switch(c);
+    }
+    if let Some(p) = protocol {
+        builder.protocol(p);
     }
     let config = builder.build().map_err(|e| e.to_string())?;
 
@@ -598,6 +615,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     println!("  inter-thread conflict {}", m.inter_thread_conflict);
     println!("  invalidation          {}", m.invalidation);
     println!("coherence traffic: {}", stats.coherence_traffic());
+    println!("update traffic:    {}", stats.total_updates());
     Ok(())
 }
 
@@ -674,7 +692,7 @@ fn collect_manifests(operands: &[&str]) -> Result<Vec<RunManifest>, String> {
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
     // Split positional manifest paths from `--flag value` pairs.
-    const VALUE_FLAGS: [&str; 3] = ["--baseline", "--threshold", "--json"];
+    const VALUE_FLAGS: [&str; 4] = ["--baseline", "--threshold", "--json", "--protocol"];
     let mut operands: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -692,7 +710,17 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         return Err("report needs at least one manifest file or directory".into());
     }
 
-    let manifests = collect_manifests(&operands)?;
+    let protocol = protocol_flag(args)?;
+    let mut manifests = collect_manifests(&operands)?;
+    if let Some(p) = protocol {
+        // Restrict the report (but not the baseline) to one protocol's
+        // manifests; the grouping key still carries the protocol, so
+        // mixed inputs without the filter stay correct too.
+        manifests.retain(|m| m.config.protocol() == p);
+        if manifests.is_empty() {
+            return Err(format!("no valid manifests for protocol {p}"));
+        }
+    }
     if manifests.is_empty() {
         return Err("no valid manifests found".into());
     }
@@ -795,7 +823,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         sup.watchdog = Some(Duration::from_millis(ms));
     }
 
+    let protocol = protocol_flag(args)?;
+
     let mut app = PreparedApp::prepare(&spec, &opts);
+    if let Some(p) = protocol {
+        // The journal header pins the whole ArchConfig, protocol
+        // included, so `--resume` under a different protocol is a
+        // mismatch (exit 4) rather than a silently mixed sweep.
+        app.config = app.config.with_protocol(p);
+    }
     if algorithms.contains(&PlacementAlgorithm::CoherenceTraffic) {
         app.run_probe()
             .map_err(|e| CliError::Runtime(format!("coherence probe failed: {e}")))?;
@@ -981,6 +1017,118 @@ mod tests {
         };
         assert_eq!(results("1"), results("4"));
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn protocol_flag_parses_strictly() {
+        assert_eq!(protocol_flag(&s(&[])).unwrap(), None);
+        assert_eq!(
+            protocol_flag(&s(&["--protocol", "wi"])).unwrap(),
+            Some(Protocol::Wi)
+        );
+        assert_eq!(
+            protocol_flag(&s(&["--protocol", "mesi"])).unwrap(),
+            Some(Protocol::Mesi)
+        );
+        assert_eq!(
+            protocol_flag(&s(&["--protocol", "dragon"])).unwrap(),
+            Some(Protocol::Dragon)
+        );
+        for bad in ["moesi", "MESI", "wi ", "", "2"] {
+            let err = protocol_flag(&s(&["--protocol", bad])).unwrap_err();
+            assert!(err.contains("unknown protocol"), "{bad:?}: {err}");
+        }
+        assert!(protocol_flag(&s(&["--protocol"])).is_err());
+    }
+
+    #[test]
+    fn protocol_junk_is_a_usage_error() {
+        // Junk --protocol is exit 2 on every command that takes it,
+        // before the filesystem is touched.
+        for argv in [
+            vec![
+                "simulate",
+                "/nonexistent.trace",
+                "LOAD-BAL",
+                "4",
+                "--protocol",
+                "moesi",
+            ],
+            vec![
+                "sweep",
+                "fft",
+                "--journal",
+                "/tmp/never-written.journal",
+                "--protocol",
+                "moesi",
+            ],
+            vec!["report", "/nonexistent.json", "--protocol", "moesi"],
+        ] {
+            let err = run(&s(&argv)).unwrap_err();
+            assert_eq!(err.code(), 2, "{argv:?} -> {err:?}");
+            assert!(err.message().contains("unknown protocol"), "{err:?}");
+        }
+    }
+
+    /// `simulate --protocol` flows into the metrics manifest, and the
+    /// report's grouping carries it; MESI never takes upgrade traffic
+    /// where WI does.
+    #[test]
+    fn simulate_protocol_reaches_manifest_and_report() {
+        let dir = std::env::temp_dir().join("placesim-cli-protocol-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("fft.trace");
+        let trace_s = trace.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen", "fft", &trace_s, "--scale", "0.002", "--seed", "3",
+        ]))
+        .unwrap();
+
+        for protocol in ["wi", "mesi", "dragon"] {
+            let metrics = dir.join(format!("{protocol}.json"));
+            let metrics_s = metrics.to_str().unwrap().to_string();
+            run(&s(&[
+                "simulate",
+                &trace_s,
+                "LOAD-BAL",
+                "4",
+                "--protocol",
+                protocol,
+                "--metrics",
+                &metrics_s,
+            ]))
+            .unwrap();
+            let body = std::fs::read_to_string(&metrics).unwrap();
+            RunManifest::validate(&body).unwrap();
+            assert!(
+                body.contains(&format!("\"protocol\": \"{protocol}\"")),
+                "{protocol} missing from manifest config"
+            );
+        }
+
+        // Filtered report keeps only the requested protocol's manifests.
+        let dir_s = dir.to_str().unwrap().to_string();
+        let out = dir.join("report.json");
+        let out_s = out.to_str().unwrap().to_string();
+        std::fs::remove_file(&trace).unwrap();
+        run(&s(&[
+            "report",
+            &dir_s,
+            "--protocol",
+            "dragon",
+            "--json",
+            &out_s,
+        ]))
+        .unwrap();
+        let doc = placesim_obs::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let groups = doc.get("groups").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(
+            groups[0].get("protocol").and_then(|v| v.as_str()),
+            Some("dragon")
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1412,6 +1560,14 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(matches!(err, CliError::CorruptJournal(_)), "{err:?}");
+
+        // Same grid, different protocol: the header pins the protocol,
+        // so this is also a mismatch (exit 4), not a mixed sweep.
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--protocol", "mesi", "--resume"]);
+        let err = run(&s(&argv)).unwrap_err();
+        assert!(matches!(err, CliError::CorruptJournal(_)), "{err:?}");
+        assert!(err.message().contains("protocol"), "{err:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
