@@ -3,7 +3,10 @@
 use crate::error::Error;
 use crate::manifest::{ManifestEntry, RunManifest};
 use placesim_analysis::{SharingAnalysis, SymMatrix};
-use placesim_machine::{probe_coherence, simulate, ArchConfig, ProbeResult, SimStats};
+use placesim_machine::{
+    probe_coherence, simulate, simulate_attributed, ArchConfig, AttrCollector, AttributionConfig,
+    ProbeResult, SimStats,
+};
 use placesim_obs::SpanTimer;
 use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs, PlacementMap};
 use placesim_trace::par::try_parallel_map;
@@ -167,6 +170,38 @@ pub fn run_placement_with_config(
         map,
         stats,
     })
+}
+
+/// Like [`run_placement`], but also attributes every coherence event to
+/// its (address, writer-thread, victim-thread) triple through an online
+/// [`AttrCollector`]. The statistics are bit-identical to
+/// [`run_placement`]'s — attribution observes, never perturbs. Without
+/// the `obs` feature the collector comes back empty (see
+/// [`placesim_machine::attribution_enabled`]).
+///
+/// # Errors
+///
+/// Propagates placement and simulation errors; see [`Error`].
+pub fn run_placement_attributed(
+    app: &PreparedApp,
+    algorithm: PlacementAlgorithm,
+    processors: usize,
+    acfg: AttributionConfig,
+) -> Result<(ExperimentResult, AttrCollector), Error> {
+    if algorithm == PlacementAlgorithm::CoherenceTraffic && app.traffic.is_none() {
+        return Err(Error::ProbeMissing);
+    }
+    let map = algorithm.place(&app.placement_inputs(), processors)?;
+    let (stats, attr) = simulate_attributed(&app.prog, &map, &app.config, acfg)?;
+    Ok((
+        ExperimentResult {
+            algorithm,
+            processors,
+            map,
+            stats,
+        },
+        attr,
+    ))
 }
 
 /// Runs every `(algorithm, processors)` combination in parallel worker

@@ -47,14 +47,15 @@ pub mod tables;
 
 pub use error::Error;
 pub use experiment::{
-    run_placement, run_placement_with_config, run_sweep, run_sweep_manifested, ExperimentResult,
-    PreparedApp,
+    run_placement, run_placement_attributed, run_placement_with_config, run_sweep,
+    run_sweep_manifested, ExperimentResult, PreparedApp,
 };
 pub use journal::{JournalError, JournalHeader, JournalRecovery, JOURNAL_SCHEMA};
 pub use manifest::{ManifestEntry, RunManifest, METRICS_SCHEMA};
 pub use report::{Regression, Report, ReportGroup, ReportHole, REPORT_SCHEMA};
 pub use supervisor::{
     run_supervised_sweep, sweep_header, SupervisedSweep, SupervisorConfig, SweepHole,
+    TELEMETRY_SCHEMA,
 };
 // The worker pool lives in the trace crate (the bottom of the stack) so
 // the analysis passes can share it; re-exported here for sweep callers.

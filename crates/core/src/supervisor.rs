@@ -17,19 +17,21 @@
 //! bit-identically.
 
 use crate::error::Error;
-use crate::experiment::{run_placement, PreparedApp};
+use crate::experiment::{run_placement, run_placement_attributed, PreparedApp};
 use crate::journal::{DroppedLine, JournalCell, JournalError, JournalHeader, JournalWriter};
 use crate::manifest::{ManifestEntry, RunManifest};
-use placesim_obs::FaultCounters;
+use placesim_machine::{AttrCollector, AttributionConfig};
+use placesim_obs::json::JsonWriter;
+use placesim_obs::{sink, FaultCounters};
 use placesim_placement::PlacementAlgorithm;
 use placesim_trace::par::{
     max_workers, panic_payload_summary, parallel_map_isolated_bounded, sim_workers,
     split_worker_budget, CancelToken, IsolatedOutcome,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Supervision policy for a sweep.
 #[derive(Debug, Clone, Default)]
@@ -41,6 +43,16 @@ pub struct SupervisorConfig {
     /// timed-out attempt's thread is abandoned (detached), not joined —
     /// a wedged simulation cannot wedge the supervisor.
     pub watchdog: Option<Duration>,
+    /// Attribute every cell's coherence events and fold the per-cell
+    /// collectors into a sweep-level [`AttrCollector`]
+    /// ([`SupervisedSweep::attribution`]).
+    pub attribution: Option<AttributionConfig>,
+    /// Live progress file ([`TELEMETRY_SCHEMA`]): atomically rewritten
+    /// after every cell event — commit, hole, retry — with cells
+    /// done/failed/retried, the sweep's refs/sec, and (when attribution
+    /// is on) the current hottest addresses. Best-effort: an unwritable
+    /// telemetry path never fails the sweep.
+    pub telemetry: Option<PathBuf>,
     /// Fault-injection plan for chaos testing.
     #[cfg(feature = "chaos")]
     pub chaos: Option<crate::chaos::ChaosPlan>,
@@ -52,6 +64,8 @@ impl SupervisorConfig {
         SupervisorConfig {
             max_attempts: 3,
             watchdog: None,
+            attribution: None,
+            telemetry: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -66,6 +80,18 @@ impl SupervisorConfig {
     /// Sets the per-attempt wall-clock watchdog.
     pub fn with_watchdog(mut self, budget: Duration) -> Self {
         self.watchdog = Some(budget);
+        self
+    }
+
+    /// Turns on per-cell coherence attribution with the given sizing.
+    pub fn with_attribution(mut self, acfg: AttributionConfig) -> Self {
+        self.attribution = Some(acfg);
+        self
+    }
+
+    /// Sets the live-telemetry output path.
+    pub fn with_telemetry(mut self, path: PathBuf) -> Self {
+        self.telemetry = Some(path);
         self
     }
 
@@ -116,6 +142,12 @@ pub struct SupervisedSweep {
     pub faults: FaultCounters,
     /// Cells skipped because the journal had already committed them.
     pub resumed: usize,
+    /// Sweep-level coherence attribution: every committed cell's
+    /// collector merged in commit order. `Some` exactly when
+    /// [`SupervisorConfig::attribution`] was set (resumed cells were
+    /// attributed by the run that committed them and are not re-run, so
+    /// their events are absent — the totals cover this run's cells).
+    pub attribution: Option<AttrCollector>,
 }
 
 impl SupervisedSweep {
@@ -159,9 +191,129 @@ pub fn sweep_header(
     }
 }
 
+/// Schema tag stamped into every telemetry document; bump on layout
+/// changes.
+pub const TELEMETRY_SCHEMA: &str = "placesim-telemetry-v1";
+
+/// How many hot addresses the telemetry document carries.
+const TELEMETRY_TOP: usize = 10;
+
+/// Shared live-progress state: cell counters, throughput accounting and
+/// the sweep-level attribution merge. One lock, taken briefly after
+/// each cell event; the telemetry rewrite happens under it so documents
+/// are always internally consistent.
+struct SweepMonitor {
+    path: Option<PathBuf>,
+    app: String,
+    total: usize,
+    resumed: usize,
+    done: usize,
+    failed: usize,
+    retries: u64,
+    refs: u64,
+    started: Instant,
+    attr: Option<AttrCollector>,
+}
+
+impl SweepMonitor {
+    fn new(sup: &SupervisorConfig, header: &JournalHeader, resumed: usize) -> Self {
+        SweepMonitor {
+            path: sup.telemetry.clone(),
+            app: header.app.clone(),
+            total: header.cell_count(),
+            resumed,
+            done: 0,
+            failed: 0,
+            retries: 0,
+            refs: 0,
+            started: Instant::now(),
+            attr: sup.attribution.map(AttrCollector::new),
+        }
+    }
+
+    fn record_done(&mut self, entry: &ManifestEntry, attr: Option<Box<AttrCollector>>) {
+        self.done += 1;
+        self.refs += entry.total_refs;
+        if let (Some(merged), Some(cell)) = (&mut self.attr, attr) {
+            merged.merge(*cell);
+        }
+        self.rewrite();
+    }
+
+    fn record_failed(&mut self) {
+        self.failed += 1;
+        self.rewrite();
+    }
+
+    fn record_retry(&mut self) {
+        self.retries += 1;
+        self.rewrite();
+    }
+
+    /// Atomically rewrites the telemetry file. Best-effort by design:
+    /// telemetry is advisory, so an unwritable path degrades to silence
+    /// rather than failing (or retrying inside) the sweep.
+    fn rewrite(&self) {
+        let Some(path) = &self.path else { return };
+        let _ = sink::write_atomic(path, self.to_json().as_bytes());
+    }
+
+    fn to_json(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", TELEMETRY_SCHEMA);
+        w.field_str("app", &self.app);
+        w.field_u64("cells_total", self.total as u64);
+        w.field_u64("cells_resumed", self.resumed as u64);
+        w.field_u64("cells_done", (self.resumed + self.done) as u64);
+        w.field_u64("cells_failed", self.failed as u64);
+        w.field_u64("retries", self.retries);
+        w.field_u64("refs_simulated", self.refs);
+        w.field_f64("elapsed_secs", elapsed);
+        w.field_f64(
+            "refs_per_sec",
+            if elapsed > 0.0 {
+                // Precision loss is fine for a human-facing rate.
+                #[allow(clippy::cast_precision_loss)]
+                {
+                    self.refs as f64 / elapsed
+                }
+            } else {
+                0.0
+            },
+        );
+        w.key("attribution");
+        match &self.attr {
+            None => w.value_null(),
+            Some(attr) => {
+                w.begin_object();
+                w.field_str("mode", if attr.is_sketch() { "sketch" } else { "exact" });
+                w.field_u64("tracked_addresses", attr.tracked_addresses() as u64);
+                w.field_u64("error_bound", attr.error_bound());
+                w.field_u64("events", attr.total_events());
+                w.key("top");
+                w.begin_array();
+                for (line, events, _) in attr.top_addresses(TELEMETRY_TOP) {
+                    w.begin_object();
+                    w.field_u64("line", line);
+                    w.field_u64("events", events);
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
 /// What one supervised attempt produced.
 enum Attempt {
-    Done(ManifestEntry),
+    /// Success: the entry, plus the cell's collector when attribution
+    /// was requested (boxed — the collector dwarfs the other variants).
+    Done(ManifestEntry, Option<Box<AttrCollector>>),
     /// A typed (deterministic) placement/simulation error.
     Failed(String),
     /// The attempt panicked; payload already summarized.
@@ -224,6 +376,10 @@ pub fn run_supervised_sweep(
 
     let writer = Mutex::new(writer);
     let faults = Mutex::new(FaultCounters::new());
+    let monitor = Mutex::new(SweepMonitor::new(sup, &header, resumed));
+    // Surface the telemetry file immediately (zero cells done) so
+    // watchers can start polling before the first cell lands.
+    monitor.lock().unwrap_or_else(|p| p.into_inner()).rewrite();
     let cancel = CancelToken::new();
     // Division of labor between the two pools: `PLACESIM_THREADS` is the
     // single machine-wide budget. Each grid cell may itself fan out over
@@ -235,7 +391,7 @@ pub fn run_supervised_sweep(
     let cell_workers = split_worker_budget(max_workers(), sim_workers());
     let outcomes = parallel_map_isolated_bounded(&pending, Some(&cancel), cell_workers, |&index| {
         supervise_cell(
-            app, algorithms, &header, index, sup, &writer, &faults, &cancel,
+            app, algorithms, &header, index, sup, &writer, &faults, &monitor, &cancel,
         )
     });
 
@@ -282,6 +438,10 @@ pub fn run_supervised_sweep(
     cells.sort_by_key(|c| c.index);
     holes.sort_by_key(|h| h.index);
     let faults = faults.into_inner().unwrap_or_else(|p| p.into_inner());
+    let monitor = monitor.into_inner().unwrap_or_else(|p| p.into_inner());
+    // One final rewrite so the document on disk reflects the finished
+    // sweep even if the last cell event raced with a reader.
+    monitor.rewrite();
     Ok(SupervisedSweep {
         header,
         cells,
@@ -289,6 +449,7 @@ pub fn run_supervised_sweep(
         dropped,
         faults,
         resumed,
+        attribution: monitor.attr,
     })
 }
 
@@ -313,6 +474,7 @@ fn supervise_cell(
     sup: &SupervisorConfig,
     writer: &Mutex<JournalWriter>,
     faults: &Mutex<FaultCounters>,
+    monitor: &Mutex<SweepMonitor>,
     cancel: &CancelToken,
 ) -> CellResult {
     let algorithm = algorithms[index / header.processors.len()];
@@ -327,24 +489,43 @@ fn supervise_cell(
                     .chaos
                     .as_ref()
                     .and_then(|plan| plan.worker_fault(index, attempt));
-                run_attempt(app, algorithm, processors, sup.watchdog, fault)
+                run_attempt(
+                    app,
+                    algorithm,
+                    processors,
+                    sup.watchdog,
+                    sup.attribution,
+                    fault,
+                )
             }
             #[cfg(not(feature = "chaos"))]
             {
-                run_attempt(app, algorithm, processors, sup.watchdog)
+                run_attempt(app, algorithm, processors, sup.watchdog, sup.attribution)
             }
         };
         let reason = match outcome {
-            Attempt::Done(entry) => {
+            Attempt::Done(entry, attr) => {
                 let cell = JournalCell {
                     index,
                     attempts: attempt + 1,
                     entry,
                 };
-                let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
-                let mut f = faults.lock().unwrap_or_else(|p| p.into_inner());
-                return match w.commit_cell(&cell, &mut f) {
-                    Ok(()) => CellResult::Committed(cell),
+                let committed = {
+                    let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+                    let mut f = faults.lock().unwrap_or_else(|p| p.into_inner());
+                    w.commit_cell(&cell, &mut f)
+                };
+                return match committed {
+                    Ok(()) => {
+                        // Fold the cell into the live state only after
+                        // it is durable, so telemetry never reports a
+                        // cell the journal could still lose.
+                        monitor
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .record_done(&cell.entry, attr);
+                        CellResult::Committed(cell)
+                    }
                     Err(e) => {
                         // The journal is unwritable: nothing further can
                         // be made durable, so stop claiming new cells.
@@ -358,6 +539,11 @@ fn supervise_cell(
                 // same failure, so degrade to a hole immediately.
                 let mut f = faults.lock().unwrap_or_else(|p| p.into_inner());
                 f.errors += 1;
+                drop(f);
+                monitor
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .record_failed();
                 return CellResult::Hole(SweepHole {
                     index,
                     algorithm: algorithm.paper_name().to_owned(),
@@ -382,6 +568,10 @@ fn supervise_cell(
         };
         attempt += 1;
         if attempt >= bound || cancel.is_cancelled() {
+            monitor
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .record_failed();
             return CellResult::Hole(SweepHole {
                 index,
                 algorithm: algorithm.paper_name().to_owned(),
@@ -392,6 +582,11 @@ fn supervise_cell(
         }
         let mut f = faults.lock().unwrap_or_else(|p| p.into_inner());
         f.retries += 1;
+        drop(f);
+        monitor
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .record_retry();
     }
 }
 
@@ -404,6 +599,7 @@ fn run_attempt(
     algorithm: PlacementAlgorithm,
     processors: usize,
     watchdog: Option<Duration>,
+    attribution: Option<AttributionConfig>,
     #[cfg(feature = "chaos")] fault: Option<crate::chaos::WorkerFault>,
 ) -> Attempt {
     let (tx, rx) = mpsc::channel();
@@ -418,14 +614,17 @@ fn run_attempt(
                 Some(crate::chaos::WorkerFault::Stall(d)) => std::thread::sleep(d),
                 None => {}
             }
-            run_placement(&app, algorithm, processors)
+            match attribution {
+                Some(acfg) => run_placement_attributed(&app, algorithm, processors, acfg)
+                    .map(|(r, attr)| (r, Some(Box::new(attr)))),
+                None => run_placement(&app, algorithm, processors).map(|r| (r, None)),
+            }
         }));
         let outcome = match result {
-            Ok(Ok(r)) => Attempt::Done(ManifestEntry::from_stats(
-                algorithm.paper_name(),
-                processors,
-                &r.stats,
-            )),
+            Ok(Ok((r, attr))) => Attempt::Done(
+                ManifestEntry::from_stats(algorithm.paper_name(), processors, &r.stats),
+                attr,
+            ),
             Ok(Err(e)) => Attempt::Failed(e.to_string()),
             Err(payload) => Attempt::Panicked(panic_payload_summary(payload.as_ref())),
         };

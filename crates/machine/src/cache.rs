@@ -58,8 +58,9 @@ pub enum LineState {
 pub enum GoneReason {
     /// Displaced by a conflicting fill issued by `by`.
     EvictedBy(ThreadId),
-    /// Invalidated by a write from processor `by`.
-    InvalidatedBy(ProcessorId),
+    /// Invalidated by a write from processor `by`, on behalf of the
+    /// writing thread.
+    InvalidatedBy(ProcessorId, ThreadId),
 }
 
 /// One cache way.
@@ -68,6 +69,10 @@ struct Slot {
     /// Resident line address (the full line id).
     line: u64,
     state: LineState,
+    /// Last local thread to reference the line (set at fill, refreshed
+    /// on every hit). Coherence attribution reads this as the victim
+    /// thread when a remote write invalidates or updates the slot.
+    owner: ThreadId,
 }
 
 /// Outcome of a cache access, before any fill.
@@ -174,6 +179,7 @@ impl ProcessorCache {
         let empty = Slot {
             line: u64::MAX,
             state: LineState::Shared,
+            owner: ThreadId::new(0),
         };
         ProcessorCache {
             slots: vec![empty; num_sets as usize * assoc],
@@ -228,6 +234,7 @@ impl ProcessorCache {
             } else {
                 Access::Hit
             };
+            slot.owner = thread;
             set[0] = slot;
             return outcome;
         }
@@ -279,7 +286,7 @@ impl ProcessorCache {
     ) -> (MissKind, Option<ProcessorId>) {
         match self.gone.get(&line) {
             None => (MissKind::Compulsory, None),
-            Some(GoneReason::InvalidatedBy(p)) => (MissKind::Invalidation, Some(*p)),
+            Some(GoneReason::InvalidatedBy(p, _)) => (MissKind::Invalidation, Some(*p)),
             Some(GoneReason::EvictedBy(t)) => {
                 if *t == missing_thread {
                     (MissKind::IntraThreadConflict, None)
@@ -331,19 +338,23 @@ impl ProcessorCache {
         };
         let occupied = if victim.is_some() { len - 1 } else { len };
         self.slots.copy_within(base..base + occupied, base + 1);
-        self.slots[base] = Slot { line, state };
+        self.slots[base] = Slot {
+            line,
+            state,
+            owner: thread,
+        };
         self.gone.remove(&line);
         victim
     }
 
-    /// Invalidates a resident line (remote write). Records the writer for
-    /// invalidation-miss attribution.
+    /// Invalidates a resident line (remote write). Records the writing
+    /// processor and thread for invalidation-miss attribution.
     ///
     /// # Panics
     ///
     /// Panics (debug builds) if the line is not resident — the directory's
     /// sharer sets are exact, so spurious invalidations indicate a bug.
-    pub fn invalidate(&mut self, line: u64, by: ProcessorId) {
+    pub fn invalidate(&mut self, line: u64, by: ProcessorId, writer: ThreadId) {
         let (idx, base) = self.set_bounds(line);
         let len = self.lens[idx] as usize;
         match self.slots[base..base + len]
@@ -354,7 +365,8 @@ impl ProcessorCache {
                 self.slots
                     .copy_within(base + pos + 1..base + len, base + pos);
                 self.lens[idx] = (len - 1) as u32;
-                self.gone.insert(line, GoneReason::InvalidatedBy(by));
+                self.gone
+                    .insert(line, GoneReason::InvalidatedBy(by, writer));
             }
             None => debug_assert!(false, "invalidation for non-resident line {line:#x}"),
         }
@@ -440,6 +452,27 @@ impl ProcessorCache {
         {
             Some(slot) => slot.state = LineState::Modified,
             None => debug_assert!(false, "upgrade for non-resident line {line:#x}"),
+        }
+    }
+
+    /// Last local thread to reference a resident line (the victim
+    /// thread from an attribution standpoint), if the line is resident.
+    pub fn owner_of(&self, line: u64) -> Option<ThreadId> {
+        let (idx, base) = self.set_bounds(line);
+        let len = self.lens[idx] as usize;
+        self.slots[base..base + len]
+            .iter()
+            .find(|s| s.line == line)
+            .map(|s| s.owner)
+    }
+
+    /// The thread whose remote write invalidated a now-missing line, if
+    /// that is why the line left. Read *before* the refill — the fill
+    /// clears the departure record.
+    pub fn invalidation_writer(&self, line: u64) -> Option<ThreadId> {
+        match self.gone.get(&line) {
+            Some(GoneReason::InvalidatedBy(_, w)) => Some(*w),
+            _ => None,
         }
     }
 
@@ -543,10 +576,13 @@ mod tests {
     fn invalidation_miss_attributed_to_writer() {
         let mut c = ProcessorCache::new(8);
         c.fill(5, LineState::Shared, t(0));
-        c.invalidate(5, p(3));
+        assert_eq!(c.owner_of(5), Some(t(0)));
+        c.invalidate(5, p(3), t(9));
         let (kind, src) = c.miss_provenance(5, t(0));
         assert_eq!(kind, MissKind::Invalidation);
         assert_eq!(src, Some(p(3)));
+        assert_eq!(c.invalidation_writer(5), Some(t(9)));
+        assert_eq!(c.owner_of(5), None);
         assert_eq!(c.resident_lines(), 0);
     }
 
@@ -554,8 +590,9 @@ mod tests {
     fn refill_clears_gone_reason() {
         let mut c = ProcessorCache::new(8);
         c.fill(5, LineState::Shared, t(0));
-        c.invalidate(5, p(1));
+        c.invalidate(5, p(1), t(4));
         c.fill(5, LineState::Shared, t(0));
+        assert_eq!(c.invalidation_writer(5), None, "fill clears provenance");
         assert_eq!(c.probe(5, false), AccessOutcome::Hit);
         // Evict it by conflict now; classification must be conflict, not
         // the stale invalidation.
@@ -624,7 +661,7 @@ mod tests {
         let mut c = ProcessorCache::with_associativity(8, 2);
         c.fill(0, LineState::Shared, t(0));
         c.fill(8, LineState::Modified, t(0));
-        c.invalidate(0, p(1));
+        c.invalidate(0, p(1), t(2));
         assert_eq!(c.state_of(0), None);
         assert_eq!(c.state_of(8), Some(LineState::Modified));
     }
@@ -717,6 +754,16 @@ mod tests {
     }
 
     #[test]
+    fn hit_refreshes_slot_owner() {
+        let mut c = ProcessorCache::new(8);
+        c.fill(4, LineState::Shared, t(0));
+        assert_eq!(c.owner_of(4), Some(t(0)));
+        assert_eq!(c.access(4, false, t(3)), Access::Hit);
+        assert_eq!(c.owner_of(4), Some(t(3)), "hit hands the slot over");
+        assert_eq!(c.owner_of(5), None, "non-resident line has no owner");
+    }
+
+    #[test]
     fn wi_protocol_is_the_default() {
         let c = ProcessorCache::new(8);
         assert_eq!(c.protocol(), Protocol::Wi);
@@ -731,7 +778,7 @@ mod tests {
         // invalidation, and once refilled+evicted, as a conflict.
         let mut c = ProcessorCache::new(8);
         c.fill(3, LineState::Shared, t(0));
-        c.invalidate(3, p(2));
+        c.invalidate(3, p(2), t(5));
         assert_eq!(
             c.access(3, false, t(0)),
             Access::Miss {

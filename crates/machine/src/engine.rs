@@ -68,6 +68,7 @@ use crate::protocol::Protocol;
 use crate::stats::{MissKind, ProcStats, SimStats};
 use placesim_analysis::SymMatrix;
 use placesim_obs::EventTrace;
+use placesim_obs::{AttrCollector, AttributionConfig};
 use placesim_placement::{PlacementMap, ProcessorId};
 use placesim_trace::{MemRef, ProgramTrace, RefKind, ThreadId, ThreadTraceIter};
 #[cfg(feature = "reference-engine")]
@@ -245,6 +246,41 @@ pub fn simulate_traced(
     Ok((stats, report, trace.unwrap_or_else(|| EventTrace::new(1))))
 }
 
+/// `true` when this build can actually attribute coherence traffic
+/// (the `obs` cargo feature is on). Without it the attributed entry
+/// points still run — statistics are unaffected — but the returned
+/// collector stays empty, and reports built from it should carry
+/// `enabled: false`.
+pub fn attribution_enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// Like [`simulate`], but attributes every coherence event —
+/// invalidation, Dragon update, coherence miss — to its (address,
+/// writer-thread, victim-thread) triple, aggregated online by an
+/// [`AttrCollector`] sized per `acfg`. Always runs the serial batched
+/// engine (it is the attribution baseline the parallel engine is
+/// differentially tested against); use
+/// [`crate::parallel::simulate_attributed_parallel`] to shard.
+///
+/// The statistics are bit-identical to [`simulate`]'s — attribution
+/// never perturbs the simulation (proptest-enforced per protocol).
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_attributed(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    acfg: AttributionConfig,
+) -> Result<(SimStats, AttrCollector), SimError> {
+    let mut obs = EngineObs::attributed(acfg);
+    let (stats, _) = run(prog, map, config, false, &mut obs)?;
+    let (_, _, attr) = obs.finish_all();
+    Ok((stats, attr.unwrap_or_else(|| AttrCollector::new(acfg))))
+}
+
 /// One hardware context: a thread's reference stream plus readiness.
 /// `Clone` exists for the parallel engine's per-window snapshots (the
 /// iterator is a slice cursor, so a clone is two pointers).
@@ -367,6 +403,18 @@ pub(crate) fn build_processors<'a>(
 
 /// Absent event marker in the batched engine's slot queue.
 pub(crate) const NO_EVENT: u64 = u64::MAX;
+
+/// "Unknown thread" marker in the attribution hooks (the numeric value
+/// of [`placesim_obs::timeline::NO_THREAD`]).
+pub(crate) const ATTR_NO_THREAD: u32 = u32::MAX;
+
+/// The last thread to touch `line` in `cache`, as the `u32` the
+/// attribution hooks carry ([`ATTR_NO_THREAD`] when not resident).
+pub(crate) fn owner_u32(cache: &ProcessorCache, line: u64) -> u32 {
+    cache
+        .owner_of(line)
+        .map_or(ATTR_NO_THREAD, |t| t.index() as u32)
+}
 
 fn record_pair(traffic: &mut Option<SymMatrix<u64>>, a: usize, b: usize) {
     if let Some(m) = traffic {
@@ -576,6 +624,7 @@ pub(crate) fn run(
         obs.on_run_slice(pi, cur_thread, t, now, run_hits);
 
         let me = ProcessorId::from_index(pi);
+        let cur_tid = procs[pi].contexts[ctx_idx].thread;
         let final_hit = matches!(stop, Stop::HitExhausted);
         // Slow path: `Some((missed, exhausted, fill_line))` falls through
         // to the shared reschedule tail (`fill_line` is `Some` only for
@@ -653,7 +702,11 @@ pub(crate) fn run(
                 obs.on_directory(pi, cur_thread, now, line, tx.invalidate.len() as u64, true);
                 procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                 for victim in tx.invalidate {
-                    caches[victim.index()].invalidate(line, me);
+                    if obs.wants_attribution() {
+                        let owner = owner_u32(&caches[victim.index()], line);
+                        obs.on_attr_invalidation(line, cur_thread, owner);
+                    }
+                    caches[victim.index()].invalidate(line, me, cur_tid);
                     procs[victim.index()].stats.invalidations_received += 1;
                     record_pair(&mut traffic, victim.index(), pi);
                     obs.on_invalidation_pair(pi, victim.index(), line, now);
@@ -672,9 +725,14 @@ pub(crate) fn run(
                 procs[pi].stats.updates_sent += others.len() as u64;
                 obs.on_directory(pi, cur_thread, now, line, others.len() as u64, true);
                 for sharer in &others {
+                    if obs.wants_attribution() {
+                        let owner = owner_u32(&caches[sharer.index()], line);
+                        obs.on_attr_update(line, cur_thread, owner);
+                    }
                     caches[sharer.index()].receive_update(line);
                     procs[sharer.index()].stats.updates_received += 1;
                     record_pair(&mut traffic, sharer.index(), pi);
+                    obs.on_update_pair(pi, sharer.index(), line, now);
                 }
                 if had_remote {
                     caches[pi].set_shared_dirty(line);
@@ -695,6 +753,12 @@ pub(crate) fn run(
                 if kind == MissKind::Invalidation {
                     if let Some(src) = source {
                         record_pair(&mut traffic, pi, src.index());
+                    }
+                    if obs.wants_attribution() {
+                        let writer = caches[pi]
+                            .invalidation_writer(line)
+                            .map_or(ATTR_NO_THREAD, |w| w.index() as u32);
+                        obs.on_attr_coherence_miss(line, writer, cur_thread);
                     }
                 }
                 // Directory transaction + fill state, per protocol. The
@@ -721,9 +785,14 @@ pub(crate) fn run(
                         let others = directory.update_fill(me, line);
                         procs[pi].stats.updates_sent += others.len() as u64;
                         for sharer in &others {
+                            if obs.wants_attribution() {
+                                let owner = owner_u32(&caches[sharer.index()], line);
+                                obs.on_attr_update(line, cur_thread, owner);
+                            }
                             caches[sharer.index()].receive_update(line);
                             procs[sharer.index()].stats.updates_received += 1;
                             record_pair(&mut traffic, sharer.index(), pi);
+                            obs.on_update_pair(pi, sharer.index(), line, now);
                         }
                         let fill_state = if others.is_empty() {
                             LineState::Modified
@@ -746,7 +815,11 @@ pub(crate) fn run(
                 );
                 procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                 for victim in tx.invalidate {
-                    caches[victim.index()].invalidate(line, me);
+                    if obs.wants_attribution() {
+                        let owner = owner_u32(&caches[victim.index()], line);
+                        obs.on_attr_invalidation(line, cur_thread, owner);
+                    }
+                    caches[victim.index()].invalidate(line, me, cur_tid);
                     procs[victim.index()].stats.invalidations_received += 1;
                     record_pair(&mut traffic, victim.index(), pi);
                     obs.on_invalidation_pair(pi, victim.index(), line, now);
@@ -754,8 +827,7 @@ pub(crate) fn run(
                 if let Some(owner) = tx.downgrade {
                     caches[owner.index()].downgrade(line);
                 }
-                let thread = procs[pi].contexts[ctx_idx].thread;
-                if let Some((vline, _)) = caches[pi].fill(line, fill_state, thread) {
+                if let Some((vline, _)) = caches[pi].fill(line, fill_state, cur_tid) {
                     directory.evict(me, vline);
                 }
                 Some((true, exhausted, Some(line)))
@@ -986,7 +1058,7 @@ pub mod reference {
                     let had_remote = !tx.invalidate.is_empty();
                     procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                     for victim in tx.invalidate {
-                        caches[victim.index()].invalidate(line, me);
+                        caches[victim.index()].invalidate(line, me, thread);
                         procs[victim.index()].stats.invalidations_received += 1;
                         record_pair(&mut traffic, victim.index(), pi);
                     }
@@ -1055,7 +1127,7 @@ pub mod reference {
                     };
                     procs[pi].stats.invalidations_sent += tx.invalidate.len() as u64;
                     for victim in tx.invalidate {
-                        caches[victim.index()].invalidate(line, me);
+                        caches[victim.index()].invalidate(line, me, thread);
                         procs[victim.index()].stats.invalidations_received += 1;
                         record_pair(&mut traffic, victim.index(), pi);
                     }

@@ -11,8 +11,11 @@
 use placesim_obs::json::JsonWriter;
 #[cfg(feature = "obs")]
 use placesim_obs::timeline::NO_THREAD;
+use placesim_obs::AttributionConfig;
 use placesim_obs::EventTrace;
 use placesim_obs::Histogram;
+#[cfg(feature = "obs")]
+use placesim_obs::{AttrCollector, AttrKind};
 #[cfg(feature = "obs")]
 use placesim_obs::{EventKind, TimelineEvent};
 
@@ -33,6 +36,9 @@ struct ObsInner {
     switch_stall_cycles: u64,
     /// Cycle-stamped event ring, present only for traced runs.
     timeline: Option<EventTrace>,
+    /// Coherence-attribution collector, present only for attributed
+    /// runs.
+    attr: Option<AttrCollector>,
 }
 
 /// The engine's hook collector. A zero-cost stub unless the crate is
@@ -82,6 +88,44 @@ impl EngineObs {
         #[cfg(not(feature = "obs"))]
         {
             Self::default()
+        }
+    }
+
+    /// A collector that attributes coherence events (invalidations,
+    /// updates, coherence misses) to (address, writer, victim) online.
+    /// Falls back to a no-op stub when the `obs` feature is off.
+    pub(crate) fn attributed(cfg: AttributionConfig) -> Self {
+        let _ = cfg;
+        #[cfg(feature = "obs")]
+        {
+            EngineObs {
+                inner: Some(ObsInner {
+                    attr: Some(AttrCollector::new(cfg)),
+                    ..ObsInner::default()
+                }),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            Self::default()
+        }
+    }
+
+    /// `true` when this collector is recording attribution. The engines
+    /// use this to skip the victim-owner lookups that only attribution
+    /// needs; with the `obs` feature off it is a constant `false` and
+    /// the guarded code compiles away.
+    #[inline]
+    pub(crate) fn wants_attribution(&self) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            self.inner
+                .as_ref()
+                .is_some_and(|inner| inner.attr.is_some())
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            false
         }
     }
 
@@ -247,6 +291,73 @@ impl EngineObs {
         }
     }
 
+    /// A Dragon write by processor `sender` pushed an update for `line`
+    /// to processor `victim`'s cache at `cycle`. Emits the send on the
+    /// sender's track and the receive on the victim's (the update
+    /// analogue of [`EngineObs::on_invalidation_pair`]).
+    #[inline]
+    pub(crate) fn on_update_pair(&mut self, sender: usize, victim: usize, line: u64, cycle: u64) {
+        let _ = (sender, victim, line, cycle);
+        #[cfg(feature = "obs")]
+        {
+            self.record(TimelineEvent {
+                cycle,
+                dur: 0,
+                processor: sender as u32,
+                thread: NO_THREAD,
+                kind: EventKind::UpdateSend,
+                line,
+                detail: victim as u64,
+            });
+            self.record(TimelineEvent {
+                cycle,
+                dur: 0,
+                processor: victim as u32,
+                thread: NO_THREAD,
+                kind: EventKind::UpdateReceive,
+                line,
+                detail: sender as u64,
+            });
+        }
+    }
+
+    /// Routes one attributed coherence event to the attribution
+    /// collector, if this run keeps one.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn record_attr(&mut self, kind: AttrKind, line: u64, writer: u32, victim: u32) {
+        if let Some(attr) = self.inner.as_mut().and_then(|i| i.attr.as_mut()) {
+            attr.record(kind, line, writer, victim);
+        }
+    }
+
+    /// A write by `writer` invalidated `line` in a remote cache whose
+    /// slot was last touched by `victim`.
+    #[inline]
+    pub(crate) fn on_attr_invalidation(&mut self, line: u64, writer: u32, victim: u32) {
+        let _ = (line, writer, victim);
+        #[cfg(feature = "obs")]
+        self.record_attr(AttrKind::Invalidation, line, writer, victim);
+    }
+
+    /// A Dragon write by `writer` updated `line` in a remote cache
+    /// whose slot was last touched by `victim`.
+    #[inline]
+    pub(crate) fn on_attr_update(&mut self, line: u64, writer: u32, victim: u32) {
+        let _ = (line, writer, victim);
+        #[cfg(feature = "obs")]
+        self.record_attr(AttrKind::Update, line, writer, victim);
+    }
+
+    /// `victim` missed on `line` because an earlier write by `writer`
+    /// invalidated its copy (a coherence miss).
+    #[inline]
+    pub(crate) fn on_attr_coherence_miss(&mut self, line: u64, writer: u32, victim: u32) {
+        let _ = (line, writer, victim);
+        #[cfg(feature = "obs")]
+        self.record_attr(AttrKind::CoherenceMiss, line, writer, victim);
+    }
+
     /// A directory transaction (fill or upgrade) on `line` by `thread`
     /// on processor `pi` at `cycle`; `fanout` remote caches were
     /// invalidated, `is_write` for write transactions.
@@ -281,6 +392,20 @@ impl EngineObs {
     /// Finalizes the collector into its report plus the event timeline,
     /// if this run kept one.
     pub(crate) fn finish(self) -> (EngineObsReport, Option<EventTrace>) {
+        let (report, timeline, _) = self.finish_all();
+        (report, timeline)
+    }
+
+    /// Finalizes the collector into its report, the event timeline and
+    /// the attribution collector, whichever of those this run kept.
+    #[cfg_attr(not(feature = "obs"), allow(clippy::unused_self))]
+    pub(crate) fn finish_all(
+        self,
+    ) -> (
+        EngineObsReport,
+        Option<EventTrace>,
+        Option<placesim_obs::AttrCollector>,
+    ) {
         #[cfg(feature = "obs")]
         if let Some(inner) = self.inner {
             return (
@@ -294,9 +419,10 @@ impl EngineObs {
                     switch_stall_cycles: inner.switch_stall_cycles,
                 },
                 inner.timeline,
+                inner.attr,
             );
         }
-        (EngineObsReport::default(), None)
+        (EngineObsReport::default(), None, None)
     }
 }
 

@@ -66,19 +66,38 @@
 //! MESI stay serial until a cross-shard update mailbox is validated.
 //! `obs` instrumentation (`simulate_observed`/`simulate_traced`) also
 //! stays serial — timeline ordering within a window is not preserved.
+//!
+//! # Attribution
+//!
+//! Coherence-traffic attribution ([`simulate_attributed_parallel`])
+//! *does* run sharded: every attributable event — an invalidation
+//! landing in a victim cache, a coherence miss paying for one — is
+//! buffered per shard as an [`AttrEvt`] keyed by the issuing action's
+//! `(time, processor)` plus an intra-action sequence number (0 = the
+//! miss record, `1 + victim` = each invalidation receive, matching the
+//! serial engine's emission order exactly). Buffers follow the action
+//! log's lifecycle — cleared on every (re-)execution — so rolled-back
+//! speculation never leaks events. At window commit the coordinator
+//! drains all buffers, sorts by `(t, from, seq)`, and feeds the
+//! collector; the resulting [`placesim_obs::AttrCollector`] is
+//! bit-identical to the serial engine's (run histograms and sketch
+//! evictions included), enforced by `tests/attribution.rs`.
 
 use crate::cache::{Access, LineState, ProcessorCache};
 use crate::config::ArchConfig;
 use crate::directory::Directory;
-use crate::engine::{build_processors, run, validate, Processor, SimError, NO_EVENT};
+use crate::engine::{
+    build_processors, owner_u32, run, validate, Processor, SimError, ATTR_NO_THREAD, NO_EVENT,
+};
 use crate::obs::EngineObs;
 use crate::protocol::Protocol;
 use crate::stats::{MissKind, SimStats};
 use placesim_analysis::SymMatrix;
+use placesim_obs::{AttrCollector, AttrKind, AttributionConfig};
 use placesim_placement::{PlacementMap, ProcessorId};
 use placesim_trace::par::CancelToken;
 use placesim_trace::ProgramTrace;
-use placesim_trace::{MemRef, RefKind};
+use placesim_trace::{MemRef, RefKind, ThreadId};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
@@ -123,8 +142,58 @@ pub fn simulate_parallel(
     config: &ArchConfig,
     threads: usize,
 ) -> Result<SimStats, SimError> {
-    let (stats, _) = run_parallel(prog, map, config, false, &ParConfig::new(threads))?;
+    let (stats, _) = run_parallel(
+        prog,
+        map,
+        config,
+        false,
+        &ParConfig::new(threads),
+        &mut EngineObs::disabled(),
+    )?;
     Ok(stats)
+}
+
+/// [`crate::simulate_attributed`] on the parallel engine: same
+/// [`SimStats`] *and* the same [`AttrCollector`] bit-for-bit (per-shard
+/// event buffers are replayed in serial emission order at each window
+/// commit, so even order-sensitive state — sharing-run histograms,
+/// sketch evictions — matches). Configurations the parallel engine
+/// cannot shard (Dragon, MESI, occupancy/stall timing) fall back to the
+/// serial attributed engine transparently.
+///
+/// Without the `obs` feature the collector comes back empty (and
+/// [`crate::attribution_enabled`] reports `false`).
+///
+/// # Errors
+///
+/// Same as [`crate::simulate`].
+pub fn simulate_attributed_parallel(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    acfg: AttributionConfig,
+    threads: usize,
+) -> Result<(SimStats, AttrCollector), SimError> {
+    simulate_attributed_configured(prog, map, config, acfg, &ParConfig::new(threads))
+}
+
+/// [`simulate_attributed_parallel`] with explicit [`ParConfig`] (fixed
+/// windows for boundary-edge tests).
+///
+/// # Errors
+///
+/// Same as [`crate::simulate`].
+pub fn simulate_attributed_configured(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    acfg: AttributionConfig,
+    par: &ParConfig,
+) -> Result<(SimStats, AttrCollector), SimError> {
+    let mut obs = EngineObs::attributed(acfg);
+    let (stats, _) = run_parallel(prog, map, config, false, par, &mut obs)?;
+    let (_, _, attr) = obs.finish_all();
+    Ok((stats, attr.unwrap_or_else(|| AttrCollector::new(acfg))))
 }
 
 /// [`crate::simulate_with_traffic`] on the parallel engine.
@@ -138,7 +207,14 @@ pub fn simulate_parallel_with_traffic(
     config: &ArchConfig,
     threads: usize,
 ) -> Result<(SimStats, SymMatrix<u64>), SimError> {
-    let (stats, traffic) = run_parallel(prog, map, config, true, &ParConfig::new(threads))?;
+    let (stats, traffic) = run_parallel(
+        prog,
+        map,
+        config,
+        true,
+        &ParConfig::new(threads),
+        &mut EngineObs::disabled(),
+    )?;
     Ok((stats, traffic.expect("traffic recording was enabled")))
 }
 
@@ -154,7 +230,7 @@ pub fn simulate_parallel_configured(
     config: &ArchConfig,
     par: &ParConfig,
 ) -> Result<(SimStats, SymMatrix<u64>), SimError> {
-    let (stats, traffic) = run_parallel(prog, map, config, true, par)?;
+    let (stats, traffic) = run_parallel(prog, map, config, true, par, &mut EngineObs::disabled())?;
     Ok((stats, traffic.expect("traffic recording was enabled")))
 }
 
@@ -166,6 +242,9 @@ struct Foreign {
     from: usize,
     line: u64,
     kind: ForeignKind,
+    /// Thread running on `from` when the event was issued — the writer
+    /// recorded as invalidation provenance (and attribution source).
+    writer: ThreadId,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +264,9 @@ impl Foreign {
 struct Act {
     t: u64,
     p: usize,
+    /// Thread issuing the action (provenance for the foreign events the
+    /// validator derives from it).
+    tid: ThreadId,
     kind: ActKind,
 }
 
@@ -201,6 +283,23 @@ enum ActKind {
         line: u64,
     },
     Barrier,
+}
+
+/// One coherence-attribution event buffered by a shard, keyed by the
+/// issuing action's `(t, from)` plus the serial engine's intra-action
+/// emission sequence: 0 = the coherence-miss record (emitted before the
+/// directory transaction), `1 + victim processor` = each invalidation
+/// receive (the directory's `SharerSet` iterates ascending). Sorting a
+/// window's events by `(t, from, seq)` reproduces the serial feed.
+#[derive(Debug, Clone, Copy)]
+struct AttrEvt {
+    t: u64,
+    from: usize,
+    seq: u32,
+    kind: AttrKind,
+    line: u64,
+    writer: u32,
+    victim: u32,
 }
 
 /// One simulated processor's complete movable state: the serial
@@ -220,6 +319,11 @@ struct ShardProc<'a> {
     exec_id: u32,
     /// Actions logged by the latest execution of the current window.
     log: Vec<Act>,
+    /// Attribution events recorded by the latest execution (same
+    /// lifecycle as `log`: cleared on every re-execution, so rolled-back
+    /// speculation never leaks events). Always empty unless the run's
+    /// [`Consts::attr`] flag is set.
+    attr_log: Vec<AttrEvt>,
     /// Foreign events handed to the latest execution, in key order.
     consumed: Vec<Foreign>,
 }
@@ -256,18 +360,40 @@ struct Consts {
     set_mask: u64,
     latency: u64,
     switch_cost: u64,
+    /// Record attribution events (the run's `EngineObs` carries a
+    /// collector). Always `false` without the `obs` feature.
+    attr: bool,
 }
 
-/// Applies a foreign event to a shard's cache. Residency-guarded:
+/// Applies a foreign event to the cache of shard `qi`. Residency-guarded:
 /// during a mis-speculated iteration the line may already be gone (or
 /// not Modified), and the serial engine never sends an event a cache
 /// cannot honor, so skipping is always safe — the iteration that
-/// matters (the fixed point) has consistent state.
-fn apply_foreign(cache: &mut ProcessorCache, e: Foreign) {
+/// matters (the fixed point) has consistent state. When `attr` is set,
+/// an applied invalidation is recorded against the slot's owner thread
+/// (read *before* the invalidate, exactly like the serial engine).
+fn apply_foreign(
+    cache: &mut ProcessorCache,
+    e: Foreign,
+    qi: usize,
+    attr: bool,
+    attr_log: &mut Vec<AttrEvt>,
+) {
     match e.kind {
         ForeignKind::Invalidate => {
             if cache.state_of(e.line).is_some() {
-                cache.invalidate(e.line, ProcessorId::from_index(e.from));
+                if attr {
+                    attr_log.push(AttrEvt {
+                        t: e.t,
+                        from: e.from,
+                        seq: 1 + u32::try_from(qi).expect("processor index fits in u32"),
+                        kind: AttrKind::Invalidation,
+                        line: e.line,
+                        writer: e.writer.index() as u32,
+                        victim: owner_u32(cache, e.line),
+                    });
+                }
+                cache.invalidate(e.line, ProcessorId::from_index(e.from), e.writer);
             }
         }
         ForeignKind::Downgrade => {
@@ -319,6 +445,7 @@ fn run_window(
 ) {
     sp.exec_id = sp.exec_id.wrapping_add(1);
     sp.log.clear();
+    sp.attr_log.clear();
     let ShardProc {
         proc,
         cache,
@@ -327,6 +454,7 @@ fn run_window(
         touch,
         exec_id,
         log,
+        attr_log,
         consumed,
     } = sp;
     let exec_id = *exec_id;
@@ -340,7 +468,7 @@ fn run_window(
             // re-checks and dirties us otherwise), so "at the edge" and
             // "at their serial position" are indistinguishable.
             while ei < events.len() {
-                apply_foreign(cache, events[ei]);
+                apply_foreign(cache, events[ei], pi, c.attr, attr_log);
                 ei += 1;
             }
             break;
@@ -360,7 +488,7 @@ fn run_window(
                 // Deliver foreign events that the serial engine would
                 // have interleaved before this issue position.
                 while ei < events.len() && events[ei].key() < (now, pi) {
-                    apply_foreign(cache, events[ei]);
+                    apply_foreign(cache, events[ei], pi, c.attr, attr_log);
                     ei += 1;
                 }
                 let r: MemRef = ctx
@@ -429,6 +557,7 @@ fn run_window(
                 log.push(Act {
                     t: now,
                     p: pi,
+                    tid: proc.contexts[ctx_idx].thread,
                     kind: ActKind::Barrier,
                 });
                 if self_release == Some(now) {
@@ -468,6 +597,7 @@ fn run_window(
                 log.push(Act {
                     t: now,
                     p: pi,
+                    tid: proc.contexts[ctx_idx].thread,
                     kind: ActKind::Upgrade { line },
                 });
                 cache.set_modified(line);
@@ -489,10 +619,29 @@ fn run_window(
                     LineState::Shared
                 };
                 let thread = proc.contexts[ctx_idx].thread;
+                if c.attr && kind == MissKind::Invalidation {
+                    // The serial engine records the coherence-miss event
+                    // before the directory transaction (seq 0); the
+                    // writer provenance must be read before `fill`
+                    // clears the gone entry.
+                    let writer = cache
+                        .invalidation_writer(line)
+                        .map_or(ATTR_NO_THREAD, |w| w.index() as u32);
+                    attr_log.push(AttrEvt {
+                        t: now,
+                        from: pi,
+                        seq: 0,
+                        kind: AttrKind::CoherenceMiss,
+                        line,
+                        writer,
+                        victim: thread.index() as u32,
+                    });
+                }
                 let victim = cache.fill(line, fill_state, thread).map(|(vline, _)| vline);
                 log.push(Act {
                     t: now,
                     p: pi,
+                    tid: thread,
                     kind: ActKind::Miss {
                         line,
                         is_write,
@@ -619,6 +768,7 @@ fn validate_window(
                         from: act.p,
                         line,
                         kind: ForeignKind::Invalidate,
+                        writer: act.tid,
                     });
                 }
             }
@@ -648,6 +798,7 @@ fn validate_window(
                         from: act.p,
                         line,
                         kind: ForeignKind::Invalidate,
+                        writer: act.tid,
                     });
                 }
                 if let Some(owner) = tx.downgrade {
@@ -656,6 +807,7 @@ fn validate_window(
                         from: act.p,
                         line,
                         kind: ForeignKind::Downgrade,
+                        writer: act.tid,
                     });
                 }
                 if let Some(vline) = victim {
@@ -722,18 +874,14 @@ pub(crate) fn run_parallel(
     config: &ArchConfig,
     record_traffic: bool,
     par: &ParConfig,
+    obs: &mut EngineObs,
 ) -> Result<(SimStats, Option<SymMatrix<u64>>), SimError> {
     if config.memory_occupancy() > 0 || config.upgrade_stalls() || config.protocol() != Protocol::Wi
     {
         // Globally-coupled timing or a protocol whose fill decisions
         // need the global directory (see module docs): serial engine.
-        return run(
-            prog,
-            map,
-            config,
-            record_traffic,
-            &mut EngineObs::disabled(),
-        );
+        // The observer rides along, so attribution still works here.
+        return run(prog, map, config, record_traffic, obs);
     }
     let participants = validate(prog, map)?;
     let p = map.processor_count();
@@ -743,6 +891,7 @@ pub(crate) fn run_parallel(
         set_mask: config.num_sets() - 1,
         latency: config.memory_latency(),
         switch_cost: config.context_switch(),
+        attr: obs.wants_attribution(),
     };
     let num_sets = config.num_sets() as usize;
 
@@ -763,6 +912,7 @@ pub(crate) fn run_parallel(
                 touch: vec![(0, 0); num_sets],
                 exec_id: 0,
                 log: Vec::new(),
+                attr_log: Vec::new(),
                 consumed: Vec::new(),
             })
         })
@@ -866,6 +1016,9 @@ pub(crate) fn run_parallel(
             }
         }
 
+        // Per-window staging buffer for the attribution replay
+        // (allocation reused across windows).
+        let mut attr_evts: Vec<AttrEvt> = Vec::new();
         'windows: loop {
             let w_start = shards
                 .iter()
@@ -885,6 +1038,7 @@ pub(crate) fn run_parallel(
                 let sp = slot.as_mut().expect("all shards home between windows");
                 sp.consumed.clear();
                 sp.log.clear();
+                sp.attr_log.clear();
                 if sp.slot != NO_EVENT && (sp.slot, qi) < full_bound {
                     snaps[qi] = Some(sp.snapshot());
                     exec_list.push((qi, None));
@@ -962,6 +1116,7 @@ pub(crate) fn run_parallel(
                             let sp = shards[qi].as_mut().expect("shard present for truncation");
                             sp.restore(snap);
                             sp.log.clear();
+                            sp.attr_log.clear();
                             sp.consumed = scratch.computed[qi]
                                 .iter()
                                 .copied()
@@ -1030,8 +1185,35 @@ pub(crate) fn run_parallel(
                 received[qi] += scratch.received[qi];
                 let sp = shards[qi].as_mut().expect("all shards home at commit");
                 for e in &scratch.computed[qi][sp.consumed.len()..] {
-                    apply_foreign(&mut sp.cache, *e);
+                    let ShardProc {
+                        cache, attr_log, ..
+                    } = sp;
+                    apply_foreign(cache, *e, qi, c.attr, attr_log);
                 }
+                if c.attr {
+                    attr_evts.append(&mut sp.attr_log);
+                }
+            }
+            if c.attr {
+                // Replay the window's attribution events in the serial
+                // engine's exact emission order (see `AttrEvt`). Window
+                // keys are disjoint and increasing, so a per-window sort
+                // yields the global serial order.
+                attr_evts.sort_unstable_by_key(|e| (e.t, e.from, e.seq));
+                for e in &attr_evts {
+                    match e.kind {
+                        AttrKind::Invalidation => {
+                            obs.on_attr_invalidation(e.line, e.writer, e.victim);
+                        }
+                        AttrKind::CoherenceMiss => {
+                            obs.on_attr_coherence_miss(e.line, e.writer, e.victim);
+                        }
+                        AttrKind::Update => {
+                            unreachable!("write-update events in the parallel engine")
+                        }
+                    }
+                }
+                attr_evts.clear();
             }
             if let Some(m) = &mut traffic {
                 for &(a, b) in &scratch.pairs {

@@ -1,0 +1,384 @@
+//! Coherence-attribution conservation and differential suite.
+//!
+//! Four families of guarantees, over randomized programs, placements
+//! and geometries:
+//!
+//! * **Observer transparency** — [`simulate_attributed`] returns
+//!   [`SimStats`] bit-identical to [`simulate`] for every protocol:
+//!   attribution never perturbs the machine.
+//! * **Conservation** — the collector's totals reconcile exactly with
+//!   the statistics: attributed invalidations ≡ `total_invalidations`,
+//!   attributed updates ≡ `total_updates`, attributed coherence misses
+//!   ≡ `total_misses().invalidation`; and the thread-pair matrix plus
+//!   the unattributed remainder sums back to the event total.
+//! * **Parallel bit-identity** — the work-sharded engine's collector
+//!   matches the serial one's *full report* (order-sensitive sharing-run
+//!   histograms and sketch state included) at 1/2/4/8 workers, adaptive
+//!   and tiny fixed windows.
+//! * **Sketch fidelity** — the Misra-Gries fallback keeps every heavy
+//!   hitter and honors its declared error bound against an exact run of
+//!   the same workload.
+
+#![cfg(feature = "obs")]
+
+use placesim_machine::{
+    simulate, simulate_attributed, simulate_attributed_configured, ArchConfig, AttrKind,
+    AttributionConfig, ParConfig, Protocol,
+};
+use placesim_placement::PlacementMap;
+use placesim_trace::{Address, MemRef, ProgramTrace, ThreadTrace};
+use proptest::prelude::*;
+
+/// Random program over a small address universe to provoke sharing,
+/// conflicts, invalidations, upgrades and updates.
+fn arb_program() -> impl Strategy<Value = ProgramTrace> {
+    let r#ref = (0u8..3, 0u64..64);
+    let thread = proptest::collection::vec(r#ref, 0..150);
+    proptest::collection::vec(thread, 1..6).prop_map(|threads| {
+        let traces: Vec<ThreadTrace> = threads
+            .into_iter()
+            .map(|refs| {
+                refs.into_iter()
+                    .map(|(kind, slot)| {
+                        let addr = Address::new(slot * 16); // overlapping lines
+                        match kind {
+                            0 => MemRef::instr(addr),
+                            1 => MemRef::read(addr),
+                            _ => MemRef::write(addr),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        ProgramTrace::new("attr-prop", traces)
+    })
+}
+
+/// Programs with barrier phases, so the parallel differential covers
+/// parks, releases and window truncation while events are buffered.
+fn arb_barrier_program() -> impl Strategy<Value = ProgramTrace> {
+    let segment = proptest::collection::vec((0u8..3, 0u64..48), 0..30);
+    (
+        1usize..4,
+        proptest::collection::vec(proptest::collection::vec(segment, 3), 1..5),
+    )
+        .prop_map(|(phases, threads)| {
+            let traces: Vec<ThreadTrace> = threads
+                .into_iter()
+                .map(|segments| {
+                    let mut t = ThreadTrace::new();
+                    for (pi, seg) in segments.into_iter().take(phases).enumerate() {
+                        for (kind, slot) in seg {
+                            let addr = Address::new(0x100 + slot * 16);
+                            t.push(match kind {
+                                0 => MemRef::instr(addr),
+                                1 => MemRef::read(addr),
+                                _ => MemRef::write(addr),
+                            });
+                        }
+                        if pi + 1 < phases {
+                            t.push(MemRef::barrier(pi as u64));
+                        }
+                    }
+                    t
+                })
+                .collect();
+            ProgramTrace::new("attr-barrier-prop", traces)
+        })
+}
+
+fn arb_placement(t: usize, seed: u64) -> PlacementMap {
+    let p = 1 + (seed as usize % t.max(1));
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); p.min(t).max(1)];
+    for i in 0..t {
+        let k = (seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64) >> 7) as usize
+            % clusters.len();
+        clusters[k].push(i);
+    }
+    PlacementMap::from_clusters(clusters).expect("valid clusters")
+}
+
+/// Randomized geometry at associativity 1 and 2, per protocol.
+fn arb_config(protocol: Protocol) -> impl Strategy<Value = ArchConfig> {
+    (0u8..3, 0u8..2, 0u64..3).prop_map(move |(geom, assoc, switch)| {
+        let (cache, line) = match geom {
+            0 => (256, 32),
+            1 => (512, 32),
+            _ => (1024, 64),
+        };
+        let mut builder = ArchConfig::builder();
+        builder
+            .cache_size(cache)
+            .line_size(line)
+            .associativity(1 + u32::from(assoc))
+            .context_switch(1 + switch * 5)
+            .protocol(protocol);
+        builder.build().expect("valid random config")
+    })
+}
+
+/// One scenario's full conservation check for a protocol: transparency,
+/// totals reconciliation, pair-matrix closure and report validity.
+fn assert_attribution_conserves(prog: &ProgramTrace, map: &PlacementMap, config: &ArchConfig) {
+    let protocol = config.protocol();
+    let plain = simulate(prog, map, config).expect("plain simulation");
+    let (stats, attr) = simulate_attributed(prog, map, config, AttributionConfig::default())
+        .expect("attributed simulation");
+    assert_eq!(
+        plain, stats,
+        "{protocol}: attribution perturbed the simulation"
+    );
+
+    assert_eq!(
+        attr.total(AttrKind::Invalidation),
+        stats.total_invalidations(),
+        "{protocol}: attributed invalidations diverge from SimStats"
+    );
+    assert_eq!(
+        attr.total(AttrKind::Update),
+        stats.total_updates(),
+        "{protocol}: attributed updates diverge from SimStats"
+    );
+    assert_eq!(
+        attr.total(AttrKind::CoherenceMiss),
+        stats.total_misses().invalidation,
+        "{protocol}: attributed coherence misses diverge from SimStats"
+    );
+
+    let pair_sum: u64 = attr.pair_counts().iter().map(|&(_, _, n)| n).sum();
+    assert_eq!(
+        pair_sum + attr.unattributed(),
+        attr.total_events(),
+        "{protocol}: thread-pair matrix does not close"
+    );
+
+    // Exact mode (the default limit dwarfs these programs): per-address
+    // counts are complete, so they sum back to the event total too.
+    assert!(!attr.is_sketch(), "{protocol}: tiny program forced sketch");
+    assert_eq!(attr.error_bound(), 0, "{protocol}: exact mode has error");
+    let addr_sum: u64 = attr
+        .top_addresses(usize::MAX)
+        .iter()
+        .map(|&(_, n, _)| n)
+        .sum();
+    assert_eq!(
+        addr_sum,
+        attr.total_events(),
+        "{protocol}: per-address counts do not close"
+    );
+
+    // The rendered report must satisfy the strict parser's invariants.
+    let report = attr.report_json(&protocol.to_string(), prog.thread_count(), 32);
+    let parsed = placesim_obs::attribution::parse(&report).expect("report parses");
+    assert_eq!(parsed.events(), attr.total_events());
+    assert_eq!(parsed.protocol, protocol.to_string());
+}
+
+/// Serial vs parallel full-report equality on one scenario, across the
+/// worker-thread counts the issue pins (1/2/4/8) and the given window.
+fn assert_parallel_attribution_agrees(
+    prog: &ProgramTrace,
+    map: &PlacementMap,
+    config: &ArchConfig,
+    window: u64,
+) {
+    let acfg = AttributionConfig::default();
+    let (serial_stats, serial_attr) =
+        simulate_attributed(prog, map, config, acfg).expect("serial attributed");
+    let name = config.protocol().to_string();
+    let serial_report = serial_attr.report_json(&name, prog.thread_count(), 1 << 16);
+    for threads in [1usize, 2, 4, 8] {
+        let par = ParConfig { threads, window };
+        let (stats, attr) =
+            simulate_attributed_configured(prog, map, config, acfg, &par).expect("parallel");
+        assert_eq!(
+            serial_stats, stats,
+            "serial and parallel SimStats diverge (threads={threads}, window={window})"
+        );
+        // Full-report equality pins everything the collector holds:
+        // totals, pair matrix, per-address counts, order-sensitive
+        // sharing-run histograms, and the sketch/exact mode state.
+        assert_eq!(
+            serial_report,
+            attr.report_json(&name, prog.thread_count(), 1 << 16),
+            "serial and parallel attribution diverge (threads={threads}, window={window})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn attribution_conserves_wi(
+        prog in arb_program(),
+        seed in 1u64..5000,
+        config in arb_config(Protocol::Wi),
+    ) {
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_attribution_conserves(&prog, &map, &config);
+    }
+
+    #[test]
+    fn attribution_conserves_mesi(
+        prog in arb_program(),
+        seed in 1u64..5000,
+        config in arb_config(Protocol::Mesi),
+    ) {
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_attribution_conserves(&prog, &map, &config);
+    }
+
+    #[test]
+    fn attribution_conserves_dragon(
+        prog in arb_program(),
+        seed in 1u64..5000,
+        config in arb_config(Protocol::Dragon),
+    ) {
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_attribution_conserves(&prog, &map, &config);
+    }
+
+    #[test]
+    fn parallel_attribution_matches_serial(
+        prog in arb_program(),
+        seed in 1u64..5000,
+        config in arb_config(Protocol::Wi),
+    ) {
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_parallel_attribution_agrees(&prog, &map, &config, 0);
+    }
+
+    #[test]
+    fn parallel_attribution_matches_serial_under_tiny_windows(
+        prog in arb_barrier_program(),
+        seed in 1u64..5000,
+        config in arb_config(Protocol::Wi),
+        window in 1u64..9,
+    ) {
+        // Tiny fixed windows force foreign events to drain at window
+        // edges and barrier truncation to re-execute shards — exactly
+        // the paths where stale attribution buffers would double-count.
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_parallel_attribution_agrees(&prog, &map, &config, window);
+    }
+
+    #[test]
+    fn dragon_parallel_entry_falls_back_with_attribution(
+        prog in arb_program(),
+        seed in 1u64..5000,
+        config in arb_config(Protocol::Dragon),
+    ) {
+        // Dragon shards serially; the parallel entry point must still
+        // attribute (the observer rides the fallback).
+        let map = arb_placement(prog.thread_count(), seed);
+        assert_parallel_attribution_agrees(&prog, &map, &config, 0);
+    }
+}
+
+/// A deliberately skewed workload: two threads ping-pong writes on a
+/// handful of hot lines while a long tail of lines is each written once
+/// after being read remotely — classic heavy-hitter shape.
+fn skewed_program(tail: u64) -> (ProgramTrace, PlacementMap) {
+    let hot = [0u64, 0x40, 0x80];
+    let mut t0 = ThreadTrace::new();
+    let mut t1 = ThreadTrace::new();
+    for i in 0..400u64 {
+        let line = hot[(i % 3) as usize];
+        t0.push(MemRef::write(Address::new(line)));
+        t1.push(MemRef::write(Address::new(line)));
+    }
+    for i in 0..tail {
+        let addr = Address::new(0x10_000 + i * 0x40);
+        t0.push(MemRef::read(addr));
+        t1.push(MemRef::write(addr));
+    }
+    let prog = ProgramTrace::new("skewed", vec![t0, t1]);
+    let map = PlacementMap::from_clusters(vec![vec![0], vec![1]]).unwrap();
+    (prog, map)
+}
+
+/// The sketch keeps every heavy hitter, and its per-address undercount
+/// stays within the declared Misra-Gries error bound.
+#[test]
+fn sketch_agrees_with_exact_on_heavy_hitters() {
+    let (prog, map) = skewed_program(600);
+    let config = ArchConfig::paper_default();
+
+    let (_, exact) =
+        simulate_attributed(&prog, &map, &config, AttributionConfig::default()).expect("exact run");
+    assert!(!exact.is_sketch());
+
+    let (_, sketch) =
+        simulate_attributed(&prog, &map, &config, AttributionConfig::new(1, 16)).expect("sketch");
+    assert!(sketch.is_sketch(), "tiny exact_limit must force the sketch");
+    assert!(sketch.error_bound() > 0);
+    assert_eq!(
+        sketch.total_events(),
+        exact.total_events(),
+        "totals are exact regardless of mode"
+    );
+
+    let tracked = sketch.top_addresses(usize::MAX);
+    let bound = sketch.error_bound();
+    for &(line, true_count, _) in &exact.top_addresses(3) {
+        let sketched = tracked.iter().find(|&&(l, _, _)| l == line);
+        assert!(
+            true_count <= bound || sketched.is_some(),
+            "heavy hitter {line:#x} (count {true_count}) dropped by sketch (bound {bound})"
+        );
+        if let Some(&(_, approx, _)) = sketched {
+            assert!(approx <= true_count, "sketch overcounts {line:#x}");
+            assert!(
+                true_count - approx <= bound,
+                "sketch undercounts {line:#x} beyond its bound: {approx} vs {true_count}"
+            );
+        }
+    }
+    assert!(
+        tracked.len() <= 16,
+        "sketch exceeded its configured capacity"
+    );
+}
+
+/// Sketch state is part of the parallel bit-identity contract too: the
+/// sharded run converts to the sketch at the same event, producing the
+/// same survivors and error bound.
+#[test]
+fn parallel_sketch_state_matches_serial() {
+    let (prog, map) = skewed_program(300);
+    let config = ArchConfig::paper_default();
+    let acfg = AttributionConfig::new(64, 16);
+    let (_, serial) = simulate_attributed(&prog, &map, &config, acfg).expect("serial");
+    assert!(serial.is_sketch());
+    let name = config.protocol().to_string();
+    let serial_report = serial.report_json(&name, 2, 1 << 16);
+    for threads in [2usize, 4, 8] {
+        for window in [0u64, 4] {
+            let par = ParConfig { threads, window };
+            let (_, attr) =
+                simulate_attributed_configured(&prog, &map, &config, acfg, &par).expect("parallel");
+            assert_eq!(
+                serial_report,
+                attr.report_json(&name, 2, 1 << 16),
+                "sketch state diverged (threads={threads}, window={window})"
+            );
+        }
+    }
+}
+
+/// Attribution accounting survives a collector merge the way a sweep
+/// aggregates per-cell collectors: totals add, reports stay valid.
+#[test]
+fn merged_collectors_report_validates() {
+    let (prog, map) = skewed_program(50);
+    let config = ArchConfig::paper_default();
+    let acfg = AttributionConfig::default();
+    let (_, mut a) = simulate_attributed(&prog, &map, &config, acfg).expect("run a");
+    let (_, b) = simulate_attributed(&prog, &map, &config, acfg).expect("run b");
+    let single_events = a.total_events();
+    a.merge(b);
+    assert_eq!(a.total_events(), 2 * single_events);
+    let report = a.report_json("wi", prog.thread_count(), 16);
+    placesim_obs::attribution::validate(&report).expect("merged report validates");
+}

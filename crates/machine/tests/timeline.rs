@@ -132,6 +132,35 @@ mod traced_props {
             }
         }
 
+        /// Dragon write-update runs emit one `UpdateSend` per update a
+        /// writer pushes and one `UpdateReceive` per sharer refreshed,
+        /// reconciling exactly with the update-traffic statistics (the
+        /// timeline gap this suite previously left open).
+        #[test]
+        fn dragon_update_events_reconcile_with_stats(
+            prog in arb_program(),
+            seed in 1u64..5000,
+        ) {
+            let map = arb_placement(prog.thread_count(), seed);
+            let config = ArchConfig::builder()
+                .cache_size(256)
+                .line_size(32)
+                .protocol(placesim_machine::Protocol::Dragon)
+                .build()
+                .unwrap();
+            let (stats, _, trace) = simulate_traced(&prog, &map, &config, 1 << 16).unwrap();
+            prop_assert_eq!(trace.dropped(), 0);
+
+            let upd_sent: u64 = stats.per_proc().iter().map(|p| p.updates_sent).sum();
+            let upd_recv: u64 = stats.per_proc().iter().map(|p| p.updates_received).sum();
+            prop_assert_eq!(trace.count(EventKind::UpdateSend), upd_sent);
+            prop_assert_eq!(trace.count(EventKind::UpdateReceive), upd_recv);
+            // Dragon never invalidates: the update kinds fully replace
+            // the invalidation kinds on this protocol's timeline.
+            prop_assert_eq!(trace.count(EventKind::InvalidationSend), 0);
+            prop_assert_eq!(trace.count(EventKind::InvalidationReceive), 0);
+        }
+
         /// A tiny ring drops events but the per-kind counters stay
         /// exact, so reconciliation still holds.
         #[test]

@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod json;
 pub mod sink;
 pub mod timeline;
 
+pub use attribution::{AttrCollector, AttrKind, AttributionConfig};
 pub use timeline::{EventKind, EventTrace, SharingRun, TimelineEvent};
 
 use std::time::Instant;

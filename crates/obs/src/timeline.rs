@@ -23,7 +23,7 @@ use crate::Histogram;
 use std::collections::HashMap;
 
 /// Number of event kinds (length of [`EventKind::ALL`]).
-pub const EVENT_KINDS: usize = 7;
+pub const EVENT_KINDS: usize = 9;
 
 /// Marker for "no thread" in [`TimelineEvent::thread`].
 pub const NO_THREAD: u32 = u32::MAX;
@@ -53,6 +53,12 @@ pub enum EventKind {
     /// A directory transaction (read or write fill / upgrade).
     /// `detail` = `(fanout << 1) | is_write`.
     DirectoryTransition,
+    /// This processor's Dragon write pushed an update to a remote
+    /// sharer. `detail` = receiving processor.
+    UpdateSend,
+    /// A remote Dragon write updated a line resident in this
+    /// processor's cache. `detail` = sending processor.
+    UpdateReceive,
 }
 
 impl EventKind {
@@ -65,6 +71,8 @@ impl EventKind {
         EventKind::InvalidationSend,
         EventKind::InvalidationReceive,
         EventKind::DirectoryTransition,
+        EventKind::UpdateSend,
+        EventKind::UpdateReceive,
     ];
 
     /// Dense index of this kind (position in [`EventKind::ALL`]).
@@ -77,6 +85,8 @@ impl EventKind {
             EventKind::InvalidationSend => 4,
             EventKind::InvalidationReceive => 5,
             EventKind::DirectoryTransition => 6,
+            EventKind::UpdateSend => 7,
+            EventKind::UpdateReceive => 8,
         }
     }
 
@@ -90,6 +100,8 @@ impl EventKind {
             EventKind::InvalidationSend => "inv-send",
             EventKind::InvalidationReceive => "inv-recv",
             EventKind::DirectoryTransition => "dir",
+            EventKind::UpdateSend => "upd-send",
+            EventKind::UpdateReceive => "upd-recv",
         }
     }
 

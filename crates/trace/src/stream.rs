@@ -754,6 +754,7 @@ pub struct FileReader {
     name: String,
     threads: Vec<ThreadIndex>,
     footer_start: u64,
+    footer_len: u64,
 }
 
 impl FileReader {
@@ -814,6 +815,7 @@ impl FileReader {
             name: header.name,
             threads,
             footer_start,
+            footer_len,
         })
     }
 
@@ -850,6 +852,60 @@ impl FileReader {
     #[must_use]
     pub fn total_refs(&self) -> u64 {
         self.threads.iter().map(|t| t.totals.refs()).sum()
+    }
+
+    /// Number of data chunks the footer indexes for one thread, i.e.
+    /// how many bounded-memory read steps [`FileReader::chunks`] takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    #[must_use]
+    pub fn chunk_count(&self, thread: ThreadId) -> usize {
+        self.threads[thread.index()].chunks.len()
+    }
+
+    /// Checksummed payload bytes the footer indexes for one thread
+    /// (chunk payloads only, excluding the per-chunk headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    #[must_use]
+    pub fn payload_bytes(&self, thread: ThreadId) -> u64 {
+        self.threads[thread.index()]
+            .chunks
+            .iter()
+            .map(|c| c.payload_len)
+            .sum()
+    }
+
+    /// Total chunks indexed across all threads.
+    #[must_use]
+    pub fn total_chunks(&self) -> usize {
+        self.threads.iter().map(|t| t.chunks.len()).sum()
+    }
+
+    /// Total checksummed payload bytes across all threads.
+    #[must_use]
+    pub fn total_payload_bytes(&self) -> u64 {
+        (0..self.threads.len())
+            .map(|t| self.payload_bytes(ThreadId::from_index(t)))
+            .sum()
+    }
+
+    /// File offset where the footer index begins — equivalently, the
+    /// end of the chunk data region the index tiles exactly.
+    #[must_use]
+    pub fn footer_start(&self) -> u64 {
+        self.footer_start
+    }
+
+    /// Length in bytes of the footer index (the region the trailer
+    /// checksum covers).
+    #[must_use]
+    pub fn footer_bytes(&self) -> u64 {
+        self.footer_len
     }
 
     /// Opens a chunk-at-a-time reader over one thread's references.
@@ -1127,6 +1183,58 @@ mod tests {
             }
             assert_eq!(decoded, thread.iter().collect::<Vec<_>>());
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The footer-metadata accessors describe the file exactly: chunk
+    /// counts match the index, payload bytes plus chunk headers plus
+    /// header and footer and trailer tile the whole file, and chunking
+    /// scales with the chunk-size knob.
+    #[test]
+    fn footer_metadata_accessors_describe_the_file() {
+        let prog = sample();
+        let bytes = multi_chunk_bytes(&prog, 64);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("placesim-stream-meta-{}.trace", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let reader = FileReader::open(&path).unwrap();
+        let per_thread: Vec<usize> = (0..reader.thread_count())
+            .map(|t| reader.chunk_count(ThreadId::from_index(t)))
+            .collect();
+        assert_eq!(per_thread.iter().sum::<usize>(), reader.total_chunks());
+        // 64-byte chunks over a 500+-instruction thread: many chunks.
+        assert!(per_thread[0] > 1, "{per_thread:?}");
+        // Each indexed chunk delivers exactly one bounded read step.
+        for (t, &n) in per_thread.iter().enumerate() {
+            let tid = ThreadId::from_index(t);
+            let mut chunks = reader.chunks(tid).unwrap();
+            let mut steps = 0;
+            while chunks.next_chunk().unwrap().is_some() {
+                steps += 1;
+            }
+            assert_eq!(steps, n, "thread {t}");
+        }
+        assert_eq!(
+            reader.total_payload_bytes(),
+            (0..reader.thread_count())
+                .map(|t| reader.payload_bytes(ThreadId::from_index(t)))
+                .sum::<u64>()
+        );
+        // The data region [data_start, footer_start) is payload plus
+        // chunk headers; footer + trailer close out the file.
+        assert!(reader.total_payload_bytes() < reader.footer_start());
+        assert_eq!(
+            reader.footer_start() + reader.footer_bytes() + TRAILER_LEN as u64,
+            bytes.len() as u64
+        );
+
+        // A generous chunk size collapses each thread to one chunk.
+        let one = multi_chunk_bytes(&prog, 1 << 20);
+        std::fs::write(&path, &one).unwrap();
+        let reader = FileReader::open(&path).unwrap();
+        assert_eq!(reader.chunk_count(ThreadId::new(0)), 1);
+        assert_eq!(reader.chunk_count(ThreadId::new(1)), 1);
         std::fs::remove_file(&path).unwrap();
     }
 

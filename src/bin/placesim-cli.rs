@@ -10,6 +10,8 @@
 //!              [--assoc W] [--latency L] [--switch C]
 //!              [--protocol wi|mesi|dragon]
 //!              [--metrics out.json] [--timeline out.json]
+//!              [--attribution out.json]
+//! placesim-cli attribute <report.json> [--top N] [--pairs N]
 //! placesim-cli probe <trace>
 //! placesim-cli report <manifest-or-dir...> [--baseline F] [--threshold PCT]
 //! ```
@@ -23,7 +25,10 @@ use placesim::report::{Report, ReportHole};
 use placesim::supervisor::SupervisorConfig;
 use placesim::{Error, PreparedApp};
 use placesim_analysis::{CharacteristicsRow, SharingAnalysis, SpillBudget};
-use placesim_machine::{probe_coherence, simulate_observed, simulate_traced, ArchConfig, Protocol};
+use placesim_machine::{
+    attribution_enabled, probe_coherence, simulate_attributed, simulate_attributed_parallel,
+    simulate_observed, simulate_traced, ArchConfig, AttrCollector, AttributionConfig, Protocol,
+};
 use placesim_obs::{sink, SpanTimer};
 use placesim_placement::{thread_lengths, PlacementAlgorithm, PlacementInputs};
 use placesim_trace::{compress, io as trace_io, stream, ProgramTrace};
@@ -108,6 +113,8 @@ usage:
                [--protocol wi|mesi|dragon] [--cache-kb K] [--assoc W]
                [--latency L] [--switch C] [--sim-threads N]
                [--metrics out.json] [--timeline out.json]
+               [--attribution out.json]
+  placesim-cli attribute <report.json> [--top N] [--pairs N]
   placesim-cli probe <trace> [--metrics out.json]
   placesim-cli report <manifest-or-dir...> [--protocol wi|mesi|dragon]
                [--baseline file-or-dir] [--threshold PCT] [--json out.json]
@@ -115,7 +122,8 @@ usage:
                [--protocol wi|mesi|dragon] [--scale S] [--seed N]
                [--algos A,B,...] [--procs 2,4,...]
                [--max-attempts N] [--timeout-ms T] [--sim-threads N]
-               [--report out.json]
+               [--report out.json] [--attribution out.json]
+               [--telemetry live.json]
 exit codes: 0 ok; 1 runtime failure; 2 usage error;
             3 sweep finished with holes; 4 corrupt/mismatched journal";
 
@@ -123,6 +131,11 @@ exit codes: 0 ok; 1 runtime failure; 2 usage error;
 /// to retain every event of a scale-0.002 run and the tail of larger
 /// ones (the export reports how many were dropped).
 const TIMELINE_CAPACITY: usize = 1 << 20;
+
+/// Hot-address rows carried in an attribution report file. The
+/// `attribute` renderer trims further (`--top`); the file keeps enough
+/// to make re-rendering at different depths cheap.
+const ATTRIBUTION_TOP: usize = 1024;
 
 fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
@@ -132,6 +145,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("analyze") => Ok(cmd_analyze(&args[1..])?),
         Some("place") => Ok(cmd_place(&args[1..])?),
         Some("simulate") => Ok(cmd_simulate(&args[1..])?),
+        Some("attribute") => cmd_attribute(&args[1..]),
         Some("probe") => Ok(cmd_probe(&args[1..])?),
         Some("report") => Ok(cmd_report(&args[1..])?),
         Some("sweep") => cmd_sweep(&args[1..]),
@@ -356,10 +370,25 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
             "data refs:    {}",
             per_thread.iter().map(|k| k.reads + k.writes).sum::<u64>()
         );
+        println!(
+            "chunks:       {} ({} checksummed payload bytes)",
+            reader.total_chunks(),
+            reader.total_payload_bytes()
+        );
+        println!(
+            "footer:       {} index bytes at offset {}",
+            reader.footer_bytes(),
+            reader.footer_start()
+        );
         for (t, k) in per_thread.iter().enumerate() {
+            let tid = placesim_trace::ThreadId::from_index(t);
             println!(
-                "  T{t}: {} instrs, {} reads, {} writes",
-                k.instr, k.reads, k.writes
+                "  T{t}: {} instrs, {} reads, {} writes, {} chunks ({} bytes)",
+                k.instr,
+                k.reads,
+                k.writes,
+                reader.chunk_count(tid),
+                reader.payload_bytes(tid)
             );
         }
         return Ok(());
@@ -550,6 +579,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let map = algo.place(&inputs, processors).map_err(|e| e.to_string())?;
 
     let timeline_path = raw_flag(args, "--timeline")?;
+    let attribution_path = raw_flag(args, "--attribution")?;
+    let mut attr: Option<AttrCollector> = None;
     let (stats, obs, trace) = if timeline_path.is_some() {
         if sim_threads > 1 {
             println!(
@@ -559,6 +590,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         let (stats, obs, trace) =
             simulate_traced(&prog, &map, &config, TIMELINE_CAPACITY).map_err(|e| e.to_string())?;
         (stats, Some(obs), Some(trace))
+    } else if attribution_path.is_some() {
+        // Attribution rides the engine hooks: serial and parallel agree
+        // bit-for-bit (DESIGN.md §13), so --sim-threads composes.
+        let acfg = AttributionConfig::default();
+        let (stats, collector) = if sim_threads > 1 {
+            simulate_attributed_parallel(&prog, &map, &config, acfg, sim_threads)
+        } else {
+            simulate_attributed(&prog, &map, &config, acfg)
+        }
+        .map_err(|e| e.to_string())?;
+        attr = Some(collector);
+        (stats, None, None)
     } else if sim_threads > 1 {
         // The parallel engine is bit-identical to the serial one (see
         // DESIGN.md §10); only the engine-internal obs report is
@@ -592,6 +635,38 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
     }
 
+    if attribution_path.is_some() && attr.is_none() {
+        // --timeline claimed the traced engine, so attribution takes
+        // its own serial pass (the engines produce identical stats, so
+        // the report describes the same run).
+        let (_, collector) =
+            simulate_attributed(&prog, &map, &config, AttributionConfig::default())
+                .map_err(|e| e.to_string())?;
+        attr = Some(collector);
+    }
+    if let (Some(path), Some(attr)) = (attribution_path, &attr) {
+        let protocol_name = config.protocol().to_string();
+        let body = if attribution_enabled() {
+            attr.report_json(&protocol_name, prog.thread_count(), ATTRIBUTION_TOP)
+        } else {
+            AttrCollector::disabled_report_json(&protocol_name, prog.thread_count())
+        };
+        placesim_obs::attribution::validate(&body)
+            .map_err(|e| format!("internal: attribution report invalid: {e}"))?;
+        sink::write_atomic(Path::new(path), body.as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if attribution_enabled() {
+            println!(
+                "attribution:    {path} ({} events over {} addresses, {} mode)",
+                attr.total_events(),
+                attr.tracked_addresses(),
+                if attr.is_sketch() { "sketch" } else { "exact" }
+            );
+        } else {
+            println!("attribution:    {path} (disabled: rebuild with `--features obs`)");
+        }
+    }
+
     if let Some(metrics) = raw_flag(args, "--metrics")? {
         let mut manifest = RunManifest::new("simulate", prog.name(), &config);
         manifest.wall_secs = timer.elapsed_secs();
@@ -616,6 +691,75 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     println!("  invalidation          {}", m.invalidation);
     println!("coherence traffic: {}", stats.coherence_traffic());
     println!("update traffic:    {}", stats.total_updates());
+    Ok(())
+}
+
+/// Renders a `placesim-attribution-v1` report as paper-style tables:
+/// the hottest shared lines (with their sharing-run shape) and the
+/// hottest writer/victim thread pairs.
+fn cmd_attribute(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("attribute needs a report path".into()))?;
+    let top_n = uint_flag(args, "--top")?.unwrap_or(10) as usize;
+    let pairs_n = uint_flag(args, "--pairs")?.unwrap_or(10) as usize;
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+    // The strict parser rejects malformed documents before anything is
+    // rendered, so a truncated or tampered report is a clean exit 1.
+    let doc = placesim_obs::attribution::parse(&body)
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+
+    if !doc.enabled {
+        println!(
+            "attribution was disabled in the producing build; rebuild with \
+             `--features obs` and re-run `simulate --attribution`"
+        );
+        return Ok(());
+    }
+    println!(
+        "coherence attribution: protocol {}, {} threads, {} mode ({} addresses tracked)",
+        doc.protocol, doc.threads, doc.mode, doc.tracked_addresses
+    );
+    if doc.mode == "sketch" {
+        println!(
+            "  sketch counts may undercount by up to {} events per address",
+            doc.error_bound
+        );
+    }
+    println!(
+        "totals: {} invalidations, {} updates, {} coherence misses ({} unattributed)",
+        doc.invalidations, doc.updates, doc.coherence_misses, doc.unattributed
+    );
+    println!("hot shared lines:");
+    println!(
+        "  {:<14} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9} {:>8}",
+        "line", "events", "inval", "update", "miss", "runs", "mean-run", "max-run"
+    );
+    for a in doc.top.iter().take(top_n) {
+        println!(
+            "  {:<#14x} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9.1} {:>8}",
+            a.line,
+            a.events,
+            a.invalidations,
+            a.updates,
+            a.coherence_misses,
+            a.run_count,
+            a.run_mean,
+            a.run_max
+        );
+    }
+    if doc.top.is_empty() {
+        println!("  (no attributed events)");
+    }
+    println!("hottest thread pairs:");
+    for (a, b, c) in doc.pairs.iter().take(pairs_n) {
+        println!("  T{a} <-> T{b}: {c}");
+    }
+    if doc.pairs.is_empty() {
+        println!("  (none)");
+    }
     Ok(())
 }
 
@@ -822,6 +966,13 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     if let Some(ms) = uint_flag(args, "--timeout-ms")? {
         sup.watchdog = Some(Duration::from_millis(ms));
     }
+    let attribution_out = raw_flag(args, "--attribution")?.map(str::to_owned);
+    if attribution_out.is_some() {
+        sup = sup.with_attribution(AttributionConfig::default());
+    }
+    if let Some(t) = raw_flag(args, "--telemetry")? {
+        sup = sup.with_telemetry(std::path::PathBuf::from(t));
+    }
 
     let protocol = protocol_flag(args)?;
 
@@ -892,6 +1043,22 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         sink::write_atomic(Path::new(out), report.to_json().as_bytes())
             .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
         println!("report json: {out}");
+    }
+    if let Some(out) = &attribution_out {
+        // The sweep-level collector merges every committed cell of this
+        // run (resumed cells were attributed by the run that committed
+        // them). Written even on a partial sweep, like --report.
+        let protocol_name = app.config.protocol().to_string();
+        let threads = app.prog.thread_count();
+        let body = match (&sweep.attribution, attribution_enabled()) {
+            (Some(attr), true) => attr.report_json(&protocol_name, threads, ATTRIBUTION_TOP),
+            _ => AttrCollector::disabled_report_json(&protocol_name, threads),
+        };
+        placesim_obs::attribution::validate(&body)
+            .map_err(|e| CliError::Runtime(format!("internal: attribution report invalid: {e}")))?;
+        sink::write_atomic(Path::new(out), body.as_bytes())
+            .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
+        println!("attribution json: {out}");
     }
     println!("journal: {journal}");
 
@@ -1404,6 +1571,142 @@ mod tests {
         assert!(err.message().contains("regression"), "{err:?}");
         assert!(run(&s(&["report", &dir_s, "--bogus"])).is_err());
         assert!(run(&s(&["report"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `simulate --attribution` writes a report the strict parser
+    /// accepts in every build, serial and parallel agree byte-for-byte,
+    /// and `attribute` renders it; with `obs` enabled the report
+    /// carries events.
+    #[test]
+    fn simulate_attribution_roundtrips_through_attribute() {
+        let dir = std::env::temp_dir().join("placesim-cli-attribution-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("water.trace");
+        let trace_s = trace.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen", "water", &trace_s, "--scale", "0.002", "--seed", "3",
+        ]))
+        .unwrap();
+
+        let report = |threads: &str| -> String {
+            let out = dir.join(format!("attr-{threads}.json"));
+            let out_s = out.to_str().unwrap().to_string();
+            run(&s(&[
+                "simulate",
+                &trace_s,
+                "SHARE-REFS",
+                "4",
+                "--protocol",
+                "mesi",
+                "--sim-threads",
+                threads,
+                "--attribution",
+                &out_s,
+            ]))
+            .unwrap();
+            assert!(!sink::tmp_sibling(&out).exists());
+            std::fs::read_to_string(&out).unwrap()
+        };
+        let serial = report("1");
+        assert_eq!(serial, report("4"), "parallel attribution must agree");
+
+        let doc = placesim_obs::attribution::parse(&serial).unwrap();
+        assert_eq!(doc.protocol, "mesi");
+        #[cfg(feature = "obs")]
+        {
+            assert!(doc.enabled);
+            assert!(doc.events() > 0, "water shares lines: events expected");
+            assert!(!doc.top.is_empty());
+        }
+        #[cfg(not(feature = "obs"))]
+        assert!(!doc.enabled);
+
+        // The renderer accepts the file; junk does not.
+        let attr_path = dir.join("attr-1.json");
+        run(&s(&["attribute", attr_path.to_str().unwrap()])).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, b"{\"schema\": \"nope\"}").unwrap();
+        let err = run(&s(&["attribute", bad.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.code(), 1, "{err:?}");
+        assert!(run(&s(&["attribute"])).is_err());
+
+        // --timeline and --attribution compose in one invocation.
+        let both_attr = dir.join("both-attr.json");
+        let both_tl = dir.join("both-tl.json");
+        run(&s(&[
+            "simulate",
+            &trace_s,
+            "SHARE-REFS",
+            "4",
+            "--protocol",
+            "mesi",
+            "--timeline",
+            both_tl.to_str().unwrap(),
+            "--attribution",
+            both_attr.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&both_attr).unwrap(),
+            serial,
+            "attribution must not depend on --timeline"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `sweep --attribution --telemetry` writes a merged sweep-level
+    /// attribution report and a final telemetry document with every
+    /// cell folded in.
+    #[test]
+    fn sweep_attribution_and_telemetry_outputs_validate() {
+        let dir = std::env::temp_dir().join("placesim-cli-sweep-attr-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("sweep.journal");
+        let attr_out = dir.join("attr.json");
+        let telemetry = dir.join("live.json");
+        run(&s(&[
+            "sweep",
+            "water",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--scale",
+            "0.002",
+            "--seed",
+            "3",
+            "--algos",
+            "RANDOM,LOAD-BAL",
+            "--procs",
+            "2,4",
+            "--attribution",
+            attr_out.to_str().unwrap(),
+            "--telemetry",
+            telemetry.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let body = std::fs::read_to_string(&attr_out).unwrap();
+        let doc = placesim_obs::attribution::parse(&body).unwrap();
+        #[cfg(feature = "obs")]
+        {
+            assert!(doc.enabled);
+            assert!(doc.events() > 0, "four attributed cells: events expected");
+        }
+        #[cfg(not(feature = "obs"))]
+        assert!(!doc.enabled);
+
+        let live =
+            placesim_obs::json::parse(&std::fs::read_to_string(&telemetry).unwrap()).unwrap();
+        assert_eq!(
+            live.get("schema").and_then(|v| v.as_str()),
+            Some(placesim::TELEMETRY_SCHEMA)
+        );
+        assert_eq!(live.get("cells_total").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(live.get("cells_done").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(live.get("cells_failed").and_then(|v| v.as_u64()), Some(0));
+        assert!(!sink::tmp_sibling(&telemetry).exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

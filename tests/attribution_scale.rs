@@ -1,0 +1,213 @@
+//! Acceptance tests for bounded-memory coherence attribution: the
+//! Misra–Gries sketch must hold its documented memory bound under a
+//! ≥100M-event stream, keep every heavy hitter, and agree with exact
+//! mode on paper-scale simulated runs.
+//!
+//! The always-run test exercises the sketch at a small scale under a
+//! tracking-allocator cap. The `#[ignore]` tests are the release-mode
+//! headline: a 100M-event stream inside a fixed peak-heap budget
+//! (scaled by `PLACESIM_SCALE` so CI can smoke the same path), and
+//! exact-vs-sketch top-K agreement on a real gauss simulation.
+
+use placesim_machine::{AttrCollector, AttrKind, AttributionConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tracks live and peak heap bytes so the memory bound is a measured
+/// number, not an estimate.
+struct TrackingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Serializes peak measurements across tests in this binary.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` and returns the peak heap bytes live during the call.
+fn measured_peak<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    let out = f();
+    (PEAK.load(Ordering::Relaxed), out)
+}
+
+/// Eight genuinely hot lines buried in an endless cold tail.
+const HOT: [u64; 8] = [
+    0x1000, 0x1040, 0x1080, 0x10c0, 0x2000, 0x2040, 0x8000, 0xff00,
+];
+
+/// Feeds `events` synthetic coherence events: every 4th event hits a
+/// hot line, the rest land on a never-repeating cold tail (the
+/// adversarial shape for a top-K sketch — maximal churn, minimal
+/// reuse). Returns the number of events that went to hot lines.
+fn feed(c: &mut AttrCollector, events: u64) -> u64 {
+    let mut cold: u64 = 0x4000_0000;
+    let mut hot_events = 0;
+    for i in 0..events {
+        let (line, kind) = if i % 4 == 0 {
+            hot_events += 1;
+            (HOT[(i / 4) as usize % HOT.len()], AttrKind::Invalidation)
+        } else {
+            cold += 64;
+            (cold, AttrKind::CoherenceMiss)
+        };
+        c.record(kind, line, (i % 3) as u32, ((i + 1) % 3) as u32);
+    }
+    hot_events
+}
+
+/// Checks the sketch kept every hot line, undercounting by at most its
+/// self-reported error bound.
+fn assert_hot_lines_survive(c: &AttrCollector, events: u64, hot_events: u64) {
+    assert!(c.is_sketch(), "the cold tail must force sketch mode");
+    assert_eq!(c.total_events(), events);
+    let per_hot = hot_events / HOT.len() as u64;
+    assert!(
+        c.error_bound() < per_hot,
+        "error bound {} must stay below the true hot count {per_hot}",
+        c.error_bound()
+    );
+    let top = c.top_addresses(HOT.len());
+    for &line in &HOT {
+        let tracked = top
+            .iter()
+            .find(|(l, _, _)| *l == line)
+            .unwrap_or_else(|| panic!("hot line {line:#x} evicted from the sketch"));
+        // Misra–Gries guarantee: true(a) − tracked(a) ≤ error_bound.
+        assert!(
+            tracked.1 + c.error_bound() + 1 >= per_hot,
+            "line {line:#x}: tracked {} + bound {} below true ~{per_hot}",
+            tracked.1,
+            c.error_bound()
+        );
+    }
+}
+
+/// Small-scale, always-run: 1.5M events through a 64-counter sketch
+/// stay under a 4 MiB peak-heap cap — the exact table for the same
+/// stream would hold ~1.1M addresses (tens of MB).
+#[test]
+fn sketch_collector_stays_bounded_on_streamed_events() {
+    const EVENTS: u64 = 1_500_000;
+    let mut c = AttrCollector::new(AttributionConfig::new(1024, 64));
+    let (peak, hot_events) = measured_peak(|| feed(&mut c, EVENTS));
+    const CAP: usize = 4 << 20;
+    assert!(peak < CAP, "peak {peak} bytes exceeds the {CAP}-byte cap");
+    assert!(c.tracked_addresses() <= 64 + 1);
+    assert_hot_lines_survive(&c, EVENTS, hot_events);
+
+    // The bounded collector still renders and round-trips a report.
+    let body = c.report_json("wi", 3, 16);
+    let doc = placesim_obs::attribution::parse(&body).expect("report validates");
+    assert_eq!(doc.mode, "sketch");
+    assert_eq!(doc.events(), EVENTS);
+}
+
+/// Release-mode headline: a ≥100M-event stream (the event volume of a
+/// paper-scale multi-hundred-million-reference run) through the same
+/// 64-counter sketch inside a fixed 4 MiB budget. `PLACESIM_SCALE`
+/// scales the volume down so CI can smoke the path.
+#[test]
+#[ignore = "release-scale: run with --release -- --ignored"]
+fn hundred_million_events_sketch_within_fixed_budget() {
+    let mult = placesim::scale_from_env(1.0);
+    let events = (100_000_000.0 * mult) as u64;
+    let mut c = AttrCollector::new(AttributionConfig::new(1024, 64));
+    let (peak, hot_events) = measured_peak(|| feed(&mut c, events));
+    const CAP: usize = 4 << 20;
+    assert!(
+        peak < CAP,
+        "peak {peak} bytes exceeds the fixed {CAP}-byte budget"
+    );
+    assert_hot_lines_survive(&c, events, hot_events);
+}
+
+/// Paper-scale agreement: on a real gauss run, every address the exact
+/// table ranks in its top 10 must be tracked by the sketch with a
+/// count within the sketch's error bound. Needs the `obs` feature (the
+/// engine records no events without it); scaled by `PLACESIM_SCALE`.
+#[test]
+#[ignore = "release-scale: run with --release -- --ignored"]
+fn paper_scale_sketch_topk_agrees_with_exact() {
+    if !placesim_machine::attribution_enabled() {
+        eprintln!("attribution hooks compiled out; rebuild with --features obs");
+        return;
+    }
+    let mult = placesim::scale_from_env(1.0);
+    let spec = placesim_workloads::spec("gauss").expect("known app");
+    let opts = placesim_workloads::GenOptions {
+        scale: 0.1 * mult,
+        seed: 1994,
+    };
+    let app = placesim::PreparedApp::prepare(&spec, &opts);
+    let exact_cfg = AttributionConfig::new(usize::MAX >> 1, 1024);
+    let (_, exact) = placesim::run_placement_attributed(
+        &app,
+        placesim_placement::PlacementAlgorithm::LoadBal,
+        16,
+        exact_cfg,
+    )
+    .expect("exact run");
+    assert!(!exact.is_sketch(), "exact table must not convert");
+    let (_, sketch) = placesim::run_placement_attributed(
+        &app,
+        placesim_placement::PlacementAlgorithm::LoadBal,
+        16,
+        AttributionConfig::new(1, 256),
+    )
+    .expect("sketch run");
+    assert!(sketch.is_sketch());
+    assert_eq!(sketch.total_events(), exact.total_events());
+
+    let top = exact.top_addresses(10);
+    let tracked = sketch.top_addresses(sketch.tracked_addresses());
+    for &(line, count, _) in &top {
+        if count <= sketch.error_bound() {
+            continue; // below the sketch's resolution: no guarantee
+        }
+        let got = tracked
+            .iter()
+            .find(|(l, _, _)| *l == line)
+            .unwrap_or_else(|| panic!("exact top-10 line {line:#x} missing from sketch"));
+        assert!(
+            got.1 <= count && got.1 + sketch.error_bound() >= count,
+            "line {line:#x}: sketch {} vs exact {count} (bound {})",
+            got.1,
+            sketch.error_bound()
+        );
+    }
+}
