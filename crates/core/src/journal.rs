@@ -677,6 +677,185 @@ impl JournalWriter {
     }
 }
 
+/// The result of recovering a [`RecordLog`]: the longest valid prefix
+/// of records plus an exact account of everything dropped.
+#[derive(Debug)]
+pub struct RecordRecovery {
+    /// Parsed records in append order.
+    pub records: Vec<JsonValue>,
+    /// Lines discarded (empty when the log is pristine).
+    pub dropped: Vec<DroppedLine>,
+    /// Byte length of the valid prefix; everything past this offset is
+    /// garbage that [`RecordLog::open`] truncates away.
+    pub valid_bytes: u64,
+}
+
+/// Recovers a generic record log from raw bytes, keeping the longest
+/// valid prefix. Unlike sweep journals there is no mandatory header:
+/// an empty file is a valid, empty log. A line survives when its
+/// checksum verifies, its payload strictly parses, and the payload
+/// carries `"schema": <schema>`; the first defect ends the prefix.
+pub fn recover_records(data: &[u8], schema: &str) -> RecordRecovery {
+    let mut chunks: Vec<&[u8]> = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            chunks.push(&data[start..=i]);
+            start = i + 1;
+        }
+    }
+    if start < data.len() {
+        chunks.push(&data[start..]); // unterminated tail
+    }
+
+    let mut records = Vec::new();
+    let mut dropped = Vec::new();
+    let mut valid_bytes = 0u64;
+    let mut invalid_at: Option<usize> = None;
+    for (i, chunk) in chunks.iter().enumerate() {
+        let line_no = i + 1;
+        if let Some(first_bad) = invalid_at {
+            dropped.push(DroppedLine {
+                line: line_no,
+                reason: format!("discarded: follows invalid line {first_bad}"),
+            });
+            continue;
+        }
+        let parsed = line_body(chunk)
+            .ok_or("torn line (no terminating newline or invalid UTF-8)".to_owned())
+            .and_then(|body| {
+                if body.is_empty() {
+                    return Err("empty line".into());
+                }
+                let (crc_hex, payload) = body
+                    .split_once(' ')
+                    .ok_or("missing checksum prefix".to_owned())?;
+                if crc_hex.len() != 16 {
+                    return Err("checksum prefix is not 16 hex digits".into());
+                }
+                let crc = u64::from_str_radix(crc_hex, 16)
+                    .map_err(|_| "checksum prefix is not hex".to_owned())?;
+                if crc != fnv1a64(payload.as_bytes()) {
+                    return Err("checksum mismatch (torn or corrupted line)".into());
+                }
+                let doc = json::parse(payload).map_err(|e| format!("payload rejected: {e}"))?;
+                if doc.get("schema").and_then(JsonValue::as_str) != Some(schema) {
+                    return Err(format!("payload is not schema {schema}"));
+                }
+                Ok(doc)
+            });
+        match parsed {
+            Ok(doc) => {
+                records.push(doc);
+                valid_bytes += chunk.len() as u64;
+            }
+            Err(reason) => {
+                dropped.push(DroppedLine {
+                    line: line_no,
+                    reason,
+                });
+                invalid_at = Some(line_no);
+            }
+        }
+    }
+    RecordRecovery {
+        records,
+        dropped,
+        valid_bytes,
+    }
+}
+
+/// A generic append-only checksummed record log, sharing the sweep
+/// journal's line format (`<crc16hex> <json>\n`) and durability
+/// discipline (append + flush + fsync, bounded retries rewinding to the
+/// last committed byte) but parametrized over the payload schema. The
+/// placement service layers its durable job queue on this.
+#[derive(Debug)]
+pub struct RecordLog {
+    file: File,
+    committed: u64,
+}
+
+impl RecordLog {
+    /// Opens (creating if absent) the log at `path`: recovers the
+    /// longest valid prefix of `schema` records, truncates any garbage
+    /// tail, and positions the writer for further appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(path: &Path, schema: &str) -> Result<(Self, RecordRecovery), JournalError> {
+        let data = match fs::read(path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(JournalError::Io(e)),
+        };
+        let recovery = recover_records(&data, schema);
+        let mut file = File::options()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(recovery.valid_bytes)?;
+        file.seek(SeekFrom::Start(recovery.valid_bytes))?;
+        file.sync_data()?;
+        sink::fsync_dir(sink::parent_dir(path))?;
+        Ok((
+            RecordLog {
+                file,
+                committed: recovery.valid_bytes,
+            },
+            recovery,
+        ))
+    }
+
+    /// Durably appends one record: checksum-frame, write, flush, fsync.
+    /// `payload` must be one strict JSON document carrying the log's
+    /// schema tag — recovery drops anything else. Transient append
+    /// failures are absorbed with bounded retries, truncating back to
+    /// the last committed byte between attempts; `faults` records every
+    /// absorbed error and retry.
+    ///
+    /// # Errors
+    ///
+    /// The last I/O error when every retry is exhausted.
+    pub fn append(
+        &mut self,
+        payload: &str,
+        faults: &mut FaultCounters,
+    ) -> Result<(), JournalError> {
+        let line = to_line(payload);
+        let mut attempt = 0u32;
+        loop {
+            let res = self
+                .file
+                .write_all(line.as_bytes())
+                .and_then(|()| self.file.sync_data());
+            match res {
+                Ok(()) => {
+                    self.committed += line.len() as u64;
+                    return Ok(());
+                }
+                Err(e) => {
+                    faults.io_errors += 1;
+                    self.file.set_len(self.committed)?;
+                    self.file.seek(SeekFrom::Start(self.committed))?;
+                    attempt += 1;
+                    if attempt >= MAX_COMMIT_ATTEMPTS {
+                        return Err(JournalError::Io(e));
+                    }
+                    faults.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Bytes durably committed so far.
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -882,6 +1061,60 @@ mod tests {
             recover(cell_first.as_bytes()),
             Err(JournalError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn record_log_round_trips_and_truncates_garbage() {
+        let dir = tmp_dir("recordlog");
+        let path = dir.join("service.journal");
+        let mut faults = FaultCounters::new();
+        let (mut log, rec) = RecordLog::open(&path, "placesim-service-v1").unwrap();
+        assert!(rec.records.is_empty() && rec.dropped.is_empty());
+        log.append(
+            "{\"schema\": \"placesim-service-v1\", \"kind\": \"job\", \"id\": 1}",
+            &mut faults,
+        )
+        .unwrap();
+        log.append(
+            "{\"schema\": \"placesim-service-v1\", \"kind\": \"done\", \"id\": 1}",
+            &mut faults,
+        )
+        .unwrap();
+        let good_len = log.committed_bytes();
+        drop(log);
+        // Torn tail: half a line appended by a crashed writer.
+        let mut f = File::options().append(true).open(&path).unwrap();
+        f.write_all(b"deadbeef tor").unwrap();
+        drop(f);
+
+        let (log, rec) = RecordLog::open(&path, "placesim-service-v1").unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(
+            rec.records[1].get("kind").and_then(JsonValue::as_str),
+            Some("done")
+        );
+        assert_eq!(rec.dropped.len(), 1);
+        assert_eq!(rec.valid_bytes, good_len);
+        assert_eq!(fs::metadata(&path).unwrap().len(), good_len);
+        drop(log);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_log_rejects_foreign_schema_lines() {
+        let mut text = to_line("{\"schema\": \"placesim-service-v1\", \"id\": 1}");
+        text.push_str(&to_line("{\"schema\": \"placesim-journal-v1\", \"id\": 2}"));
+        text.push_str(&to_line("{\"schema\": \"placesim-service-v1\", \"id\": 3}"));
+        let rec = recover_records(text.as_bytes(), "placesim-service-v1");
+        // The foreign line ends the prefix; the valid line after it is
+        // dropped too (longest valid *prefix*, not a filter).
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.dropped.len(), 2);
+        assert!(
+            rec.dropped[0].reason.contains("schema"),
+            "{:?}",
+            rec.dropped
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod grid;
 pub mod journal;
 pub mod manifest;
 pub mod report;
+pub mod service;
 pub mod supervisor;
 pub mod tables;
 
@@ -50,12 +51,18 @@ pub use experiment::{
     run_placement, run_placement_attributed, run_placement_with_config, run_sweep,
     run_sweep_manifested, ExperimentResult, PreparedApp,
 };
-pub use journal::{JournalError, JournalHeader, JournalRecovery, JOURNAL_SCHEMA};
+pub use journal::{
+    JournalError, JournalHeader, JournalRecovery, RecordLog, RecordRecovery, JOURNAL_SCHEMA,
+};
 pub use manifest::{ManifestEntry, RunManifest, METRICS_SCHEMA};
 pub use report::{Regression, Report, ReportGroup, ReportHole, REPORT_SCHEMA};
+pub use service::{
+    LockFile, PlacementService, ServiceConfig, ServiceError, ServiceRecovery, SERVICE_JOURNAL,
+    SERVICE_LOCK,
+};
 pub use supervisor::{
-    run_supervised_sweep, sweep_header, SupervisedSweep, SupervisorConfig, SweepHole,
-    TELEMETRY_SCHEMA,
+    run_supervised_sweep, sweep_header, BackoffPolicy, SupervisedSweep, SupervisorConfig,
+    SweepHole, TELEMETRY_SCHEMA,
 };
 // The worker pool lives in the trace crate (the bottom of the stack) so
 // the analysis passes can share it; re-exported here for sweep callers.

@@ -33,6 +33,62 @@ use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Exponential retry backoff with deterministic, seeded jitter.
+///
+/// The delay before retry attempt `n` (1-based count of failures so
+/// far) is `min(cap, base · 2^(n-1))` plus a jitter drawn uniformly
+/// from `[0, delay/2]` — but the "draw" is a pure splitmix64 hash of
+/// `(seed, job, n)`, so the whole schedule is a deterministic function
+/// of the policy and the job: chaos tests can assert it exactly, and
+/// two supervisors with the same seed de-synchronize their retries
+/// per-job instead of stampeding together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+}
+
+impl BackoffPolicy {
+    /// A policy backing off from `base` doubling up to `cap`, with
+    /// jitter seeded by `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        BackoffPolicy { base, cap, seed }
+    }
+
+    /// The delay before the next attempt of `job`, after
+    /// `failed_attempts` failures (so the first retry passes 1).
+    /// `failed_attempts == 0` means nothing failed yet: zero delay.
+    pub fn delay(&self, job: u64, failed_attempts: u32) -> Duration {
+        if failed_attempts == 0 {
+            return Duration::ZERO;
+        }
+        let base_ms = self.base.as_millis().min(u128::from(u64::MAX)) as u64;
+        let cap_ms = self.cap.as_millis().min(u128::from(u64::MAX)) as u64;
+        // 2^(n-1) with the shift clamped so a huge attempt count
+        // saturates at the cap instead of overflowing.
+        let exp = base_ms
+            .saturating_mul(1u64 << u64::from(failed_attempts - 1).min(32))
+            .min(cap_ms);
+        let jitter = splitmix64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(job << 8)
+                .wrapping_add(u64::from(failed_attempts)),
+        ) % (exp / 2 + 1);
+        Duration::from_millis(exp + jitter)
+    }
+}
+
+/// The splitmix64 finalizer: avalanches a combined key into a uniform
+/// 64-bit value. Shared by the backoff jitter and (in spirit) the
+/// chaos plan's fault rolls.
+fn splitmix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Supervision policy for a sweep.
 #[derive(Debug, Clone, Default)]
 pub struct SupervisorConfig {
@@ -53,6 +109,9 @@ pub struct SupervisorConfig {
     /// is on) the current hottest addresses. Best-effort: an unwritable
     /// telemetry path never fails the sweep.
     pub telemetry: Option<PathBuf>,
+    /// Delay schedule between retry attempts; `None` retries
+    /// immediately (the historical behavior).
+    pub backoff: Option<BackoffPolicy>,
     /// Fault-injection plan for chaos testing.
     #[cfg(feature = "chaos")]
     pub chaos: Option<crate::chaos::ChaosPlan>,
@@ -66,6 +125,7 @@ impl SupervisorConfig {
             watchdog: None,
             attribution: None,
             telemetry: None,
+            backoff: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -92,6 +152,13 @@ impl SupervisorConfig {
     /// Sets the live-telemetry output path.
     pub fn with_telemetry(mut self, path: PathBuf) -> Self {
         self.telemetry = Some(path);
+        self
+    }
+
+    /// Spaces retries out on an exponential-with-jitter schedule
+    /// instead of re-attempting immediately.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = Some(policy);
         self
     }
 
@@ -560,6 +627,10 @@ fn supervise_cell(
             Attempt::TimedOut => {
                 let mut f = faults.lock().unwrap_or_else(|p| p.into_inner());
                 f.timeouts += 1;
+                // The timed-out attempt's thread was detached, not
+                // joined — account for it so leaked workers show up in
+                // sweep and service reports instead of vanishing.
+                f.abandoned += 1;
                 format!(
                     "watchdog fired after {:?} (attempt thread abandoned)",
                     sup.watchdog.unwrap_or_default()
@@ -587,6 +658,9 @@ fn supervise_cell(
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .record_retry();
+        if let Some(backoff) = &sup.backoff {
+            std::thread::sleep(backoff.delay(index as u64, attempt));
+        }
     }
 }
 

@@ -97,6 +97,10 @@ fn stalled_workers_trip_the_watchdog_and_are_retried() {
 
     assert!(sweep.is_complete());
     assert_eq!(sweep.faults.timeouts, CELLS, "every cell times out once");
+    assert_eq!(
+        sweep.faults.abandoned, CELLS,
+        "every timed-out attempt thread is counted as abandoned"
+    );
     for cell in &sweep.cells {
         assert_eq!(cell.attempts, 2);
     }
@@ -179,6 +183,77 @@ fn mixed_fault_classes_all_converge() {
     assert_eq!(sweep.faults.panics, CELLS);
     assert_eq!(sweep.faults.io_errors, CELLS);
     assert!(sweep.faults.total() > FaultCounters::new().total());
+    assert_eq!(sweep.manifest().to_json(), want);
+    assert_journal_clean(&path);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backoff_schedule_is_deterministic_and_bounded() {
+    use placesim::BackoffPolicy;
+    let policy = BackoffPolicy::new(Duration::from_millis(100), Duration::from_secs(2), 42);
+    // Attempt 0 (nothing failed yet) never sleeps.
+    assert_eq!(policy.delay(0, 0), Duration::ZERO);
+    for job in 0..8u64 {
+        let mut prev_base = 0u128;
+        for failed in 1..=6u32 {
+            let d = policy.delay(job, failed);
+            let exp = (100u128 << (failed - 1)).min(2000);
+            // Exponential base plus jitter in [0, exp/2].
+            assert!(
+                (exp..=exp + exp / 2).contains(&d.as_millis()),
+                "job {job} attempt {failed}: {d:?} outside [{exp}, {}]",
+                exp + exp / 2
+            );
+            assert!(exp >= prev_base, "base must never shrink");
+            prev_base = exp;
+            // Deterministic: the same (seed, job, attempt) always
+            // yields the same delay.
+            assert_eq!(d, policy.delay(job, failed));
+        }
+    }
+    // Different seeds jitter differently somewhere in the schedule.
+    let other = BackoffPolicy::new(Duration::from_millis(100), Duration::from_secs(2), 43);
+    assert!(
+        (0..8u64).any(|j| (1..=6u32).any(|a| policy.delay(j, a) != other.delay(j, a))),
+        "seed must affect the jitter"
+    );
+}
+
+#[test]
+fn backoff_spaces_chaos_retries_without_changing_results() {
+    let dir = tmp_dir("backoff");
+    let app = tiny();
+    let want = healthy_manifest(&app, &dir);
+
+    let path = dir.join("sweep.journal");
+    let policy =
+        placesim::BackoffPolicy::new(Duration::from_millis(150), Duration::from_secs(1), 7);
+    // Every cell panics once, so every cell sleeps exactly
+    // delay(cell, 1) before its successful second attempt.
+    let sup = SupervisorConfig::new()
+        .with_max_attempts(3)
+        .with_backoff(policy.clone())
+        .with_chaos(ChaosPlan::new(7).with_panics(1000));
+    let started = std::time::Instant::now();
+    let sweep = run_supervised_sweep(&app, &ALGOS, &PROCS, &path, false, &sup).unwrap();
+    let elapsed = started.elapsed();
+
+    assert!(sweep.is_complete());
+    assert_eq!(sweep.faults.retries, CELLS);
+    for cell in &sweep.cells {
+        assert_eq!(cell.attempts, 2);
+    }
+    // The attempt schedule is the policy's: every retried cell waited
+    // at least its deterministic first-retry delay, so the sweep as a
+    // whole cannot beat the smallest of them.
+    let min_delay = (0..CELLS).map(|c| policy.delay(c, 1)).min().unwrap();
+    assert!(min_delay >= Duration::from_millis(150));
+    assert!(
+        elapsed >= min_delay,
+        "sweep finished in {elapsed:?}, faster than the minimum backoff {min_delay:?}"
+    );
+    // Backoff delays retries; it must not change what they compute.
     assert_eq!(sweep.manifest().to_json(), want);
     assert_journal_clean(&path);
     std::fs::remove_dir_all(&dir).ok();

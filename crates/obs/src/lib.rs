@@ -13,6 +13,9 @@
 //!   module.
 //! * [`sink`] — JSONL append sinks and an atomic write-then-rename
 //!   file helper used for manifests and metrics outputs.
+//! * [`proto`] — the `placesim-service-v1` wire protocol: bounded
+//!   framing, a hardened request parser, and the placement service's
+//!   metrics block.
 //!
 //! The crate itself is always compiled; *zero-overhead* instrumentation
 //! is achieved by the consumers (e.g. `placesim-machine`) gating their
@@ -24,10 +27,12 @@
 
 pub mod attribution;
 pub mod json;
+pub mod proto;
 pub mod sink;
 pub mod timeline;
 
 pub use attribution::{AttrCollector, AttrKind, AttributionConfig};
+pub use proto::{JobOp, JobSpec, ProtoError, Request, ServiceMetrics, SERVICE_SCHEMA};
 pub use timeline::{EventKind, EventTrace, SharingRun, TimelineEvent};
 
 use std::time::Instant;
@@ -251,6 +256,12 @@ pub struct FaultCounters {
     pub io_errors: u64,
     /// Retry attempts dispatched after an absorbed fault.
     pub retries: u64,
+    /// Attempt threads abandoned (detached, never joined) after their
+    /// watchdog fired. Every abandoned thread is also a timeout, but it
+    /// is accounted separately because an abandoned thread may still be
+    /// burning a core long after the supervisor moved on — operators
+    /// watching a sweep or service need to see that leak, not infer it.
+    pub abandoned: u64,
 }
 
 impl FaultCounters {
@@ -271,6 +282,7 @@ impl FaultCounters {
         self.timeouts += other.timeouts;
         self.io_errors += other.io_errors;
         self.retries += other.retries;
+        self.abandoned += other.abandoned;
     }
 
     /// Writes the counters as a JSON object value onto `w`.
@@ -281,6 +293,7 @@ impl FaultCounters {
         w.field_u64("timeouts", self.timeouts);
         w.field_u64("io_errors", self.io_errors);
         w.field_u64("retries", self.retries);
+        w.field_u64("abandoned", self.abandoned);
         w.end_object();
     }
 }
@@ -482,17 +495,20 @@ mod tests {
             errors: 1,
             timeouts: 4,
             io_errors: 5,
+            abandoned: 4,
             ..FaultCounters::default()
         };
         a.merge(&b);
         assert_eq!(a.total(), 2 + 1 + 4 + 5);
         assert_eq!(a.retries, 3);
+        assert_eq!(a.abandoned, 4, "abandoned threads are merged, not lost");
 
         let mut w = json::JsonWriter::new();
         a.write_json(&mut w);
         let s = w.finish();
         assert!(json::balanced(&s));
         assert!(s.contains("\"timeouts\": 4"));
+        assert!(s.contains("\"abandoned\": 4"));
     }
 
     #[test]

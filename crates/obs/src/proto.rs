@@ -1,0 +1,714 @@
+//! The `placesim-service-v1` wire protocol: hardened parsing for the
+//! placement service's newline-delimited JSON requests, plus the
+//! service-side metrics block.
+//!
+//! The placement daemon (`placesim-cli serve`) reads untrusted bytes
+//! from a local socket, so every request passes through this module's
+//! strict pipeline before any domain code sees it:
+//!
+//! 1. [`read_frame`] — bounded framing: at most [`MAX_FRAME_BYTES`]
+//!    bytes are ever buffered per request; an oversized or truncated
+//!    frame is a typed error, never an unbounded allocation.
+//! 2. [`parse_request`] — the strict [`crate::json`] parser (duplicate
+//!    keys, trailing garbage and deep nesting are rejected there),
+//!    followed by schema/op dispatch and per-field validation with
+//!    hard bounds on every count, length and list a request can claim.
+//!
+//! Parsing is total: any byte sequence produces either a [`Request`]
+//! or a [`ProtoError`] — never a panic, never an allocation that is
+//! not a small multiple of the input size (the hostile-input suite
+//! enforces this under a tracking allocator).
+
+use crate::json::{self, JsonValue, JsonWriter};
+use crate::{FaultCounters, Histogram};
+use std::fmt;
+use std::io::BufRead;
+
+/// Schema tag every request and response carries; bump on layout
+/// changes.
+pub const SERVICE_SCHEMA: &str = "placesim-service-v1";
+
+/// Hard cap on one request frame (bytes, including the newline). A
+/// legitimate request is a few hundred bytes; anything beyond this is
+/// load-shedding territory.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Hard cap on the algorithm / processor-count lists a job may claim.
+pub const MAX_LIST_ITEMS: usize = 64;
+
+/// Hard cap on any string field (app, algorithm, protocol names).
+pub const MAX_STRING_BYTES: usize = 128;
+
+/// Hard cap on a `wait` request's timeout (ms); longer waits must poll.
+pub const MAX_WAIT_MS: u64 = 600_000;
+
+/// Largest processor count a job may request.
+pub const MAX_PROCESSORS: u64 = 1024;
+
+/// A typed request-parsing failure. Every variant maps to a rejection
+/// response; none of them tears down the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame exceeded [`MAX_FRAME_BYTES`] before a newline arrived.
+    Oversized {
+        /// The enforced frame limit in bytes.
+        limit: usize,
+    },
+    /// The stream ended mid-frame (no terminating newline).
+    Truncated,
+    /// The frame is not valid UTF-8 or not strict JSON.
+    Syntax(String),
+    /// The document does not carry `"schema": "placesim-service-v1"`.
+    Schema(String),
+    /// The `op` field is missing or names no known operation.
+    UnknownOp(String),
+    /// A field is missing, mistyped, out of bounds, or unknown.
+    BadField(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            ProtoError::Truncated => write!(f, "truncated frame (stream ended mid-request)"),
+            ProtoError::Syntax(msg) => write!(f, "malformed request: {msg}"),
+            ProtoError::Schema(msg) => write!(f, "schema mismatch: {msg}"),
+            ProtoError::UnknownOp(msg) => write!(f, "unknown op: {msg}"),
+            ProtoError::BadField(msg) => write!(f, "bad field: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// What a submitted job asks the service to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOp {
+    /// Static sharing analysis of the app's trace.
+    Analyze,
+    /// Placement only: one algorithm, one processor count.
+    Place,
+    /// Placement + full simulation: one algorithm, one processor count.
+    Simulate,
+    /// A full algorithms × processor-counts grid of simulations.
+    Sweep,
+}
+
+impl JobOp {
+    /// The wire name of the op.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobOp::Analyze => "analyze",
+            JobOp::Place => "place",
+            JobOp::Simulate => "simulate",
+            JobOp::Sweep => "sweep",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "analyze" => Some(JobOp::Analyze),
+            "place" => Some(JobOp::Place),
+            "simulate" => Some(JobOp::Simulate),
+            "sweep" => Some(JobOp::Sweep),
+            _ => None,
+        }
+    }
+}
+
+/// A validated job description. Field bounds are enforced at parse
+/// time, so downstream code can trust every count and length in here;
+/// *semantic* validity (does the app exist, does the algorithm parse)
+/// is the service's job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What to run.
+    pub op: JobOp,
+    /// Application (suite) name.
+    pub app: String,
+    /// Trace scale factor, in `(0, 10]`.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Coherence protocol name, when overriding the paper default.
+    pub protocol: Option<String>,
+    /// Algorithm names: exactly one for place/simulate, at least one
+    /// for sweep, empty for analyze.
+    pub algorithms: Vec<String>,
+    /// Processor counts: exactly one for place/simulate, at least one
+    /// for sweep, empty for analyze.
+    pub processors: Vec<usize>,
+}
+
+impl JobSpec {
+    /// The canonical JSON of this spec: fixed field order, fixed
+    /// spacing. Two identical jobs always canonicalize to identical
+    /// bytes, which is what makes the fingerprint-keyed result cache
+    /// and the crash-resume byte-identity proof work.
+    pub fn canonical_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Writes the spec as a JSON object value onto `w` (canonical
+    /// field order).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("op", self.op.as_str());
+        w.field_str("app", &self.app);
+        w.field_f64("scale", self.scale);
+        w.field_u64("seed", self.seed);
+        w.key("protocol");
+        match &self.protocol {
+            Some(p) => w.value_str(p),
+            None => w.value_null(),
+        }
+        w.key("algorithms");
+        w.begin_array();
+        for a in &self.algorithms {
+            w.value_str(a);
+        }
+        w.end_array();
+        w.key("processors");
+        w.begin_array();
+        for &p in &self.processors {
+            w.value_u64(p as u64);
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// Parses and validates a job object. Strict: unknown keys are
+    /// rejected, every bound above is enforced.
+    pub fn from_doc(doc: &JsonValue) -> Result<Self, ProtoError> {
+        let fields = doc
+            .as_object()
+            .ok_or_else(|| ProtoError::BadField("job must be an object".into()))?;
+        for (key, _) in fields {
+            if !matches!(
+                key.as_str(),
+                "op" | "app" | "scale" | "seed" | "protocol" | "algorithms" | "processors"
+            ) {
+                return Err(ProtoError::BadField(format!("unknown job field {key:?}")));
+            }
+        }
+        let op_name = doc
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ProtoError::BadField("job field \"op\" is not a string".into()))?;
+        let op = JobOp::parse(op_name)
+            .ok_or_else(|| ProtoError::UnknownOp(format!("job op {op_name:?}")))?;
+        let app = bounded_string(doc, "app")?
+            .ok_or_else(|| ProtoError::BadField("job field \"app\" is not a string".into()))?;
+        let scale = doc
+            .get("scale")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ProtoError::BadField("job field \"scale\" is not a number".into()))?;
+        if !(scale > 0.0 && scale <= 10.0) {
+            return Err(ProtoError::BadField(format!(
+                "job scale {scale} is outside (0, 10]"
+            )));
+        }
+        let seed = doc.get("seed").and_then(JsonValue::as_u64).ok_or_else(|| {
+            ProtoError::BadField("job field \"seed\" is not an unsigned integer".into())
+        })?;
+        let protocol = match doc.get("protocol") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(_) => Some(bounded_string(doc, "protocol")?.ok_or_else(|| {
+                ProtoError::BadField("job field \"protocol\" is not a string".into())
+            })?),
+        };
+        let algorithms = string_list(doc, "algorithms")?;
+        let processors = uint_list(doc, "processors")?;
+        // Shape rules per op: analyze takes no grid; place/simulate
+        // take exactly one cell; sweep takes a non-empty grid.
+        let (na, np) = (algorithms.len(), processors.len());
+        match op {
+            JobOp::Analyze => {
+                if na != 0 || np != 0 {
+                    return Err(ProtoError::BadField(
+                        "analyze jobs take no algorithms or processors".into(),
+                    ));
+                }
+            }
+            JobOp::Place | JobOp::Simulate => {
+                if na != 1 || np != 1 {
+                    return Err(ProtoError::BadField(format!(
+                        "{} jobs need exactly one algorithm and one processor count \
+                         (got {na} and {np})",
+                        op.as_str()
+                    )));
+                }
+            }
+            JobOp::Sweep => {
+                if na == 0 || np == 0 {
+                    return Err(ProtoError::BadField(
+                        "sweep jobs need at least one algorithm and one processor count".into(),
+                    ));
+                }
+            }
+        }
+        Ok(JobSpec {
+            op,
+            app,
+            scale,
+            seed,
+            protocol,
+            algorithms,
+            processors,
+        })
+    }
+}
+
+/// A string field with the [`MAX_STRING_BYTES`] bound applied; `None`
+/// when absent or not a string.
+fn bounded_string(doc: &JsonValue, key: &str) -> Result<Option<String>, ProtoError> {
+    match doc.get(key).and_then(JsonValue::as_str) {
+        None => Ok(None),
+        Some("") => Err(ProtoError::BadField(format!("job {key} is empty"))),
+        Some(s) if s.len() > MAX_STRING_BYTES => Err(ProtoError::BadField(format!(
+            "job {key} is {} bytes; the limit is {MAX_STRING_BYTES}",
+            s.len()
+        ))),
+        Some(s) => Ok(Some(s.to_owned())),
+    }
+}
+
+/// A bounded list of bounded strings; absent means empty.
+fn string_list(doc: &JsonValue, key: &str) -> Result<Vec<String>, ProtoError> {
+    let Some(v) = doc.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = v
+        .as_array()
+        .ok_or_else(|| ProtoError::BadField(format!("job field {key:?} is not an array")))?;
+    if items.len() > MAX_LIST_ITEMS {
+        return Err(ProtoError::BadField(format!(
+            "job {key} claims {} entries; the limit is {MAX_LIST_ITEMS}",
+            items.len()
+        )));
+    }
+    items
+        .iter()
+        .map(|item| match item.as_str() {
+            Some("") => Err(ProtoError::BadField(format!("{key} entry is empty"))),
+            Some(s) if s.len() > MAX_STRING_BYTES => Err(ProtoError::BadField(format!(
+                "{key} entry is {} bytes; the limit is {MAX_STRING_BYTES}",
+                s.len()
+            ))),
+            Some(s) => Ok(s.to_owned()),
+            None => Err(ProtoError::BadField(format!("{key} entry is not a string"))),
+        })
+        .collect()
+}
+
+/// A bounded list of processor counts; absent means empty.
+fn uint_list(doc: &JsonValue, key: &str) -> Result<Vec<usize>, ProtoError> {
+    let Some(v) = doc.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = v
+        .as_array()
+        .ok_or_else(|| ProtoError::BadField(format!("job field {key:?} is not an array")))?;
+    if items.len() > MAX_LIST_ITEMS {
+        return Err(ProtoError::BadField(format!(
+            "job {key} claims {} entries; the limit is {MAX_LIST_ITEMS}",
+            items.len()
+        )));
+    }
+    items
+        .iter()
+        .map(|item| match item.as_u64() {
+            Some(n) if (1..=MAX_PROCESSORS).contains(&n) => Ok(n as usize),
+            Some(n) => Err(ProtoError::BadField(format!(
+                "{key} entry {n} is outside 1..={MAX_PROCESSORS}"
+            ))),
+            None => Err(ProtoError::BadField(format!(
+                "{key} entry is not an unsigned integer"
+            ))),
+        })
+        .collect()
+}
+
+/// One parsed service request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a job (journaled before acknowledgment).
+    Submit(JobSpec),
+    /// Health/status snapshot: queue depth, metrics, fault counters.
+    Status,
+    /// Look up a job's current state and (if finished) result.
+    Result {
+        /// The job id returned by submit.
+        id: u64,
+    },
+    /// Block until a job finishes or the timeout elapses.
+    Wait {
+        /// The job id returned by submit.
+        id: u64,
+        /// How long to wait, capped at [`MAX_WAIT_MS`].
+        timeout_ms: u64,
+    },
+    /// Begin a graceful drain: stop accepting, finish in-flight work.
+    Shutdown,
+}
+
+/// Parses one frame (without its newline) into a request.
+///
+/// # Errors
+///
+/// A typed [`ProtoError`]; never panics, never over-allocates.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(ProtoError::Oversized {
+            limit: MAX_FRAME_BYTES,
+        });
+    }
+    let body = line.trim_end_matches(['\r', '\n']);
+    let doc = json::parse(body).map_err(ProtoError::Syntax)?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(SERVICE_SCHEMA) => {}
+        Some(other) => {
+            return Err(ProtoError::Schema(format!(
+                "request is schema {other:?}, not {SERVICE_SCHEMA:?}"
+            )))
+        }
+        None => return Err(ProtoError::Schema("request carries no schema field".into())),
+    }
+    let fields = doc
+        .as_object()
+        .ok_or_else(|| ProtoError::Syntax("request is not an object".into()))?;
+    let op = doc
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ProtoError::UnknownOp("request has no op field".into()))?;
+    let allowed: &[&str] = match op {
+        "submit" => &["schema", "op", "job"],
+        "wait" => &["schema", "op", "id", "timeout_ms"],
+        "result" => &["schema", "op", "id"],
+        "status" | "shutdown" => &["schema", "op"],
+        other => return Err(ProtoError::UnknownOp(format!("{other:?}"))),
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ProtoError::BadField(format!(
+                "unknown field {key:?} for op {op:?}"
+            )));
+        }
+    }
+    let id = || {
+        doc.get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ProtoError::BadField("field \"id\" is not an unsigned integer".into()))
+    };
+    match op {
+        "submit" => {
+            let job = doc
+                .get("job")
+                .ok_or_else(|| ProtoError::BadField("submit needs a job object".into()))?;
+            Ok(Request::Submit(JobSpec::from_doc(job)?))
+        }
+        "status" => Ok(Request::Status),
+        "result" => Ok(Request::Result { id: id()? }),
+        "wait" => {
+            let timeout_ms = match doc.get("timeout_ms") {
+                None => 0,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ProtoError::BadField("field \"timeout_ms\" is not an unsigned integer".into())
+                })?,
+            };
+            if timeout_ms > MAX_WAIT_MS {
+                return Err(ProtoError::BadField(format!(
+                    "timeout_ms {timeout_ms} exceeds the {MAX_WAIT_MS} ms limit"
+                )));
+            }
+            Ok(Request::Wait {
+                id: id()?,
+                timeout_ms,
+            })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        _ => unreachable!("op validated above"),
+    }
+}
+
+/// Reads one newline-terminated frame from `reader` with the frame
+/// bound enforced *during* the read — a hostile peer streaming
+/// gigabytes without a newline costs at most [`MAX_FRAME_BYTES`] of
+/// buffer before the typed error comes back.
+///
+/// Returns `Ok(None)` on a clean EOF before any frame bytes.
+///
+/// # Errors
+///
+/// [`ProtoError::Oversized`] past the bound, [`ProtoError::Truncated`]
+/// on EOF mid-frame, [`ProtoError::Syntax`] on invalid UTF-8 or I/O
+/// failure.
+pub fn read_frame<R: BufRead>(reader: R) -> Result<Option<String>, ProtoError> {
+    let mut buf = Vec::new();
+    let mut limited = std::io::Read::take(reader, (MAX_FRAME_BYTES + 1) as u64);
+    let n = limited
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| ProtoError::Syntax(format!("read failed: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        // Either the limiter cut us off (oversized) or the stream
+        // ended mid-frame (truncated).
+        return Err(if buf.len() > MAX_FRAME_BYTES {
+            ProtoError::Oversized {
+                limit: MAX_FRAME_BYTES,
+            }
+        } else {
+            ProtoError::Truncated
+        });
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| ProtoError::Syntax("frame is not valid UTF-8".into()))
+}
+
+/// Counters and distributions the placement service exposes through
+/// its `status` response. Plain data — the service owns the single
+/// mutable copy behind its state lock.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Jobs accepted into the queue (journaled and acknowledged).
+    pub accepted: u64,
+    /// Submits shed because the queue was at capacity.
+    pub rejected_overload: u64,
+    /// Submits refused because the service was draining.
+    pub rejected_draining: u64,
+    /// Frames that failed protocol parsing.
+    pub rejected_malformed: u64,
+    /// Submits answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Jobs that ran to a journaled result.
+    pub completed: u64,
+    /// Jobs that ended in a journaled permanent failure.
+    pub failed: u64,
+    /// Queue depth sampled at every submit (accepted or shed).
+    pub queue_depth: Histogram,
+    /// Wall-clock milliseconds per completed job.
+    pub job_wall_ms: Histogram,
+}
+
+impl ServiceMetrics {
+    /// All counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the metrics as a JSON object value onto `w`, including
+    /// the fault counters the caller accumulated alongside.
+    pub fn write_json(&self, w: &mut JsonWriter, faults: &FaultCounters) {
+        w.begin_object();
+        w.field_u64("accepted", self.accepted);
+        w.field_u64("rejected_overload", self.rejected_overload);
+        w.field_u64("rejected_draining", self.rejected_draining);
+        w.field_u64("rejected_malformed", self.rejected_malformed);
+        w.field_u64("cache_hits", self.cache_hits);
+        w.field_u64("completed", self.completed);
+        w.field_u64("failed", self.failed);
+        w.key("queue_depth");
+        self.queue_depth.write_json(w);
+        w.key("job_wall_ms");
+        self.job_wall_ms.write_json(w);
+        w.key("faults");
+        faults.write_json(w);
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn submit_line(job: &str) -> String {
+        format!("{{\"schema\": \"{SERVICE_SCHEMA}\", \"op\": \"submit\", \"job\": {job}}}")
+    }
+
+    const SIM_JOB: &str = "{\"op\": \"simulate\", \"app\": \"water\", \"scale\": 0.002, \
+                           \"seed\": 3, \"algorithms\": [\"LOAD-BAL\"], \"processors\": [4]}";
+
+    #[test]
+    fn submit_round_trips() {
+        let req = parse_request(&submit_line(SIM_JOB)).unwrap();
+        let Request::Submit(spec) = req else {
+            panic!("not a submit")
+        };
+        assert_eq!(spec.op, JobOp::Simulate);
+        assert_eq!(spec.app, "water");
+        assert_eq!(spec.algorithms, vec!["LOAD-BAL".to_owned()]);
+        assert_eq!(spec.processors, vec![4]);
+        assert_eq!(spec.protocol, None);
+        // Canonicalization is stable and itself strictly parseable.
+        let canon = spec.canonical_json();
+        assert!(json::parse(&canon).is_ok());
+        let respec = JobSpec::from_doc(&json::parse(&canon).unwrap()).unwrap();
+        assert_eq!(respec, spec);
+        assert_eq!(respec.canonical_json(), canon);
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        for (op, want) in [("status", Request::Status), ("shutdown", Request::Shutdown)] {
+            let line = format!("{{\"schema\": \"{SERVICE_SCHEMA}\", \"op\": \"{op}\"}}");
+            assert_eq!(parse_request(&line).unwrap(), want);
+        }
+        let line = format!("{{\"schema\": \"{SERVICE_SCHEMA}\", \"op\": \"result\", \"id\": 7}}");
+        assert_eq!(parse_request(&line).unwrap(), Request::Result { id: 7 });
+        let line = format!(
+            "{{\"schema\": \"{SERVICE_SCHEMA}\", \"op\": \"wait\", \"id\": 7, \
+             \"timeout_ms\": 100}}"
+        );
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Wait {
+                id: 7,
+                timeout_ms: 100
+            }
+        );
+    }
+
+    #[test]
+    fn schema_and_op_are_enforced() {
+        assert!(matches!(
+            parse_request("{\"schema\": \"placesim-service-v9\", \"op\": \"status\"}"),
+            Err(ProtoError::Schema(_))
+        ));
+        assert!(matches!(
+            parse_request("{\"op\": \"status\"}"),
+            Err(ProtoError::Schema(_))
+        ));
+        let line = format!("{{\"schema\": \"{SERVICE_SCHEMA}\", \"op\": \"explode\"}}");
+        assert!(matches!(
+            parse_request(&line),
+            Err(ProtoError::UnknownOp(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_and_out_of_bound_fields_are_rejected() {
+        // Unknown top-level field.
+        let line = format!("{{\"schema\": \"{SERVICE_SCHEMA}\", \"op\": \"status\", \"x\": 1}}");
+        assert!(matches!(parse_request(&line), Err(ProtoError::BadField(_))));
+        // Unknown job field.
+        let bad = SIM_JOB.replace("\"seed\": 3", "\"seed\": 3, \"nice\": true");
+        assert!(matches!(
+            parse_request(&submit_line(&bad)),
+            Err(ProtoError::BadField(m)) if m.contains("nice")
+        ));
+        // Lying lengths: a processor count beyond the cap.
+        let bad = SIM_JOB.replace("[4]", "[1048576]");
+        assert!(matches!(
+            parse_request(&submit_line(&bad)),
+            Err(ProtoError::BadField(_))
+        ));
+        // Zero processors.
+        let bad = SIM_JOB.replace("[4]", "[0]");
+        assert!(matches!(
+            parse_request(&submit_line(&bad)),
+            Err(ProtoError::BadField(_))
+        ));
+        // Scale out of range.
+        for bad_scale in ["0.0", "-1.0", "11.0"] {
+            let bad = SIM_JOB.replace("0.002", bad_scale);
+            assert!(
+                matches!(
+                    parse_request(&submit_line(&bad)),
+                    Err(ProtoError::BadField(_))
+                ),
+                "scale {bad_scale} accepted"
+            );
+        }
+        // Wait timeout beyond the cap.
+        let line = format!(
+            "{{\"schema\": \"{SERVICE_SCHEMA}\", \"op\": \"wait\", \"id\": 1, \
+             \"timeout_ms\": 600001}}"
+        );
+        assert!(matches!(parse_request(&line), Err(ProtoError::BadField(_))));
+    }
+
+    #[test]
+    fn op_shapes_are_enforced() {
+        // analyze with a grid.
+        let bad = SIM_JOB.replace("simulate", "analyze");
+        assert!(parse_request(&submit_line(&bad)).is_err());
+        // simulate with two algorithms.
+        let bad = SIM_JOB.replace("[\"LOAD-BAL\"]", "[\"LOAD-BAL\", \"RANDOM\"]");
+        assert!(parse_request(&submit_line(&bad)).is_err());
+        // sweep with an empty grid.
+        let bad = SIM_JOB
+            .replace("simulate", "sweep")
+            .replace("[\"LOAD-BAL\"]", "[]");
+        assert!(parse_request(&submit_line(&bad)).is_err());
+        // sweep with a proper grid parses.
+        let good = SIM_JOB
+            .replace("simulate", "sweep")
+            .replace("[4]", "[2, 4]");
+        assert!(parse_request(&submit_line(&good)).is_ok());
+    }
+
+    #[test]
+    fn frames_are_bounded() {
+        // Clean frame.
+        let mut r = Cursor::new(b"hello\n".to_vec());
+        assert_eq!(read_frame(&mut r).unwrap(), Some("hello".to_owned()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        // CRLF tolerated.
+        let mut r = Cursor::new(b"hi\r\n".to_vec());
+        assert_eq!(read_frame(&mut r).unwrap(), Some("hi".to_owned()));
+        // Truncated.
+        let mut r = Cursor::new(b"no newline".to_vec());
+        assert_eq!(read_frame(&mut r), Err(ProtoError::Truncated));
+        // Oversized: a newline-free flood is cut at the limit.
+        let mut r = Cursor::new(vec![b'x'; MAX_FRAME_BYTES + 100]);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(ProtoError::Oversized { .. })
+        ));
+        // Junk UTF-8.
+        let mut r = Cursor::new(b"\xff\xfe\n".to_vec());
+        assert!(matches!(read_frame(&mut r), Err(ProtoError::Syntax(_))));
+        // An oversized in-memory line is rejected by parse too.
+        let huge = "x".repeat(MAX_FRAME_BYTES + 1);
+        assert!(matches!(
+            parse_request(&huge),
+            Err(ProtoError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_serialize() {
+        let mut m = ServiceMetrics::new();
+        m.accepted = 3;
+        m.queue_depth.record(1);
+        m.queue_depth.record(2);
+        let mut faults = FaultCounters::new();
+        faults.timeouts = 1;
+        faults.abandoned = 1;
+        let mut w = JsonWriter::new();
+        m.write_json(&mut w, &faults);
+        let s = w.finish();
+        assert!(json::balanced(&s), "{s}");
+        let doc = json::parse(&s).unwrap();
+        assert_eq!(doc.get("accepted").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            doc.get("faults")
+                .and_then(|f| f.get("abandoned"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -65,6 +65,65 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Incremental FNV-1a: [`fnv1a64`] fed piecewise, for fingerprinting
+/// data too large (or too structured) to flatten into one slice first.
+/// Feeding the same bytes in any chunking yields the same digest.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh digest (the FNV-1a offset basis).
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a `u64` in (little-endian byte order, platform-stable).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The FNV-1a fingerprint of a whole program trace: name, thread
+/// structure and every packed record, in order. Two traces fingerprint
+/// equal exactly when they are byte-for-byte the same workload —
+/// generation is deterministic in `(app, scale, seed)`, so the
+/// placement service uses this as the trace half of its result-cache
+/// key and as the cross-restart identity check in job results.
+#[must_use]
+pub fn program_fingerprint(prog: &crate::ProgramTrace) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(prog.name().as_bytes());
+    h.update_u64(prog.thread_count() as u64);
+    for (_, thread) in prog.iter() {
+        h.update_u64(thread.len() as u64);
+        for r in thread.iter() {
+            h.update_u64(r.pack());
+        }
+    }
+    h.finish()
+}
+
 /// A `HashMap` using [`FastHasher`].
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 /// A `HashSet` using [`FastHasher`].
@@ -105,6 +164,31 @@ mod tests {
         let mut h = FastHasher::default();
         h.write(&[1, 2, 3]);
         assert_ne!(h.finish(), 0);
+    }
+
+    #[test]
+    fn incremental_fnv_matches_one_shot() {
+        let data = b"placesim fingerprint bytes";
+        let mut inc = Fnv64::new();
+        inc.update(&data[..7]);
+        inc.update(&data[7..]);
+        assert_eq!(inc.finish(), fnv1a64(data));
+        assert_eq!(Fnv64::default().finish(), fnv1a64(b""));
+    }
+
+    #[test]
+    fn program_fingerprints_distinguish_traces() {
+        use crate::{Address, MemRef, ProgramTrace, ThreadTrace};
+        let t0: ThreadTrace = [MemRef::read(Address::new(0x10))].into_iter().collect();
+        let t1: ThreadTrace = [MemRef::write(Address::new(0x10))].into_iter().collect();
+        let a = ProgramTrace::new("demo", vec![t0.clone(), t1.clone()]);
+        let b = ProgramTrace::new("demo", vec![t0.clone(), t1.clone()]);
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&b));
+        // Different name, different thread order: different identity.
+        let renamed = ProgramTrace::new("omed", vec![t0.clone(), t1.clone()]);
+        assert_ne!(program_fingerprint(&a), program_fingerprint(&renamed));
+        let swapped = ProgramTrace::new("demo", vec![t1, t0]);
+        assert_ne!(program_fingerprint(&a), program_fingerprint(&swapped));
     }
 
     #[test]

@@ -47,6 +47,7 @@ use std::time::Duration;
 /// * 2 — a usage error; the usage text is printed
 /// * 3 — a sweep finished but with holes (partial results were written)
 /// * 4 — a corrupt journal, or a resume against a different sweep's journal
+/// * 5 — the service directory is locked by another live daemon
 #[derive(Debug)]
 enum CliError {
     /// Bad arguments or an unusable command line (exit 2).
@@ -57,6 +58,8 @@ enum CliError {
     PartialSweep(String),
     /// The checkpoint journal is corrupt or mismatched (exit 4).
     CorruptJournal(String),
+    /// `serve` found a live daemon already holding the directory (exit 5).
+    ServiceLocked(String),
 }
 
 impl CliError {
@@ -66,6 +69,7 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::PartialSweep(_) => 3,
             CliError::CorruptJournal(_) => 4,
+            CliError::ServiceLocked(_) => 5,
         }
     }
 
@@ -74,7 +78,8 @@ impl CliError {
             CliError::Usage(m)
             | CliError::Runtime(m)
             | CliError::PartialSweep(m)
-            | CliError::CorruptJournal(m) => m,
+            | CliError::CorruptJournal(m)
+            | CliError::ServiceLocked(m) => m,
         }
     }
 }
@@ -124,8 +129,16 @@ usage:
                [--max-attempts N] [--timeout-ms T] [--sim-threads N]
                [--report out.json] [--attribution out.json]
                [--telemetry live.json]
+  placesim-cli serve --dir <dir> [--socket path] [--workers N]
+               [--queue N] [--timeout-ms T] [--max-attempts N] [--cache N]
+  placesim-cli client <status|shutdown|submit|result|wait> --socket <path>
+               [submit: --op analyze|place|simulate|sweep --app A
+                [--scale S] [--seed N] [--protocol wi|mesi|dragon]
+                [--algos A,B,...] [--procs 2,4,...]]
+               [result/wait: --id N [--timeout-ms T] [--raw]]
 exit codes: 0 ok; 1 runtime failure; 2 usage error;
-            3 sweep finished with holes; 4 corrupt/mismatched journal";
+            3 sweep finished with holes; 4 corrupt/mismatched journal;
+            5 service directory locked by a live daemon";
 
 /// Ring capacity for `simulate --timeline`: 1M events ≈ 48 MB, enough
 /// to retain every event of a scale-0.002 run and the tail of larger
@@ -149,6 +162,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("probe") => Ok(cmd_probe(&args[1..])?),
         Some("report") => Ok(cmd_report(&args[1..])?),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some(other) => Err(CliError::Usage(format!("unknown command {other}"))),
         None => Err(CliError::Usage("missing command".into())),
     }
@@ -1035,8 +1050,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let f = &sweep.faults;
     if f.total() > 0 {
         println!(
-            "faults absorbed: {} panics, {} timeouts, {} errors, {} journal I/O errors, {} retries",
-            f.panics, f.timeouts, f.errors, f.io_errors, f.retries
+            "faults absorbed: {} panics, {} timeouts ({} threads abandoned), {} errors, \
+             {} journal I/O errors, {} retries",
+            f.panics, f.timeouts, f.abandoned, f.errors, f.io_errors, f.retries
         );
     }
     if let Some(out) = raw_flag(args, "--report")? {
@@ -1073,6 +1089,239 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             sweep.header.cell_count()
         )))
     }
+}
+
+/// SIGTERM/SIGINT flag for `serve`: the handler only raises an atomic,
+/// the accept loop notices and begins a graceful drain.
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the handler for SIGTERM (15) and SIGINT (2).
+    pub fn install() {
+        // SAFETY: the handler is async-signal-safe (one atomic store),
+        // and `signal` is only given a valid function pointer.
+        unsafe {
+            signal(15, on_term as *const () as usize);
+            signal(2, on_term as *const () as usize);
+        }
+    }
+}
+
+#[cfg(unix)]
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use placesim::service::{self, PlacementService, ServiceConfig, ServiceError};
+
+    let dir = raw_flag(args, "--dir")?
+        .ok_or_else(|| CliError::Usage("serve needs --dir <dir>".into()))?
+        .to_owned();
+    let dir = std::path::PathBuf::from(dir);
+    let mut cfg = ServiceConfig::new();
+    if let Some(n) = uint_flag(args, "--workers")? {
+        cfg.workers =
+            usize::try_from(n).map_err(|_| format!("--workers value {n} exceeds usize"))?;
+    }
+    if let Some(n) = uint_flag(args, "--queue")? {
+        if n == 0 {
+            return Err(CliError::Usage("--queue must be at least 1".into()));
+        }
+        cfg.queue_capacity =
+            usize::try_from(n).map_err(|_| format!("--queue value {n} exceeds usize"))?;
+    }
+    if let Some(ms) = uint_flag(args, "--timeout-ms")? {
+        cfg.job_timeout = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = uint_flag(args, "--max-attempts")? {
+        cfg.max_attempts =
+            u32::try_from(n).map_err(|_| format!("--max-attempts value {n} exceeds u32"))?;
+    }
+    if let Some(n) = uint_flag(args, "--cache")? {
+        cfg.cache_capacity =
+            usize::try_from(n).map_err(|_| format!("--cache value {n} exceeds usize"))?;
+    }
+    let socket = raw_flag(args, "--socket")?
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| dir.join("service.sock"));
+
+    term::install();
+    let (svc, recovery) = PlacementService::start(&dir, cfg).map_err(|e| match e {
+        ServiceError::Locked { .. } => CliError::ServiceLocked(e.to_string()),
+        other => CliError::Runtime(other.to_string()),
+    })?;
+    if !recovery.resumed.is_empty() || recovery.completed > 0 {
+        println!(
+            "recovered from journal: {} finished, {} failed, {} resumed, {} line(s) dropped",
+            recovery.completed,
+            recovery.failed,
+            recovery.resumed.len(),
+            recovery.dropped
+        );
+    }
+    println!("serving on {}", socket.display());
+    let served = service::serve_unix(&svc, &socket, &term::STOP);
+    // Drain even when the socket loop failed: accepted jobs finish or
+    // stay journaled either way.
+    svc.drain_and_join();
+    served.map_err(|e| CliError::Runtime(e.to_string()))?;
+    let f = svc.fault_counters();
+    if f.total() > 0 {
+        println!(
+            "faults absorbed: {} panics, {} timeouts ({} threads abandoned), {} errors, \
+             {} journal I/O errors, {} retries",
+            f.panics, f.timeouts, f.abandoned, f.errors, f.io_errors, f.retries
+        );
+    }
+    println!("drained");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_serve(_args: &[String]) -> Result<(), CliError> {
+    Err(CliError::Runtime(
+        "serve needs a Unix socket; this platform has none".into(),
+    ))
+}
+
+#[cfg(unix)]
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    use placesim_obs::json::{self, JsonValue, JsonWriter};
+    use std::io::{BufRead, Write};
+    use std::os::unix::net::UnixStream;
+
+    let verb = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| {
+            CliError::Usage("client needs a verb: status, shutdown, submit, result, wait".into())
+        })?
+        .as_str();
+    let socket = raw_flag(args, "--socket")?
+        .ok_or_else(|| CliError::Usage("client needs --socket <path>".into()))?
+        .to_owned();
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "placesim-service-v1");
+    match verb {
+        "status" | "shutdown" => {
+            w.field_str("op", verb);
+        }
+        "result" | "wait" => {
+            w.field_str("op", verb);
+            let id = uint_flag(args, "--id")?
+                .ok_or_else(|| CliError::Usage(format!("{verb} needs --id <job>")))?;
+            w.field_u64("id", id);
+            if verb == "wait" {
+                w.field_u64(
+                    "timeout_ms",
+                    uint_flag(args, "--timeout-ms")?.unwrap_or(60_000),
+                );
+            }
+        }
+        "submit" => {
+            w.field_str("op", "submit");
+            let op = raw_flag(args, "--op")?.ok_or_else(|| {
+                CliError::Usage("submit needs --op <analyze|place|simulate|sweep>".into())
+            })?;
+            let app = raw_flag(args, "--app")?
+                .ok_or_else(|| CliError::Usage("submit needs --app <name>".into()))?;
+            w.key("job");
+            w.begin_object();
+            w.field_str("op", op);
+            w.field_str("app", app);
+            w.field_f64(
+                "scale",
+                flag(args, "--scale")?.unwrap_or_else(|| placesim::scale_from_env(0.1)),
+            );
+            w.field_u64("seed", uint_flag(args, "--seed")?.unwrap_or(1994));
+            if let Some(p) = raw_flag(args, "--protocol")? {
+                w.field_str("protocol", p);
+            }
+            if let Some(list) = raw_flag(args, "--algos")? {
+                w.key("algorithms");
+                w.begin_array();
+                for a in list.split(',') {
+                    w.value_str(a.trim());
+                }
+                w.end_array();
+            }
+            if let Some(list) = raw_flag(args, "--procs")? {
+                w.key("processors");
+                w.begin_array();
+                for p in parse_procs(list)? {
+                    w.value_u64(p as u64);
+                }
+                w.end_array();
+            }
+            w.end_object();
+        }
+        other => {
+            return Err(CliError::Usage(format!("unknown client verb {other}")));
+        }
+    }
+    w.end_object();
+    let request = w.finish();
+
+    let mut stream = UnixStream::connect(&socket)
+        .map_err(|e| CliError::Runtime(format!("cannot connect to {socket}: {e}")))?;
+    stream.set_read_timeout(Some(Duration::from_secs(630))).ok();
+    writeln!(stream, "{request}").map_err(|e| CliError::Runtime(format!("send failed: {e}")))?;
+    let mut response = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut response)
+        .map_err(|e| CliError::Runtime(format!("receive failed: {e}")))?;
+    let response = response.trim_end().to_owned();
+    if response.is_empty() {
+        return Err(CliError::Runtime("daemon closed the connection".into()));
+    }
+
+    let doc = json::parse(&response)
+        .map_err(|e| CliError::Runtime(format!("unparseable response: {e}")))?;
+    if args.iter().any(|a| a == "--raw") {
+        // Print only the embedded result document (the canonical bytes
+        // the byte-identity proof compares).
+        let result = doc
+            .get("result")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| CliError::Runtime(format!("no result in response: {response}")))?;
+        println!("{result}");
+    } else {
+        println!("{response}");
+    }
+    if doc.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        return Err(CliError::Runtime(format!(
+            "daemon rejected the request: {}",
+            doc.get("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown error")
+        )));
+    }
+    if let Some("failed") = doc.get("state").and_then(JsonValue::as_str) {
+        return Err(CliError::Runtime(format!(
+            "job failed: {}",
+            doc.get("reason")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown reason")
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_client(_args: &[String]) -> Result<(), CliError> {
+    Err(CliError::Runtime(
+        "client needs a Unix socket; this platform has none".into(),
+    ))
 }
 
 #[cfg(test)]
